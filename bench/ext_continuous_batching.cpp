@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension experiment: continuous (vLLM/Orca-style) batching across
+ * the coupling paradigms. The paper notes serving frameworks chase
+ * "BS=1-like latency at high throughput" via continuous batching; this
+ * bench shows how far each platform gets — p50/p99 TTFT, per-token
+ * iteration latency and sustained token throughput as offered load
+ * rises.
+ *
+ * Usage: ext_continuous_batching [--model GPT2] [--prompt 256]
+ *                                [--tokens 16] [--max-active 32] [--csv]
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "hw/catalog.hh"
+#include "serving/continuous.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    workload::ModelConfig model =
+        workload::modelByName(args.getString("model", "GPT2"));
+    int prompt = static_cast<int>(args.getInt("prompt", 256));
+    int tokens = static_cast<int>(args.getInt("tokens", 16));
+    int max_active = static_cast<int>(args.getInt("max-active", 32));
+
+    for (const auto &platform : hw::platforms::paperTrio()) {
+        serving::IterationCostModel cost(model, platform, prompt);
+        double capacity_tps = max_active /
+            (cost.decodeNs(max_active) / 1e9);
+
+        TextTable table(strprintf(
+            "Continuous batching: %s on %s (prompt=%d, %d tokens, "
+            "max active %d, decode capacity ~%.0f tok/s)",
+            model.name.c_str(), platform.name.c_str(), prompt, tokens,
+            max_active, capacity_tps));
+        table.setHeader({"Load (rps)", "p50 TTFT (ms)", "p99 TTFT (ms)",
+                         "TPOT (ms)", "tok/s", "active",
+                         "chunked TPOT (ms)"});
+
+        for (double frac : {0.1, 0.3, 0.6, 0.9}) {
+            serving::ContinuousConfig config;
+            config.arrivalRatePerSec =
+                frac * capacity_tps / tokens;
+            config.horizonSec = 20.0;
+            config.maxActive = max_active;
+            config.promptLen = prompt;
+            config.genTokens = tokens;
+            serving::ContinuousResult result =
+                serving::simulateContinuous(cost, config);
+
+            // Sarathi-style chunked prefill for comparison.
+            serving::ContinuousConfig chunked_config = config;
+            chunked_config.chunkTokens = prompt / 4;
+            serving::ContinuousResult chunked =
+                serving::simulateContinuous(cost, chunked_config);
+
+            table.addRow({strprintf("%.0f", config.arrivalRatePerSec),
+                          strprintf("%.1f", result.p50TtftNs / 1e6),
+                          strprintf("%.1f", result.p99TtftNs / 1e6),
+                          strprintf("%.2f", result.meanTpotNs / 1e6),
+                          strprintf("%.0f", result.tokensPerSec),
+                          strprintf("%.1f", result.meanActive),
+                          strprintf("%.2f",
+                                    chunked.meanTpotNs / 1e6)});
+        }
+        std::fputs(args.has("csv") ? table.renderCsv().c_str()
+                                   : table.render().c_str(),
+                   stdout);
+        std::puts("");
+    }
+
+    std::puts("Key takeaway: continuous batching keeps TTFT near the "
+              "single-prefill cost until utilization is high, but the "
+              "per-token iteration cost is launch-dominated - the "
+              "Grace CPU's TPOT penalty persists at every load, while "
+              "the GH200's decode capacity ceiling sits highest.");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extension experiment: sequence-length sensitivity. The paper fixes
+ * the prompt at 512 tokens; this bench sweeps 128..4096 at BS=1 and
+ * shows how the CPU-bound region collapses as the prompt grows — long
+ * prompts are "free batch" for the GPU while the launch count stays
+ * constant, so GH200's crossover moves toward BS=1 and, past a prompt
+ * length, even a single request is GPU-bound everywhere.
+ *
+ * Usage: ext_seqlen_sensitivity [--model Bert-Base-Uncased] [--csv]
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "hw/catalog.hh"
+#include "skip/profile.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    workload::ModelConfig model = workload::modelByName(
+        args.getString("model", "Bert-Base-Uncased"));
+
+    TextTable table(strprintf(
+        "%s prefill TTFT (ms) at BS=1 vs prompt length "
+        "[GPU idle %% on GH200]", model.name.c_str()));
+    table.setHeader({"Seq", "AMD+A100", "Intel+H100", "GH200",
+                     "GH200 GPU idle %"});
+
+    for (int seq : {128, 256, 512, 1024, 2048, 4096}) {
+        std::vector<std::string> row{std::to_string(seq)};
+        double gh_idle = 0.0;
+        for (const auto &platform : hw::platforms::paperTrio()) {
+            skip::ProfileResult run =
+                skip::profilePrefill(model, platform, 1, seq);
+            row.push_back(strprintf("%.2f", run.ttftNs() / 1e6));
+            if (platform.coupling == hw::Coupling::CloselyCoupled) {
+                gh_idle = 100.0 * run.metrics.gpuIdleNs /
+                    run.metrics.ilNs;
+            }
+        }
+        row.push_back(strprintf("%.0f", gh_idle));
+        table.addRow(row);
+    }
+    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+                               : table.render().c_str(),
+               stdout);
+
+    std::puts("\nKey takeaway: sequence length plays the same role as "
+              "batch size for GPU saturation but leaves the kernel "
+              "count (and so the launch tax) untouched - long-prompt "
+              "workloads (RAG contexts) are GPU-bound even at BS=1, "
+              "erasing the LC systems' low-batch advantage.");
+    return 0;
+}

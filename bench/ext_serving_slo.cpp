@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension experiment: request-level serving comparison. The paper's
+ * per-batch characterization says LC systems win small batches and
+ * GH200 wins large ones; this bench closes the loop at the serving
+ * level — Poisson arrivals into a dynamic-batching server — and shows
+ * where each platform's p99 TTFT stays inside a 200 ms SLO (the
+ * interactive budget the paper cites) as offered load rises.
+ *
+ * Usage: ext_serving_slo [--model Llama-3.2-1B] [--seq 512]
+ *                        [--slo-ms 200] [--max-batch 32] [--csv]
+ */
+
+#include <cstdio>
+
+#include "analysis/sweep.hh"
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "hw/catalog.hh"
+#include "serving/server_sim.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    workload::ModelConfig model =
+        workload::modelByName(args.getString("model", "Llama-3.2-1B"));
+    int seq = static_cast<int>(args.getInt("seq", 512));
+    double slo_ms = args.getDouble("slo-ms", 200.0);
+    int max_batch = static_cast<int>(args.getInt("max-batch", 32));
+
+    // Per-platform latency models from full batch sweeps.
+    std::vector<serving::LatencyModel> models;
+    for (const auto &platform : hw::platforms::paperTrio()) {
+        models.emplace_back(analysis::runBatchSweep(
+            model, platform, analysis::defaultBatchGrid(), seq));
+    }
+
+    TextTable table(strprintf(
+        "Serving %s (seq=%d, dynamic batching, max batch %d, "
+        "5 ms max wait): p99 TTFT (ms) vs offered load",
+        model.name.c_str(), seq, max_batch));
+    table.setHeader({"Load (rps)", "AMD+A100", "Intel+H100", "GH200",
+                     strprintf("within %.0fms SLO", slo_ms)});
+
+    for (double rate : {5.0, 20.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+        std::vector<std::string> row{strprintf("%.0f", rate)};
+        std::string within;
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            serving::ServingConfig config;
+            config.arrivalRatePerSec = rate;
+            config.horizonSec = 30.0;
+            config.maxBatch = max_batch;
+            config.maxWaitNs = 5e6;
+            serving::ServingResult result =
+                serving::simulateServing(models[i], config);
+            bool overloaded = result.leftInQueue >
+                result.completed / 10;
+            row.push_back(overloaded
+                              ? "overload"
+                              : strprintf("%.1f",
+                                          result.p99LatencyNs / 1e6));
+            if (!overloaded && result.p99LatencyNs / 1e6 <= slo_ms) {
+                if (!within.empty())
+                    within += ", ";
+                within += models[i].platformName();
+            }
+        }
+        row.push_back(within.empty() ? "-" : within);
+        table.addRow(row);
+    }
+    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+                               : table.render().c_str(),
+               stdout);
+
+    std::puts("\nKey takeaway: at light interactive load the LC "
+              "systems' lower small-batch latency carries the SLO; as "
+              "load pushes batches toward the GPU-bound region, GH200 "
+              "is the platform that keeps p99 inside budget the "
+              "longest - the serving-level mirror of the paper's "
+              "crossover points.");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Regenerates paper Fig. 10 (a-c): prefill inference latency, GPU idle
+ * time and CPU idle time vs batch size for the encoder models
+ * (Bert-Base-Uncased, XLM-Roberta-Base) on the three platforms, plus
+ * the crossover points and balanced-utilization regions of Sec. V-D.
+ *
+ * Usage: fig10_encoder_latency [--seq 512] [--batches ...] [--csv]
+ */
+
+#include <cstdio>
+
+#include "analysis/boundedness.hh"
+#include "analysis/compare.hh"
+#include "analysis/sweep.hh"
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "hw/catalog.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+void
+reportModel(const workload::ModelConfig &model, int seq,
+            const std::vector<int> &batches, bool csv)
+{
+    std::vector<analysis::SweepResult> sweeps;
+    for (const auto &platform : hw::platforms::paperTrio())
+        sweeps.push_back(
+            analysis::runBatchSweep(model, platform, batches, seq));
+
+    struct Panel
+    {
+        const char *title;
+        double skip::MetricsReport::*field;
+    };
+    const Panel panels[] = {
+        {"(a) inference time (ms)", &skip::MetricsReport::ilNs},
+        {"(b) GPU idle time (ms)", &skip::MetricsReport::gpuIdleNs},
+        {"(c) CPU idle time (ms)", &skip::MetricsReport::cpuIdleNs},
+    };
+
+    for (const auto &panel : panels) {
+        TextTable table(strprintf("%s - %s, seq=%d", model.name.c_str(),
+                                  panel.title, seq));
+        table.setHeader({"Batch", "AMD+A100", "Intel+H100", "GH200"});
+        for (int batch : batches) {
+            std::vector<std::string> row{std::to_string(batch)};
+            for (const auto &sweep : sweeps) {
+                row.push_back(strprintf(
+                    "%.2f",
+                    sweep.at(batch).metrics.*(panel.field) / 1e6));
+            }
+            table.addRow(row);
+        }
+        std::fputs(csv ? table.renderCsv().c_str()
+                       : table.render().c_str(),
+                   stdout);
+        std::puts("");
+    }
+
+    auto cp_intel = analysis::findCrossover(sweeps[2], sweeps[1]);
+    auto cp_amd = analysis::findCrossover(sweeps[2], sweeps[0]);
+    std::printf("  crossover point (GH200 vs Intel+H100): %s | "
+                "(vs AMD+A100): %s\n",
+                cp_intel.crossoverPoint
+                    ? ("BS=" +
+                       std::to_string(*cp_intel.crossoverPoint)).c_str()
+                    : "none",
+                cp_amd.crossoverPoint
+                    ? ("BS=" +
+                       std::to_string(*cp_amd.crossoverPoint)).c_str()
+                    : "none");
+    for (const auto &sweep : sweeps) {
+        auto spot = analysis::findSweetSpot(sweep);
+        std::printf("  %-11s balanced utilization region: BS=[%d, %d]\n",
+                    sweep.platformName.c_str(), spot.minBatch,
+                    spot.maxBatch);
+    }
+    if (sweeps[2].at(64).metrics.ilNs > 0.0) {
+        std::printf("  GH200 speedup at BS=64: %.2fx vs Intel+H100, "
+                    "%.2fx vs AMD+A100; BS=1 slowdown: %.2fx / %.2fx\n",
+                    analysis::speedupAt(sweeps[2], sweeps[1], 64),
+                    analysis::speedupAt(sweeps[2], sweeps[0], 64),
+                    1.0 / analysis::speedupAt(sweeps[2], sweeps[1], 1),
+                    1.0 / analysis::speedupAt(sweeps[2], sweeps[0], 1));
+    }
+    std::puts("");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    int seq = static_cast<int>(args.getInt("seq", 512));
+    std::vector<int> batches;
+    for (long b : args.getIntList("batches",
+                                  {1, 2, 4, 8, 16, 32, 64, 128}))
+        batches.push_back(static_cast<int>(b));
+
+    reportModel(workload::bertBaseUncased(), seq, batches,
+                args.has("csv"));
+    reportModel(workload::xlmRobertaBase(), seq, batches,
+                args.has("csv"));
+
+    std::puts("Key takeaway: GH200's bandwidth keeps its GPU fed and "
+              "pushes the bottleneck to the Grace CPU across a wide "
+              "batch range - it loses at small batch (CPU-bound, "
+              "~2-3x slower at BS=1) and wins big past the crossover "
+              "(~BS=16).");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates paper Fig. 6: TKLQT vs batch size for the encoder models
+ * (Bert-Base-Uncased, XLM-Roberta-Base) on the three platforms, with
+ * the star-marker inflection batch where each workload transitions
+ * from CPU-bound (launch-dominated) to GPU-bound (queue-dominated).
+ *
+ * Usage: fig6_tklqt_boundedness [--seq 512] [--batches 1,2,...] [--csv]
+ */
+
+#include <cstdio>
+
+#include "analysis/boundedness.hh"
+#include "analysis/sweep.hh"
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "hw/catalog.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    int seq = static_cast<int>(args.getInt("seq", 512));
+    std::vector<int> batches;
+    for (long b : args.getIntList("batches",
+                                  {1, 2, 4, 8, 16, 32, 64, 128}))
+        batches.push_back(static_cast<int>(b));
+
+    for (const auto &model :
+         {workload::bertBaseUncased(), workload::xlmRobertaBase()}) {
+        TextTable table(strprintf(
+            "Fig. 6: TKLQT (ms) vs batch size, %s forward pass, seq=%d "
+            "('*' marks the CPU->GPU-bound transition)",
+            model.name.c_str(), seq));
+        table.setHeader({"Batch", "AMD+A100", "Intel+H100", "GH200"});
+
+        std::vector<analysis::SweepResult> sweeps;
+        std::vector<analysis::BoundednessResult> bounds;
+        for (const auto &platform : hw::platforms::paperTrio()) {
+            sweeps.push_back(analysis::runBatchSweep(model, platform,
+                                                     batches, seq));
+            bounds.push_back(analysis::classifyBoundedness(sweeps.back()));
+        }
+
+        for (int batch : batches) {
+            std::vector<std::string> row{std::to_string(batch)};
+            for (std::size_t i = 0; i < sweeps.size(); ++i) {
+                bool star = bounds[i].transitionBatch &&
+                    *bounds[i].transitionBatch == batch;
+                row.push_back(strprintf(
+                    "%.3f%s",
+                    sweeps[i].at(batch).metrics.tklqtNs / 1e6,
+                    star ? " *" : ""));
+            }
+            table.addRow(row);
+        }
+        std::fputs(args.has("csv") ? table.renderCsv().c_str()
+                                   : table.render().c_str(),
+                   stdout);
+
+        for (std::size_t i = 0; i < sweeps.size(); ++i) {
+            std::printf("  %-11s transition at BS=%s (plateau %.3f ms)\n",
+                        sweeps[i].platformName.c_str(),
+                        bounds[i].transitionBatch
+                            ? std::to_string(
+                                  *bounds[i].transitionBatch).c_str()
+                            : "none",
+                        bounds[i].plateauTklqtNs / 1e6);
+        }
+        std::puts("");
+    }
+
+    std::puts("Key takeaway: encoder workloads transition at ~BS=8 on "
+              "the LC systems but only at ~BS=32 on GH200 - a 4x wider "
+              "CPU-bound region, created by the GH200's higher-bandwidth "
+              "HBM finishing each batch inside the shadow of CPU "
+              "dispatch.");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: graph
+ * building, simulation, dependency-graph construction, metric
+ * computation and chain mining — plus ablations of the design choices
+ * called out in DESIGN.md (jitter on/off, greedy chain selection cost
+ * vs chain length).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fusion/proximity.hh"
+#include "hw/catalog.hh"
+#include "sim/simulator.hh"
+#include "skip/dep_graph.hh"
+#include "skip/metrics.hh"
+#include "workload/builder.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+workload::OperatorGraph
+gpt2Graph(int batch)
+{
+    workload::BuildOptions opts;
+    opts.batch = batch;
+    return workload::buildPrefillGraph(workload::gpt2(), opts);
+}
+
+void
+BM_BuildPrefillGraph(benchmark::State &state)
+{
+    workload::BuildOptions opts;
+    opts.batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto graph =
+            workload::buildPrefillGraph(workload::llama32_1b(), opts);
+        benchmark::DoNotOptimize(graph.numKernelLaunches());
+    }
+}
+BENCHMARK(BM_BuildPrefillGraph)->Arg(1)->Arg(16);
+
+void
+BM_SimulateForward(benchmark::State &state)
+{
+    auto graph = gpt2Graph(static_cast<int>(state.range(0)));
+    sim::Simulator simulator(hw::platforms::gh200());
+    for (auto _ : state) {
+        auto result = simulator.run(graph);
+        benchmark::DoNotOptimize(result.wallNs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numKernelLaunches()));
+}
+BENCHMARK(BM_SimulateForward)->Arg(1)->Arg(32);
+
+void
+BM_SimulateNoJitterAblation(benchmark::State &state)
+{
+    // Ablation: deterministic mode (jitter off) vs default.
+    auto graph = gpt2Graph(1);
+    sim::SimOptions opts;
+    opts.jitter = state.range(0) != 0;
+    sim::Simulator simulator(hw::platforms::intelH100(), opts);
+    for (auto _ : state) {
+        auto result = simulator.run(graph);
+        benchmark::DoNotOptimize(result.wallNs);
+    }
+}
+BENCHMARK(BM_SimulateNoJitterAblation)->Arg(0)->Arg(1);
+
+void
+BM_DependencyGraphBuild(benchmark::State &state)
+{
+    auto graph = gpt2Graph(1);
+    sim::Simulator simulator(hw::platforms::intelH100());
+    auto result = simulator.run(graph);
+    for (auto _ : state) {
+        auto dep = skip::DependencyGraph::build(result.trace);
+        benchmark::DoNotOptimize(dep.kernels().size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_DependencyGraphBuild);
+
+void
+BM_ComputeMetrics(benchmark::State &state)
+{
+    auto graph = gpt2Graph(1);
+    sim::Simulator simulator(hw::platforms::intelH100());
+    auto result = simulator.run(graph);
+    auto dep = skip::DependencyGraph::build(result.trace);
+    for (auto _ : state) {
+        auto metrics = skip::computeMetrics(dep);
+        benchmark::DoNotOptimize(metrics.tklqtNs);
+    }
+}
+BENCHMARK(BM_ComputeMetrics);
+
+void
+BM_ChainMining(benchmark::State &state)
+{
+    auto graph = gpt2Graph(1);
+    fusion::ProximityAnalyzer analyzer(graph.kernelSequence());
+    std::size_t length = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto stats = analyzer.analyze(length);
+        benchmark::DoNotOptimize(stats.idealSpeedup);
+    }
+}
+BENCHMARK(BM_ChainMining)->Arg(2)->Arg(16)->Arg(256);
+
+void
+BM_EndToEndProfile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto graph = gpt2Graph(4);
+        sim::Simulator simulator(hw::platforms::gh200());
+        auto result = simulator.run(graph);
+        auto dep = skip::DependencyGraph::build(std::move(result.trace));
+        auto metrics = skip::computeMetrics(dep);
+        benchmark::DoNotOptimize(metrics.ilNs);
+    }
+}
+BENCHMARK(BM_EndToEndProfile);
+
+} // namespace
+
+BENCHMARK_MAIN();

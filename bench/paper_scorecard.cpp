@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Paper scorecard: runs a compact version of every reproduced claim
+ * and prints paper-vs-measured with a verdict per row — the one-screen
+ * summary of the whole reproduction. Exit code is nonzero if any row
+ * falls outside its tolerance band, so CI can gate on it.
+ *
+ * Usage: paper_scorecard [--csv]
+ */
+
+#include <cstdio>
+
+#include "analysis/boundedness.hh"
+#include "analysis/compare.hh"
+#include "analysis/sweep.hh"
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "fusion/recommend.hh"
+#include "hw/catalog.hh"
+#include "skip/dep_graph.hh"
+#include "skip/metrics.hh"
+#include "skip/profile.hh"
+#include "stats/summary.hh"
+#include "workload/builder.hh"
+#include "workload/compile_model.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+struct Row
+{
+    std::string claim;
+    std::string paper;
+    std::string measured;
+    bool pass;
+};
+
+std::vector<Row> rows;
+
+void
+check(const std::string &claim, const std::string &paper,
+      const std::string &measured, bool pass)
+{
+    rows.push_back({claim, paper, measured, pass});
+}
+
+void
+checkRatio(const std::string &claim, double paper_value,
+           double measured, double lo, double hi)
+{
+    check(claim, strprintf("%.2f", paper_value),
+          strprintf("%.2f", measured), measured >= lo && measured <= hi);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+
+    // ---- Table V ----
+    for (const auto &[name, launch, dur] :
+         {std::tuple<const char *, double, double>{"AMD+A100", 2260.5,
+                                                   1440.0},
+          {"Intel+H100", 2374.6, 1235.2},
+          {"GH200", 2771.6, 1171.2}}) {
+        hw::Platform platform = hw::platforms::byName(name);
+        sim::Simulator simulator(platform);
+        skip::DependencyGraph dep = skip::DependencyGraph::build(
+            simulator.run(workload::buildNullKernelGraph(1000)).trace);
+        stats::Summary s;
+        for (const auto &link : dep.computeKernelsOnly())
+            s.add(static_cast<double>(link.launchToStartNs));
+        check(strprintf("Table V %s launch overhead (ns)", name),
+              strprintf("%.1f", launch), strprintf("%.1f", s.mean()),
+              std::abs(s.mean() - launch) < 0.03 * launch);
+        (void)dur;
+    }
+
+    // ---- Fig 6: encoder transitions ----
+    auto grid = analysis::defaultBatchGrid();
+    analysis::SweepResult intel_bert = analysis::runBatchSweep(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), grid);
+    analysis::SweepResult amd_bert = analysis::runBatchSweep(
+        workload::bertBaseUncased(), hw::platforms::amdA100(), grid);
+    analysis::SweepResult gh_bert = analysis::runBatchSweep(
+        workload::bertBaseUncased(), hw::platforms::gh200(), grid);
+    auto intel_tr = analysis::classifyBoundedness(intel_bert);
+    auto gh_tr = analysis::classifyBoundedness(gh_bert);
+    int lc = intel_tr.transitionBatch.value_or(-1);
+    int cc = gh_tr.transitionBatch.value_or(-1);
+    check("Fig 6 encoder transition LC (batch)", "~8",
+          std::to_string(lc), lc == 8);
+    check("Fig 6 encoder transition GH200 (batch)", "~32",
+          std::to_string(cc), cc == 32);
+    check("Fig 6 GH200 4x more CPU-bound", "4x",
+          strprintf("%dx", lc > 0 ? cc / lc : -1),
+          lc > 0 && cc / lc == 4);
+
+    // ---- Fig 10: encoder ratios ----
+    checkRatio("Fig 10 BERT BS=64 speedup vs Intel", 1.6,
+               analysis::speedupAt(gh_bert, intel_bert, 64), 1.4, 2.4);
+    checkRatio("Fig 10 BERT BS=64 speedup vs AMD", 2.4,
+               analysis::speedupAt(gh_bert, amd_bert, 64), 2.0, 3.0);
+    checkRatio("Fig 10 BERT BS=1 slowdown vs Intel", 2.8,
+               1.0 / analysis::speedupAt(gh_bert, intel_bert, 1), 2.2,
+               3.2);
+    checkRatio("Fig 10 BERT BS=1 slowdown vs AMD", 1.9,
+               1.0 / analysis::speedupAt(gh_bert, amd_bert, 1), 1.5,
+               2.2);
+
+    // ---- Fig 11: Llama ratios ----
+    analysis::SweepResult intel_llama = analysis::runBatchSweep(
+        workload::llama32_1b(), hw::platforms::intelH100(), grid);
+    analysis::SweepResult amd_llama = analysis::runBatchSweep(
+        workload::llama32_1b(), hw::platforms::amdA100(), grid);
+    analysis::SweepResult gh_llama = analysis::runBatchSweep(
+        workload::llama32_1b(), hw::platforms::gh200(), grid);
+    checkRatio("Fig 11 Llama BS=16 speedup vs Intel", 1.9,
+               analysis::speedupAt(gh_llama, intel_llama, 16), 1.5,
+               2.3);
+    checkRatio("Fig 11 Llama BS=16 speedup vs AMD", 2.7,
+               analysis::speedupAt(gh_llama, amd_llama, 16), 2.2, 3.2);
+    checkRatio("Fig 11 Llama BS=1 'similar latency'", 1.0,
+               gh_llama.at(1).metrics.ilNs /
+                   intel_llama.at(1).metrics.ilNs,
+               0.8, 1.6);
+
+    // ---- Fig 8: fusion maxima ----
+    skip::ProfileResult gpt2_run = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::intelH100(), 1);
+    fusion::FusionReport gpt2_fusion =
+        fusion::recommendFromTrace(gpt2_run.trace);
+    checkRatio("Fig 8 GPT2 ideal speedup @ L=256", 2.7,
+               gpt2_fusion.byLength.back().idealSpeedup, 2.65, 2.75);
+
+    skip::ProfileResult xlmr_run = skip::profilePrefill(
+        workload::xlmRobertaBase(), hw::platforms::intelH100(), 1);
+    fusion::FusionReport xlmr_fusion =
+        fusion::recommendFromTrace(xlmr_run.trace);
+    checkRatio("Fig 8 XLM-R ideal speedup @ L=256", 6.8,
+               xlmr_fusion.byLength.back().idealSpeedup, 6.7, 6.9);
+
+    // ---- Fig 9: PS vs torch.compile ----
+    skip::ProfileResult ro_run = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::intelH100(), 1, 512,
+        workload::ExecMode::CompileReduceOverhead);
+    double tc = gpt2_run.ttftNs() / ro_run.ttftNs();
+    checkRatio("Fig 9 PS@256 over torch.compile RO", 1.3,
+               gpt2_fusion.byLength.back().idealSpeedup / tc, 1.05,
+               1.75);
+
+    // ---- Table I: compile times ----
+    workload::BuildOptions gemma_opts;
+    gemma_opts.batch = 1;
+    gemma_opts.seqLen = 1024;
+    workload::OperatorGraph gemma_eager =
+        workload::buildPrefillGraph(workload::gemma2b(), gemma_opts);
+    double ma_s = workload::compileTimeNs(
+        workload::ExecMode::CompileMaxAutotune, gemma_eager, 1.0) / 1e9;
+    checkRatio("Table I max-autotune compile time (s)", 387.3, ma_s,
+               330.0, 450.0);
+
+    // ---- render ----
+    TextTable table("Paper reproduction scorecard");
+    table.setHeader({"Claim", "Paper", "Measured", "Verdict"});
+    bool all_pass = true;
+    for (const auto &row : rows) {
+        table.addRow({row.claim, row.paper, row.measured,
+                      row.pass ? "PASS" : "DEVIATION"});
+        all_pass = all_pass && row.pass;
+    }
+    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+                               : table.render().c_str(),
+               stdout);
+    std::printf("\n%zu/%zu claims within band\n",
+                static_cast<std::size_t>(
+                    std::count_if(rows.begin(), rows.end(),
+                                  [](const Row &r) { return r.pass; })),
+                rows.size());
+    return all_pass ? 0 : 1;
+}

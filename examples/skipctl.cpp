@@ -1,0 +1,325 @@
+/**
+ * @file
+ * skipctl — unified command-line front end over the library:
+ *
+ *   skipctl profile  [--model M] [--platform P] [--batch N] [--seq S]
+ *                    [--mode MODE] [--trace out.json]
+ *   skipctl sweep    [--model M] [--platform P] [--seq S] [--csv]
+ *   skipctl fusion   [--model M] [--platform P] [--batch N] [--seq S]
+ *   skipctl serve    [--model M] [--platform P] [--rate RPS]
+ *                    [--max-batch N] [--slo-ms MS]
+ *   skipctl analyze  <trace.json> [--fusion]
+ *   skipctl diff     <before.json> <after.json>
+ *   skipctl roofline [--model M] [--platform P] [--batch N] [--seq S]
+ *   skipctl memory   [--model M] [--seq S]
+ *   skipctl platforms | models
+ *
+ * All subcommands accept --model-file / --platform-file JSON configs.
+ */
+
+#include <cstdio>
+
+#include "analysis/boundedness.hh"
+#include "analysis/sweep.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "fusion/recommend.hh"
+#include "hw/catalog.hh"
+#include "hw/serde.hh"
+#include "serving/server_sim.hh"
+#include "skip/diff.hh"
+#include "skip/gaps.hh"
+#include "skip/op_breakdown.hh"
+#include "skip/profile.hh"
+#include "trace/chrome.hh"
+#include "trace/timeline.hh"
+#include "workload/builder.hh"
+#include "workload/memory.hh"
+#include "workload/model_config.hh"
+#include "workload/roofline.hh"
+#include "workload/serde.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+workload::ModelConfig
+pickModel(const CliArgs &args)
+{
+    if (args.has("model-file"))
+        return workload::loadModel(args.getString("model-file"));
+    return workload::modelByName(args.getString("model", "GPT2"));
+}
+
+hw::Platform
+pickPlatform(const CliArgs &args)
+{
+    if (args.has("platform-file"))
+        return hw::loadPlatform(args.getString("platform-file"));
+    return hw::platforms::byName(args.getString("platform", "GH200"));
+}
+
+int
+cmdProfile(const CliArgs &args)
+{
+    skip::ProfileConfig config;
+    config.model = pickModel(args);
+    config.platform = pickPlatform(args);
+    config.batch = static_cast<int>(args.getInt("batch", 1));
+    config.seqLen = static_cast<int>(args.getInt("seq", 512));
+    config.mode =
+        workload::execModeByName(args.getString("mode", "eager"));
+
+    skip::ProfileResult result = skip::profile(config);
+    std::printf("%s on %s, batch=%d, seq=%d, %s\n\n",
+                config.model.name.c_str(), config.platform.name.c_str(),
+                config.batch, config.seqLen,
+                workload::execModeName(config.mode));
+    std::fputs(result.metrics.render().c_str(), stdout);
+
+    skip::DependencyGraph dep =
+        skip::DependencyGraph::build(result.trace);
+    std::puts("");
+    std::fputs(skip::computeOpBreakdown(dep).render(8).c_str(), stdout);
+    std::puts("");
+    std::fputs(skip::analyzeGaps(dep).render(5).c_str(), stdout);
+
+    if (args.has("trace")) {
+        trace::writeChromeFile(args.getString("trace"), result.trace);
+        std::printf("\ntrace written to %s\n",
+                    args.getString("trace").c_str());
+    }
+    return 0;
+}
+
+int
+cmdSweep(const CliArgs &args)
+{
+    workload::ModelConfig model = pickModel(args);
+    hw::Platform platform = pickPlatform(args);
+    int seq = static_cast<int>(args.getInt("seq", 512));
+
+    analysis::SweepResult sweep = analysis::runBatchSweep(
+        model, platform, analysis::defaultBatchGrid(), seq);
+    analysis::BoundednessResult bound =
+        analysis::classifyBoundedness(sweep);
+
+    TextTable table(model.name + " on " + platform.name);
+    table.setHeader({"Batch", "TTFT (ms)", "TKLQT (ms)", "queue (ms)",
+                     "Region"});
+    for (const auto &point : sweep.points) {
+        table.addRow({std::to_string(point.batch),
+                      strprintf("%.2f", point.metrics.ilNs / 1e6),
+                      strprintf("%.3f", point.metrics.tklqtNs / 1e6),
+                      strprintf("%.3f",
+                                point.metrics.tklqtQueueNs / 1e6),
+                      analysis::boundednessName(
+                          bound.classify(point.batch))});
+    }
+    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+                               : table.render().c_str(),
+               stdout);
+    return 0;
+}
+
+int
+cmdFusion(const CliArgs &args)
+{
+    workload::ModelConfig model = pickModel(args);
+    hw::Platform platform = pickPlatform(args);
+    skip::ProfileResult run = skip::profilePrefill(
+        model, platform, static_cast<int>(args.getInt("batch", 1)),
+        static_cast<int>(args.getInt("seq", 512)));
+    std::fputs(fusion::recommendFromTrace(run.trace).render().c_str(),
+               stdout);
+    return 0;
+}
+
+int
+cmdServe(const CliArgs &args)
+{
+    workload::ModelConfig model = pickModel(args);
+    hw::Platform platform = pickPlatform(args);
+    serving::LatencyModel latency(analysis::runBatchSweep(
+        model, platform, analysis::defaultBatchGrid(),
+        static_cast<int>(args.getInt("seq", 512))));
+
+    serving::ServingConfig config;
+    config.arrivalRatePerSec = args.getDouble("rate", 50.0);
+    config.maxBatch = static_cast<int>(args.getInt("max-batch", 32));
+    config.maxWaitNs = args.getDouble("max-wait-ms", 5.0) * 1e6;
+    serving::ServingResult result =
+        serving::simulateServing(latency, config);
+
+    double slo_ms = args.getDouble("slo-ms", 200.0);
+    std::printf("serving %s on %s at %.0f rps (max batch %d):\n",
+                model.name.c_str(), platform.name.c_str(),
+                config.arrivalRatePerSec, config.maxBatch);
+    std::printf("  completed %zu (%.1f rps), mean batch %.1f, "
+                "utilization %.0f%%\n",
+                result.completed, result.throughputRps,
+                result.meanBatch, 100.0 * result.utilization);
+    std::printf("  latency p50/p95/p99: %.1f / %.1f / %.1f ms -> "
+                "SLO %.0f ms %s\n",
+                result.p50LatencyNs / 1e6, result.p95LatencyNs / 1e6,
+                result.p99LatencyNs / 1e6, slo_ms,
+                result.p99LatencyNs / 1e6 <= slo_ms ? "met" : "MISSED");
+    if (result.leftInQueue > 0)
+        std::printf("  warning: %zu requests still queued (overload)\n",
+                    result.leftInQueue);
+    return 0;
+}
+
+int
+cmdAnalyze(const CliArgs &args)
+{
+    if (args.positional().size() < 2) {
+        std::fprintf(stderr, "usage: skipctl analyze <trace.json>\n");
+        return 2;
+    }
+    trace::Trace loaded =
+        trace::readChromeFile(args.positional()[1]);
+    skip::DependencyGraph dep =
+        skip::DependencyGraph::build(std::move(loaded));
+    std::fputs(skip::computeMetrics(dep).render().c_str(), stdout);
+    std::puts("");
+    trace::TimelineOptions opts;
+    opts.width = 92;
+    std::fputs(trace::renderTimeline(dep.trace(), opts).c_str(),
+               stdout);
+    if (args.has("fusion")) {
+        std::puts("");
+        std::fputs(
+            fusion::recommendFromTrace(dep.trace()).render().c_str(),
+            stdout);
+    }
+    return 0;
+}
+
+int
+cmdDiff(const CliArgs &args)
+{
+    if (args.positional().size() < 3) {
+        std::fprintf(stderr,
+                     "usage: skipctl diff <before.json> <after.json>\n");
+        return 2;
+    }
+    auto metrics_of = [](const std::string &path) {
+        return skip::computeMetrics(skip::DependencyGraph::build(
+            trace::readChromeFile(path)));
+    };
+    skip::RunDiff diff = skip::diffRuns(
+        metrics_of(args.positional()[1]),
+        metrics_of(args.positional()[2]));
+    std::fputs(diff.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdRoofline(const CliArgs &args)
+{
+    workload::ModelConfig model = pickModel(args);
+    hw::Platform platform = pickPlatform(args);
+    workload::BuildOptions opts;
+    opts.batch = static_cast<int>(args.getInt("batch", 1));
+    opts.seqLen = static_cast<int>(args.getInt("seq", 512));
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(model, opts);
+    workload::RooflineReport report =
+        workload::rooflineReport(graph, platform.gpu);
+    std::printf("%s on %s, batch=%d, seq=%d\n", model.name.c_str(),
+                platform.gpu.name.c_str(), opts.batch, opts.seqLen);
+    std::fputs(report.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdMemory(const CliArgs &args)
+{
+    workload::ModelConfig model = pickModel(args);
+    int seq = static_cast<int>(args.getInt("seq", 512));
+    TextTable table(model.name + " device-memory footprint");
+    table.setHeader({"Batch", "Weights", "KV cache", "Activations",
+                     "Total"});
+    for (int batch : {1, 8, 32, 128}) {
+        workload::MemoryFootprint fp =
+            workload::estimateMemory(model, batch, seq);
+        table.addRow({std::to_string(batch),
+                      formatBytes(fp.weightsBytes),
+                      formatBytes(fp.kvCacheBytes),
+                      formatBytes(fp.activationBytes),
+                      formatBytes(fp.totalBytes())});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nKV-resident sequences per platform:");
+    for (const auto &platform : hw::platforms::all()) {
+        std::printf("  %-12s %d\n", platform.name.c_str(),
+                    workload::maxResidentSequences(
+                        model, seq, platform.gpu.hbmBytes()));
+    }
+    return 0;
+}
+
+int
+cmdList(bool platforms)
+{
+    if (platforms) {
+        for (const auto &p : hw::platforms::all())
+            std::printf("%-12s %s  CPU: %s  GPU: %s\n", p.name.c_str(),
+                        hw::couplingName(p.coupling), p.cpu.name.c_str(),
+                        p.gpu.name.c_str());
+    } else {
+        for (const auto &m : workload::allModels())
+            std::printf("%-18s %-13s %4d layers  %5.0fM params\n",
+                        m.name.c_str(), workload::familyName(m.family),
+                        m.layers, m.paramsM());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    if (args.positional().empty()) {
+        std::fprintf(stderr,
+                     "usage: skipctl "
+                     "<profile|sweep|fusion|serve|analyze|diff|roofline|"
+                     "memory|platforms|models> [options]\n");
+        return 2;
+    }
+    const std::string &cmd = args.positional().front();
+    try {
+        if (cmd == "profile")
+            return cmdProfile(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "fusion")
+            return cmdFusion(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
+        if (cmd == "diff")
+            return cmdDiff(args);
+        if (cmd == "roofline")
+            return cmdRoofline(args);
+        if (cmd == "memory")
+            return cmdMemory(args);
+        if (cmd == "platforms")
+            return cmdList(true);
+        if (cmd == "models")
+            return cmdList(false);
+        std::fprintf(stderr, "skipctl: unknown command '%s'\n",
+                     cmd.c_str());
+        return 2;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "skipctl: %s\n", err.what());
+        return 1;
+    }
+}

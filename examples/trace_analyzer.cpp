@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Offline trace analyzer: run SKIP on an existing Chrome-trace JSON
+ * file (e.g. a PyTorch Profiler / Kineto export, or a trace produced
+ * by this library) — no simulation involved. Demonstrates that the
+ * analysis layer is decoupled from the execution substrate.
+ *
+ * Usage: trace_analyzer <trace.json> [--topk 10] [--fusion]
+ *        trace_analyzer --demo        (writes + analyzes a demo trace)
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "fusion/recommend.hh"
+#include "hw/catalog.hh"
+#include "skip/dep_graph.hh"
+#include "skip/metrics.hh"
+#include "skip/op_breakdown.hh"
+#include "skip/profile.hh"
+#include "trace/chrome.hh"
+#include "trace/timeline.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+
+    std::string path;
+    if (args.has("demo")) {
+        // Produce a demo trace so the example is runnable standalone.
+        path = "/tmp/skipsim_demo_trace.json";
+        skip::ProfileResult run = skip::profilePrefill(
+            workload::gpt2(), hw::platforms::gh200(), 2);
+        trace::writeChromeFile(path, run.trace);
+        std::printf("demo trace written to %s\n\n", path.c_str());
+    } else if (!args.positional().empty()) {
+        path = args.positional().front();
+    } else {
+        std::fprintf(stderr,
+                     "usage: trace_analyzer <trace.json> [--topk N] "
+                     "[--fusion] | trace_analyzer --demo\n");
+        return 2;
+    }
+
+    trace::Trace loaded = trace::readChromeFile(path);
+    std::printf("loaded %zu events", loaded.size());
+    if (!loaded.meta("model").empty())
+        std::printf(" (model %s, platform %s, batch %s)",
+                    loaded.meta("model").c_str(),
+                    loaded.meta("platform").c_str(),
+                    loaded.meta("batch").c_str());
+    std::puts("\n");
+
+    auto problems = loaded.validate();
+    for (const auto &problem : problems)
+        std::printf("trace warning: %s\n", problem.c_str());
+
+    skip::DependencyGraph dep =
+        skip::DependencyGraph::build(std::move(loaded));
+    skip::MetricsReport metrics = skip::computeMetrics(dep);
+    std::fputs(metrics.render().c_str(), stdout);
+
+    std::puts("");
+    std::fputs(skip::computeOpBreakdown(dep).render(8).c_str(), stdout);
+    std::puts("");
+    trace::TimelineOptions timeline_opts;
+    timeline_opts.width = 92;
+    std::fputs(trace::renderTimeline(dep.trace(), timeline_opts).c_str(),
+               stdout);
+
+    long topk = args.getInt("topk", 10);
+    std::puts("\nTop kernels by accumulated launch+queue time:");
+    for (const auto &stat : metrics.topK(
+             static_cast<std::size_t>(topk),
+             skip::TopKBy::LaunchOverhead)) {
+        std::printf("  %-44s x%-5zu total launch %s\n",
+                    stat.name.c_str(), stat.count,
+                    formatNs(stat.totalLaunchNs).c_str());
+    }
+
+    if (args.has("fusion")) {
+        std::puts("");
+        fusion::FusionReport report =
+            fusion::recommendFromTrace(dep.trace());
+        std::fputs(report.render().c_str(), stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+#include "analysis/boundedness.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/knee.hh"
+
+namespace skipsim::analysis
+{
+
+const char *
+boundednessName(Boundedness b)
+{
+    switch (b) {
+      case Boundedness::CpuBound: return "CPU-bound";
+      case Boundedness::GpuBound: return "GPU-bound";
+    }
+    panic("boundednessName: invalid Boundedness");
+}
+
+Boundedness
+BoundednessResult::classify(int batch) const
+{
+    if (transitionBatch && batch >= *transitionBatch)
+        return Boundedness::GpuBound;
+    return Boundedness::CpuBound;
+}
+
+BoundednessResult
+classifyBoundedness(const SweepResult &sweep, double margin,
+                    double queue_dominated_avg_launch_ns)
+{
+    if (sweep.points.empty())
+        fatal("classifyBoundedness: empty sweep");
+
+    BoundednessResult result;
+
+    // GPU-bound from the start: the smallest batch already queues.
+    const auto &first = sweep.points.front();
+    if (first.metrics.avgLaunchNs > queue_dominated_avg_launch_ns) {
+        result.plateauTklqtNs = first.metrics.tklqtNs;
+        result.lastCpuBoundBatch = 0;
+        result.transitionBatch = first.batch;
+        return result;
+    }
+
+    stats::KneeResult knee =
+        stats::detectKnee(sweep.tklqtSeries(), margin);
+
+    result.plateauTklqtNs = knee.plateauLevel;
+    result.lastCpuBoundBatch =
+        static_cast<int>(std::llround(knee.lastPlateauX));
+    if (knee.kneeX)
+        result.transitionBatch =
+            static_cast<int>(std::llround(*knee.kneeX));
+    return result;
+}
+
+SweetSpot
+findSweetSpot(const SweepResult &sweep, double max_idle_frac)
+{
+    if (sweep.points.empty())
+        fatal("findSweetSpot: empty sweep");
+    if (max_idle_frac <= 0.0 || max_idle_frac >= 1.0)
+        fatal("findSweetSpot: max_idle_frac must be in (0, 1)");
+
+    auto worse_idle = [](const SweepPoint &p) {
+        double il = std::max(1.0, p.metrics.ilNs);
+        return std::max(p.metrics.gpuIdleNs / il,
+                        p.metrics.cpuIdleNs / il);
+    };
+
+    // Longest contiguous balanced run.
+    int best_start = -1;
+    int best_len = 0;
+    int cur_start = -1;
+    int cur_len = 0;
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        if (worse_idle(sweep.points[i]) <= max_idle_frac) {
+            if (cur_len == 0)
+                cur_start = static_cast<int>(i);
+            ++cur_len;
+            if (cur_len > best_len) {
+                best_len = cur_len;
+                best_start = cur_start;
+            }
+        } else {
+            cur_len = 0;
+        }
+    }
+
+    SweetSpot spot;
+    if (best_len > 0) {
+        spot.minBatch =
+            sweep.points[static_cast<std::size_t>(best_start)].batch;
+        spot.maxBatch =
+            sweep.points[static_cast<std::size_t>(best_start + best_len -
+                                                  1)].batch;
+        return spot;
+    }
+
+    // No balanced batch: the least-bad single point.
+    std::size_t best_idx = 0;
+    for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+        if (worse_idle(sweep.points[i]) <
+            worse_idle(sweep.points[best_idx])) {
+            best_idx = i;
+        }
+    }
+    spot.minBatch = sweep.points[best_idx].batch;
+    spot.maxBatch = spot.minBatch;
+    return spot;
+}
+
+} // namespace skipsim::analysis

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PU-boundedness classification from TKLQT curves (paper Sec. V-B).
+ * In the CPU-bound region TKLQT is a flat plateau of pure launch
+ * overheads; once kernel queuing dominates, TKLQT grows with batch
+ * size — the inflection (star marker in Fig. 6) is the transition.
+ */
+
+#ifndef SKIPSIM_ANALYSIS_BOUNDEDNESS_HH
+#define SKIPSIM_ANALYSIS_BOUNDEDNESS_HH
+
+#include <optional>
+#include <string>
+
+#include "analysis/sweep.hh"
+
+namespace skipsim::analysis
+{
+
+/** Which processing unit bounds a workload at a given batch size. */
+enum class Boundedness { CpuBound, GpuBound };
+
+/** @return "CPU-bound" / "GPU-bound". */
+const char *boundednessName(Boundedness b);
+
+/** Outcome of classifying one sweep. */
+struct BoundednessResult
+{
+    /** TKLQT level of the CPU-bound plateau, ns. */
+    double plateauTklqtNs = 0.0;
+
+    /** Largest batch size still on the plateau. */
+    int lastCpuBoundBatch = 1;
+
+    /**
+     * First batch size in the GPU-bound region (the star marker);
+     * unset when the sweep never leaves the CPU-bound region.
+     */
+    std::optional<int> transitionBatch;
+
+    /** Classify one batch size against the detected transition. */
+    Boundedness classify(int batch) const;
+};
+
+/**
+ * Classify a sweep's PU-boundedness from its TKLQT series.
+ *
+ * The CPU-bound plateau is pure launch overhead; queuing raises TKLQT
+ * by an order of magnitude once the GPU saturates, so the default
+ * departure margin is 8x. A sweep whose smallest batch already shows a
+ * mean launch-to-start latency far above any launch overhead (>
+ * queue_dominated_avg_launch_ns) never had a CPU-bound region: it is
+ * classified GPU-bound from the first batch.
+ *
+ * @param sweep batch sweep (ascending batches).
+ * @param margin multiplicative plateau-departure threshold (see
+ *        stats::detectKnee).
+ * @param queue_dominated_avg_launch_ns mean launch-to-start latency at
+ *        the smallest batch above which the workload is queue-bound
+ *        from the start (launch overheads are 2-3 us on every
+ *        platform; 50 us means ~20x queuing).
+ */
+BoundednessResult classifyBoundedness(
+    const SweepResult &sweep, double margin = 8.0,
+    double queue_dominated_avg_launch_ns = 50e3);
+
+/**
+ * Balanced-utilization "sweet spot" (paper contribution 5): the batch
+ * range where neither PU sits mostly idle.
+ */
+struct SweetSpot
+{
+    int minBatch = 1;
+    int maxBatch = 1;
+};
+
+/**
+ * Find the contiguous batch range where both GPU idle and CPU idle
+ * fractions of IL stay at or below @p max_idle_frac. When no batch
+ * qualifies, returns the single batch minimizing the worse idle
+ * fraction.
+ */
+SweetSpot findSweetSpot(const SweepResult &sweep,
+                        double max_idle_frac = 0.5);
+
+} // namespace skipsim::analysis
+
+#endif // SKIPSIM_ANALYSIS_BOUNDEDNESS_HH

@@ -1,0 +1,86 @@
+#include "analysis/compare.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace skipsim::analysis
+{
+
+Crossover
+findCrossover(const SweepResult &challenger, const SweepResult &baseline)
+{
+    std::vector<int> shared;
+    for (const auto &point : challenger.points) {
+        for (const auto &base_point : baseline.points) {
+            if (base_point.batch == point.batch) {
+                shared.push_back(point.batch);
+                break;
+            }
+        }
+    }
+    if (shared.empty())
+        fatal("findCrossover: sweeps share no batch sizes");
+    std::sort(shared.begin(), shared.end());
+
+    // The crossover is defined by the *trailing* run of challenger
+    // wins: transient early wins do not count as having crossed over.
+    Crossover result;
+    for (auto it = shared.rbegin(); it != shared.rend(); ++it) {
+        double chal = challenger.at(*it).metrics.ilNs;
+        double base = baseline.at(*it).metrics.ilNs;
+        if (chal < base)
+            result.firstWinBatch = *it;
+        else
+            break;
+    }
+    if (result.firstWinBatch) {
+        for (int batch : shared) {
+            if (batch < *result.firstWinBatch)
+                result.crossoverPoint = batch;
+        }
+    }
+    return result;
+}
+
+double
+speedupAt(const SweepResult &challenger, const SweepResult &baseline,
+          int batch)
+{
+    double chal = challenger.at(batch).metrics.ilNs;
+    double base = baseline.at(batch).metrics.ilNs;
+    if (chal <= 0.0)
+        fatal("speedupAt: challenger latency is non-positive");
+    return base / chal;
+}
+
+std::vector<ComparisonRow>
+comparePlatforms(const std::vector<SweepResult> &sweeps)
+{
+    if (sweeps.empty())
+        fatal("comparePlatforms: no sweeps");
+
+    std::vector<ComparisonRow> rows;
+    for (const auto &point : sweeps.front().points) {
+        bool shared = true;
+        for (const auto &sweep : sweeps) {
+            bool found = false;
+            for (const auto &p : sweep.points) {
+                if (p.batch == point.batch)
+                    found = true;
+            }
+            if (!found)
+                shared = false;
+        }
+        if (!shared)
+            continue;
+        ComparisonRow row;
+        row.batch = point.batch;
+        for (const auto &sweep : sweeps)
+            row.latencyNs.push_back(sweep.at(point.batch).metrics.ilNs);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace skipsim::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cross-platform comparisons: latency crossover points (CPs, paper
+ * Sec. V-D) and speedup tables between a closely-coupled platform and
+ * loosely-coupled baselines.
+ */
+
+#ifndef SKIPSIM_ANALYSIS_COMPARE_HH
+#define SKIPSIM_ANALYSIS_COMPARE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hh"
+
+namespace skipsim::analysis
+{
+
+/** Crossover outcome between two platforms on the same workload. */
+struct Crossover
+{
+    /**
+     * First measured batch where the challenger's latency drops below
+     * the baseline's; unset when it never does.
+     */
+    std::optional<int> firstWinBatch;
+
+    /**
+     * Last measured batch where the baseline still wins (the paper's
+     * "CP": "beyond the CP of BS=16, GH200 reduces TTFT"); unset when
+     * the challenger wins from the smallest batch.
+     */
+    std::optional<int> crossoverPoint;
+};
+
+/**
+ * Find the latency crossover of @p challenger (e.g. GH200) against
+ * @p baseline (e.g. Intel+H100) on their shared batch grid.
+ * @throws skipsim::FatalError when the sweeps share no batch sizes.
+ */
+Crossover findCrossover(const SweepResult &challenger,
+                        const SweepResult &baseline);
+
+/** Latency ratio baseline/challenger at one batch (speedup > 1 means
+ *  the challenger is faster). */
+double speedupAt(const SweepResult &challenger,
+                 const SweepResult &baseline, int batch);
+
+/** One row of a platform comparison table. */
+struct ComparisonRow
+{
+    int batch = 1;
+    std::vector<double> latencyNs; ///< one per platform, sweep order
+};
+
+/**
+ * Tabulate latency across several sweeps of the same workload on the
+ * shared batch grid.
+ */
+std::vector<ComparisonRow>
+comparePlatforms(const std::vector<SweepResult> &sweeps);
+
+} // namespace skipsim::analysis
+
+#endif // SKIPSIM_ANALYSIS_COMPARE_HH

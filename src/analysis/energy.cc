@@ -1,0 +1,33 @@
+#include "analysis/energy.hh"
+
+#include "common/logging.hh"
+
+namespace skipsim::analysis
+{
+
+EnergyReport
+estimateEnergy(const skip::MetricsReport &metrics,
+               const hw::Platform &platform, int batch)
+{
+    if (batch <= 0)
+        fatal("estimateEnergy: batch must be positive");
+
+    // W * ns -> J via 1e-9.
+    constexpr double ns_to_s = 1e-9;
+
+    EnergyReport report;
+    report.cpuJoules =
+        (metrics.cpuBusyNs * platform.cpu.busyPowerW +
+         metrics.cpuIdleNs * platform.cpu.idlePowerW) * ns_to_s;
+    report.gpuJoules =
+        (metrics.gpuBusyNs * platform.gpu.busyPowerW +
+         metrics.gpuIdleNs * platform.gpu.idlePowerW) * ns_to_s;
+    report.joulesPerRequest =
+        report.totalJoules() / static_cast<double>(batch);
+    report.meanPowerW = metrics.ilNs > 0.0
+        ? report.totalJoules() / (metrics.ilNs * ns_to_s)
+        : 0.0;
+    return report;
+}
+
+} // namespace skipsim::analysis

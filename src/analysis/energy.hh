@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Energy model (extension): combine a SKIP metric report's busy/idle
+ * breakdown with the platform's power parameters to estimate energy
+ * per inference, per request and per token. The paper motivates this
+ * through datacenter inference cost ([12] in its references); this
+ * module answers which coupling paradigm is most energy-efficient at
+ * each operating point.
+ */
+
+#ifndef SKIPSIM_ANALYSIS_ENERGY_HH
+#define SKIPSIM_ANALYSIS_ENERGY_HH
+
+#include "hw/platform.hh"
+#include "skip/metrics.hh"
+
+namespace skipsim::analysis
+{
+
+/** Energy breakdown of one inference. */
+struct EnergyReport
+{
+    /** CPU energy over the inference window, J. */
+    double cpuJoules = 0.0;
+
+    /** GPU energy over the inference window, J. */
+    double gpuJoules = 0.0;
+
+    /** Total energy, J. */
+    double totalJoules() const { return cpuJoules + gpuJoules; }
+
+    /** Energy per request (totalJoules / batch), J. */
+    double joulesPerRequest = 0.0;
+
+    /** Mean power draw over the inference window, W. */
+    double meanPowerW = 0.0;
+};
+
+/**
+ * Estimate the energy of one profiled inference: busy portions draw
+ * busyPowerW, idle portions idlePowerW, over the IL window.
+ * @param metrics SKIP metric report of the run.
+ * @param platform the platform it ran on.
+ * @param batch requests served by the run (>= 1).
+ * @throws skipsim::FatalError for non-positive batch.
+ */
+EnergyReport estimateEnergy(const skip::MetricsReport &metrics,
+                            const hw::Platform &platform, int batch);
+
+} // namespace skipsim::analysis
+
+#endif // SKIPSIM_ANALYSIS_ENERGY_HH

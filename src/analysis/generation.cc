@@ -1,0 +1,79 @@
+#include "analysis/generation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace skipsim::analysis
+{
+
+double
+GenerationResult::tpotNs() const
+{
+    if (stepNs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double step : stepNs)
+        total += step;
+    return total / static_cast<double>(stepNs.size());
+}
+
+double
+GenerationResult::worstStepNs() const
+{
+    if (stepNs.empty())
+        return 0.0;
+    return *std::max_element(stepNs.begin(), stepNs.end());
+}
+
+double
+GenerationResult::tokensPerSecond(int batch) const
+{
+    double decode_ns = 0.0;
+    for (double step : stepNs)
+        decode_ns += step;
+    if (decode_ns <= 0.0)
+        return 0.0;
+    return static_cast<double>(batch) *
+        static_cast<double>(stepNs.size()) / (decode_ns / 1e9);
+}
+
+GenerationResult
+simulateGeneration(const workload::ModelConfig &model,
+                   const hw::Platform &platform,
+                   const GenerationConfig &config)
+{
+    if (config.genTokens <= 0)
+        fatal("simulateGeneration: genTokens must be positive");
+
+    GenerationResult result;
+    sim::Simulator simulator(platform, config.sim);
+
+    workload::BuildOptions prefill_opts;
+    prefill_opts.batch = config.batch;
+    prefill_opts.seqLen = config.promptLen;
+    prefill_opts.mode = config.mode;
+    workload::OperatorGraph prefill =
+        workload::buildPrefillGraph(model, prefill_opts);
+    result.ttftNs = simulator.run(prefill).wallNs;
+
+    workload::BuildOptions step_opts = prefill_opts;
+    for (int t = 0; t < config.genTokens; ++t) {
+        // KV cache covers the prompt plus the tokens emitted so far.
+        int context = config.promptLen + t;
+        sim::SimOptions step_sim = config.sim;
+        step_sim.seed =
+            config.sim.seed + 1000u + static_cast<std::uint64_t>(t);
+        sim::Simulator step_simulator(platform, step_sim);
+        workload::OperatorGraph step =
+            workload::buildDecodeStepGraph(model, step_opts, context);
+        result.stepNs.push_back(step_simulator.run(step).wallNs);
+    }
+
+    result.totalNs = result.ttftNs;
+    for (double step : result.stepNs)
+        result.totalNs += step;
+    return result;
+}
+
+} // namespace skipsim::analysis

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Autoregressive generation modeling (extension beyond the paper's
+ * prefill/TTFT-only evaluation): simulate a prefill followed by N
+ * decode steps over a growing KV cache and report TTFT, mean/percentile
+ * time-per-output-token (TPOT) and aggregate token throughput. Decode
+ * steps launch the same number of kernels as prefill but with tiny
+ * work, making the decode phase even more launch-overhead dominated —
+ * the regime where the coupling-paradigm CPU differences matter most.
+ */
+
+#ifndef SKIPSIM_ANALYSIS_GENERATION_HH
+#define SKIPSIM_ANALYSIS_GENERATION_HH
+
+#include <vector>
+
+#include "hw/platform.hh"
+#include "sim/simulator.hh"
+#include "workload/builder.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::analysis
+{
+
+/** One generation request shape. */
+struct GenerationConfig
+{
+    int batch = 1;
+    int promptLen = 512;
+    int genTokens = 32;
+    workload::ExecMode mode = workload::ExecMode::Eager;
+    sim::SimOptions sim;
+};
+
+/** Result of simulating a full generation. */
+struct GenerationResult
+{
+    /** Prefill latency (time to first token), ns. */
+    double ttftNs = 0.0;
+
+    /** Per-decode-step latencies in order, ns. */
+    std::vector<double> stepNs;
+
+    /** End-to-end latency (prefill + all decode steps), ns. */
+    double totalNs = 0.0;
+
+    /** Mean time per output token, ns. */
+    double tpotNs() const;
+
+    /** p99-style worst decode step, ns. */
+    double worstStepNs() const;
+
+    /** Aggregate decode throughput: batch * tokens / decode time. */
+    double tokensPerSecond(int batch) const;
+};
+
+/**
+ * Simulate prefill + decode for one request shape.
+ * @throws skipsim::FatalError for non-positive token counts.
+ */
+GenerationResult simulateGeneration(const workload::ModelConfig &model,
+                                    const hw::Platform &platform,
+                                    const GenerationConfig &config);
+
+} // namespace skipsim::analysis
+
+#endif // SKIPSIM_ANALYSIS_GENERATION_HH

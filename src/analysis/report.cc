@@ -1,0 +1,172 @@
+#include "analysis/report.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "fusion/recommend.hh"
+#include "skip/profile.hh"
+#include "workload/memory.hh"
+
+namespace skipsim::analysis
+{
+
+CharacterizationReport
+characterize(const workload::ModelConfig &model,
+             const std::vector<hw::Platform> &platforms, int seq_len)
+{
+    if (platforms.empty())
+        fatal("characterize: no platforms given");
+
+    CharacterizationReport report;
+    report.modelName = model.name;
+    report.seqLen = seq_len;
+
+    for (const auto &platform : platforms) {
+        PlatformCharacterization pc;
+        pc.platformName = platform.name;
+        pc.coupling = hw::couplingName(platform.coupling);
+
+        pc.sweep = runBatchSweep(model, platform, defaultBatchGrid(),
+                                 seq_len);
+        pc.boundedness = classifyBoundedness(pc.sweep);
+        pc.sweetSpot = findSweetSpot(pc.sweep);
+
+        const auto &first = pc.sweep.points.front();
+        const auto &last = pc.sweep.points.back();
+        pc.latencyBs1Ns = first.metrics.ilNs;
+        pc.latencyMaxNs = last.metrics.ilNs;
+        pc.energyBs1J =
+            estimateEnergy(first.metrics, platform, first.batch)
+                .joulesPerRequest;
+        pc.energyMaxJ =
+            estimateEnergy(last.metrics, platform, last.batch)
+                .joulesPerRequest;
+
+        skip::ProfileResult run =
+            skip::profilePrefill(model, platform, 1, seq_len);
+        fusion::FusionReport fusion_report =
+            fusion::recommendFromTrace(run.trace);
+        pc.fusionPotential = fusion_report.best().idealSpeedup;
+
+        pc.maxResidentSeqs = workload::maxResidentSequences(
+            model, seq_len, platform.gpu.hbmBytes());
+
+        report.platforms.push_back(std::move(pc));
+    }
+
+    for (std::size_t i = 1; i < report.platforms.size(); ++i) {
+        report.crossoversVsFirst.push_back(
+            findCrossover(report.platforms[i].sweep,
+                          report.platforms.front().sweep));
+    }
+    return report;
+}
+
+std::string
+CharacterizationReport::renderMarkdown() const
+{
+    std::string out = strprintf(
+        "# Characterization: %s (seq=%d)\n\n", modelName.c_str(),
+        seqLen);
+
+    TextTable summary;
+    summary.setHeader({"Platform", "Coupling", "TTFT@1 (ms)",
+                       "TTFT@128 (ms)", "CPU-bound until",
+                       "Balanced BS", "Fusion potential",
+                       "mJ/req @1/@128", "KV-resident seqs"});
+    for (const auto &pc : platforms) {
+        summary.addRow(
+            {pc.platformName, pc.coupling,
+             strprintf("%.2f", pc.latencyBs1Ns / 1e6),
+             strprintf("%.2f", pc.latencyMaxNs / 1e6),
+             pc.boundedness.transitionBatch
+                 ? "BS=" + std::to_string(
+                       *pc.boundedness.transitionBatch)
+                 : "never",
+             strprintf("[%d, %d]", pc.sweetSpot.minBatch,
+                       pc.sweetSpot.maxBatch),
+             strprintf("%.2fx", pc.fusionPotential),
+             strprintf("%.0f / %.0f", pc.energyBs1J * 1e3,
+                       pc.energyMaxJ * 1e3),
+             std::to_string(pc.maxResidentSeqs)});
+    }
+    out += summary.render();
+    out += "\n## Latency vs batch (ms)\n\n";
+
+    TextTable latency;
+    std::vector<std::string> header{"Batch"};
+    for (const auto &pc : platforms)
+        header.push_back(pc.platformName);
+    latency.setHeader(header);
+    for (const auto &point : platforms.front().sweep.points) {
+        std::vector<std::string> row{std::to_string(point.batch)};
+        for (const auto &pc : platforms) {
+            row.push_back(strprintf(
+                "%.2f", pc.sweep.at(point.batch).metrics.ilNs / 1e6));
+        }
+        latency.addRow(row);
+    }
+    out += latency.render();
+
+    if (!crossoversVsFirst.empty()) {
+        out += "\n## Crossovers vs " +
+            platforms.front().platformName + "\n\n";
+        for (std::size_t i = 0; i < crossoversVsFirst.size(); ++i) {
+            const auto &cross = crossoversVsFirst[i];
+            out += "* " + platforms[i + 1].platformName + ": ";
+            if (cross.firstWinBatch) {
+                out += strprintf("wins from BS=%d",
+                                 *cross.firstWinBatch);
+                if (cross.crossoverPoint)
+                    out += strprintf(" (CP at BS=%d)",
+                                     *cross.crossoverPoint);
+            } else {
+                out += "never faster on this grid";
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+json::Value
+CharacterizationReport::toJson() const
+{
+    json::Object root;
+    root.set("model", modelName);
+    root.set("seq_len", seqLen);
+
+    json::Value::Array entries;
+    for (const auto &pc : platforms) {
+        json::Object obj;
+        obj.set("platform", pc.platformName);
+        obj.set("coupling", pc.coupling);
+        obj.set("ttft_bs1_ns", pc.latencyBs1Ns);
+        obj.set("ttft_max_ns", pc.latencyMaxNs);
+        if (pc.boundedness.transitionBatch)
+            obj.set("transition_batch", *pc.boundedness.transitionBatch);
+        obj.set("sweet_spot_min", pc.sweetSpot.minBatch);
+        obj.set("sweet_spot_max", pc.sweetSpot.maxBatch);
+        obj.set("fusion_potential", pc.fusionPotential);
+        obj.set("energy_bs1_j", pc.energyBs1J);
+        obj.set("energy_max_j", pc.energyMaxJ);
+        obj.set("max_resident_seqs", pc.maxResidentSeqs);
+
+        json::Value::Array points;
+        for (const auto &point : pc.sweep.points) {
+            json::Object p;
+            p.set("batch", point.batch);
+            p.set("il_ns", point.metrics.ilNs);
+            p.set("tklqt_ns", point.metrics.tklqtNs);
+            p.set("gpu_idle_ns", point.metrics.gpuIdleNs);
+            p.set("cpu_idle_ns", point.metrics.cpuIdleNs);
+            points.push_back(json::Value(std::move(p)));
+        }
+        obj.set("sweep", json::Value(std::move(points)));
+        entries.push_back(json::Value(std::move(obj)));
+    }
+    root.set("platforms", json::Value(std::move(entries)));
+    return json::Value(std::move(root));
+}
+
+} // namespace skipsim::analysis

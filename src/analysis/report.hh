@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Full characterization report: one call that runs the paper's entire
+ * analysis pipeline for a model across platforms — batch sweeps,
+ * PU-boundedness, crossovers, balanced regions, fusion potential,
+ * energy and memory residency — and renders it as markdown and JSON.
+ * This is the artifact a systems team would attach to a platform
+ * selection decision.
+ */
+
+#ifndef SKIPSIM_ANALYSIS_REPORT_HH
+#define SKIPSIM_ANALYSIS_REPORT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/boundedness.hh"
+#include "analysis/compare.hh"
+#include "analysis/energy.hh"
+#include "analysis/sweep.hh"
+#include "json/value.hh"
+
+namespace skipsim::analysis
+{
+
+/** One platform's characterization of the model. */
+struct PlatformCharacterization
+{
+    std::string platformName;
+    std::string coupling;
+
+    SweepResult sweep;
+    BoundednessResult boundedness;
+    SweetSpot sweetSpot;
+
+    /** BS=1 and largest-batch latency, ns. */
+    double latencyBs1Ns = 0.0;
+    double latencyMaxNs = 0.0;
+
+    /** Energy per request at BS=1 and at the largest batch, J. */
+    double energyBs1J = 0.0;
+    double energyMaxJ = 0.0;
+
+    /** Idealized fusion speedup potential (best chain length). */
+    double fusionPotential = 1.0;
+
+    /** KV-resident sequences within the platform's HBM. */
+    int maxResidentSeqs = 0;
+};
+
+/** Characterization of one model across platforms. */
+struct CharacterizationReport
+{
+    std::string modelName;
+    int seqLen = 512;
+    std::vector<PlatformCharacterization> platforms;
+
+    /** Crossover of each non-first platform vs the first (baseline). */
+    std::vector<Crossover> crossoversVsFirst;
+
+    /** Markdown rendering. */
+    std::string renderMarkdown() const;
+
+    /** JSON serialization. */
+    json::Value toJson() const;
+};
+
+/**
+ * Characterize @p model on @p platforms (paper trio by default).
+ * @throws skipsim::FatalError on an empty platform list.
+ */
+CharacterizationReport characterize(
+    const workload::ModelConfig &model,
+    const std::vector<hw::Platform> &platforms, int seq_len = 512);
+
+} // namespace skipsim::analysis
+
+#endif // SKIPSIM_ANALYSIS_REPORT_HH

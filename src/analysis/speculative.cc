@@ -1,0 +1,67 @@
+#include "analysis/speculative.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workload/builder.hh"
+
+namespace skipsim::analysis
+{
+
+SpeculativeResult
+evaluateSpeculative(const hw::Platform &platform,
+                    const SpeculativeConfig &config)
+{
+    if (config.k < 1)
+        fatal("evaluateSpeculative: k must be >= 1");
+    if (config.acceptRate < 0.0 || config.acceptRate >= 1.0)
+        fatal("evaluateSpeculative: acceptRate must be in [0, 1)");
+
+    sim::Simulator simulator(platform, config.sim);
+
+    workload::BuildOptions opts;
+    opts.batch = config.batch;
+    opts.seqLen = config.contextLen;
+    opts.mode = config.mode;
+
+    // One draft decode step at the running context.
+    SpeculativeResult result;
+    result.draftStepNs =
+        simulator
+            .run(workload::buildDecodeStepGraph(config.draft, opts,
+                                                config.contextLen))
+            .wallNs;
+
+    // Target verification: one decode-shaped step whose GEMM rows span
+    // the k+1 verified positions (batch widened accordingly).
+    workload::BuildOptions verify_opts = opts;
+    verify_opts.batch = config.batch * (config.k + 1);
+    result.verifyNs =
+        simulator
+            .run(workload::buildDecodeStepGraph(config.target,
+                                                verify_opts,
+                                                config.contextLen))
+            .wallNs;
+
+    // Plain autoregressive baseline: one target decode step per token.
+    result.baselineTpotNs =
+        simulator
+            .run(workload::buildDecodeStepGraph(config.target, opts,
+                                                config.contextLen))
+            .wallNs;
+
+    result.cycleNs =
+        config.k * result.draftStepNs + result.verifyNs;
+
+    double a = config.acceptRate;
+    result.expectedTokensPerCycle =
+        (1.0 - std::pow(a, config.k + 1)) / (1.0 - a);
+
+    result.tpotNs = result.cycleNs / result.expectedTokensPerCycle;
+    result.speedup = result.tpotNs > 0.0
+        ? result.baselineTpotNs / result.tpotNs
+        : 1.0;
+    return result;
+}
+
+} // namespace skipsim::analysis

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Batch-size sweeps: run a model/platform pair across batch sizes and
+ * collect SKIP metric reports, the raw material for the paper's
+ * Figs. 6, 10 and 11.
+ */
+
+#ifndef SKIPSIM_ANALYSIS_SWEEP_HH
+#define SKIPSIM_ANALYSIS_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/platform.hh"
+#include "skip/profile.hh"
+#include "stats/series.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::analysis
+{
+
+/** One batch size's profiling outcome. */
+struct SweepPoint
+{
+    int batch = 1;
+    skip::MetricsReport metrics;
+    double wallNs = 0.0;
+};
+
+/** A full batch sweep for one (model, platform, mode) triple. */
+struct SweepResult
+{
+    std::string modelName;
+    std::string platformName;
+    int seqLen = 512;
+    workload::ExecMode mode = workload::ExecMode::Eager;
+    std::vector<SweepPoint> points;
+
+    /** TKLQT(batch) series (paper Fig. 6). */
+    stats::Series tklqtSeries() const;
+
+    /** Inference-latency(batch) series (Figs. 10a/11a). */
+    stats::Series latencySeries() const;
+
+    /** GPU-idle(batch) series (Figs. 10b/11b). */
+    stats::Series gpuIdleSeries() const;
+
+    /** CPU-idle(batch) series (Figs. 10c/11c). */
+    stats::Series cpuIdleSeries() const;
+
+    /** Point lookup. @throws skipsim::FatalError when batch absent. */
+    const SweepPoint &at(int batch) const;
+};
+
+/** The paper's standard batch grid (powers of two, 1..128). */
+std::vector<int> defaultBatchGrid();
+
+/**
+ * Run a batch sweep.
+ * @throws skipsim::FatalError on an empty batch list.
+ */
+SweepResult runBatchSweep(const workload::ModelConfig &model,
+                          const hw::Platform &platform,
+                          const std::vector<int> &batches,
+                          int seq_len = 512,
+                          workload::ExecMode mode =
+                              workload::ExecMode::Eager,
+                          const sim::SimOptions &sim_opts = {});
+
+/** Builds the operator graph for one batch size of a custom workload. */
+using GraphBuilder = std::function<workload::OperatorGraph(int batch)>;
+
+/**
+ * Batch sweep over an arbitrary workload builder (e.g. the future-work
+ * DLRM/GCN graphs), so boundedness/crossover analysis applies beyond
+ * the LLM catalog.
+ * @throws skipsim::FatalError on an empty batch list.
+ */
+SweepResult runCustomSweep(const std::string &workload_name,
+                           const hw::Platform &platform,
+                           const GraphBuilder &builder,
+                           const std::vector<int> &batches,
+                           const sim::SimOptions &sim_opts = {});
+
+} // namespace skipsim::analysis
+
+#endif // SKIPSIM_ANALYSIS_SWEEP_HH

@@ -1,0 +1,105 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        _program = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            _positional.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            _options[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+            _options[body] = argv[i + 1];
+            ++i;
+        } else {
+            _options[body] = "true";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return _options.count(key) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &key, const std::string &def) const
+{
+    auto it = _options.find(key);
+    return it == _options.end() ? def : it->second;
+}
+
+long
+CliArgs::getInt(const std::string &key, long def) const
+{
+    auto it = _options.find(key);
+    if (it == _options.end())
+        return def;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + key + " expects an integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    auto it = _options.find(key);
+    if (it == _options.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + key + " expects a number, got '" +
+              it->second + "'");
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string &key, bool def) const
+{
+    auto it = _options.find(key);
+    if (it == _options.end())
+        return def;
+    std::string v = toLower(it->second);
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<long>
+CliArgs::getIntList(const std::string &key, std::vector<long> def) const
+{
+    auto it = _options.find(key);
+    if (it == _options.end())
+        return def;
+    std::vector<long> out;
+    for (const auto &field : split(it->second, ',', false)) {
+        char *end = nullptr;
+        long v = std::strtol(field.c_str(), &end, 10);
+        if (end == field.c_str() || *end != '\0')
+            fatal("option --" + key + " expects integers, got '" +
+                  field + "'");
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace skipsim

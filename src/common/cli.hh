@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal command-line option parser for example programs and bench
+ * binaries. Supports --flag, --key value, and --key=value forms.
+ */
+
+#ifndef SKIPSIM_COMMON_CLI_HH
+#define SKIPSIM_COMMON_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace skipsim
+{
+
+/**
+ * Parsed command line. Options are stored as key -> value strings;
+ * bare flags map to "true". Positional arguments are kept in order.
+ */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. Anything starting with "--" is an option; a following
+     * token that does not start with "--" becomes its value unless the
+     * option used the --key=value form.
+     */
+    CliArgs(int argc, const char *const *argv);
+
+    /** @return true when --key was present. */
+    bool has(const std::string &key) const;
+
+    /** String option with default. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Integer option with default. @throws FatalError on bad format. */
+    long getInt(const std::string &key, long def) const;
+
+    /** Floating-point option with default. @throws FatalError on bad format. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean flag: present (or "true"/"1") means true. */
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /** Comma-separated integer list option, e.g. --batches 1,2,4,8. */
+    std::vector<long> getIntList(const std::string &key,
+                                 std::vector<long> def) const;
+
+    /** Positional (non-option) arguments in order of appearance. */
+    const std::vector<std::string> &positional() const { return _positional; }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return _program; }
+
+  private:
+    std::string _program;
+    std::map<std::string, std::string> _options;
+    std::vector<std::string> _positional;
+};
+
+} // namespace skipsim
+
+#endif // SKIPSIM_COMMON_CLI_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the spirit of gem5's
+ * logging.hh: inform() for status, warn() for suspicious-but-survivable
+ * conditions, fatal() for user errors (throws FatalError), and panic()
+ * for internal invariant violations (throws PanicError).
+ *
+ * Errors are reported as exceptions rather than process exits so that the
+ * library is embeddable and the behaviours are unit-testable.
+ */
+
+#ifndef SKIPSIM_COMMON_LOGGING_HH
+#define SKIPSIM_COMMON_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace skipsim
+{
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Error caused by a violated internal invariant (a bug in this library). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Set the global verbosity threshold (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** @return the current global verbosity threshold. */
+LogLevel logLevel();
+
+/** Print an informational message to stderr when verbosity allows. */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr when verbosity allows. */
+void warn(const std::string &msg);
+
+/** Print a debug message to stderr when verbosity allows. */
+void debug(const std::string &msg);
+
+/**
+ * Report a user-caused error.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation.
+ * @throws PanicError always.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace skipsim
+
+#endif // SKIPSIM_COMMON_LOGGING_HH

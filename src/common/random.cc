@@ -1,0 +1,77 @@
+#include "common/random.hh"
+
+namespace skipsim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : _state)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    // Modulo bias is negligible for the small ranges used here.
+    return n == 0 ? 0 : next() % n;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    // Irwin-Hall: sum of 4 uniforms has mean 2 and variance 1/3.
+    double sum = uniform() + uniform() + uniform() + uniform();
+    double z = (sum - 2.0) * 1.7320508075688772; // / sqrt(1/3)
+    return mean + stddev * z;
+}
+
+} // namespace skipsim

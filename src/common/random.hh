@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64-seeded
+ * xoshiro256**). Used for launch-latency jitter in the simulator so runs
+ * are reproducible given a seed.
+ */
+
+#ifndef SKIPSIM_COMMON_RANDOM_HH
+#define SKIPSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace skipsim
+{
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding. Small, fast and
+ * deterministic across platforms (unlike std::default_random_engine).
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /**
+     * Approximately normal sample (Irwin-Hall of 4 uniforms, rescaled).
+     * Bounded output makes it safe for jittering durations.
+     */
+    double gaussian(double mean, double stddev);
+
+  private:
+    std::uint64_t _state[4];
+};
+
+} // namespace skipsim
+
+#endif // SKIPSIM_COMMON_RANDOM_HH

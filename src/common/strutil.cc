@@ -1,0 +1,151 @@
+#include "common/strutil.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdint>
+
+namespace skipsim
+{
+
+std::string
+vstrprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return {};
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vstrprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim, bool keep_empty)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t pos = s.find(delim, start);
+        if (pos == std::string::npos)
+            pos = s.size();
+        std::string field = s.substr(start, pos - start);
+        if (keep_empty || !field.empty())
+            out.push_back(std::move(field));
+        start = pos + 1;
+        if (pos == s.size())
+            break;
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool
+contains(const std::string &s, const std::string &needle)
+{
+    return s.find(needle) != std::string::npos;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string
+formatNs(double ns)
+{
+    double mag = std::abs(ns);
+    if (mag < 1e3)
+        return strprintf("%.1f ns", ns);
+    if (mag < 1e6)
+        return strprintf("%.2f us", ns / 1e3);
+    if (mag < 1e9)
+        return strprintf("%.3f ms", ns / 1e6);
+    return strprintf("%.4f s", ns / 1e9);
+}
+
+std::string
+formatBytes(double bytes)
+{
+    double mag = std::abs(bytes);
+    if (mag < 1024.0)
+        return strprintf("%.0f B", bytes);
+    if (mag < 1024.0 * 1024.0)
+        return strprintf("%.1f KiB", bytes / 1024.0);
+    if (mag < 1024.0 * 1024.0 * 1024.0)
+        return strprintf("%.1f MiB", bytes / (1024.0 * 1024.0));
+    return strprintf("%.2f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+}
+
+std::string
+formatCount(std::uint64_t n)
+{
+    std::string digits = std::to_string(n);
+    std::string out;
+    int since_sep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_sep == 3) {
+            out.push_back(',');
+            since_sep = 0;
+        }
+        out.push_back(*it);
+        ++since_sep;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace skipsim

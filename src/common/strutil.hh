@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small string utilities shared across the library: printf-style
+ * formatting into std::string, split/join/trim, predicates, and
+ * human-readable number formatting for reports.
+ */
+
+#ifndef SKIPSIM_COMMON_STRUTIL_HH
+#define SKIPSIM_COMMON_STRUTIL_HH
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace skipsim
+{
+
+/**
+ * Format a string printf-style.
+ * @param fmt printf format string.
+ * @return the formatted string.
+ */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style counterpart of strprintf(). */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/**
+ * Split a string on a delimiter character.
+ * @param s input string.
+ * @param delim delimiter character.
+ * @param keep_empty when false, empty fields are dropped.
+ */
+std::vector<std::string> split(const std::string &s, char delim,
+                               bool keep_empty = true);
+
+/** Join a list of strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** @return true when @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** @return true when @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** @return true when @p s contains @p needle. */
+bool contains(const std::string &s, const std::string &needle);
+
+/** Lowercase an ASCII string. */
+std::string toLower(const std::string &s);
+
+/**
+ * Render a nanosecond quantity with an auto-selected unit (ns/us/ms/s).
+ * Used throughout bench output.
+ */
+std::string formatNs(double ns);
+
+/** Render a byte quantity with an auto-selected unit (B/KiB/MiB/GiB). */
+std::string formatBytes(double bytes);
+
+/** Render a count with thousands separators, e.g. 1234567 -> "1,234,567". */
+std::string formatCount(std::uint64_t n);
+
+} // namespace skipsim
+
+#endif // SKIPSIM_COMMON_STRUTIL_HH

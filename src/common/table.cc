@@ -1,0 +1,145 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace skipsim
+{
+
+namespace
+{
+
+// A cell is "numeric-looking" if all characters are digits, separators,
+// signs, decimal points or unit-ish suffix characters. Used for alignment.
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    bool saw_digit = false;
+    for (char c : cell) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            saw_digit = true;
+        } else if (c != '.' && c != ',' && c != '-' && c != '+' &&
+                   c != '%' && c != 'x' && c != 'e' && c != ' ' &&
+                   c != 'n' && c != 'u' && c != 'm' && c != 's') {
+            return false;
+        }
+    }
+    return saw_digit;
+}
+
+std::string
+escapeCsv(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!_header.empty() && row.size() > _header.size())
+        fatal("TextTable: row has more cells than the header");
+    if (!_header.empty())
+        row.resize(_header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = _header.size();
+    for (const auto &row : _rows)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(_header);
+    for (const auto &row : _rows)
+        measure(row);
+
+    std::string out;
+    if (!_title.empty()) {
+        out += _title;
+        out += '\n';
+    }
+
+    auto emit = [&](const std::vector<std::string> &row, bool align_num) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            std::size_t pad = widths[i] - cell.size();
+            if (i > 0)
+                out += "  ";
+            if (align_num && looksNumeric(cell)) {
+                out.append(pad, ' ');
+                out += cell;
+            } else {
+                out += cell;
+                out.append(pad, ' ');
+            }
+        }
+        // Trim trailing spaces for tidy output.
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+
+    if (!_header.empty()) {
+        emit(_header, false);
+        std::string sep;
+        for (std::size_t i = 0; i < ncols; ++i) {
+            if (i > 0)
+                sep += "  ";
+            sep.append(widths[i], '-');
+        }
+        out += sep;
+        out += '\n';
+    }
+    for (const auto &row : _rows)
+        emit(row, true);
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += escapeCsv(row[i]);
+        }
+        out += '\n';
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+    return out;
+}
+
+} // namespace skipsim

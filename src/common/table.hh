@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table renderer used by bench binaries and report printers to
+ * regenerate the paper's tables/figure series as aligned console output.
+ */
+
+#ifndef SKIPSIM_COMMON_TABLE_HH
+#define SKIPSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace skipsim
+{
+
+/**
+ * A simple text table: set a header once, append rows, then render.
+ * Columns are sized to the widest cell; numeric-looking cells are
+ * right-aligned, text cells left-aligned.
+ */
+class TextTable
+{
+  public:
+    TextTable() = default;
+
+    /** Construct with a title printed above the table. */
+    explicit TextTable(std::string title)
+        : _title(std::move(title))
+    {}
+
+    /** Set the header row. Resets column count expectations. */
+    void setHeader(std::vector<std::string> header);
+
+    /**
+     * Append a data row.
+     * Rows shorter than the header are padded with empty cells; rows
+     * longer than the header raise FatalError.
+     */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** Render the table (title, header, separator, rows). */
+    std::string render() const;
+
+    /** Render as comma-separated values (header + rows, no title). */
+    std::string renderCsv() const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace skipsim
+
+#endif // SKIPSIM_COMMON_TABLE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fusion application prototype — the paper's stated future work
+ * ("implement a more comprehensive kernel fusion prototype to validate
+ * the predicted performance gains"). Takes an operator graph, mines
+ * deterministic chains of a given length (PS = 1), rewrites the graph
+ * so each selected chain executes as one fused kernel, and returns the
+ * rewritten graph for simulation. Comparing the simulated speedup with
+ * Eq. 8's idealized prediction quantifies how much of the predicted
+ * gain survives real execution effects (remaining framework dispatch,
+ * queuing).
+ */
+
+#ifndef SKIPSIM_FUSION_APPLY_HH
+#define SKIPSIM_FUSION_APPLY_HH
+
+#include <cstddef>
+
+#include "fusion/proximity.hh"
+#include "workload/flatten.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::fusion
+{
+
+/** How aggressively the rewriter removes CPU work alongside launches. */
+enum class ApplyMode
+{
+    /**
+     * Only launches are saved: the framework still dispatches every
+     * original operator (a runtime that intercepts launches). This is
+     * the conservative floor of a fusion deployment.
+     */
+    LaunchOnly,
+
+    /**
+     * The fused region's operators collapse into one compiled call
+     * (a Triton/compiler-style deployment): both the launches and the
+     * interior framework dispatch are saved.
+     */
+    CollapseOps,
+};
+
+/** @return "launch-only" / "collapse-ops". */
+const char *applyModeName(ApplyMode mode);
+
+/** Result of applying fusion to a graph. */
+struct AppliedFusion
+{
+    /** The rewritten graph, ready for simulation. */
+    workload::OperatorGraph graph;
+
+    /** Kernel launches before rewriting (K_eager). */
+    std::size_t launchesBefore = 0;
+
+    /** Kernel launches after rewriting (K_fused, Eq. 7). */
+    std::size_t launchesAfter = 0;
+
+    /** Non-overlapping deterministic chain occurrences fused. */
+    std::size_t chainsApplied = 0;
+
+    /** Eq. 8's idealized launch-saving speedup for this rewriting. */
+    double idealSpeedup = 1.0;
+};
+
+/**
+ * Apply proximity-score fusion to a graph.
+ *
+ * Chains are mined from the graph's own kernel sequence; occurrences
+ * are selected greedily left-to-right, non-overlapping, PS = 1 —
+ * exactly the accounting behind Eq. 7. Each selected occurrence is
+ * replaced by one fused kernel whose work components are the
+ * concatenation of the original kernels' components (execution time is
+ * preserved; only launches — and, in CollapseOps mode, interior
+ * dispatch — are saved). Memcpys never fuse.
+ *
+ * @param graph the graph to rewrite (typically eager mode).
+ * @param chain_length L; chains of exactly this length are applied.
+ * @param mode CPU-cost treatment of fused regions.
+ * @throws skipsim::FatalError when chain_length < 2.
+ */
+AppliedFusion applyFusion(const workload::OperatorGraph &graph,
+                          std::size_t chain_length,
+                          ApplyMode mode = ApplyMode::LaunchOnly);
+
+} // namespace skipsim::fusion
+
+#endif // SKIPSIM_FUSION_APPLY_HH

@@ -1,0 +1,209 @@
+#include "fusion/proximity.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace skipsim::fusion
+{
+
+ProximityAnalyzer::ProximityAnalyzer(std::vector<std::string> sequence)
+{
+    _seq.reserve(sequence.size());
+    for (auto &name : sequence) {
+        auto [it, inserted] =
+            _ids.emplace(name, static_cast<int>(_names.size()));
+        if (inserted)
+            _names.push_back(name);
+        _seq.push_back(it->second);
+    }
+    _kernelFreq.assign(_names.size(), 0);
+    for (int id : _seq)
+        ++_kernelFreq[static_cast<std::size_t>(id)];
+}
+
+int
+ProximityAnalyzer::internedId(const std::string &name) const
+{
+    auto it = _ids.find(name);
+    return it == _ids.end() ? -1 : it->second;
+}
+
+std::size_t
+ProximityAnalyzer::kernelFrequency(const std::string &kernel) const
+{
+    int id = internedId(kernel);
+    return id < 0 ? 0 : _kernelFreq[static_cast<std::size_t>(id)];
+}
+
+std::size_t
+ProximityAnalyzer::chainFrequency(
+    const std::vector<std::string> &chain) const
+{
+    if (chain.empty() || chain.size() > _seq.size())
+        return 0;
+    std::vector<int> ids;
+    ids.reserve(chain.size());
+    for (const auto &name : chain) {
+        int id = internedId(name);
+        if (id < 0)
+            return 0;
+        ids.push_back(id);
+    }
+    std::size_t count = 0;
+    for (std::size_t i = 0; i + ids.size() <= _seq.size(); ++i) {
+        bool match = true;
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+            if (_seq[i + j] != ids[j]) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            ++count;
+    }
+    return count;
+}
+
+double
+ProximityAnalyzer::proximityScore(
+    const std::vector<std::string> &chain) const
+{
+    if (chain.empty())
+        fatal("proximityScore: empty chain");
+    std::size_t f_chain = chainFrequency(chain);
+    if (f_chain == 0)
+        return 0.0;
+    std::size_t f_first = kernelFrequency(chain.front());
+    return static_cast<double>(f_chain) / static_cast<double>(f_first);
+}
+
+std::map<std::vector<int>, std::size_t>
+ProximityAnalyzer::windowCounts(std::size_t length) const
+{
+    std::map<std::vector<int>, std::size_t> counts;
+    if (length == 0 || length > _seq.size())
+        return counts;
+    for (std::size_t i = 0; i + length <= _seq.size(); ++i) {
+        std::vector<int> window(_seq.begin() + static_cast<long>(i),
+                                _seq.begin() + static_cast<long>(i + length));
+        ++counts[window];
+    }
+    return counts;
+}
+
+ChainStats
+ProximityAnalyzer::analyze(std::size_t length) const
+{
+    if (length < 2)
+        fatal("ProximityAnalyzer::analyze: chain length must be >= 2");
+
+    ChainStats stats;
+    stats.length = length;
+    stats.kEager = _seq.size();
+    stats.kFused = _seq.size();
+
+    auto counts = windowCounts(length);
+    std::set<std::vector<int>> deterministic;
+    for (const auto &[window, freq] : counts) {
+        ++stats.uniqueChains;
+        stats.totalInstances += freq;
+        std::size_t f_first =
+            _kernelFreq[static_cast<std::size_t>(window.front())];
+        if (freq == f_first)
+            deterministic.insert(window);
+    }
+    stats.deterministicChains = deterministic.size();
+
+    // Greedy left-to-right non-overlapping selection of deterministic
+    // chain occurrences: matches the paper's "actual deterministic
+    // kernel chains that can be fused ... non-overlapping and PS = 1".
+    std::size_t i = 0;
+    while (i + length <= _seq.size()) {
+        std::vector<int> window(_seq.begin() + static_cast<long>(i),
+                                _seq.begin() + static_cast<long>(i + length));
+        if (deterministic.count(window)) {
+            ++stats.fusedChains;
+            i += length;
+        } else {
+            ++i;
+        }
+    }
+    stats.kernelsFused = stats.fusedChains * length;
+    stats.kFused = stats.kEager - stats.fusedChains * (length - 1);
+    stats.idealSpeedup = stats.kFused > 0
+        ? static_cast<double>(stats.kEager) /
+            static_cast<double>(stats.kFused)
+        : 1.0;
+    return stats;
+}
+
+std::vector<ChainStats>
+ProximityAnalyzer::sweep(const std::vector<std::size_t> &lengths) const
+{
+    std::vector<ChainStats> out;
+    out.reserve(lengths.size());
+    for (std::size_t length : lengths)
+        out.push_back(analyze(length));
+    return out;
+}
+
+std::vector<ChainCandidate>
+ProximityAnalyzer::candidates(std::size_t length, double threshold) const
+{
+    if (threshold < 0.0 || threshold > 1.0)
+        fatal("ProximityAnalyzer::candidates: threshold must be in [0,1]");
+
+    std::vector<ChainCandidate> out;
+    for (const auto &[window, freq] : windowCounts(length)) {
+        std::size_t f_first =
+            _kernelFreq[static_cast<std::size_t>(window.front())];
+        double ps = static_cast<double>(freq) /
+            static_cast<double>(f_first);
+        if (ps + 1e-12 < threshold)
+            continue;
+        ChainCandidate cand;
+        cand.frequency = freq;
+        cand.proximityScore = ps;
+        cand.kernels.reserve(window.size());
+        for (int id : window)
+            cand.kernels.push_back(_names[static_cast<std::size_t>(id)]);
+        out.push_back(std::move(cand));
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ChainCandidate &a, const ChainCandidate &b) {
+                         if (a.frequency != b.frequency)
+                             return a.frequency > b.frequency;
+                         return a.kernels < b.kernels;
+                     });
+    return out;
+}
+
+std::vector<std::size_t>
+defaultChainLengths()
+{
+    return {2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+std::vector<std::string>
+kernelSequenceFromTrace(const trace::Trace &trace)
+{
+    std::vector<const trace::TraceEvent *> kernels;
+    for (const auto &ev : trace.events()) {
+        if (ev.kind == trace::EventKind::Kernel)
+            kernels.push_back(&ev);
+    }
+    std::stable_sort(kernels.begin(), kernels.end(),
+                     [](const trace::TraceEvent *a,
+                        const trace::TraceEvent *b) {
+                         return a->tsBeginNs < b->tsBeginNs;
+                     });
+    std::vector<std::string> out;
+    out.reserve(kernels.size());
+    for (const auto *k : kernels)
+        out.push_back(k->name);
+    return out;
+}
+
+} // namespace skipsim::fusion

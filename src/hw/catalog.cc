@@ -1,0 +1,231 @@
+#include "hw/catalog.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::hw::platforms
+{
+
+Platform
+amdA100()
+{
+    Platform p;
+    p.name = "AMD+A100";
+    p.coupling = Coupling::LooselyCoupled;
+    p.unifiedMemory = false;
+
+    p.cpu.name = "AMD EPYC 7313 (16-core)";
+    p.cpu.singleThreadScore = 0.68;
+    p.cpu.launchOverheadNs = 2260.5;
+    p.cpu.launchCpuNs = 1750.0;
+    p.cpu.syncCallNs = 1800.0;
+    p.cpu.busyPowerW = 155.0;
+    p.cpu.idlePowerW = 55.0;
+
+    p.gpu.name = "A100-SXM4-80GB";
+    p.gpu.fp16Tflops = 312.0;
+    p.gpu.memBwGBs = 2039.0;
+    p.gpu.hbmCapacityGiB = 80.0;
+    p.gpu.nvlinkGBs = 600.0; // NVLink3 SXM
+    p.gpu.minKernelNs = 1440.0;
+    p.gpu.interKernelGapNs = 700.0;
+    p.gpu.busyPowerW = 400.0;
+    p.gpu.idlePowerW = 55.0;
+    p.gpu.maxGemmEff = 0.60;
+    p.gpu.gemmHalfWorkFlops = 2.0e8;
+    p.gpu.gemmHalfRows = 1024.0;
+    p.gpu.memEff = 0.82;
+    p.gpu.numSms = 108;
+
+    p.link.name = "PCIe Gen4 x16";
+    p.link.bwGBs = 32.0;
+    p.link.latencyNs = 800.0;
+    return p;
+}
+
+Platform
+intelH100()
+{
+    Platform p;
+    p.name = "Intel+H100";
+    p.coupling = Coupling::LooselyCoupled;
+    p.unifiedMemory = false;
+
+    p.cpu.name = "2P Intel Xeon Platinum 8468V (48-core)";
+    p.cpu.singleThreadScore = 1.0;
+    p.cpu.launchOverheadNs = 2374.6;
+    p.cpu.launchCpuNs = 1800.0;
+    p.cpu.syncCallNs = 1500.0;
+    p.cpu.busyPowerW = 330.0; // 2P Xeon 8468V
+    p.cpu.idlePowerW = 110.0;
+
+    p.gpu.name = "H100 PCIe (350W)";
+    p.gpu.fp16Tflops = 756.0;
+    p.gpu.memBwGBs = 2000.0;
+    p.gpu.hbmCapacityGiB = 80.0;
+    p.gpu.nvlinkGBs = 100.0; // PCIe P2P only
+    p.gpu.minKernelNs = 1235.2;
+    p.gpu.interKernelGapNs = 700.0;
+    p.gpu.busyPowerW = 350.0;
+    p.gpu.idlePowerW = 45.0;
+    p.gpu.maxGemmEff = 0.55;
+    p.gpu.gemmHalfWorkFlops = 2.0e8;
+    p.gpu.gemmHalfRows = 1536.0;
+    p.gpu.memEff = 0.82;
+    p.gpu.numSms = 114;
+
+    p.link.name = "PCIe Gen5 x16";
+    p.link.bwGBs = 64.0;
+    p.link.latencyNs = 700.0;
+    return p;
+}
+
+Platform
+gh200()
+{
+    Platform p;
+    p.name = "GH200";
+    p.coupling = Coupling::CloselyCoupled;
+    p.unifiedMemory = true;
+
+    p.cpu.name = "Grace 72-core Arm Neoverse V2";
+    p.cpu.singleThreadScore = 0.32;
+    p.cpu.launchOverheadNs = 2771.6;
+    p.cpu.launchCpuNs = 2150.0;
+    p.cpu.syncCallNs = 2400.0;
+    p.cpu.busyPowerW = 250.0; // Grace share of the 900 W module
+    p.cpu.idlePowerW = 70.0;
+
+    p.gpu.name = "H100 96GB HBM3 (GH200)";
+    p.gpu.fp16Tflops = 989.0;
+    p.gpu.memBwGBs = 4000.0;
+    p.gpu.hbmCapacityGiB = 96.0;
+    p.gpu.nvlinkGBs = 900.0; // NVLink4 switch
+    p.gpu.minKernelNs = 1171.2;
+    p.gpu.interKernelGapNs = 600.0;
+    p.gpu.busyPowerW = 650.0;
+    p.gpu.idlePowerW = 80.0;
+    p.gpu.maxGemmEff = 0.66;
+    p.gpu.gemmHalfWorkFlops = 2.0e8;
+    p.gpu.gemmHalfRows = 1536.0;
+    p.gpu.memEff = 0.88;
+    p.gpu.numSms = 132;
+
+    p.link.name = "NVLink-C2C";
+    p.link.bwGBs = 450.0; // 900 GB/s bidirectional
+    p.link.latencyNs = 300.0;
+    return p;
+}
+
+Platform
+mi300a()
+{
+    Platform p;
+    p.name = "MI300A";
+    p.coupling = Coupling::TightlyCoupled;
+    p.unifiedMemory = true;
+
+    p.cpu.name = "Zen4 x86 (24-core, on package)";
+    p.cpu.singleThreadScore = 0.90;
+    p.cpu.launchOverheadNs = 2050.0;
+    p.cpu.launchCpuNs = 1650.0;
+    p.cpu.syncCallNs = 1400.0;
+    p.cpu.busyPowerW = 140.0;
+    p.cpu.idlePowerW = 45.0;
+
+    p.gpu.name = "CDNA3 (MI300A)";
+    p.gpu.fp16Tflops = 980.0;
+    p.gpu.memBwGBs = 5300.0;
+    p.gpu.hbmCapacityGiB = 128.0;
+    p.gpu.nvlinkGBs = 1024.0;
+    p.gpu.minKernelNs = 1150.0;
+    p.gpu.interKernelGapNs = 600.0;
+    p.gpu.busyPowerW = 550.0;
+    p.gpu.idlePowerW = 70.0;
+    p.gpu.maxGemmEff = 0.58;
+    p.gpu.gemmHalfWorkFlops = 2.0e8;
+    p.gpu.gemmHalfRows = 1536.0;
+    p.gpu.memEff = 0.85;
+    p.gpu.numSms = 228;
+
+    p.link.name = "Infinity Fabric (on package)";
+    p.link.bwGBs = 1024.0;
+    p.link.latencyNs = 150.0;
+    return p;
+}
+
+Platform
+gb200()
+{
+    // Hypothetical projection of the Grace-Blackwell superchip the
+    // paper lists as future work: same Grace CPU as GH200, a Blackwell
+    // GPU with ~2.2x H100 dense FP16 and 8 TB/s HBM3e, and a second
+    // generation NVLink-C2C. Calibration extrapolated, not measured.
+    Platform p;
+    p.name = "GB200";
+    p.coupling = Coupling::CloselyCoupled;
+    p.unifiedMemory = true;
+
+    p.cpu.name = "Grace 72-core Arm Neoverse V2";
+    p.cpu.singleThreadScore = 0.34; // slightly newer software stack
+    p.cpu.launchOverheadNs = 2700.0;
+    p.cpu.launchCpuNs = 2100.0;
+    p.cpu.syncCallNs = 2300.0;
+    p.cpu.busyPowerW = 250.0;
+    p.cpu.idlePowerW = 70.0;
+
+    p.gpu.name = "B200 192GB HBM3e";
+    p.gpu.fp16Tflops = 2250.0;
+    p.gpu.memBwGBs = 8000.0;
+    p.gpu.hbmCapacityGiB = 192.0;
+    p.gpu.nvlinkGBs = 1800.0; // NVLink5
+    p.gpu.minKernelNs = 1100.0;
+    p.gpu.interKernelGapNs = 550.0;
+    p.gpu.busyPowerW = 1000.0;
+    p.gpu.idlePowerW = 100.0;
+    p.gpu.maxGemmEff = 0.66;
+    p.gpu.gemmHalfWorkFlops = 2.0e8;
+    p.gpu.gemmHalfRows = 1536.0;
+    p.gpu.memEff = 0.88;
+    p.gpu.numSms = 144;
+
+    p.link.name = "NVLink-C2C Gen2";
+    p.link.bwGBs = 900.0;
+    p.link.latencyNs = 250.0;
+    return p;
+}
+
+std::vector<Platform>
+paperTrio()
+{
+    return {amdA100(), intelH100(), gh200()};
+}
+
+std::vector<Platform>
+all()
+{
+    return {amdA100(), intelH100(), gh200(), mi300a(), gb200()};
+}
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> out;
+    for (const auto &p : all())
+        out.push_back(p.name);
+    return out;
+}
+
+Platform
+byName(const std::string &name)
+{
+    std::string needle = toLower(name);
+    for (const auto &p : all()) {
+        if (toLower(p.name) == needle)
+            return p;
+    }
+    fatal("unknown platform '" + name + "' (expected one of: " +
+          join(names(), ", ") + ")");
+}
+
+} // namespace skipsim::hw::platforms

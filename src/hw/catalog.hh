@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Calibrated platform catalog: the paper's three evaluation systems
+ * (Table IV) plus a hypothetical MI300A-like tightly-coupled platform
+ * for design exploration.
+ *
+ * Calibration anchors:
+ *  - nullKernel launch overhead / duration: paper Table V.
+ *  - GPU peaks: vendor specs (A100-SXM4 312 TFLOPS FP16 / 2039 GB/s;
+ *    H100 PCIe 756 TFLOPS / 2000 GB/s; GH200's H100 989 TFLOPS /
+ *    4000 GB/s HBM3).
+ *  - CPU single-thread scores: chosen so BERT BS=1 prefill latency
+ *    ratios reproduce Sec. V-D (GH200 2.8x/1.9x slower than
+ *    Intel+H100 / AMD+A100).
+ */
+
+#ifndef SKIPSIM_HW_CATALOG_HH
+#define SKIPSIM_HW_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/platform.hh"
+
+namespace skipsim::hw::platforms
+{
+
+/** AMD EPYC 7313 + A100-SXM4-80GB over PCIe Gen4 (loosely coupled). */
+Platform amdA100();
+
+/** 2P Intel Xeon Platinum 8468V + H100 PCIe Gen5 (loosely coupled). */
+Platform intelH100();
+
+/** NVIDIA Grace Hopper Superchip GH200 (closely coupled). */
+Platform gh200();
+
+/**
+ * Hypothetical MI300A-like tightly-coupled platform (not evaluated in
+ * the paper; listed as future work). Used by examples/platform_explorer.
+ */
+Platform mi300a();
+
+/**
+ * Hypothetical Grace-Blackwell (GB200) closely-coupled platform — the
+ * other system the paper names as future work. Projected, not
+ * calibrated against measurements.
+ */
+Platform gb200();
+
+/** The paper's three evaluation platforms in Table IV order. */
+std::vector<Platform> paperTrio();
+
+/** All catalog platforms. */
+std::vector<Platform> all();
+
+/** Platform names accepted by byName(). */
+std::vector<std::string> names();
+
+/**
+ * Case-insensitive lookup ("amd+a100", "intel+h100", "gh200",
+ * "mi300a").
+ * @throws skipsim::FatalError for unknown names.
+ */
+Platform byName(const std::string &name);
+
+} // namespace skipsim::hw::platforms
+
+#endif // SKIPSIM_HW_CATALOG_HH

@@ -1,0 +1,30 @@
+#include "hw/platform.hh"
+
+#include "common/logging.hh"
+
+namespace skipsim::hw
+{
+
+const char *
+couplingName(Coupling coupling)
+{
+    switch (coupling) {
+      case Coupling::LooselyCoupled: return "LC";
+      case Coupling::CloselyCoupled: return "CC";
+      case Coupling::TightlyCoupled: return "TC";
+    }
+    panic("couplingName: invalid Coupling");
+}
+
+double
+Platform::transferNs(double bytes) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    if (link.bwGBs <= 0.0)
+        fatal("Platform::transferNs: interconnect with no bandwidth");
+    // bytes / (GB/s in bytes-per-ns) + latency
+    return bytes / link.bwGBs + link.latencyNs;
+}
+
+} // namespace skipsim::hw

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * CPU, GPU, interconnect and platform descriptors for the three
+ * CPU-GPU coupling paradigms the paper studies (Fig. 1): loosely
+ * coupled (PCIe, separate memories), closely coupled (NVLink-C2C,
+ * unified virtual memory) and tightly coupled (same package, unified
+ * physical memory).
+ */
+
+#ifndef SKIPSIM_HW_PLATFORM_HH
+#define SKIPSIM_HW_PLATFORM_HH
+
+#include <string>
+
+#include "hw/kernel_cost.hh"
+
+namespace skipsim::hw
+{
+
+/** CPU-GPU coupling paradigm (paper Fig. 1). */
+enum class Coupling
+{
+    LooselyCoupled,  ///< discrete PUs over PCIe, separate memory pools
+    CloselyCoupled,  ///< same board, C2C link, unified virtual memory
+    TightlyCoupled,  ///< same package, unified physical memory
+};
+
+/** @return human-readable coupling name ("LC", "CC", "TC"). */
+const char *couplingName(Coupling coupling);
+
+/**
+ * Host CPU model. The framework (PyTorch eager) dispatch path is
+ * single-threaded, so the key figure of merit is single-thread speed.
+ */
+struct CpuModel
+{
+    std::string name;
+
+    /**
+     * Relative single-thread dispatch speed; 1.0 is the Intel Xeon
+     * Platinum 8468V reference. Framework per-operator CPU costs are
+     * divided by this.
+     */
+    double singleThreadScore = 1.0;
+
+    /**
+     * Total launch overhead t_l = ts_b(kernel) - ts_b(launch call) on
+     * an idle GPU, ns (paper Table V "nullKernel launch overhead").
+     */
+    double launchOverheadNs = 2300.0;
+
+    /**
+     * The CPU-busy portion of a cudaLaunchKernel call, ns; the
+     * remainder of launchOverheadNs proceeds asynchronously in the
+     * driver/interconnect while the CPU moves on.
+     */
+    double launchCpuNs = 1800.0;
+
+    /** CPU cost of a cudaDeviceSynchronize call, ns. */
+    double syncCallNs = 1500.0;
+
+    /** Package power when busy, W (energy model). */
+    double busyPowerW = 250.0;
+
+    /** Package power when idle, W. */
+    double idlePowerW = 80.0;
+};
+
+/** GPU model with roofline and occupancy parameters. */
+struct GpuModel
+{
+    std::string name;
+
+    /** Peak dense FP16 tensor throughput, TFLOP/s. */
+    double fp16Tflops = 500.0;
+
+    /** Peak device memory bandwidth, GB/s. */
+    double memBwGBs = 2000.0;
+
+    /** Device memory (HBM) capacity, GiB. */
+    double hbmCapacityGiB = 80.0;
+
+    /**
+     * Peer GPU-GPU fabric bandwidth, GB/s (NVLink / Infinity Fabric /
+     * PCIe P2P); 0 means no multi-GPU support on this platform.
+     */
+    double nvlinkGBs = 0.0;
+
+    /** HBM capacity in bytes. */
+    double hbmBytes() const { return hbmCapacityGiB * 1024.0 * 1024.0 * 1024.0; }
+
+    /**
+     * Minimum kernel duration, ns (paper Table V "nullKernel
+     * duration"): ramp-up/tear-down floor every kernel pays.
+     */
+    double minKernelNs = 1200.0;
+
+    /** Highest fraction of peak FLOPs a large GEMM achieves. */
+    double maxGemmEff = 0.55;
+
+    /**
+     * GEMM FLOP count at which half of maxGemmEff is reached; smaller
+     * kernels run proportionally less efficiently (occupancy).
+     */
+    double gemmHalfWorkFlops = 6.0e9;
+
+    /**
+     * GEMM output-row count (M) at which the row-occupancy factor
+     * reaches one half; skinny GEMMs cannot fill the SMs.
+     */
+    double gemmHalfRows = 1024.0;
+
+    /** Achievable fraction of peak bandwidth for streaming kernels. */
+    double memEff = 0.8;
+
+    /**
+     * Scheduling gap between back-to-back kernels on a busy stream,
+     * ns. CUDA-graph replay eliminates this per-kernel cost, which is
+     * part of why reduce-overhead mode beats default compilation.
+     */
+    double interKernelGapNs = 900.0;
+
+    /** Streaming multiprocessor count (reporting only). */
+    int numSms = 100;
+
+    /** Board power when executing kernels, W (energy model). */
+    double busyPowerW = 400.0;
+
+    /** Board power when idle, W. */
+    double idlePowerW = 60.0;
+};
+
+/** CPU-to-GPU interconnect. */
+struct Interconnect
+{
+    std::string name;
+
+    /** Unidirectional bandwidth, GB/s. */
+    double bwGBs = 32.0;
+
+    /** One-way latency, ns. */
+    double latencyNs = 500.0;
+};
+
+/** A complete CPU-GPU platform. */
+struct Platform
+{
+    std::string name;
+    Coupling coupling = Coupling::LooselyCoupled;
+    CpuModel cpu;
+    GpuModel gpu;
+    Interconnect link;
+
+    /**
+     * Unified memory: CC/TC platforms access host memory directly, so
+     * model inputs need no explicit host-to-device staging copy.
+     */
+    bool unifiedMemory = false;
+
+    /** Scale a framework CPU cost by this CPU's single-thread speed. */
+    double
+    cpuOpNs(double base_ns) const
+    {
+        return base_ns / cpu.singleThreadScore;
+    }
+
+    /** Host-to-device transfer time for @p bytes over the link, ns. */
+    double transferNs(double bytes) const;
+};
+
+} // namespace skipsim::hw
+
+#endif // SKIPSIM_HW_PLATFORM_HH

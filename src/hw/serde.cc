@@ -1,0 +1,160 @@
+#include "hw/serde.hh"
+
+#include "common/logging.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+
+namespace skipsim::hw
+{
+
+namespace
+{
+
+Coupling
+couplingFromName(const std::string &name)
+{
+    if (name == "LC")
+        return Coupling::LooselyCoupled;
+    if (name == "CC")
+        return Coupling::CloselyCoupled;
+    if (name == "TC")
+        return Coupling::TightlyCoupled;
+    fatal("platformFromJson: unknown coupling '" + name +
+          "' (expected LC, CC or TC)");
+}
+
+double
+getNum(const json::Object &obj, const char *key, double def)
+{
+    if (!obj.has(key))
+        return def;
+    return obj.at(key).asDouble();
+}
+
+std::string
+getStr(const json::Object &obj, const char *key, const std::string &def)
+{
+    if (!obj.has(key))
+        return def;
+    return obj.at(key).asString();
+}
+
+} // namespace
+
+json::Value
+platformToJson(const Platform &p)
+{
+    json::Object cpu;
+    cpu.set("name", p.cpu.name);
+    cpu.set("single_thread_score", p.cpu.singleThreadScore);
+    cpu.set("launch_overhead_ns", p.cpu.launchOverheadNs);
+    cpu.set("launch_cpu_ns", p.cpu.launchCpuNs);
+    cpu.set("sync_call_ns", p.cpu.syncCallNs);
+    cpu.set("busy_power_w", p.cpu.busyPowerW);
+    cpu.set("idle_power_w", p.cpu.idlePowerW);
+
+    json::Object gpu;
+    gpu.set("name", p.gpu.name);
+    gpu.set("fp16_tflops", p.gpu.fp16Tflops);
+    gpu.set("mem_bw_gbs", p.gpu.memBwGBs);
+    gpu.set("hbm_capacity_gib", p.gpu.hbmCapacityGiB);
+    gpu.set("nvlink_gbs", p.gpu.nvlinkGBs);
+    gpu.set("min_kernel_ns", p.gpu.minKernelNs);
+    gpu.set("inter_kernel_gap_ns", p.gpu.interKernelGapNs);
+    gpu.set("max_gemm_eff", p.gpu.maxGemmEff);
+    gpu.set("gemm_half_work_flops", p.gpu.gemmHalfWorkFlops);
+    gpu.set("gemm_half_rows", p.gpu.gemmHalfRows);
+    gpu.set("mem_eff", p.gpu.memEff);
+    gpu.set("num_sms", p.gpu.numSms);
+    gpu.set("busy_power_w", p.gpu.busyPowerW);
+    gpu.set("idle_power_w", p.gpu.idlePowerW);
+
+    json::Object link;
+    link.set("name", p.link.name);
+    link.set("bw_gbs", p.link.bwGBs);
+    link.set("latency_ns", p.link.latencyNs);
+
+    json::Object root;
+    root.set("name", p.name);
+    root.set("coupling", couplingName(p.coupling));
+    root.set("unified_memory", p.unifiedMemory);
+    root.set("cpu", json::Value(std::move(cpu)));
+    root.set("gpu", json::Value(std::move(gpu)));
+    root.set("link", json::Value(std::move(link)));
+    return json::Value(std::move(root));
+}
+
+Platform
+platformFromJson(const json::Value &doc)
+{
+    const json::Object &root = doc.asObject();
+    Platform p;
+    p.name = getStr(root, "name", "custom");
+    if (root.has("coupling"))
+        p.coupling = couplingFromName(root.at("coupling").asString());
+    if (root.has("unified_memory"))
+        p.unifiedMemory = root.at("unified_memory").asBool();
+
+    if (root.has("cpu")) {
+        const json::Object &cpu = root.at("cpu").asObject();
+        p.cpu.name = getStr(cpu, "name", p.cpu.name);
+        p.cpu.singleThreadScore =
+            getNum(cpu, "single_thread_score", p.cpu.singleThreadScore);
+        p.cpu.launchOverheadNs =
+            getNum(cpu, "launch_overhead_ns", p.cpu.launchOverheadNs);
+        p.cpu.launchCpuNs =
+            getNum(cpu, "launch_cpu_ns", p.cpu.launchCpuNs);
+        p.cpu.syncCallNs = getNum(cpu, "sync_call_ns", p.cpu.syncCallNs);
+        p.cpu.busyPowerW = getNum(cpu, "busy_power_w", p.cpu.busyPowerW);
+        p.cpu.idlePowerW = getNum(cpu, "idle_power_w", p.cpu.idlePowerW);
+    }
+    if (root.has("gpu")) {
+        const json::Object &gpu = root.at("gpu").asObject();
+        p.gpu.name = getStr(gpu, "name", p.gpu.name);
+        p.gpu.fp16Tflops = getNum(gpu, "fp16_tflops", p.gpu.fp16Tflops);
+        p.gpu.memBwGBs = getNum(gpu, "mem_bw_gbs", p.gpu.memBwGBs);
+        p.gpu.hbmCapacityGiB =
+            getNum(gpu, "hbm_capacity_gib", p.gpu.hbmCapacityGiB);
+        p.gpu.nvlinkGBs = getNum(gpu, "nvlink_gbs", p.gpu.nvlinkGBs);
+        p.gpu.minKernelNs =
+            getNum(gpu, "min_kernel_ns", p.gpu.minKernelNs);
+        p.gpu.interKernelGapNs =
+            getNum(gpu, "inter_kernel_gap_ns", p.gpu.interKernelGapNs);
+        p.gpu.maxGemmEff = getNum(gpu, "max_gemm_eff", p.gpu.maxGemmEff);
+        p.gpu.gemmHalfWorkFlops = getNum(gpu, "gemm_half_work_flops",
+                                         p.gpu.gemmHalfWorkFlops);
+        p.gpu.gemmHalfRows =
+            getNum(gpu, "gemm_half_rows", p.gpu.gemmHalfRows);
+        p.gpu.memEff = getNum(gpu, "mem_eff", p.gpu.memEff);
+        p.gpu.numSms = static_cast<int>(
+            getNum(gpu, "num_sms", p.gpu.numSms));
+        p.gpu.busyPowerW = getNum(gpu, "busy_power_w", p.gpu.busyPowerW);
+        p.gpu.idlePowerW = getNum(gpu, "idle_power_w", p.gpu.idlePowerW);
+    }
+    if (root.has("link")) {
+        const json::Object &link = root.at("link").asObject();
+        p.link.name = getStr(link, "name", p.link.name);
+        p.link.bwGBs = getNum(link, "bw_gbs", p.link.bwGBs);
+        p.link.latencyNs = getNum(link, "latency_ns", p.link.latencyNs);
+    }
+
+    if (p.cpu.singleThreadScore <= 0.0)
+        fatal("platformFromJson: single_thread_score must be positive");
+    if (p.gpu.fp16Tflops <= 0.0 || p.gpu.memBwGBs <= 0.0)
+        fatal("platformFromJson: GPU peak rates must be positive");
+    return p;
+}
+
+void
+savePlatform(const std::string &path, const Platform &platform)
+{
+    json::writeFile(path, platformToJson(platform));
+}
+
+Platform
+loadPlatform(const std::string &path)
+{
+    return platformFromJson(json::parseFile(path));
+}
+
+} // namespace skipsim::hw

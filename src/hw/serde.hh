@@ -1,0 +1,38 @@
+/**
+ * @file
+ * JSON (de)serialization for platform descriptors, so users can define
+ * custom CPU-GPU systems in configuration files and run every analysis
+ * in this library against them without recompiling.
+ */
+
+#ifndef SKIPSIM_HW_SERDE_HH
+#define SKIPSIM_HW_SERDE_HH
+
+#include <string>
+
+#include "hw/platform.hh"
+#include "json/value.hh"
+
+namespace skipsim::hw
+{
+
+/** Serialize a platform (all fields) to a JSON object. */
+json::Value platformToJson(const Platform &platform);
+
+/**
+ * Deserialize a platform. Missing fields keep their defaults, so a
+ * config file only needs the values it wants to override.
+ * @throws skipsim::FatalError on malformed documents or non-positive
+ *         critical rates (GPU peaks, CPU score).
+ */
+Platform platformFromJson(const json::Value &doc);
+
+/** Write a platform to a JSON file. */
+void savePlatform(const std::string &path, const Platform &platform);
+
+/** Read a platform from a JSON file. */
+Platform loadPlatform(const std::string &path);
+
+} // namespace skipsim::hw
+
+#endif // SKIPSIM_HW_SERDE_HH

@@ -1,0 +1,295 @@
+#include "json/parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::json
+{
+
+namespace
+{
+
+/** Internal cursor over the input text with position tracking. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text)
+        : _text(text)
+    {}
+
+    Value
+    parseDocument()
+    {
+        skipWs();
+        Value v = parseValue();
+        skipWs();
+        if (!atEnd())
+            error("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    const std::string &_text;
+    std::size_t _pos = 0;
+
+    bool atEnd() const { return _pos >= _text.size(); }
+
+    char
+    peek() const
+    {
+        return atEnd() ? '\0' : _text[_pos];
+    }
+
+    char
+    advance()
+    {
+        if (atEnd())
+            error("unexpected end of input");
+        return _text[_pos++];
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = _text[_pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++_pos;
+            else
+                break;
+        }
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        std::size_t line = 1;
+        std::size_t col = 1;
+        for (std::size_t i = 0; i < _pos && i < _text.size(); ++i) {
+            if (_text[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        fatal(strprintf("json parse error at %zu:%zu: %s", line, col,
+                        msg.c_str()));
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            error(strprintf("expected '%c'", c));
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (_text.compare(_pos, n, lit) == 0) {
+            _pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Value(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Value(true);
+            error("invalid literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Value(false);
+            error("invalid literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Value(nullptr);
+            error("invalid literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Object obj;
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return Value(std::move(obj));
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                error("expected object key string");
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            char c = advance();
+            if (c == '}')
+                break;
+            if (c != ',')
+                error("expected ',' or '}' in object");
+        }
+        return Value(std::move(obj));
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value::Array arr;
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return Value(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parseValue());
+            skipWs();
+            char c = advance();
+            if (c == ']')
+                break;
+            if (c != ',')
+                error("expected ',' or ']' in array");
+        }
+        return Value(std::move(arr));
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = advance();
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                char esc = advance();
+                switch (esc) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': out += parseUnicodeEscape(); break;
+                  default: error("invalid escape sequence");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                error("unescaped control character in string");
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = advance();
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                error("invalid \\u escape");
+        }
+        // Encode as UTF-8 (surrogate pairs are not recombined; BMP only,
+        // which is sufficient for trace names).
+        std::string out;
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        std::size_t start = _pos;
+        if (peek() == '-')
+            ++_pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            error("invalid number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++_pos;
+        if (peek() == '.') {
+            ++_pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                error("invalid number: digit expected after '.'");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++_pos;
+            if (peek() == '+' || peek() == '-')
+                ++_pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                error("invalid number: digit expected in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        std::string slice = _text.substr(start, _pos - start);
+        return Value(std::strtod(slice.c_str(), nullptr));
+    }
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parseDocument();
+}
+
+Value
+parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("json: cannot open file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+} // namespace skipsim::json

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Recursive-descent JSON parser producing json::Value documents.
+ * Accepts standard RFC 8259 JSON; reports errors with line/column.
+ */
+
+#ifndef SKIPSIM_JSON_PARSER_HH
+#define SKIPSIM_JSON_PARSER_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace skipsim::json
+{
+
+/**
+ * Parse a JSON document from text.
+ * @param text the complete JSON document.
+ * @return the parsed value.
+ * @throws skipsim::FatalError with a line:column message on syntax errors.
+ */
+Value parse(const std::string &text);
+
+/**
+ * Parse the JSON document in a file.
+ * @throws skipsim::FatalError when the file cannot be read or parsed.
+ */
+Value parseFile(const std::string &path);
+
+} // namespace skipsim::json
+
+#endif // SKIPSIM_JSON_PARSER_HH

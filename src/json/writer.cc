@@ -1,0 +1,150 @@
+#include "json/writer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::json
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no NaN/Inf; emit null, matching common tooling.
+        out += "null";
+        return;
+    }
+    double rounded = std::nearbyint(d);
+    if (d == rounded && std::abs(d) < 9.007199254740992e15) {
+        out += strprintf("%lld", static_cast<long long>(rounded));
+    } else {
+        out += strprintf("%.17g", d);
+    }
+}
+
+void
+writeValue(std::string &out, const Value &v, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent >= 0) {
+            out.push_back('\n');
+            out.append(static_cast<std::size_t>(indent * d), ' ');
+        }
+    };
+
+    switch (v.kind()) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Kind::Number:
+        appendNumber(out, v.asDouble());
+        break;
+      case Kind::String:
+        appendEscaped(out, v.asString());
+        break;
+      case Kind::Array: {
+        const auto &arr = v.asArray();
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newline(depth + 1);
+            writeValue(out, arr[i], indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::Object: {
+        const auto &obj = v.asObject();
+        if (obj.size() == 0) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        bool first = true;
+        for (const auto &key : obj.keys()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            appendEscaped(out, key);
+            out.push_back(':');
+            if (indent >= 0)
+                out.push_back(' ');
+            writeValue(out, obj.at(key), indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+write(const Value &value)
+{
+    std::string out;
+    writeValue(out, value, -1, 0);
+    return out;
+}
+
+std::string
+writePretty(const Value &value)
+{
+    std::string out;
+    writeValue(out, value, 2, 0);
+    return out;
+}
+
+void
+writeFile(const std::string &path, const Value &value, bool pretty)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("json: cannot open file '" + path + "' for writing");
+    out << (pretty ? writePretty(value) : write(value));
+    if (!out)
+        fatal("json: write to '" + path + "' failed");
+}
+
+} // namespace skipsim::json

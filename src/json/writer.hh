@@ -1,0 +1,29 @@
+/**
+ * @file
+ * JSON serialization for json::Value documents: compact or pretty
+ * (2-space indented) forms, with stable object member order.
+ */
+
+#ifndef SKIPSIM_JSON_WRITER_HH
+#define SKIPSIM_JSON_WRITER_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace skipsim::json
+{
+
+/** Serialize a value compactly (no whitespace). */
+std::string write(const Value &value);
+
+/** Serialize a value with 2-space indentation. */
+std::string writePretty(const Value &value);
+
+/** Serialize to a file. @throws skipsim::FatalError on IO failure. */
+void writeFile(const std::string &path, const Value &value,
+               bool pretty = true);
+
+} // namespace skipsim::json
+
+#endif // SKIPSIM_JSON_WRITER_HH

@@ -1,0 +1,261 @@
+#include "serving/continuous.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/simulator.hh"
+#include "stats/summary.hh"
+#include "workload/builder.hh"
+
+namespace skipsim::serving
+{
+
+IterationCostModel::IterationCostModel(const workload::ModelConfig &model,
+                                       const hw::Platform &platform,
+                                       int prompt_len)
+    : _model(model), _platform(platform)
+{
+    if (prompt_len <= 0)
+        fatal("IterationCostModel: prompt length must be positive");
+
+    _grid = {1, 2, 4, 8, 16, 32, 64};
+    sim::Simulator simulator(platform);
+    for (int batch : _grid) {
+        workload::BuildOptions opts;
+        opts.batch = batch;
+        opts.seqLen = prompt_len;
+        _prefill.push_back(
+            simulator.run(workload::buildPrefillGraph(model, opts))
+                .wallNs);
+        _decode.push_back(
+            simulator
+                .run(workload::buildDecodeStepGraph(model, opts,
+                                                    prompt_len))
+                .wallNs);
+    }
+}
+
+double
+IterationCostModel::interpolate(const std::vector<int> &grid,
+                                const std::vector<double> &ys, int batch)
+{
+    if (batch <= 0)
+        fatal("IterationCostModel: batch must be positive");
+    if (batch <= grid.front())
+        return ys.front();
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+        if (batch <= grid[i]) {
+            double frac = static_cast<double>(batch - grid[i - 1]) /
+                static_cast<double>(grid[i] - grid[i - 1]);
+            return ys[i - 1] * (1.0 - frac) + ys[i] * frac;
+        }
+    }
+    // Extrapolate with the last segment's per-request slope.
+    std::size_t n = grid.size();
+    double slope = (ys[n - 1] - ys[n - 2]) /
+        static_cast<double>(grid[n - 1] - grid[n - 2]);
+    return ys[n - 1] +
+        slope * static_cast<double>(batch - grid[n - 1]);
+}
+
+double
+IterationCostModel::prefillNs(int batch) const
+{
+    return interpolate(_grid, _prefill, batch);
+}
+
+double
+IterationCostModel::decodeNs(int batch) const
+{
+    return interpolate(_grid, _decode, batch);
+}
+
+double
+IterationCostModel::chunkNs(int chunk_tokens) const
+{
+    if (chunk_tokens <= 0)
+        fatal("IterationCostModel::chunkNs: chunk must be positive");
+    auto it = _chunkCache.find(chunk_tokens);
+    if (it != _chunkCache.end())
+        return it->second;
+    workload::BuildOptions opts;
+    opts.batch = 1;
+    opts.seqLen = chunk_tokens;
+    sim::Simulator simulator(_platform);
+    double ns =
+        simulator.run(workload::buildPrefillGraph(_model, opts)).wallNs;
+    _chunkCache.emplace(chunk_tokens, ns);
+    return ns;
+}
+
+ContinuousResult
+simulateContinuous(const IterationCostModel &cost,
+                   const ContinuousConfig &config)
+{
+    if (config.arrivalRatePerSec <= 0.0)
+        fatal("simulateContinuous: arrival rate must be positive");
+    if (config.horizonSec <= 0.0)
+        fatal("simulateContinuous: horizon must be positive");
+    if (config.maxActive <= 0)
+        fatal("simulateContinuous: maxActive must be positive");
+    if (config.genTokens <= 0)
+        fatal("simulateContinuous: genTokens must be positive");
+
+    // Poisson arrivals over the horizon.
+    Rng rng(config.seed);
+    double horizon_ns = config.horizonSec * 1e9;
+    double mean_gap_ns = 1e9 / config.arrivalRatePerSec;
+    std::deque<double> pending;
+    double t_arr = 0.0;
+    while (true) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        t_arr += -std::log(u) * mean_gap_ns;
+        if (t_arr >= horizon_ns)
+            break;
+        pending.push_back(t_arr);
+    }
+
+    ContinuousResult result;
+    std::vector<double> ttfts;
+    std::vector<int> active_remaining; // tokens left per active seq
+    stats::Summary active_sizes;
+    stats::Summary iter_latency;
+    double now = 0.0;
+    std::size_t tokens_emitted = 0;
+
+    // Chunked prefill bookkeeping: the head-of-line request's arrival
+    // time and remaining prompt tokens.
+    int head_chunks_left = 0;
+    double head_arrival = 0.0;
+
+    auto arrived = [&](double time) {
+        std::size_t n = 0;
+        for (double arrival : pending) {
+            if (arrival <= time)
+                ++n;
+            else
+                break;
+        }
+        return n;
+    };
+
+    auto finish_prefill = [&](double done_time, double arrival) {
+        ttfts.push_back(done_time - arrival);
+        ++tokens_emitted; // the prefill emits the first token
+        if (config.genTokens == 1)
+            ++result.completed;
+        else
+            active_remaining.push_back(config.genTokens - 1);
+    };
+
+    while (now < horizon_ns &&
+           (!pending.empty() || !active_remaining.empty() ||
+            head_chunks_left > 0)) {
+        std::size_t ready = arrived(now);
+        std::size_t room = static_cast<std::size_t>(config.maxActive) -
+            active_remaining.size();
+
+        if (config.chunkTokens > 0) {
+            // Sarathi-style: co-schedule one prompt chunk with the
+            // running decode batch every iteration.
+            bool have_prefill_work = head_chunks_left > 0 ||
+                (ready > 0 && room > 0);
+            if (!have_prefill_work && active_remaining.empty()) {
+                now = std::max(now, pending.front());
+                continue;
+            }
+            if (head_chunks_left == 0 && ready > 0 && room > 0) {
+                head_arrival = pending.front();
+                pending.pop_front();
+                head_chunks_left =
+                    (config.promptLen + config.chunkTokens - 1) /
+                    config.chunkTokens;
+            }
+            double latency = 0.0;
+            if (!active_remaining.empty()) {
+                latency += cost.decodeNs(
+                    static_cast<int>(active_remaining.size()));
+                active_sizes.add(
+                    static_cast<double>(active_remaining.size()));
+                tokens_emitted += active_remaining.size();
+            }
+            if (head_chunks_left > 0) {
+                latency += cost.chunkNs(config.chunkTokens);
+                --head_chunks_left;
+            }
+            iter_latency.add(latency);
+            now += latency;
+            if (!active_remaining.empty()) {
+                std::vector<int> still;
+                for (int remaining : active_remaining) {
+                    if (remaining - 1 <= 0)
+                        ++result.completed;
+                    else
+                        still.push_back(remaining - 1);
+                }
+                active_remaining = std::move(still);
+            }
+            if (head_chunks_left == 0 && head_arrival > 0.0) {
+                finish_prefill(now, head_arrival);
+                head_arrival = 0.0;
+            }
+            continue;
+        }
+
+        if (ready > 0 && room > 0) {
+            // Admit a prefill iteration for the waiting sequences.
+            std::size_t admit = std::min(ready, room);
+            double latency =
+                cost.prefillNs(static_cast<int>(admit));
+            now += latency;
+            for (std::size_t i = 0; i < admit; ++i) {
+                double arrival = pending.front();
+                pending.pop_front();
+                finish_prefill(now, arrival);
+            }
+        } else if (!active_remaining.empty()) {
+            // One decode iteration advances every active sequence.
+            double latency = cost.decodeNs(
+                static_cast<int>(active_remaining.size()));
+            active_sizes.add(
+                static_cast<double>(active_remaining.size()));
+            iter_latency.add(latency);
+            now += latency;
+            tokens_emitted += active_remaining.size();
+            std::vector<int> still;
+            for (int remaining : active_remaining) {
+                if (remaining - 1 <= 0)
+                    ++result.completed;
+                else
+                    still.push_back(remaining - 1);
+            }
+            active_remaining = std::move(still);
+        } else {
+            // Idle: jump to the next arrival.
+            now = std::max(now, pending.front());
+        }
+    }
+
+    result.unfinished = pending.size() + active_remaining.size() +
+        (head_chunks_left > 0 ? 1 : 0);
+    if (!ttfts.empty()) {
+        result.p50TtftNs = stats::percentile(ttfts, 50.0);
+        result.p99TtftNs = stats::percentile(ttfts, 99.0);
+    }
+    if (iter_latency.count() > 0) {
+        result.meanTpotNs = iter_latency.mean();
+        result.meanActive = active_sizes.mean();
+    }
+    double elapsed_s = std::min(now, horizon_ns) / 1e9;
+    if (elapsed_s > 0.0)
+        result.tokensPerSec =
+            static_cast<double>(tokens_emitted) / elapsed_s;
+    return result;
+}
+
+} // namespace skipsim::serving

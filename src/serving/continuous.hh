@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Continuous (iteration-level) batching simulation, the serving
+ * discipline of Orca/vLLM that the paper cites (Sec. IV-B: "serving
+ * frameworks like vLLM aim to maximize throughput while approaching
+ * the low latency characteristic of BS=1 execution"). Requests join
+ * the running batch between decode iterations instead of waiting for
+ * a whole static batch to drain, trading a little per-iteration cost
+ * for much lower queueing delay.
+ */
+
+#ifndef SKIPSIM_SERVING_CONTINUOUS_HH
+#define SKIPSIM_SERVING_CONTINUOUS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/platform.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::serving
+{
+
+/**
+ * Iteration cost model: prefill and single-decode-step latencies as a
+ * function of batch size, obtained by simulating the workload once per
+ * grid point and interpolating in between.
+ */
+class IterationCostModel
+{
+  public:
+    /**
+     * Build by simulating prefill and decode-step graphs on the
+     * platform across a batch grid.
+     * @throws skipsim::FatalError on non-positive prompt length.
+     */
+    IterationCostModel(const workload::ModelConfig &model,
+                       const hw::Platform &platform, int prompt_len);
+
+    /** Prefill iteration latency for @p batch new sequences, ns. */
+    double prefillNs(int batch) const;
+
+    /** One decode iteration latency for @p batch active sequences, ns. */
+    double decodeNs(int batch) const;
+
+    /**
+     * Latency of prefilling one chunk of @p chunk_tokens prompt tokens
+     * (Sarathi-style chunked prefill), ns. Simulated lazily and cached
+     * per distinct chunk size.
+     * @throws skipsim::FatalError on non-positive chunk size.
+     */
+    double chunkNs(int chunk_tokens) const;
+
+  private:
+    workload::ModelConfig _model;
+    hw::Platform _platform;
+    std::vector<int> _grid;
+    std::vector<double> _prefill;
+    std::vector<double> _decode;
+    mutable std::map<int, double> _chunkCache;
+
+    static double interpolate(const std::vector<int> &grid,
+                              const std::vector<double> &ys, int batch);
+};
+
+/** Continuous-batching server configuration. */
+struct ContinuousConfig
+{
+    double arrivalRatePerSec = 50.0;
+    double horizonSec = 20.0;
+
+    /** Maximum concurrently decoding sequences. */
+    int maxActive = 32;
+
+    /** Prompt length of every request (tokens). */
+    int promptLen = 512;
+
+    /** Tokens generated per request. */
+    int genTokens = 32;
+
+    /**
+     * Chunked-prefill size in tokens (Sarathi-Serve style): prompts
+     * are split into ceil(promptLen / chunkTokens) chunk iterations,
+     * each co-scheduled with the running decode batch so decoding
+     * never stalls behind a full prefill. 0 disables chunking (whole
+     * prompts prefill in dedicated iterations).
+     */
+    int chunkTokens = 0;
+
+    std::uint64_t seed = 42;
+};
+
+/** Outcome of a continuous-batching simulation. */
+struct ContinuousResult
+{
+    /** Requests that finished generating within the horizon. */
+    std::size_t completed = 0;
+
+    /** Time-to-first-token percentiles (arrival -> prefill done), ns. */
+    double p50TtftNs = 0.0;
+    double p99TtftNs = 0.0;
+
+    /** Mean decode-iteration latency experienced per token, ns. */
+    double meanTpotNs = 0.0;
+
+    /** Generated-token throughput over the horizon, tokens/s. */
+    double tokensPerSec = 0.0;
+
+    /** Mean number of active sequences per decode iteration. */
+    double meanActive = 0.0;
+
+    /** Requests left unfinished at the horizon. */
+    std::size_t unfinished = 0;
+};
+
+/**
+ * Simulate a continuous-batching server: pending prefills are admitted
+ * (batched together) whenever capacity allows, and all active
+ * sequences advance one token per decode iteration.
+ * @throws skipsim::FatalError on non-positive rate/horizon/capacity.
+ */
+ContinuousResult simulateContinuous(const IterationCostModel &cost,
+                                    const ContinuousConfig &config);
+
+} // namespace skipsim::serving
+
+#endif // SKIPSIM_SERVING_CONTINUOUS_HH

@@ -1,0 +1,112 @@
+#include "serving/server_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "stats/summary.hh"
+
+namespace skipsim::serving
+{
+
+ServingResult
+simulateServing(const LatencyModel &latency, const ServingConfig &config)
+{
+    if (config.arrivalRatePerSec <= 0.0)
+        fatal("simulateServing: arrival rate must be positive");
+    if (config.horizonSec <= 0.0)
+        fatal("simulateServing: horizon must be positive");
+    if (config.maxBatch <= 0)
+        fatal("simulateServing: maxBatch must be positive");
+    if (config.maxWaitNs < 0.0)
+        fatal("simulateServing: maxWaitNs must be non-negative");
+
+    // Poisson arrivals: exponential inter-arrival gaps.
+    Rng rng(config.seed);
+    double horizon_ns = config.horizonSec * 1e9;
+    double mean_gap_ns = 1e9 / config.arrivalRatePerSec;
+    std::vector<double> arrivals;
+    double t = 0.0;
+    while (true) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        t += -std::log(u) * mean_gap_ns;
+        if (t >= horizon_ns)
+            break;
+        arrivals.push_back(t);
+    }
+
+    ServingResult result;
+    if (arrivals.empty())
+        return result;
+
+    std::vector<double> latencies;
+    double server_free = 0.0;
+    double busy_ns = 0.0;
+    std::size_t next = 0; // first request not yet dispatched
+    stats::Summary batch_sizes;
+
+    while (next < arrivals.size()) {
+        double oldest = arrivals[next];
+
+        // Earliest instant the server could start this batch.
+        double ready = std::max(server_free, oldest);
+
+        // The batch fills when the maxBatch-th request arrives (if it
+        // does); otherwise the oldest request's wait deadline fires.
+        double deadline = oldest + config.maxWaitNs;
+        std::size_t full_idx =
+            next + static_cast<std::size_t>(config.maxBatch) - 1;
+        double full_time = full_idx < arrivals.size()
+            ? arrivals[full_idx]
+            : std::numeric_limits<double>::infinity();
+
+        double dispatch = std::max(ready,
+                                   std::min(deadline, full_time));
+        if (dispatch > horizon_ns)
+            break;
+
+        // Everyone arrived by the dispatch instant rides along.
+        std::size_t count = 0;
+        while (next + count < arrivals.size() &&
+               count < static_cast<std::size_t>(config.maxBatch) &&
+               arrivals[next + count] <= dispatch) {
+            ++count;
+        }
+        if (count == 0)
+            count = 1; // the oldest request itself
+
+        double exec = latency.latencyNs(static_cast<int>(count));
+        double done = dispatch + exec;
+        busy_ns += exec;
+        batch_sizes.add(static_cast<double>(count));
+
+        for (std::size_t i = 0; i < count; ++i)
+            latencies.push_back(done - arrivals[next + i]);
+
+        next += count;
+        server_free = done;
+    }
+
+    result.completed = latencies.size();
+    result.leftInQueue = arrivals.size() - next;
+    if (latencies.empty())
+        return result;
+
+    result.throughputRps =
+        static_cast<double>(result.completed) / config.horizonSec;
+    result.p50LatencyNs = stats::percentile(latencies, 50.0);
+    result.p95LatencyNs = stats::percentile(latencies, 95.0);
+    result.p99LatencyNs = stats::percentile(latencies, 99.0);
+    stats::Summary lat;
+    lat.addAll(latencies);
+    result.meanLatencyNs = lat.mean();
+    result.meanBatch = batch_sizes.mean();
+    result.utilization = std::min(1.0, busy_ns / horizon_ns);
+    return result;
+}
+
+} // namespace skipsim::serving

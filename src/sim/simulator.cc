@@ -1,0 +1,236 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace skipsim::sim
+{
+
+namespace
+{
+
+/** Internal execution state for one run. */
+class Runner
+{
+  public:
+    Runner(const hw::Platform &platform, const SimOptions &opts)
+        : p(platform), o(opts), rng(opts.seed)
+    {}
+
+    SimResult
+    run(const workload::OperatorGraph &graph)
+    {
+        for (const auto &root : graph.roots)
+            execOp(root);
+        deviceSynchronize();
+
+        SimResult result;
+        result.wallNs = static_cast<double>(std::max(cpuNow, streamFree));
+        result.numKernels = numKernels;
+        result.gpuBusyNs = gpuBusy;
+        result.trace = std::move(out);
+        result.trace.setMeta("platform", p.name);
+        result.trace.sortByTime();
+        return result;
+    }
+
+  private:
+    const hw::Platform &p;
+    const SimOptions &o;
+    Rng rng;
+
+    trace::Trace out;
+    std::int64_t cpuNow = 0;
+    std::int64_t streamFree = 0;
+    bool streamUsed = false;
+    std::uint64_t nextCorrelation = 1;
+    std::size_t numKernels = 0;
+    double gpuBusy = 0.0;
+
+    /** Jittered duration: multiplicative noise, clamped near 1. */
+    std::int64_t
+    jitterNs(double ns)
+    {
+        if (ns <= 0.0)
+            return 0;
+        if (!o.jitter)
+            return static_cast<std::int64_t>(std::llround(ns));
+        double mult = rng.gaussian(1.0, o.jitterFrac);
+        mult = std::clamp(mult, 1.0 - 4.0 * o.jitterFrac,
+                          1.0 + 4.0 * o.jitterFrac);
+        return static_cast<std::int64_t>(std::llround(ns * mult));
+    }
+
+    void
+    execOp(const workload::OpNode &node)
+    {
+        trace::TraceEvent op;
+        op.kind = trace::EventKind::Operator;
+        op.name = node.name;
+        op.tid = o.threadId;
+        op.tsBeginNs = cpuNow;
+
+        double total_cpu = p.cpuOpNs(node.cpuNs);
+        double pre = total_cpu * node.preFraction;
+        double post = total_cpu - pre;
+
+        cpuNow += jitterNs(pre);
+        for (const auto &child : node.children)
+            execOp(child);
+        for (const auto &launch : node.launches)
+            execLaunch(launch);
+        cpuNow += jitterNs(post);
+
+        op.durNs = cpuNow - op.tsBeginNs;
+        out.add(std::move(op));
+    }
+
+    /**
+     * Start time for the next kernel: the launch-to-start latency on
+     * an idle stream, or the previous kernel's end plus the GPU's
+     * inter-kernel scheduling gap when the stream is backed up.
+     */
+    std::int64_t
+    kernelStart(std::int64_t launch_begin)
+    {
+        std::int64_t earliest =
+            launch_begin + jitterNs(p.cpu.launchOverheadNs);
+        std::int64_t queued = streamUsed
+            ? streamFree + jitterNs(p.gpu.interKernelGapNs)
+            : 0;
+        return std::max(earliest, queued);
+    }
+
+    /**
+     * Jitter for a (possibly fused) kernel: a fused kernel's duration
+     * is a sum of n independent component durations, so its relative
+     * noise shrinks with sqrt(n).
+     */
+    std::int64_t
+    jitterComponentsNs(double ns, std::size_t components)
+    {
+        if (!o.jitter || components <= 1)
+            return jitterNs(ns);
+        double frac =
+            o.jitterFrac / std::sqrt(static_cast<double>(components));
+        double mult = rng.gaussian(1.0, frac);
+        mult = std::clamp(mult, 1.0 - 4.0 * frac, 1.0 + 4.0 * frac);
+        return static_cast<std::int64_t>(std::llround(ns * mult));
+    }
+
+    void
+    execLaunch(const workload::KernelLaunch &launch)
+    {
+        if (launch.isMemcpy) {
+            execMemcpy(launch);
+            return;
+        }
+
+        std::uint64_t corr = nextCorrelation++;
+
+        trace::TraceEvent rt;
+        rt.kind = trace::EventKind::Runtime;
+        rt.name = "cudaLaunchKernel";
+        rt.tid = o.threadId;
+        rt.correlationId = corr;
+        rt.tsBeginNs = cpuNow;
+        rt.durNs = jitterNs(p.cpu.launchCpuNs);
+        cpuNow += rt.durNs;
+
+        std::int64_t start = kernelStart(rt.tsBeginNs);
+
+        trace::TraceEvent k;
+        k.kind = trace::EventKind::Kernel;
+        k.name = launch.kernelName;
+        k.tid = o.threadId;
+        k.streamId = o.streamId;
+        k.correlationId = corr;
+        k.tsBeginNs = start;
+        k.durNs = jitterComponentsNs(
+            hw::kernelDurationNs(p.gpu, launch.work),
+            launch.work.size());
+        k.flops = launch.totalFlops();
+        k.bytes = launch.totalBytes();
+        streamFree = k.tsEndNs();
+        streamUsed = true;
+        gpuBusy += static_cast<double>(k.durNs);
+        ++numKernels;
+
+        out.add(std::move(rt));
+        out.add(std::move(k));
+    }
+
+    void
+    execMemcpy(const workload::KernelLaunch &launch)
+    {
+        // Unified-memory platforms (CC/TC) access host data in place:
+        // no staging copy is issued at all.
+        if (p.unifiedMemory)
+            return;
+
+        std::uint64_t corr = nextCorrelation++;
+
+        trace::TraceEvent rt;
+        rt.kind = trace::EventKind::Runtime;
+        rt.name = "cudaMemcpyAsync";
+        rt.tid = o.threadId;
+        rt.correlationId = corr;
+        rt.tsBeginNs = cpuNow;
+        rt.durNs = jitterNs(p.cpu.launchCpuNs);
+        cpuNow += rt.durNs;
+
+        std::int64_t start = kernelStart(rt.tsBeginNs);
+
+        trace::TraceEvent mc;
+        mc.kind = trace::EventKind::Memcpy;
+        mc.name = "Memcpy HtoD";
+        mc.tid = o.threadId;
+        mc.streamId = o.streamId;
+        mc.correlationId = corr;
+        mc.tsBeginNs = start;
+        mc.durNs = jitterNs(p.transferNs(launch.totalBytes()));
+        mc.bytes = launch.totalBytes();
+        streamFree = mc.tsEndNs();
+        streamUsed = true;
+
+        out.add(std::move(rt));
+        out.add(std::move(mc));
+    }
+
+    void
+    deviceSynchronize()
+    {
+        trace::TraceEvent rt;
+        rt.kind = trace::EventKind::Runtime;
+        rt.name = "cudaDeviceSynchronize";
+        rt.tid = o.threadId;
+        rt.tsBeginNs = cpuNow;
+
+        std::int64_t call = jitterNs(p.cpu.syncCallNs);
+        std::int64_t done = std::max(cpuNow + call, streamFree + call);
+        rt.durNs = done - cpuNow;
+        cpuNow = done;
+        out.add(std::move(rt));
+    }
+};
+
+} // namespace
+
+Simulator::Simulator(const hw::Platform &platform, SimOptions opts)
+    : _platform(platform), _opts(opts)
+{
+    if (_opts.jitterFrac < 0.0 || _opts.jitterFrac > 0.25)
+        fatal("Simulator: jitterFrac must be within [0, 0.25]");
+}
+
+SimResult
+Simulator::run(const workload::OperatorGraph &graph)
+{
+    Runner runner(_platform, _opts);
+    return runner.run(graph);
+}
+
+} // namespace skipsim::sim

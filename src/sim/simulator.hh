@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Discrete-event execution simulator. Replays an operator graph on a
+ * platform model the way single-threaded PyTorch eager dispatch does:
+ * the CPU thread walks the operator tree depth-first, paying framework
+ * dispatch cost per operator (scaled by the platform's single-thread
+ * speed), issuing cudaLaunchKernel calls that enqueue kernels into an
+ * in-order GPU stream. Kernels start after the launch-to-start latency
+ * and after the stream drains (queuing). The run ends with a device
+ * synchronize. The output is a Kineto-style Trace, the same artifact a
+ * real PyTorch Profiler session would produce, which SKIP then
+ * analyzes (Fig. 4 of the paper shows exactly this timing structure).
+ */
+
+#ifndef SKIPSIM_SIM_SIMULATOR_HH
+#define SKIPSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "hw/platform.hh"
+#include "trace/trace.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::sim
+{
+
+/** Knobs of one simulation run. */
+struct SimOptions
+{
+    /** PRNG seed for timing jitter; same seed -> identical trace. */
+    std::uint64_t seed = 42;
+
+    /** Apply multiplicative timing jitter (off = fully deterministic). */
+    bool jitter = true;
+
+    /** Relative jitter magnitude (stddev of the multiplier). */
+    double jitterFrac = 0.02;
+
+    /** CUDA stream id recorded in the trace. */
+    int streamId = 7;
+
+    /** CPU thread id recorded in the trace. */
+    int threadId = 1;
+};
+
+/** Result of a simulation run. */
+struct SimResult
+{
+    trace::Trace trace;
+
+    /** End-to-end simulated wall time (to sync completion), ns. */
+    double wallNs = 0.0;
+
+    /** Kernels executed (excluding memcpys). */
+    std::size_t numKernels = 0;
+
+    /** Total GPU busy time (kernel execution), ns. */
+    double gpuBusyNs = 0.0;
+};
+
+/**
+ * Executes operator graphs on a platform model.
+ *
+ * Timing semantics per kernel launch (paper Fig. 4):
+ *  - the CPU is busy for the launch call (CpuModel::launchCpuNs);
+ *  - the kernel may start launchOverheadNs after the call began, on an
+ *    idle stream (the Table V nullKernel anchor);
+ *  - on a busy stream it starts when the previous kernel finishes, so
+ *    the observed launch-to-start latency t_l stretches into queuing
+ *    time — exactly what TKLQT accumulates.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const hw::Platform &platform, SimOptions opts = {});
+
+    /**
+     * Run one forward pass.
+     * @param graph the operator graph to execute.
+     * @return the trace and summary timings.
+     */
+    SimResult run(const workload::OperatorGraph &graph);
+
+    const hw::Platform &platform() const { return _platform; }
+
+  private:
+    hw::Platform _platform;
+    SimOptions _opts;
+};
+
+} // namespace skipsim::sim
+
+#endif // SKIPSIM_SIM_SIMULATOR_HH

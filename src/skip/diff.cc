@@ -1,0 +1,85 @@
+#include "skip/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+namespace skipsim::skip
+{
+
+RunDiff
+diffRuns(const MetricsReport &before, const MetricsReport &after)
+{
+    if (after.ilNs <= 0.0)
+        fatal("diffRuns: candidate run has no inference latency");
+
+    RunDiff diff;
+    diff.ilDeltaNs = after.ilNs - before.ilNs;
+    diff.tklqtDeltaNs = after.tklqtNs - before.tklqtNs;
+    diff.kernelCountDelta = static_cast<long>(after.numKernels) -
+        static_cast<long>(before.numKernels);
+    diff.gpuBusyDeltaNs = after.gpuBusyNs - before.gpuBusyNs;
+    diff.speedup = before.ilNs / after.ilNs;
+
+    std::map<std::string, KernelDelta> deltas;
+    for (const auto &stat : before.byKernel) {
+        KernelDelta &d = deltas[stat.name];
+        d.name = stat.name;
+        d.countBefore = stat.count;
+        d.durBeforeNs = stat.totalDurNs;
+    }
+    for (const auto &stat : after.byKernel) {
+        KernelDelta &d = deltas[stat.name];
+        d.name = stat.name;
+        d.countAfter = stat.count;
+        d.durAfterNs = stat.totalDurNs;
+    }
+
+    diff.byKernel.reserve(deltas.size());
+    for (auto &[name, d] : deltas) {
+        (void)name;
+        diff.byKernel.push_back(d);
+    }
+    std::stable_sort(diff.byKernel.begin(), diff.byKernel.end(),
+                     [](const KernelDelta &a, const KernelDelta &b) {
+                         return std::abs(a.durDeltaNs()) >
+                             std::abs(b.durDeltaNs());
+                     });
+    return diff;
+}
+
+std::string
+RunDiff::render(std::size_t max_rows) const
+{
+    std::string out = strprintf(
+        "Run diff: IL %+0.3f ms (%.2fx), TKLQT %+0.3f ms, "
+        "kernels %+ld, GPU busy %+0.3f ms\n",
+        ilDeltaNs / 1e6, speedup, tklqtDeltaNs / 1e6,
+        kernelCountDelta, gpuBusyDeltaNs / 1e6);
+
+    TextTable table;
+    table.setHeader({"Kernel", "count", "", "time before", "after",
+                     "delta"});
+    std::size_t rows = 0;
+    for (const auto &d : byKernel) {
+        if (rows++ >= max_rows)
+            break;
+        table.addRow({d.name,
+                      strprintf("%zu->%zu", d.countBefore,
+                                d.countAfter),
+                      d.countAfter > d.countBefore
+                          ? "+"
+                          : (d.countAfter < d.countBefore ? "-" : "="),
+                      formatNs(d.durBeforeNs),
+                      formatNs(d.durAfterNs),
+                      strprintf("%+0.1f us", d.durDeltaNs() / 1e3)});
+    }
+    out += table.render();
+    return out;
+}
+
+} // namespace skipsim::skip

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Run comparison: diff two profiled runs (e.g. eager vs
+ * FlashAttention2, or the same model on two platforms) at the
+ * kernel-name level — count/duration/launch-overhead deltas plus the
+ * headline metric movements. The "what changed" question every
+ * optimization loop asks.
+ */
+
+#ifndef SKIPSIM_SKIP_DIFF_HH
+#define SKIPSIM_SKIP_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "skip/metrics.hh"
+
+namespace skipsim::skip
+{
+
+/** Per-kernel-name delta between two runs. */
+struct KernelDelta
+{
+    std::string name;
+
+    /** Launch counts in the baseline and candidate runs. */
+    std::size_t countBefore = 0;
+    std::size_t countAfter = 0;
+
+    /** Total execution time in each run, ns. */
+    double durBeforeNs = 0.0;
+    double durAfterNs = 0.0;
+
+    /** durAfter - durBefore: negative means time saved. */
+    double durDeltaNs() const { return durAfterNs - durBeforeNs; }
+};
+
+/** Complete diff between a baseline and a candidate run. */
+struct RunDiff
+{
+    /** IL delta (after - before), ns; negative = faster. */
+    double ilDeltaNs = 0.0;
+
+    /** TKLQT delta, ns. */
+    double tklqtDeltaNs = 0.0;
+
+    /** Kernel-count delta (launch savings show up negative). */
+    long kernelCountDelta = 0;
+
+    /** GPU busy delta, ns. */
+    double gpuBusyDeltaNs = 0.0;
+
+    /** End-to-end speedup (before / after). */
+    double speedup = 1.0;
+
+    /**
+     * Per-kernel deltas sorted by |duration delta| descending;
+     * kernels present in only one run appear with zero on the other
+     * side.
+     */
+    std::vector<KernelDelta> byKernel;
+
+    /** Aligned text rendering (top @p max_rows kernel rows). */
+    std::string render(std::size_t max_rows = 12) const;
+};
+
+/**
+ * Diff two metric reports (baseline first).
+ * @throws skipsim::FatalError when the candidate has zero IL.
+ */
+RunDiff diffRuns(const MetricsReport &before, const MetricsReport &after);
+
+} // namespace skipsim::skip
+
+#endif // SKIPSIM_SKIP_DIFF_HH

@@ -1,0 +1,108 @@
+#include "skip/gaps.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+namespace skipsim::skip
+{
+
+GapReport
+analyzeGaps(const DependencyGraph &graph, double long_gap_ns)
+{
+    GapReport report;
+    const trace::Trace &trace = graph.trace();
+
+    // GPU events (kernels and memcpys) in stream order.
+    std::vector<const trace::TraceEvent *> gpu_events;
+    for (const auto &ev : trace.events()) {
+        if (ev.onGpu())
+            gpu_events.push_back(&ev);
+    }
+    std::stable_sort(gpu_events.begin(), gpu_events.end(),
+                     [](const trace::TraceEvent *a,
+                        const trace::TraceEvent *b) {
+                         return a->tsBeginNs < b->tsBeginNs;
+                     });
+    if (gpu_events.size() < 2)
+        return report;
+
+    // Root operators in time order for blame attribution.
+    std::vector<const trace::TraceEvent *> roots;
+    for (std::uint64_t id : graph.rootOps())
+        roots.push_back(&trace.byId(id));
+    std::stable_sort(roots.begin(), roots.end(),
+                     [](const trace::TraceEvent *a,
+                        const trace::TraceEvent *b) {
+                         return a->tsBeginNs < b->tsBeginNs;
+                     });
+
+    auto blame = [&](std::int64_t when) -> std::string {
+        const trace::TraceEvent *best = nullptr;
+        for (const auto *op : roots) {
+            if (op->tsBeginNs > when)
+                break;
+            if (op->tsEndNs() > when)
+                best = op;
+            else
+                best = best ? best : op; // nearest preceding op
+        }
+        return best ? best->name : "(no operator)";
+    };
+
+    std::map<std::string, double> blame_totals;
+    for (std::size_t i = 1; i < gpu_events.size(); ++i) {
+        std::int64_t prev_end = gpu_events[i - 1]->tsEndNs();
+        std::int64_t next_begin = gpu_events[i]->tsBeginNs;
+        if (next_begin <= prev_end)
+            continue;
+        GpuGap gap;
+        gap.beginNs = prev_end;
+        gap.durNs = next_begin - prev_end;
+        gap.blamedOp = blame(prev_end);
+        report.totalGapNs += static_cast<double>(gap.durNs);
+        report.maxGapNs = std::max(report.maxGapNs,
+                                   static_cast<double>(gap.durNs));
+        if (static_cast<double>(gap.durNs) >= long_gap_ns)
+            ++report.longGaps;
+        blame_totals[gap.blamedOp] +=
+            static_cast<double>(gap.durNs);
+        report.gaps.push_back(std::move(gap));
+    }
+
+    report.blameByOp.assign(blame_totals.begin(), blame_totals.end());
+    std::stable_sort(report.blameByOp.begin(), report.blameByOp.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    return report;
+}
+
+std::string
+GapReport::render(std::size_t max_rows) const
+{
+    std::string out = strprintf(
+        "GPU gaps: %zu total (%zu long), %s idle inside the stream, "
+        "worst %s\n",
+        gaps.size(), longGaps, formatNs(totalGapNs).c_str(),
+        formatNs(maxGapNs).c_str());
+
+    TextTable table;
+    table.setHeader({"Blamed operator", "GPU wait", "share"});
+    std::size_t rows = 0;
+    for (const auto &[op, total] : blameByOp) {
+        if (rows++ >= max_rows)
+            break;
+        table.addRow({op, formatNs(total),
+                      strprintf("%.1f%%",
+                                totalGapNs > 0.0
+                                    ? 100.0 * total / totalGapNs
+                                    : 0.0)});
+    }
+    out += table.render();
+    return out;
+}
+
+} // namespace skipsim::skip

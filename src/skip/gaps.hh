@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GPU gap analysis: where does the GPU idle time of Eq. 5 actually
+ * sit? This pass extracts the idle intervals between consecutive GPU
+ * events inside the inference window and attributes each gap to the
+ * CPU-side operator running when the gap began — pinpointing which
+ * operators starve the GPU (the actionable form of "CPU-bound").
+ */
+
+#ifndef SKIPSIM_SKIP_GAPS_HH
+#define SKIPSIM_SKIP_GAPS_HH
+
+#include <string>
+#include <vector>
+
+#include "skip/dep_graph.hh"
+
+namespace skipsim::skip
+{
+
+/** One idle interval on the GPU stream. */
+struct GpuGap
+{
+    /** Gap begin (previous kernel end), ns. */
+    std::int64_t beginNs = 0;
+
+    /** Gap length, ns. */
+    std::int64_t durNs = 0;
+
+    /** Top-level operator active on the CPU when the gap began. */
+    std::string blamedOp;
+};
+
+/** Aggregate gap statistics. */
+struct GapReport
+{
+    /** All gaps inside the inference window, in time order. */
+    std::vector<GpuGap> gaps;
+
+    /** Total gap time, ns (the interior share of GPU idle). */
+    double totalGapNs = 0.0;
+
+    /** Largest single gap, ns. */
+    double maxGapNs = 0.0;
+
+    /** Gaps longer than the long-gap threshold passed to the pass. */
+    std::size_t longGaps = 0;
+
+    /**
+     * Per-operator blame totals, sorted descending: which operators'
+     * CPU time the GPU spent waiting on.
+     */
+    std::vector<std::pair<std::string, double>> blameByOp;
+
+    /** Aligned text rendering (top @p max_rows blamed ops). */
+    std::string render(std::size_t max_rows = 8) const;
+};
+
+/**
+ * Analyze the GPU idle gaps of a run.
+ * @param graph dependency graph of the trace.
+ * @param long_gap_ns gaps at or above this length count as "long"
+ *        (default 50 us — several launch overheads).
+ */
+GapReport analyzeGaps(const DependencyGraph &graph,
+                      double long_gap_ns = 50e3);
+
+} // namespace skipsim::skip
+
+#endif // SKIPSIM_SKIP_GAPS_HH

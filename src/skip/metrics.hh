@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SKIP's fine-grained kernel metrics (paper Sec. III-A, Eqs. 1-5):
+ * Total Kernel Launch and Queuing Time (TKLQT), Average Kernel
+ * Duration (AKD), Inference Latency (IL), GPU idle time, CPU idle
+ * time, and top-k kernel tracking.
+ */
+
+#ifndef SKIPSIM_SKIP_METRICS_HH
+#define SKIPSIM_SKIP_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "skip/dep_graph.hh"
+
+namespace skipsim::skip
+{
+
+/** Aggregated statistics for one kernel name. */
+struct KernelStat
+{
+    std::string name;
+    std::size_t count = 0;
+    double totalDurNs = 0.0;
+    double totalLaunchNs = 0.0; ///< summed launch-to-start latency
+
+    double meanDurNs() const
+    {
+        return count ? totalDurNs / static_cast<double>(count) : 0.0;
+    }
+
+    double meanLaunchNs() const
+    {
+        return count ? totalLaunchNs / static_cast<double>(count) : 0.0;
+    }
+};
+
+/** Criteria for top-k kernel selection. */
+enum class TopKBy { Count, LaunchOverhead, Duration };
+
+/** The full metric report for one trace. */
+struct MetricsReport
+{
+    /** Eq. 2: sum of launch-to-start latencies over all kernels, ns. */
+    double tklqtNs = 0.0;
+
+    /**
+     * Queuing component of TKLQT, ns: the part of each launch-to-start
+     * latency above the pure-launch baseline. Near zero in the
+     * CPU-bound region; dominates past the inflection (Sec. V-B).
+     */
+    double tklqtQueueNs = 0.0;
+
+    /**
+     * Estimated pure launch overhead per kernel, ns (10th percentile
+     * of observed launch-to-start latencies — queuing can only
+     * lengthen them, so the low tail estimates the launch cost).
+     */
+    double launchBaselineNs = 0.0;
+
+    /** Eq. 3: mean kernel execution duration, ns. */
+    double akdNs = 0.0;
+
+    /** Eq. 4: last kernel end - first root operator begin, ns. */
+    double ilNs = 0.0;
+
+    /** Eq. 5: IL - total kernel execution time, ns. */
+    double gpuIdleNs = 0.0;
+
+    /** IL - CPU busy (root operator) time, ns. */
+    double cpuIdleNs = 0.0;
+
+    /** Total kernel execution time, ns. */
+    double gpuBusyNs = 0.0;
+
+    /** Total root-operator CPU time, ns. */
+    double cpuBusyNs = 0.0;
+
+    /** Kernels executed (memcpys excluded). */
+    std::size_t numKernels = 0;
+
+    /** Total operator events. */
+    std::size_t numOps = 0;
+
+    /** Mean launch-to-start latency, ns (TKLQT / kernels). */
+    double avgLaunchNs = 0.0;
+
+    /** Per-kernel-name statistics, sorted by count descending. */
+    std::vector<KernelStat> byKernel;
+
+    /** Top-k kernels by the given criterion (Sec. III-A.5). */
+    std::vector<KernelStat> topK(std::size_t k, TopKBy by) const;
+
+    /** Aligned text rendering of the headline metrics. */
+    std::string render() const;
+
+    /** JSON serialization of the full report. */
+    json::Value toJson() const;
+};
+
+/**
+ * Compute the metric report for a dependency graph.
+ * Traces with no kernels yield an all-zero report.
+ */
+MetricsReport computeMetrics(const DependencyGraph &graph);
+
+} // namespace skipsim::skip
+
+#endif // SKIPSIM_SKIP_METRICS_HH

@@ -1,0 +1,97 @@
+#include "skip/op_breakdown.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+namespace skipsim::skip
+{
+
+std::string
+OpBreakdown::render(std::size_t max_rows) const
+{
+    TextTable table("Per-operator breakdown (top-level ATen ops)");
+    table.setHeader({"Operator", "calls", "CPU", "CPU %", "GPU",
+                     "launches", "launch+queue"});
+    std::size_t rows = 0;
+    for (const auto &stat : byOp) {
+        if (rows++ >= max_rows)
+            break;
+        double share =
+            totalCpuNs > 0.0 ? 100.0 * stat.cpuNs / totalCpuNs : 0.0;
+        table.addRow({stat.opName, std::to_string(stat.count),
+                      formatNs(stat.cpuNs), strprintf("%.1f", share),
+                      formatNs(stat.gpuNs),
+                      std::to_string(stat.kernelLaunches),
+                      formatNs(stat.launchNs)});
+    }
+    return table.render();
+}
+
+json::Value
+OpBreakdown::toJson() const
+{
+    json::Value::Array ops;
+    for (const auto &stat : byOp) {
+        json::Object obj;
+        obj.set("op", stat.opName);
+        obj.set("count", static_cast<unsigned long long>(stat.count));
+        obj.set("cpu_ns", stat.cpuNs);
+        obj.set("gpu_ns", stat.gpuNs);
+        obj.set("kernel_launches",
+                static_cast<unsigned long long>(stat.kernelLaunches));
+        obj.set("launch_ns", stat.launchNs);
+        ops.push_back(json::Value(std::move(obj)));
+    }
+    json::Object root;
+    root.set("total_cpu_ns", totalCpuNs);
+    root.set("ops", json::Value(std::move(ops)));
+    return json::Value(std::move(root));
+}
+
+OpBreakdown
+computeOpBreakdown(const DependencyGraph &graph)
+{
+    const trace::Trace &trace = graph.trace();
+    std::map<std::string, OpStat> stats;
+    std::map<std::uint64_t, std::string> root_names;
+
+    OpBreakdown breakdown;
+    for (std::uint64_t root : graph.rootOps()) {
+        const trace::TraceEvent &op = trace.byId(root);
+        root_names[root] = op.name;
+        OpStat &stat = stats[op.name];
+        stat.opName = op.name;
+        ++stat.count;
+        stat.cpuNs += static_cast<double>(op.durNs);
+        breakdown.totalCpuNs += static_cast<double>(op.durNs);
+    }
+
+    for (const auto &link : graph.computeKernelsOnly()) {
+        if (!link.rootOpId)
+            continue;
+        auto it = root_names.find(*link.rootOpId);
+        if (it == root_names.end())
+            continue;
+        OpStat &stat = stats[it->second];
+        stat.gpuNs += static_cast<double>(
+            trace.byId(link.kernelId).durNs);
+        ++stat.kernelLaunches;
+        stat.launchNs += static_cast<double>(link.launchToStartNs);
+    }
+
+    breakdown.byOp.reserve(stats.size());
+    for (auto &[name, stat] : stats) {
+        (void)name;
+        breakdown.byOp.push_back(stat);
+    }
+    std::stable_sort(breakdown.byOp.begin(), breakdown.byOp.end(),
+                     [](const OpStat &a, const OpStat &b) {
+                         return a.cpuNs > b.cpuNs;
+                     });
+    return breakdown;
+}
+
+} // namespace skipsim::skip

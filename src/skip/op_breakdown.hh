@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Operator-level breakdown: aggregate CPU time, GPU kernel time and
+ * launch counts per top-level ATen operator. This is exactly the
+ * visibility the paper notes industry tools lack ("Nsight Systems ...
+ * lacks visibility into the PyTorch Aten operators on the CPU",
+ * Sec. II-D) and that SKIP's dependency graph makes possible.
+ */
+
+#ifndef SKIPSIM_SKIP_OP_BREAKDOWN_HH
+#define SKIPSIM_SKIP_OP_BREAKDOWN_HH
+
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "skip/dep_graph.hh"
+
+namespace skipsim::skip
+{
+
+/** Aggregated statistics for one top-level operator name. */
+struct OpStat
+{
+    std::string opName;
+
+    /** Invocations of this operator at top level. */
+    std::size_t count = 0;
+
+    /** Total CPU time across invocations (operator durations), ns. */
+    double cpuNs = 0.0;
+
+    /** Total GPU time of kernels attributed to this operator, ns. */
+    double gpuNs = 0.0;
+
+    /** Kernel launches attributed to this operator. */
+    std::size_t kernelLaunches = 0;
+
+    /** Accumulated launch-to-start latency of those kernels, ns. */
+    double launchNs = 0.0;
+};
+
+/** Per-operator attribution of a whole trace. */
+struct OpBreakdown
+{
+    /** Statistics per operator name, sorted by CPU time descending. */
+    std::vector<OpStat> byOp;
+
+    /** Total CPU time across all top-level operators, ns. */
+    double totalCpuNs = 0.0;
+
+    /** Aligned text rendering (top @p max_rows rows). */
+    std::string render(std::size_t max_rows = 12) const;
+
+    /** JSON serialization. */
+    json::Value toJson() const;
+};
+
+/**
+ * Compute the per-operator breakdown of a dependency graph: each
+ * top-level operator's duration counts as its CPU time; kernels are
+ * attributed to the root ancestor of their launching call.
+ */
+OpBreakdown computeOpBreakdown(const DependencyGraph &graph);
+
+} // namespace skipsim::skip
+
+#endif // SKIPSIM_SKIP_OP_BREAKDOWN_HH

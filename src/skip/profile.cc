@@ -1,0 +1,56 @@
+#include "skip/profile.hh"
+
+#include "common/strutil.hh"
+
+namespace skipsim::skip
+{
+
+ProfileResult
+profile(const ProfileConfig &config)
+{
+    workload::BuildOptions build;
+    build.batch = config.batch;
+    build.seqLen = config.seqLen;
+    build.mode = config.mode;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(config.model, build);
+
+    sim::Simulator simulator(config.platform, config.sim);
+    sim::SimResult sim_result = simulator.run(graph);
+
+    sim_result.trace.setMeta("model", config.model.name);
+    sim_result.trace.setMeta("batch", std::to_string(config.batch));
+    sim_result.trace.setMeta("seq_len", std::to_string(config.seqLen));
+    sim_result.trace.setMeta("mode",
+                             workload::execModeName(config.mode));
+
+    DependencyGraph dep = DependencyGraph::build(sim_result.trace);
+
+    ProfileResult result;
+    result.modelName = config.model.name;
+    result.platformName = config.platform.name;
+    result.batch = config.batch;
+    result.seqLen = config.seqLen;
+    result.mode = config.mode;
+    result.metrics = computeMetrics(dep);
+    result.trace = dep.trace();
+    result.kernelLaunches = graph.numKernelLaunches();
+    result.wallNs = sim_result.wallNs;
+    return result;
+}
+
+ProfileResult
+profilePrefill(const workload::ModelConfig &model,
+               const hw::Platform &platform, int batch, int seq_len,
+               workload::ExecMode mode)
+{
+    ProfileConfig config;
+    config.model = model;
+    config.platform = platform;
+    config.batch = batch;
+    config.seqLen = seq_len;
+    config.mode = mode;
+    return profile(config);
+}
+
+} // namespace skipsim::skip

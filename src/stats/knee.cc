@@ -1,0 +1,48 @@
+#include "stats/knee.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "stats/summary.hh"
+
+namespace skipsim::stats
+{
+
+KneeResult
+detectKnee(const Series &s, double margin, std::size_t seed_points)
+{
+    if (s.empty())
+        fatal("detectKnee on empty series");
+    if (margin <= 1.0)
+        fatal("detectKnee margin must be > 1");
+
+    const auto &pts = s.points();
+    seed_points = std::max<std::size_t>(1, std::min(seed_points,
+                                                    pts.size()));
+
+    std::vector<double> plateau_ys;
+    for (std::size_t i = 0; i < seed_points; ++i)
+        plateau_ys.push_back(pts[i].y);
+    double level = median(plateau_ys);
+
+    KneeResult result;
+    result.plateauLevel = level;
+    result.lastPlateauX = pts[seed_points - 1].x;
+    result.kneeX = std::nullopt;
+
+    for (std::size_t i = seed_points; i < pts.size(); ++i) {
+        if (pts[i].y > margin * level) {
+            result.kneeX = pts[i].x;
+            break;
+        }
+        // Still on the plateau: refine the estimate.
+        plateau_ys.push_back(pts[i].y);
+        level = median(plateau_ys);
+        result.plateauLevel = level;
+        result.lastPlateauX = pts[i].x;
+    }
+    return result;
+}
+
+} // namespace skipsim::stats

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plateau/knee detection for TKLQT-vs-batch-size curves. The paper's
+ * PU-boundedness classification (Sec. V-B, Fig. 6) rests on finding the
+ * inflection batch size where TKLQT leaves its low-batch plateau (kernel
+ * launch dominated) and starts growing (kernel queuing dominated).
+ */
+
+#ifndef SKIPSIM_STATS_KNEE_HH
+#define SKIPSIM_STATS_KNEE_HH
+
+#include <optional>
+
+#include "stats/series.hh"
+
+namespace skipsim::stats
+{
+
+/** Result of a plateau/knee search over an ascending-x series. */
+struct KneeResult
+{
+    /** Level of the low-x plateau (median of plateau points). */
+    double plateauLevel;
+
+    /** x of the last point still on the plateau. */
+    double lastPlateauX;
+
+    /**
+     * First x whose y exceeds margin * plateauLevel — the knee/star
+     * marker; unset when the series never leaves the plateau.
+     */
+    std::optional<double> kneeX;
+};
+
+/**
+ * Detect the plateau-then-rise knee of a series.
+ *
+ * The plateau level is estimated from the first @p seed_points points
+ * (median). The knee is the first x where y > margin * plateau; the
+ * plateau estimate is extended with every point that stays within the
+ * margin, making the detector robust to slow drift.
+ *
+ * @param s series sorted by x (batch size).
+ * @param margin multiplicative threshold, e.g. 1.5 means "50% above the
+ *        plateau counts as having left it".
+ * @param seed_points number of initial points seeding the plateau
+ *        estimate (clamped to the series size).
+ * @throws skipsim::FatalError on an empty series or margin <= 1.
+ */
+KneeResult detectKnee(const Series &s, double margin = 1.5,
+                      std::size_t seed_points = 2);
+
+} // namespace skipsim::stats
+
+#endif // SKIPSIM_STATS_KNEE_HH

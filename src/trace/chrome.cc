@@ -1,0 +1,165 @@
+#include "trace/chrome.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+
+namespace skipsim::trace
+{
+
+namespace
+{
+
+json::Value
+eventToJson(const TraceEvent &ev)
+{
+    json::Object obj;
+    obj.set("ph", "X");
+    obj.set("name", ev.name);
+    obj.set("cat", kindName(ev.kind));
+    obj.set("pid", 0);
+    obj.set("tid", ev.onGpu() ? 1000 + ev.streamId : ev.tid);
+    obj.set("ts", static_cast<double>(ev.tsBeginNs) / 1000.0);
+    obj.set("dur", static_cast<double>(ev.durNs) / 1000.0);
+
+    json::Object args;
+    args.set("ts_ns", static_cast<long long>(ev.tsBeginNs));
+    args.set("dur_ns", static_cast<long long>(ev.durNs));
+    args.set("thread", ev.tid);
+    if (ev.correlationId != 0)
+        args.set("correlation",
+                 static_cast<unsigned long long>(ev.correlationId));
+    if (ev.onGpu())
+        args.set("stream", ev.streamId);
+    if (ev.flops > 0.0)
+        args.set("flops", ev.flops);
+    if (ev.bytes > 0.0)
+        args.set("bytes", ev.bytes);
+    obj.set("args", json::Value(std::move(args)));
+    return json::Value(std::move(obj));
+}
+
+TraceEvent
+eventFromJson(const json::Object &obj)
+{
+    TraceEvent ev;
+    ev.name = obj.at("name").asString();
+    ev.kind = kindFromName(obj.at("cat").asString());
+
+    const json::Value null_value;
+    const json::Value &args_value = obj.get("args", null_value);
+    const json::Object *args =
+        args_value.isObject() ? &args_value.asObject() : nullptr;
+
+    auto arg_int = [&](const char *key, std::int64_t def) -> std::int64_t {
+        if (args && args->has(key))
+            return args->at(key).asInt();
+        return def;
+    };
+    auto arg_double = [&](const char *key, double def) -> double {
+        if (args && args->has(key))
+            return args->at(key).asDouble();
+        return def;
+    };
+
+    if (args && args->has("ts_ns")) {
+        ev.tsBeginNs = args->at("ts_ns").asInt();
+        ev.durNs = args->at("dur_ns").asInt();
+    } else {
+        ev.tsBeginNs = static_cast<std::int64_t>(
+            std::llround(obj.at("ts").asDouble() * 1000.0));
+        ev.durNs = static_cast<std::int64_t>(
+            std::llround(obj.at("dur").asDouble() * 1000.0));
+    }
+
+    ev.tid = static_cast<int>(arg_int("thread",
+                                      obj.get("tid", json::Value(0))
+                                          .asInt()));
+    ev.streamId = ev.onGpu() ? static_cast<int>(arg_int("stream", 0)) : -1;
+    ev.correlationId =
+        static_cast<std::uint64_t>(arg_int("correlation", 0));
+    ev.flops = arg_double("flops", 0.0);
+    ev.bytes = arg_double("bytes", 0.0);
+    return ev;
+}
+
+} // namespace
+
+json::Value
+toChromeJson(const Trace &trace)
+{
+    json::Object root;
+
+    json::Object meta;
+    for (const auto &[key, value] : trace.metaEntries())
+        meta.set(key, value);
+    root.set("skipsimMeta", json::Value(std::move(meta)));
+
+    json::Value::Array events;
+    events.reserve(trace.size());
+    for (const auto &ev : trace.events())
+        events.push_back(eventToJson(ev));
+    root.set("traceEvents", json::Value(std::move(events)));
+    root.set("displayTimeUnit", "ns");
+    return json::Value(std::move(root));
+}
+
+std::string
+toChromeText(const Trace &trace)
+{
+    return json::write(toChromeJson(trace));
+}
+
+void
+writeChromeFile(const std::string &path, const Trace &trace)
+{
+    json::writeFile(path, toChromeJson(trace), false);
+}
+
+Trace
+fromChromeJson(const json::Value &doc)
+{
+    Trace trace;
+    const json::Object &root = doc.asObject();
+
+    if (root.has("skipsimMeta")) {
+        const json::Object &meta = root.at("skipsimMeta").asObject();
+        for (const auto &key : meta.keys())
+            trace.setMeta(key, meta.at(key).asString());
+    }
+
+    if (!root.has("traceEvents"))
+        fatal("chrome trace: missing 'traceEvents'");
+    for (const auto &item : root.at("traceEvents").asArray()) {
+        const json::Object &obj = item.asObject();
+        if (obj.get("ph", json::Value("X")).asString() != "X")
+            continue;
+        if (!obj.has("cat"))
+            continue;
+        // Skip categories we do not model (python_function, user_annotation...)
+        const std::string cat = obj.at("cat").asString();
+        if (cat != "cpu_op" && cat != "cuda_runtime" && cat != "kernel" &&
+            cat != "gpu_memcpy") {
+            continue;
+        }
+        trace.add(eventFromJson(obj));
+    }
+    trace.sortByTime();
+    return trace;
+}
+
+Trace
+fromChromeText(const std::string &text)
+{
+    return fromChromeJson(json::parse(text));
+}
+
+Trace
+readChromeFile(const std::string &path)
+{
+    return fromChromeJson(json::parseFile(path));
+}
+
+} // namespace skipsim::trace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome-trace (about://tracing, Perfetto-compatible) import/export for
+ * Traces. The exporter writes complete "X" events with exact nanosecond
+ * timestamps carried in args (ts_ns/dur_ns) alongside the conventional
+ * microsecond ts/dur, so a round trip is lossless while the file stays
+ * loadable in standard viewers; the importer also accepts traces that
+ * only carry microsecond fields (e.g. real PyTorch Kineto exports).
+ */
+
+#ifndef SKIPSIM_TRACE_CHROME_HH
+#define SKIPSIM_TRACE_CHROME_HH
+
+#include <string>
+
+#include "json/value.hh"
+#include "trace/trace.hh"
+
+namespace skipsim::trace
+{
+
+/** Serialize a trace to a Chrome-trace JSON document. */
+json::Value toChromeJson(const Trace &trace);
+
+/** Serialize a trace to Chrome-trace JSON text. */
+std::string toChromeText(const Trace &trace);
+
+/** Write a Chrome-trace JSON file. */
+void writeChromeFile(const std::string &path, const Trace &trace);
+
+/**
+ * Parse a Chrome-trace JSON document into a Trace.
+ * Unknown event categories and non-"X" phases are skipped.
+ * @throws skipsim::FatalError on malformed documents.
+ */
+Trace fromChromeJson(const json::Value &doc);
+
+/** Parse Chrome-trace JSON text. */
+Trace fromChromeText(const std::string &text);
+
+/** Read a Chrome-trace JSON file. */
+Trace readChromeFile(const std::string &path);
+
+} // namespace skipsim::trace
+
+#endif // SKIPSIM_TRACE_CHROME_HH

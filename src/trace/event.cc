@@ -1,0 +1,34 @@
+#include "trace/event.hh"
+
+#include "common/logging.hh"
+
+namespace skipsim::trace
+{
+
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Operator: return "cpu_op";
+      case EventKind::Runtime: return "cuda_runtime";
+      case EventKind::Kernel: return "kernel";
+      case EventKind::Memcpy: return "gpu_memcpy";
+    }
+    panic("kindName: invalid EventKind");
+}
+
+EventKind
+kindFromName(const std::string &name)
+{
+    if (name == "cpu_op")
+        return EventKind::Operator;
+    if (name == "cuda_runtime")
+        return EventKind::Runtime;
+    if (name == "kernel")
+        return EventKind::Kernel;
+    if (name == "gpu_memcpy")
+        return EventKind::Memcpy;
+    fatal("unknown trace event category '" + name + "'");
+}
+
+} // namespace skipsim::trace

@@ -1,0 +1,116 @@
+#include "trace/timeline.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::trace
+{
+
+namespace
+{
+
+char
+occupancyChar(double fraction)
+{
+    if (fraction <= 0.0)
+        return ' ';
+    if (fraction < 0.25)
+        return '.';
+    if (fraction < 0.5)
+        return '-';
+    if (fraction < 0.75)
+        return '+';
+    return '#';
+}
+
+/** Accumulate busy time per column for events matching a predicate. */
+template <typename Pred>
+std::vector<double>
+occupancy(const Trace &trace, std::int64_t begin, std::int64_t end,
+          std::size_t width, Pred pred)
+{
+    std::vector<double> busy(width, 0.0);
+    double slice =
+        static_cast<double>(end - begin) / static_cast<double>(width);
+    for (const auto &ev : trace.events()) {
+        if (!pred(ev) || ev.durNs <= 0)
+            continue;
+        std::int64_t ev_begin = std::max(ev.tsBeginNs, begin);
+        std::int64_t ev_end = std::min(ev.tsEndNs(), end);
+        if (ev_end <= ev_begin)
+            continue;
+        double col_begin =
+            static_cast<double>(ev_begin - begin) / slice;
+        double col_end = static_cast<double>(ev_end - begin) / slice;
+        auto first = static_cast<std::size_t>(col_begin);
+        auto last = std::min(width - 1,
+                             static_cast<std::size_t>(col_end));
+        for (std::size_t col = first; col <= last; ++col) {
+            double lo = std::max(col_begin, static_cast<double>(col));
+            double hi =
+                std::min(col_end, static_cast<double>(col + 1));
+            if (hi > lo)
+                busy[col] += hi - lo;
+        }
+    }
+    return busy;
+}
+
+std::string
+row(const char *label, const std::vector<double> &busy)
+{
+    std::string out = strprintf("%-9s|", label);
+    for (double fraction : busy)
+        out.push_back(occupancyChar(fraction));
+    out += "|\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+renderTimeline(const Trace &trace, const TimelineOptions &opts)
+{
+    if (trace.empty())
+        fatal("renderTimeline: empty trace");
+    if (opts.width == 0)
+        fatal("renderTimeline: width must be positive");
+
+    std::int64_t begin =
+        opts.endNs > opts.beginNs ? opts.beginNs : trace.beginNs();
+    std::int64_t end =
+        opts.endNs > opts.beginNs ? opts.endNs : trace.endNs();
+    if (end <= begin)
+        fatal("renderTimeline: empty time window");
+
+    auto cpu = occupancy(trace, begin, end, opts.width,
+                         [](const TraceEvent &ev) {
+                             return ev.kind == EventKind::Operator;
+                         });
+    auto api = occupancy(trace, begin, end, opts.width,
+                         [](const TraceEvent &ev) {
+                             return ev.kind == EventKind::Runtime;
+                         });
+    auto gpu = occupancy(trace, begin, end, opts.width,
+                         [](const TraceEvent &ev) {
+                             return ev.onGpu();
+                         });
+
+    std::string out;
+    out += strprintf("timeline %s .. %s (%zu columns, %s/column)\n",
+                     formatNs(static_cast<double>(begin)).c_str(),
+                     formatNs(static_cast<double>(end)).c_str(),
+                     opts.width,
+                     formatNs(static_cast<double>(end - begin) /
+                              static_cast<double>(opts.width))
+                         .c_str());
+    out += row("CPU ops", cpu);
+    out += row("CUDA API", api);
+    out += row("GPU", gpu);
+    return out;
+}
+
+} // namespace skipsim::trace

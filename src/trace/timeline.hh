@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text timeline rendering of a trace: CPU-operator, CUDA-API
+ * and GPU-stream occupancy rows over a fixed-width character axis.
+ * Gives an at-a-glance view of the CPU-bound (dense CPU row, sparse
+ * GPU row) vs GPU-bound (inverse) regimes without leaving the
+ * terminal.
+ */
+
+#ifndef SKIPSIM_TRACE_TIMELINE_HH
+#define SKIPSIM_TRACE_TIMELINE_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace skipsim::trace
+{
+
+/** Options for timeline rendering. */
+struct TimelineOptions
+{
+    /** Character columns of the rendered axis. */
+    std::size_t width = 96;
+
+    /** Render only [beginNs, endNs); 0/0 means the full trace. */
+    std::int64_t beginNs = 0;
+    std::int64_t endNs = 0;
+};
+
+/**
+ * Render the trace as occupancy rows. Each column covers an equal time
+ * slice; its character encodes the busy fraction of that slice:
+ * ' ' (idle), '.' (<25%), '-' (<50%), '+' (<75%), '#' (>=75%).
+ * @throws skipsim::FatalError on an empty trace or zero width.
+ */
+std::string renderTimeline(const Trace &trace,
+                           const TimelineOptions &opts = {});
+
+} // namespace skipsim::trace
+
+#endif // SKIPSIM_TRACE_TIMELINE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace container: owns TraceEvents in insertion order, assigns ids,
+ * and offers kind-filtered views and basic integrity validation.
+ */
+
+#ifndef SKIPSIM_TRACE_TRACE_HH
+#define SKIPSIM_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace skipsim::trace
+{
+
+/**
+ * An execution trace. Events keep their insertion ids; sortByTime()
+ * orders them by (tsBeginNs, id) which downstream consumers (SKIP's
+ * dependency-graph builder) rely on.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Optional free-form metadata (platform name, model, batch...). */
+    void setMeta(const std::string &key, const std::string &value);
+
+    /** @return metadata value or empty string when absent. */
+    std::string meta(const std::string &key) const;
+
+    /** All metadata keys in insertion order. */
+    const std::vector<std::pair<std::string, std::string>> &
+    metaEntries() const
+    {
+        return _meta;
+    }
+
+    /**
+     * Append an event. The event's id field is overwritten with the
+     * next dense id.
+     * @return the assigned id.
+     */
+    std::uint64_t add(TraceEvent event);
+
+    /** Stable-sort events by (tsBeginNs, id). */
+    void sortByTime();
+
+    std::size_t size() const { return _events.size(); }
+    bool empty() const { return _events.empty(); }
+
+    const std::vector<TraceEvent> &events() const { return _events; }
+
+    /** Event lookup by dense id. @throws skipsim::FatalError when absent. */
+    const TraceEvent &byId(std::uint64_t id) const;
+
+    /** Copies of all events of one kind, in current order. */
+    std::vector<TraceEvent> ofKind(EventKind kind) const;
+
+    /** Count of events of one kind. */
+    std::size_t countOf(EventKind kind) const;
+
+    /** Earliest begin timestamp; @throws skipsim::FatalError when empty. */
+    std::int64_t beginNs() const;
+
+    /** Latest end timestamp; @throws skipsim::FatalError when empty. */
+    std::int64_t endNs() const;
+
+    /**
+     * Validate internal consistency: non-negative durations, kernels
+     * carrying stream ids, runtime launches with nonzero correlation
+     * ids that match exactly one kernel.
+     * @return list of human-readable problems (empty when valid).
+     */
+    std::vector<std::string> validate() const;
+
+  private:
+    std::vector<TraceEvent> _events;
+    std::vector<std::pair<std::string, std::string>> _meta;
+};
+
+} // namespace skipsim::trace
+
+#endif // SKIPSIM_TRACE_TRACE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Operator-graph builders: expand a ModelConfig into the ATen operator
+ * tree and GPU kernel launch sequence a PyTorch forward pass executes,
+ * under each execution mode (eager, FlashAttention2, torch.compile
+ * variants). Kernel sequences follow the HuggingFace implementations:
+ * e.g. GPT2's tanh-GELU expands into eight pointwise kernels and its
+ * attention upcasts to fp32 around softmax, while BERT's softmax stays
+ * in fp16 — details that drive both kernel counts (K_eager) and the
+ * memory traffic that separates the platforms.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_BUILDER_HH
+#define SKIPSIM_WORKLOAD_BUILDER_HH
+
+#include "workload/exec_mode.hh"
+#include "workload/model_config.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::workload
+{
+
+/** Parameters of one inference invocation. */
+struct BuildOptions
+{
+    int batch = 1;
+    int seqLen = 512;
+    ExecMode mode = ExecMode::Eager;
+
+    /**
+     * Tensor-parallel degree (Megatron-style): attention heads and MLP
+     * columns are sharded across this many GPUs, with one NCCL
+     * all-reduce after the attention output and MLP down projections.
+     * The built graph is ONE rank's view (all ranks are symmetric).
+     * Requires heads, intermediate and vocab divisible by the degree,
+     * and a platform with a peer GPU link (GpuModel::nvlinkGBs > 0).
+     */
+    int tensorParallel = 1;
+
+    /**
+     * Scale on framework CPU per-operator costs (1.0 = calibrated
+     * PyTorch eager dispatch on the reference CPU). Exposed for
+     * ablation studies.
+     */
+    double cpuCostScale = 1.0;
+};
+
+/** @name Framework CPU cost constants (reference CPU, ns)
+ * Calibrated so BERT-base BS=1 prefill lands in the low-millisecond
+ * range on the Intel reference platform, as measured eager-mode
+ * HuggingFace inference does.
+ * @{ */
+constexpr double opParentCpuNs = 10000.0; ///< composite op (aten::linear)
+constexpr double opLeafCpuNs = 7000.0;    ///< kernel-launching leaf op
+constexpr double opViewCpuNs = 3000.0;    ///< metadata-only op
+constexpr double opCompiledCpuNs = 2200.0; ///< per-launch cost, compiled
+/** @} */
+
+/**
+ * Build the prefill (TTFT) forward-pass graph.
+ * @param model architecture descriptor.
+ * @param opts batch/sequence/mode.
+ * @throws skipsim::FatalError on non-positive batch or sequence.
+ */
+OperatorGraph buildPrefillGraph(const ModelConfig &model,
+                                const BuildOptions &opts);
+
+/**
+ * Build a single autoregressive decode step with a KV cache holding
+ * @p context_len tokens (extension beyond the paper's prefill-only
+ * evaluation).
+ */
+OperatorGraph buildDecodeStepGraph(const ModelConfig &model,
+                                   const BuildOptions &opts,
+                                   int context_len);
+
+/**
+ * Build the nullKernel microbenchmark graph: @p count back-to-back
+ * empty-kernel launches (paper Sec. V-A / Table V).
+ */
+OperatorGraph buildNullKernelGraph(int count);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_BUILDER_HH

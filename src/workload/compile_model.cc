@@ -1,0 +1,55 @@
+#include "workload/compile_model.hh"
+
+#include <set>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::workload
+{
+
+std::size_t
+uniqueGemmShapes(const OperatorGraph &graph)
+{
+    std::set<std::string> shapes;
+    graph.forEachLaunch([&](const KernelLaunch &launch) {
+        if (startsWith(launch.kernelName, "gemm_") ||
+            startsWith(launch.kernelName, "bmm_")) {
+            shapes.insert(launch.kernelName);
+        }
+    });
+    return shapes.size();
+}
+
+double
+compileTimeNs(ExecMode mode, const OperatorGraph &eager_graph,
+              double cpu_score, const CompileTimeParams &params)
+{
+    if (cpu_score <= 0.0)
+        fatal("compileTimeNs: cpu_score must be positive");
+
+    double ops = static_cast<double>(eager_graph.numOps());
+    double warmup = params.warmupBaseNs + ops * params.eagerPerOpNs;
+
+    double total = warmup;
+    switch (mode) {
+      case ExecMode::Eager:
+      case ExecMode::FlashAttention2:
+        break;
+      case ExecMode::CompileDefault:
+        total += ops * params.inductorPerOpNs;
+        break;
+      case ExecMode::CompileReduceOverhead:
+        total += ops * (params.inductorPerOpNs + params.cudaGraphPerOpNs);
+        break;
+      case ExecMode::CompileMaxAutotune:
+        total += ops * (params.inductorPerOpNs + params.cudaGraphPerOpNs);
+        total += static_cast<double>(uniqueGemmShapes(eager_graph)) *
+            params.autotuneTrials * params.autotunePerTrialNs;
+        break;
+    }
+    return total / cpu_score;
+}
+
+} // namespace skipsim::workload

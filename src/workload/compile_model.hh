@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Compile-time cost model for torch.compile modes (paper Table I).
+ * Models the one-off cost paid before the first optimized iteration:
+ * eager warmup, Dynamo tracing + Inductor lowering (default), CUDA
+ * graph capture with re-warmup (reduce-overhead), and per-GEMM-shape
+ * autotuning search (max-autotune).
+ */
+
+#ifndef SKIPSIM_WORKLOAD_COMPILE_MODEL_HH
+#define SKIPSIM_WORKLOAD_COMPILE_MODEL_HH
+
+#include "workload/exec_mode.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::workload
+{
+
+/** Tunable constants of the compile-time model (calibrated, Table I). */
+struct CompileTimeParams
+{
+    /** Framework/cuDNN/cuBLAS first-touch initialization, ns. */
+    double warmupBaseNs = 2.5e8;
+
+    /** Per-operator first-iteration (eager warmup) cost, ns. */
+    double eagerPerOpNs = 1.4e5;
+
+    /** Per-operator Dynamo trace + Inductor lowering cost, ns. */
+    double inductorPerOpNs = 5.28e6;
+
+    /** Additional per-operator CUDA-graph capture/re-warmup cost, ns. */
+    double cudaGraphPerOpNs = 5.80e6;
+
+    /** Autotuning candidate configurations tried per GEMM shape. */
+    double autotuneTrials = 50.0;
+
+    /** Compile+benchmark cost of one autotune trial, ns. */
+    double autotunePerTrialNs = 1.07e9;
+};
+
+/**
+ * Total wall-clock cost before the first optimized iteration for a
+ * given mode, ns. Eager's "compile time" is its warmup iteration, as
+ * reported in the paper's Table I.
+ *
+ * @param mode execution mode.
+ * @param eager_graph the eager-mode operator graph of the same model
+ *        and batch (used for operator and unique-GEMM-shape counts).
+ * @param cpu_score single-thread speed of the compiling CPU (1.0 =
+ *        reference); compilation is CPU work and scales inversely.
+ * @param params model constants.
+ */
+double compileTimeNs(ExecMode mode, const OperatorGraph &eager_graph,
+                     double cpu_score,
+                     const CompileTimeParams &params = {});
+
+/** Count distinct GEMM/BMM kernel shapes in a graph (autotune targets). */
+std::size_t uniqueGemmShapes(const OperatorGraph &graph);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_COMPILE_MODEL_HH

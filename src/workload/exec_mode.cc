@@ -1,0 +1,41 @@
+#include "workload/exec_mode.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::workload
+{
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Eager: return "eager";
+      case ExecMode::FlashAttention2: return "flash-attention-2";
+      case ExecMode::CompileDefault: return "compile-default";
+      case ExecMode::CompileReduceOverhead: return "compile-reduce-overhead";
+      case ExecMode::CompileMaxAutotune: return "compile-max-autotune";
+    }
+    panic("execModeName: invalid ExecMode");
+}
+
+std::vector<ExecMode>
+allExecModes()
+{
+    return {ExecMode::Eager, ExecMode::FlashAttention2,
+            ExecMode::CompileDefault, ExecMode::CompileReduceOverhead,
+            ExecMode::CompileMaxAutotune};
+}
+
+ExecMode
+execModeByName(const std::string &name)
+{
+    std::string needle = toLower(name);
+    for (ExecMode mode : allExecModes()) {
+        if (execModeName(mode) == needle)
+            return mode;
+    }
+    fatal("unknown execution mode '" + name + "'");
+}
+
+} // namespace skipsim::workload

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Execution modes (paper Fig. 2): eager kernel-by-kernel offload,
+ * domain-specific fusion (FlashAttention2), and graph synthesis
+ * (torch.compile's default / reduce-overhead / max-autotune modes).
+ */
+
+#ifndef SKIPSIM_WORKLOAD_EXEC_MODE_HH
+#define SKIPSIM_WORKLOAD_EXEC_MODE_HH
+
+#include <string>
+#include <vector>
+
+namespace skipsim::workload
+{
+
+/** How a forward pass is lowered to kernels. */
+enum class ExecMode
+{
+    /** Kernels launched one-by-one as operators execute. */
+    Eager,
+
+    /** Eager with the attention block fused into one kernel (FA2). */
+    FlashAttention2,
+
+    /**
+     * torch.compile default: Triton-fused pointwise/norm chains, eager
+     * launches (no CUDA graph).
+     */
+    CompileDefault,
+
+    /**
+     * torch.compile reduce-overhead: whole-graph CUDA-graph capture,
+     * replayed with a single launch.
+     */
+    CompileReduceOverhead,
+
+    /**
+     * torch.compile max-autotune: CUDA graph plus autotuned (faster)
+     * GEMM/fused kernels.
+     */
+    CompileMaxAutotune,
+};
+
+/** Stable display name, e.g. "eager", "flash-attention-2". */
+const char *execModeName(ExecMode mode);
+
+/** All modes in ascending compile-effort order. */
+std::vector<ExecMode> allExecModes();
+
+/**
+ * Case-insensitive parse of an execution-mode name.
+ * @throws skipsim::FatalError for unknown names.
+ */
+ExecMode execModeByName(const std::string &name);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_EXEC_MODE_HH

@@ -1,0 +1,87 @@
+#include "workload/flatten.hh"
+
+namespace skipsim::workload
+{
+
+double
+Timeline::totalCpuNs() const
+{
+    double total = cpuTailNs;
+    for (const auto &step : steps)
+        total += step.cpuBeforeNs;
+    return total;
+}
+
+std::size_t
+Timeline::numKernelLaunches() const
+{
+    std::size_t n = 0;
+    for (const auto &step : steps) {
+        if (!step.launch.isMemcpy)
+            ++n;
+    }
+    return n;
+}
+
+namespace
+{
+
+struct FlattenState
+{
+    Timeline timeline;
+    double pending_cpu = 0.0;
+
+    void
+    visit(const OpNode &node)
+    {
+        double pre = node.cpuNs * node.preFraction;
+        double post = node.cpuNs - pre;
+        pending_cpu += pre;
+        for (const auto &child : node.children)
+            visit(child);
+        for (const auto &launch : node.launches) {
+            TimelineStep step;
+            step.cpuBeforeNs = pending_cpu;
+            step.opName = node.name;
+            step.launch = launch;
+            timeline.steps.push_back(std::move(step));
+            pending_cpu = 0.0;
+        }
+        pending_cpu += post;
+    }
+};
+
+} // namespace
+
+Timeline
+flattenGraph(const OperatorGraph &graph)
+{
+    FlattenState state;
+    for (const auto &root : graph.roots)
+        state.visit(root);
+    state.timeline.cpuTailNs = state.pending_cpu;
+    return state.timeline;
+}
+
+OperatorGraph
+timelineToGraph(const Timeline &timeline)
+{
+    OperatorGraph graph;
+    for (const auto &step : timeline.steps) {
+        OpNode node;
+        node.name = step.opName;
+        node.cpuNs = step.cpuBeforeNs;
+        node.preFraction = 1.0; // CPU runs fully before the launch
+        node.launches.push_back(step.launch);
+        graph.roots.push_back(std::move(node));
+    }
+    if (timeline.cpuTailNs > 0.0) {
+        OpNode tail;
+        tail.name = "timeline::tail";
+        tail.cpuNs = timeline.cpuTailNs;
+        graph.roots.push_back(std::move(tail));
+    }
+    return graph;
+}
+
+} // namespace skipsim::workload

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Graph flattening: lower an operator tree into its execution
+ * timeline — an alternating sequence of CPU-time segments and kernel
+ * launches — and rebuild a flat OperatorGraph from such a timeline.
+ * The flat form preserves the simulator-visible behaviour (CPU busy
+ * intervals between launches) and is the representation the fusion
+ * application pass rewrites.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_FLATTEN_HH
+#define SKIPSIM_WORKLOAD_FLATTEN_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/op_graph.hh"
+
+namespace skipsim::workload
+{
+
+/** One step of a flattened execution timeline. */
+struct TimelineStep
+{
+    /** Framework CPU time before the launch (reference CPU), ns. */
+    double cpuBeforeNs = 0.0;
+
+    /** Name of the operator that performed the launch. */
+    std::string opName;
+
+    /** The launch itself. */
+    KernelLaunch launch;
+};
+
+/** A flattened graph: launches in order plus trailing CPU time. */
+struct Timeline
+{
+    std::vector<TimelineStep> steps;
+
+    /** CPU time after the last launch, ns. */
+    double cpuTailNs = 0.0;
+
+    /** Total framework CPU time across the timeline, ns. */
+    double totalCpuNs() const;
+
+    /** Kernel launches excluding memcpys. */
+    std::size_t numKernelLaunches() const;
+};
+
+/**
+ * Flatten an operator tree into its execution timeline. CPU time is
+ * attributed in execution order (pre-dispatch, children, launches,
+ * post-dispatch), so simulating the flattened graph produces the same
+ * launch timestamps as the original tree.
+ */
+Timeline flattenGraph(const OperatorGraph &graph);
+
+/**
+ * Rebuild a flat OperatorGraph from a timeline: one operator per
+ * launch carrying its preceding CPU segment, plus a tail operator.
+ */
+OperatorGraph timelineToGraph(const Timeline &timeline);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_FLATTEN_HH

@@ -1,0 +1,228 @@
+#include "workload/future_workloads.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "workload/builder.hh"
+
+namespace skipsim::workload
+{
+
+namespace
+{
+
+constexpr double f16 = 2.0;
+constexpr double f32 = 4.0;
+constexpr double idx32 = 4.0;
+
+using hw::KernelClass;
+using hw::KernelWork;
+
+std::string
+num(double v)
+{
+    return strprintf("%lld", static_cast<long long>(v));
+}
+
+OpNode
+gemmOp(double m, double n, double k)
+{
+    KernelWork w;
+    w.cls = KernelClass::Gemm;
+    w.flops = 2.0 * m * n * k;
+    w.bytes = f16 * (m * k + k * n + m * n);
+    w.rows = m;
+    return makeParentOp(
+        "aten::linear", opParentCpuNs,
+        {makeKernelOp("aten::addmm", opLeafCpuNs,
+                      "gemm_f16_" + num(m) + "x" + num(n) + "x" + num(k),
+                      w)});
+}
+
+OpNode
+reluOp(double elems)
+{
+    KernelWork w;
+    w.cls = KernelClass::Elementwise;
+    w.flops = elems;
+    w.bytes = elems * f16 * 2.0;
+    return makeKernelOp("aten::relu", opLeafCpuNs,
+                        "elementwise_relu_f16", w);
+}
+
+} // namespace
+
+DlrmConfig
+dlrmRm2()
+{
+    return DlrmConfig{};
+}
+
+OperatorGraph
+buildDlrmGraph(const DlrmConfig &config, int batch)
+{
+    if (batch <= 0)
+        fatal("buildDlrmGraph: batch must be positive");
+
+    OperatorGraph graph;
+    double b = batch;
+
+    // Sparse indices + dense features staged to the device.
+    {
+        OpNode node;
+        node.name = "aten::to";
+        node.cpuNs = opLeafCpuNs;
+        KernelLaunch launch;
+        launch.kernelName = "memcpy_h2d";
+        launch.isMemcpy = true;
+        KernelWork w;
+        w.cls = KernelClass::Memcpy;
+        w.bytes = b * (config.numTables * config.indicesPerLookup *
+                           idx32 +
+                       config.denseFeatures * f32);
+        launch.work.push_back(w);
+        node.launches.push_back(std::move(launch));
+        graph.roots.push_back(std::move(node));
+    }
+
+    // Bottom MLP over the dense tower.
+    double in_width = config.denseFeatures;
+    for (int width : config.bottomMlp) {
+        graph.roots.push_back(gemmOp(b, width, in_width));
+        graph.roots.push_back(reluOp(b * width));
+        in_width = width;
+    }
+
+    // One embedding-bag gather per sparse table.
+    for (int t = 0; t < config.numTables; ++t) {
+        KernelWork w;
+        w.cls = KernelClass::Embedding;
+        w.bytes = b * config.indicesPerLookup *
+                (config.embDim * f16 + idx32) +
+            b * config.embDim * f16;
+        graph.roots.push_back(makeKernelOp(
+            strprintf("aten::embedding_bag(table%d)", t), opLeafCpuNs,
+            "embedding_bag_sum_" + num(config.embDim), w));
+    }
+
+    // Feature interaction: concat + pairwise dots (batched GEMM).
+    double vectors = config.numTables + 1;
+    {
+        KernelWork cat;
+        cat.cls = KernelClass::Copy;
+        cat.bytes = b * vectors * config.embDim * f16 * 2.0;
+        graph.roots.push_back(
+            makeParentOp("aten::cat", opParentCpuNs,
+                         {makeKernelOp("aten::copy_", opLeafCpuNs,
+                                       "copy_f16_cat", cat)}));
+
+        KernelWork bmm;
+        bmm.cls = KernelClass::Gemm;
+        bmm.flops = 2.0 * b * vectors * vectors * config.embDim;
+        bmm.bytes = b * (2.0 * vectors * config.embDim * f16 +
+                         vectors * vectors * f16);
+        bmm.rows = b * vectors;
+        graph.roots.push_back(makeParentOp(
+            "aten::matmul", opParentCpuNs,
+            {makeKernelOp("aten::bmm", opLeafCpuNs,
+                          "bmm_f16_interact_" + num(vectors), bmm)}));
+
+        KernelWork tri;
+        tri.cls = KernelClass::Copy;
+        tri.bytes = b * vectors * vectors * f16;
+        graph.roots.push_back(makeKernelOp("aten::index_select",
+                                           opLeafCpuNs,
+                                           "copy_f16_tril", tri));
+    }
+
+    // Top MLP ending in the CTR sigmoid.
+    double interact_width =
+        vectors * (vectors - 1.0) / 2.0 + config.bottomMlp.back();
+    in_width = interact_width;
+    for (std::size_t i = 0; i < config.topMlp.size(); ++i) {
+        int width = config.topMlp[i];
+        graph.roots.push_back(gemmOp(b, width, in_width));
+        if (i + 1 < config.topMlp.size())
+            graph.roots.push_back(reluOp(b * width));
+        in_width = width;
+    }
+    {
+        KernelWork w;
+        w.cls = KernelClass::Elementwise;
+        w.flops = b;
+        w.bytes = b * f16 * 2.0;
+        graph.roots.push_back(makeKernelOp("aten::sigmoid", opLeafCpuNs,
+                                           "elementwise_sigmoid_f16",
+                                           w));
+    }
+    return graph;
+}
+
+GcnConfig
+gcnProducts()
+{
+    return GcnConfig{};
+}
+
+OperatorGraph
+buildGcnGraph(const GcnConfig &config, int graph_batch)
+{
+    if (graph_batch <= 0)
+        fatal("buildGcnGraph: graph_batch must be positive");
+
+    OperatorGraph graph;
+    double nodes = static_cast<double>(config.numNodes) * graph_batch;
+    double edges = static_cast<double>(config.numEdges) * graph_batch;
+
+    // Graph structure (CSR) and features staged once.
+    {
+        OpNode node;
+        node.name = "aten::to";
+        node.cpuNs = opLeafCpuNs;
+        KernelLaunch launch;
+        launch.kernelName = "memcpy_h2d";
+        launch.isMemcpy = true;
+        KernelWork w;
+        w.cls = KernelClass::Memcpy;
+        w.bytes = edges * idx32 + nodes * config.inFeatures * f16;
+        launch.work.push_back(w);
+        node.launches.push_back(std::move(launch));
+        graph.roots.push_back(std::move(node));
+    }
+
+    double in_width = config.inFeatures;
+    for (int layer = 0; layer < config.layers; ++layer) {
+        double out_width =
+            layer + 1 == config.layers ? config.classes : config.hidden;
+
+        // SpMM neighbour aggregation: streams every edge's feature row.
+        KernelWork spmm;
+        spmm.cls = KernelClass::Reduction;
+        spmm.flops = edges * in_width;
+        spmm.bytes = edges * (in_width * f16 + idx32) +
+            nodes * in_width * f16;
+        graph.roots.push_back(makeParentOp(
+            "torch_sparse::spmm", opParentCpuNs,
+            {makeKernelOp("spmm_csr", opLeafCpuNs,
+                          "spmm_csr_f16_" + num(in_width), spmm)}));
+
+        // Dense feature transform.
+        graph.roots.push_back(gemmOp(nodes, out_width, in_width));
+
+        if (layer + 1 < config.layers)
+            graph.roots.push_back(reluOp(nodes * out_width));
+        in_width = out_width;
+    }
+
+    // Final log-softmax over classes.
+    KernelWork sm;
+    sm.cls = KernelClass::Softmax;
+    sm.flops = 5.0 * nodes * config.classes;
+    sm.bytes = nodes * config.classes * f16 * 2.0;
+    graph.roots.push_back(makeParentOp(
+        "aten::log_softmax", opParentCpuNs,
+        {makeKernelOp("aten::_log_softmax", opLeafCpuNs,
+                      "softmax_f16_gcn", sm)}));
+    return graph;
+}
+
+} // namespace skipsim::workload

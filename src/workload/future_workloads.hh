@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Future-work workloads (paper Sec. VI: "broaden our workload scope to
+ * include recommendation models (RMs) and graph neural networks
+ * (GNNs)"): operator-graph builders for a DLRM-style recommendation
+ * model and a GCN. They sit at opposite extremes of the CPU/GPU
+ * balance — DLRM forwards launch dozens of tiny embedding-bag gathers
+ * (deeply CPU-bound until very large batches), while a full-graph GCN
+ * layer is a handful of huge SpMM/GEMM kernels (GPU-bound from the
+ * first sample) — stressing the coupling paradigms in ways the LLM
+ * quartet does not.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_FUTURE_WORKLOADS_HH
+#define SKIPSIM_WORKLOAD_FUTURE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/op_graph.hh"
+
+namespace skipsim::workload
+{
+
+/** DLRM-style recommendation model hyperparameters. */
+struct DlrmConfig
+{
+    std::string name = "DLRM-RM2";
+
+    /** Sparse embedding tables. */
+    int numTables = 26;
+
+    /** Embedding vector width. */
+    int embDim = 128;
+
+    /** Multi-hot indices gathered per table per sample. */
+    int indicesPerLookup = 38;
+
+    /** Continuous (dense) input features. */
+    int denseFeatures = 13;
+
+    /** Bottom MLP widths (dense tower). */
+    std::vector<int> bottomMlp{512, 256, 128};
+
+    /** Top MLP widths ending in the CTR logit. */
+    std::vector<int> topMlp{1024, 1024, 512, 256, 1};
+};
+
+/** Reference DLRM configuration (MLPerf RM2-like). */
+DlrmConfig dlrmRm2();
+
+/**
+ * Build a DLRM inference forward pass: bottom MLP over dense features,
+ * one embedding-bag gather per table, pairwise-dot feature
+ * interaction, top MLP with sigmoid.
+ * @throws skipsim::FatalError for non-positive batch.
+ */
+OperatorGraph buildDlrmGraph(const DlrmConfig &config, int batch);
+
+/** GCN hyperparameters (full-graph inference). */
+struct GcnConfig
+{
+    std::string name = "GCN-3L";
+
+    /** Graph size. */
+    long numNodes = 200000;
+    long numEdges = 4000000;
+
+    int inFeatures = 256;
+    int hidden = 256;
+    int layers = 3;
+    int classes = 47;
+};
+
+/** Reference GCN configuration (ogbn-products scale). */
+GcnConfig gcnProducts();
+
+/**
+ * Build a full-graph GCN inference pass: per layer an SpMM neighbour
+ * aggregation, a dense feature transform and a ReLU; final softmax.
+ * The @p graph_batch parameter replicates the graph (mini-batched
+ * multi-graph inference) so batch sweeps are meaningful.
+ * @throws skipsim::FatalError for non-positive graph_batch.
+ */
+OperatorGraph buildGcnGraph(const GcnConfig &config, int graph_batch = 1);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_FUTURE_WORKLOADS_HH

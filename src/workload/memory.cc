@@ -1,0 +1,64 @@
+#include "workload/memory.hh"
+
+#include "common/logging.hh"
+
+namespace skipsim::workload
+{
+
+namespace
+{
+
+constexpr double f16 = 2.0;
+
+} // namespace
+
+MemoryFootprint
+estimateMemory(const ModelConfig &model, int batch, int seq_len)
+{
+    if (batch <= 0 || seq_len <= 0)
+        fatal("estimateMemory: batch and seq_len must be positive");
+
+    MemoryFootprint fp;
+    fp.weightsBytes = model.paramsM() * 1e6 * f16;
+
+    // KV cache: 2 (K and V) x layers x kv_heads x head_dim per token.
+    double per_token = 2.0 * model.layers * model.kvHeads *
+        model.headDim() * f16;
+    fp.kvCacheBytes = per_token * batch * seq_len;
+
+    // Peak transient activations: a few hidden-state buffers, one
+    // layer's attention scores and one MLP intermediate.
+    double tokens = static_cast<double>(batch) * seq_len;
+    double hidden = tokens * model.hidden * f16 * 4.0;
+    double scores = static_cast<double>(batch) * model.heads *
+        static_cast<double>(seq_len) * seq_len * f16;
+    double mlp = tokens * model.intermediate * f16;
+    fp.activationBytes = hidden + scores + mlp;
+    return fp;
+}
+
+int
+maxResidentSequences(const ModelConfig &model, int seq_len,
+                     double hbm_bytes)
+{
+    if (seq_len <= 0)
+        fatal("maxResidentSequences: seq_len must be positive");
+    if (hbm_bytes <= 0.0)
+        return 0;
+
+    MemoryFootprint one = estimateMemory(model, 1, seq_len);
+    double fixed = one.weightsBytes;
+    if (fixed >= hbm_bytes)
+        return 0;
+
+    // Each resident sequence costs its KV slice; activations are paid
+    // once at the running batch (bounded by the same count here).
+    double per_seq = one.kvCacheBytes + one.activationBytes;
+    if (per_seq <= 0.0)
+        return 0;
+    double budget = hbm_bytes - fixed;
+    int n = static_cast<int>(budget / per_seq);
+    return n;
+}
+
+} // namespace skipsim::workload

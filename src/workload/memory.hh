@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Device-memory footprint accounting: weights, KV cache and peak
+ * activation estimates per (model, batch, sequence) in FP16. The
+ * paper touches this through torch.compile's KV-cache rigidity
+ * (Table I discussion); serving-wise, the KV budget bounds how many
+ * sequences a GPU can keep active, which feeds the continuous-batching
+ * capacity.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_MEMORY_HH
+#define SKIPSIM_WORKLOAD_MEMORY_HH
+
+#include "workload/model_config.hh"
+
+namespace skipsim::workload
+{
+
+/** Footprint of one configuration, bytes. */
+struct MemoryFootprint
+{
+    /** Model weights (FP16). */
+    double weightsBytes = 0.0;
+
+    /** KV cache for batch x seq tokens (FP16, GQA-aware). */
+    double kvCacheBytes = 0.0;
+
+    /**
+     * Peak transient activations of an eager forward (hidden states,
+     * attention scores, MLP intermediates of one layer).
+     */
+    double activationBytes = 0.0;
+
+    double totalBytes() const
+    {
+        return weightsBytes + kvCacheBytes + activationBytes;
+    }
+};
+
+/**
+ * Estimate the FP16 footprint of a prefill with KV cache retained.
+ * @throws skipsim::FatalError on non-positive batch/seq.
+ */
+MemoryFootprint estimateMemory(const ModelConfig &model, int batch,
+                               int seq_len);
+
+/**
+ * Largest number of @p seq_len-token sequences whose KV cache (plus
+ * weights and one batch of activations) fits in @p hbm_bytes.
+ * @return 0 when even one sequence does not fit.
+ */
+int maxResidentSequences(const ModelConfig &model, int seq_len,
+                         double hbm_bytes);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_MEMORY_HH

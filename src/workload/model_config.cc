@@ -1,0 +1,312 @@
+#include "workload/model_config.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::workload
+{
+
+const char *
+familyName(ModelFamily family)
+{
+    switch (family) {
+      case ModelFamily::EncoderOnly: return "encoder-only";
+      case ModelFamily::DecoderOnly: return "decoder-only";
+    }
+    panic("familyName: invalid ModelFamily");
+}
+
+double
+ModelConfig::paramsM() const
+{
+    double h = hidden;
+    double emb = static_cast<double>(vocab) * h;
+
+    // Attention: Q, K, V projections (KV possibly grouped) + output.
+    double kv_dim = static_cast<double>(kvHeads) * headDim();
+    double attn = h * h            // Q
+        + 2.0 * h * kv_dim         // K, V
+        + h * h;                   // output projection
+
+    // MLP: gated activations have an extra up-projection matrix.
+    bool gated = activation == Activation::SwiGlu ||
+        activation == Activation::GeGlu;
+    double mlp = (gated ? 3.0 : 2.0) * h * intermediate;
+
+    double per_layer = attn + mlp;
+    if (biases)
+        per_layer += 3.0 * h + kv_dim * 1.0 + 2.0 * intermediate;
+
+    double total = emb + layers * per_layer;
+    if (pooler)
+        total += h * h;
+    return total / 1e6;
+}
+
+ModelConfig
+bertBaseUncased()
+{
+    ModelConfig m;
+    m.name = "Bert-Base-Uncased";
+    m.family = ModelFamily::EncoderOnly;
+    m.layers = 12;
+    m.hidden = 768;
+    m.heads = 12;
+    m.kvHeads = 12;
+    m.intermediate = 3072;
+    m.vocab = 30522;
+    m.activation = Activation::Gelu;
+    m.norm = NormKind::LayerNorm;
+    m.rotary = false;
+    m.fusedQkv = false;
+    m.biases = true;
+    m.pooler = true;
+    return m;
+}
+
+ModelConfig
+xlmRobertaBase()
+{
+    ModelConfig m = bertBaseUncased();
+    m.name = "XLM-Roberta-Base";
+    m.vocab = 250002; // the large multilingual vocabulary drives 279M params
+    return m;
+}
+
+ModelConfig
+gpt2()
+{
+    ModelConfig m;
+    m.name = "GPT2";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 12;
+    m.hidden = 768;
+    m.heads = 12;
+    m.kvHeads = 12;
+    m.intermediate = 3072;
+    m.vocab = 50257;
+    m.activation = Activation::GeluNew;
+    m.norm = NormKind::LayerNorm;
+    m.rotary = false;
+    m.fusedQkv = true;
+    m.biases = true;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+llama32_1b()
+{
+    ModelConfig m;
+    m.name = "Llama-3.2-1B";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 16;
+    m.hidden = 2048;
+    m.heads = 32;
+    m.kvHeads = 8;
+    m.intermediate = 8192;
+    m.vocab = 128256;
+    m.activation = Activation::SwiGlu;
+    m.norm = NormKind::RmsNorm;
+    m.rotary = true;
+    m.fusedQkv = false;
+    m.biases = false;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+gemma2b()
+{
+    ModelConfig m;
+    m.name = "Gemma-2B";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 18;
+    m.hidden = 2048;
+    m.heads = 8;
+    m.kvHeads = 1;
+    m.intermediate = 16384;
+    m.vocab = 256000;
+    m.activation = Activation::GeGlu;
+    m.norm = NormKind::RmsNorm;
+    m.rotary = true;
+    m.fusedQkv = false;
+    m.biases = false;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+llama2_7b()
+{
+    ModelConfig m;
+    m.name = "Llama-2-7B";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 32;
+    m.hidden = 4096;
+    m.heads = 32;
+    m.kvHeads = 32;
+    m.intermediate = 11008;
+    m.vocab = 32000;
+    m.activation = Activation::SwiGlu;
+    m.norm = NormKind::RmsNorm;
+    m.rotary = true;
+    m.fusedQkv = false;
+    m.biases = false;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+mistral7b()
+{
+    ModelConfig m = llama2_7b();
+    m.name = "Mistral-7B";
+    m.kvHeads = 8;
+    m.intermediate = 14336;
+    m.vocab = 32000;
+    return m;
+}
+
+ModelConfig
+qwen7b()
+{
+    ModelConfig m = llama2_7b();
+    m.name = "Qwen-7B";
+    m.intermediate = 11008;
+    m.vocab = 151936;
+    m.biases = true; // Qwen keeps QKV biases
+    return m;
+}
+
+ModelConfig
+falcon7b()
+{
+    ModelConfig m;
+    m.name = "Falcon-7B";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 32;
+    m.hidden = 4544;
+    m.heads = 71;
+    m.kvHeads = 1; // multi-query attention
+    m.intermediate = 18176;
+    m.vocab = 65024;
+    m.activation = Activation::Gelu;
+    m.norm = NormKind::LayerNorm;
+    m.rotary = true;
+    m.fusedQkv = true;
+    m.biases = false;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+phi2()
+{
+    ModelConfig m;
+    m.name = "Phi-2";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 32;
+    m.hidden = 2560;
+    m.heads = 32;
+    m.kvHeads = 32;
+    m.intermediate = 10240;
+    m.vocab = 51200;
+    m.activation = Activation::GeluNew;
+    m.norm = NormKind::LayerNorm;
+    m.rotary = true;
+    m.fusedQkv = false;
+    m.biases = true;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+tinyLlama1b()
+{
+    ModelConfig m;
+    m.name = "TinyLlama-1.1B";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 22;
+    m.hidden = 2048;
+    m.heads = 32;
+    m.kvHeads = 4;
+    m.intermediate = 5632;
+    m.vocab = 32000;
+    m.activation = Activation::SwiGlu;
+    m.norm = NormKind::RmsNorm;
+    m.rotary = true;
+    m.fusedQkv = false;
+    m.biases = false;
+    m.pooler = false;
+    return m;
+}
+
+ModelConfig
+qwen2_15b()
+{
+    ModelConfig m;
+    m.name = "Qwen2-1.5B";
+    m.family = ModelFamily::DecoderOnly;
+    m.layers = 28;
+    m.hidden = 1536;
+    m.heads = 12;
+    m.kvHeads = 2;
+    m.intermediate = 8960;
+    m.vocab = 151936;
+    m.activation = Activation::SwiGlu;
+    m.norm = NormKind::RmsNorm;
+    m.rotary = true;
+    m.fusedQkv = false;
+    m.biases = true;
+    m.pooler = false;
+    return m;
+}
+
+std::vector<ModelConfig>
+paperQuartet()
+{
+    return {bertBaseUncased(), xlmRobertaBase(), gpt2(), llama32_1b()};
+}
+
+std::vector<ModelConfig>
+sevenBSet()
+{
+    return {llama2_7b(), mistral7b(), qwen7b(), falcon7b()};
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    std::vector<ModelConfig> out = paperQuartet();
+    out.push_back(gemma2b());
+    for (const auto &m : sevenBSet())
+        out.push_back(m);
+    out.push_back(phi2());
+    out.push_back(tinyLlama1b());
+    out.push_back(qwen2_15b());
+    return out;
+}
+
+std::vector<std::string>
+modelNames()
+{
+    std::vector<std::string> out;
+    for (const auto &m : allModels())
+        out.push_back(m.name);
+    return out;
+}
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    std::string needle = toLower(name);
+    for (const auto &m : allModels()) {
+        if (toLower(m.name) == needle)
+            return m;
+    }
+    fatal("unknown model '" + name + "' (expected one of: " +
+          join(modelNames(), ", ") + ")");
+}
+
+} // namespace skipsim::workload

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Transformer model descriptors for the paper's benchmark workloads
+ * (Table III: Bert-Base-Uncased, XLM-Roberta-Base, GPT2, Llama-3.2-1B)
+ * plus the models used in the motivation section (Gemma-2B for Table I
+ * and the 7B decoders for Fig. 3). Configurations follow the public
+ * HuggingFace model cards.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_MODEL_CONFIG_HH
+#define SKIPSIM_WORKLOAD_MODEL_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace skipsim::workload
+{
+
+/** Transformer family (paper Table III taxonomy). */
+enum class ModelFamily { EncoderOnly, DecoderOnly };
+
+/** @return "encoder-only" / "decoder-only". */
+const char *familyName(ModelFamily family);
+
+/** MLP activation structure. */
+enum class Activation
+{
+    Gelu,     ///< single-GEMM-up GELU (BERT, exact erf form)
+    GeluNew,  ///< tanh-approximated GELU expanded into elementwise ops (GPT2)
+    SwiGlu,   ///< gated SiLU with separate gate/up projections (Llama)
+    GeGlu,    ///< gated GELU (Gemma)
+};
+
+/** Normalization kind. */
+enum class NormKind { LayerNorm, RmsNorm };
+
+/** Architecture hyperparameters of one model. */
+struct ModelConfig
+{
+    std::string name;
+    ModelFamily family = ModelFamily::DecoderOnly;
+
+    int layers = 12;
+    int hidden = 768;
+    int heads = 12;
+    /** Key/value heads; < heads means grouped-query attention. */
+    int kvHeads = 12;
+    int intermediate = 3072;
+    int vocab = 30522;
+    int headDim() const { return hidden / heads; }
+
+    Activation activation = Activation::Gelu;
+    NormKind norm = NormKind::LayerNorm;
+
+    /** Rotary position embeddings (vs. learned absolute positions). */
+    bool rotary = false;
+
+    /** Single fused QKV projection (GPT2 c_attn) vs. separate Q/K/V. */
+    bool fusedQkv = false;
+
+    /** Linear layers carry bias terms. */
+    bool biases = true;
+
+    /** Final pooler head (BERT-style encoders). */
+    bool pooler = false;
+
+    /**
+     * Approximate parameter count in millions, derived from the
+     * hyperparameters (embeddings + per-layer weights).
+     */
+    double paramsM() const;
+};
+
+/** @name Paper Table III workloads
+ *  @{ */
+ModelConfig bertBaseUncased();
+ModelConfig xlmRobertaBase();
+ModelConfig gpt2();
+ModelConfig llama32_1b();
+/** @} */
+
+/** @name Motivation-section models (Table I, Fig. 3)
+ *  @{ */
+ModelConfig gemma2b();
+ModelConfig llama2_7b();
+ModelConfig mistral7b();
+ModelConfig qwen7b();
+ModelConfig falcon7b();
+/** @} */
+
+/** @name Additional small decoders (catalog extensions)
+ *  @{ */
+ModelConfig phi2();
+ModelConfig tinyLlama1b();
+ModelConfig qwen2_15b();
+/** @} */
+
+/** The four Table III benchmark workloads, in paper order. */
+std::vector<ModelConfig> paperQuartet();
+
+/** The 7B decoder set used for Fig. 3. */
+std::vector<ModelConfig> sevenBSet();
+
+/** All catalog models. */
+std::vector<ModelConfig> allModels();
+
+/** Model names accepted by modelByName(). */
+std::vector<std::string> modelNames();
+
+/**
+ * Case-insensitive model lookup by catalog name.
+ * @throws skipsim::FatalError for unknown names.
+ */
+ModelConfig modelByName(const std::string &name);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_MODEL_CONFIG_HH

@@ -1,0 +1,60 @@
+#include "workload/roofline.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::workload
+{
+
+double
+ridgePointFlopsPerByte(const hw::GpuModel &gpu)
+{
+    double flops_per_ns = gpu.fp16Tflops * 1e3 * gpu.maxGemmEff;
+    double bytes_per_ns = gpu.memBwGBs * gpu.memEff;
+    if (bytes_per_ns <= 0.0)
+        fatal("ridgePointFlopsPerByte: GPU with no bandwidth");
+    return flops_per_ns / bytes_per_ns;
+}
+
+RooflineReport
+rooflineReport(const OperatorGraph &graph, const hw::GpuModel &gpu)
+{
+    RooflineReport report;
+    report.ridgeFlopsPerByte = ridgePointFlopsPerByte(gpu);
+
+    graph.forEachLaunch([&](const KernelLaunch &launch) {
+        if (launch.isMemcpy)
+            return;
+        double flops = launch.totalFlops();
+        double bytes = launch.totalBytes();
+        if (bytes <= 0.0)
+            return;
+        RooflinePoint point;
+        point.kernelName = launch.kernelName;
+        point.intensity = flops / bytes;
+        point.durationNs = hw::kernelDurationNs(gpu, launch.work);
+        point.computeBound =
+            point.intensity >= report.ridgeFlopsPerByte;
+        if (point.computeBound)
+            report.computeBoundNs += point.durationNs;
+        else
+            report.memoryBoundNs += point.durationNs;
+        report.points.push_back(std::move(point));
+    });
+    return report;
+}
+
+std::string
+RooflineReport::render() const
+{
+    std::string out = strprintf(
+        "Roofline: ridge %.1f FLOP/B; GPU time %.1f%% memory-bound "
+        "(%s) vs %.1f%% compute-bound (%s) over %zu kernels\n",
+        ridgeFlopsPerByte, 100.0 * memoryBoundShare(),
+        formatNs(memoryBoundNs).c_str(),
+        100.0 * (1.0 - memoryBoundShare()),
+        formatNs(computeBoundNs).c_str(), points.size());
+    return out;
+}
+
+} // namespace skipsim::workload

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Roofline classification (the lens of the paper's reference [54],
+ * "LLM inference unveiled: survey and roofline model insights"): for
+ * each kernel of a workload graph, compare its arithmetic intensity
+ * (FLOPs per byte) to the GPU's ridge point and classify it as
+ * compute- or memory-bound, with aggregate shares. Explains *why* the
+ * higher-bandwidth GH200 wins large batches: the memory-bound share of
+ * eager transformer inference is substantial.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_ROOFLINE_HH
+#define SKIPSIM_WORKLOAD_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/kernel_cost.hh"
+#include "hw/platform.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::workload
+{
+
+/** Roofline classification of one kernel. */
+struct RooflinePoint
+{
+    std::string kernelName;
+
+    /** FLOPs per device-memory byte. */
+    double intensity = 0.0;
+
+    /** Modeled duration on the GPU, ns. */
+    double durationNs = 0.0;
+
+    /** True when intensity >= the GPU's ridge point. */
+    bool computeBound = false;
+};
+
+/** Aggregate roofline report for one graph on one GPU. */
+struct RooflineReport
+{
+    /** Ridge point of the GPU: effective peak FLOPs / effective BW. */
+    double ridgeFlopsPerByte = 0.0;
+
+    /** Per-kernel points in launch order. */
+    std::vector<RooflinePoint> points;
+
+    /** Modeled GPU time in compute-bound kernels, ns. */
+    double computeBoundNs = 0.0;
+
+    /** Modeled GPU time in memory-bound kernels, ns. */
+    double memoryBoundNs = 0.0;
+
+    /** Fraction of GPU time that is memory-bound. */
+    double memoryBoundShare() const
+    {
+        double total = computeBoundNs + memoryBoundNs;
+        return total > 0.0 ? memoryBoundNs / total : 0.0;
+    }
+
+    /** Aligned text rendering. */
+    std::string render() const;
+};
+
+/**
+ * Effective ridge point of a GPU: achievable FLOPs (peak x max GEMM
+ * efficiency) divided by achievable bandwidth.
+ */
+double ridgePointFlopsPerByte(const hw::GpuModel &gpu);
+
+/**
+ * Classify every kernel of a graph against a GPU's roofline.
+ * Kernels with no bytes (null kernels) are skipped.
+ */
+RooflineReport rooflineReport(const OperatorGraph &graph,
+                              const hw::GpuModel &gpu);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_ROOFLINE_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * JSON (de)serialization for model configurations, so users can
+ * profile custom transformer architectures from configuration files.
+ */
+
+#ifndef SKIPSIM_WORKLOAD_SERDE_HH
+#define SKIPSIM_WORKLOAD_SERDE_HH
+
+#include <string>
+
+#include "json/value.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::workload
+{
+
+/** Serialize a model configuration to a JSON object. */
+json::Value modelToJson(const ModelConfig &model);
+
+/**
+ * Deserialize a model configuration. Missing fields keep their
+ * defaults.
+ * @throws skipsim::FatalError on malformed documents or inconsistent
+ *         dimensions (hidden not divisible by heads, kvHeads > heads).
+ */
+ModelConfig modelFromJson(const json::Value &doc);
+
+/** Write a model configuration to a JSON file. */
+void saveModel(const std::string &path, const ModelConfig &model);
+
+/** Read a model configuration from a JSON file. */
+ModelConfig loadModel(const std::string &path);
+
+} // namespace skipsim::workload
+
+#endif // SKIPSIM_WORKLOAD_SERDE_HH

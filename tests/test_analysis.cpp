@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the analysis module: batch sweeps, boundedness
+ * classification, crossover detection and sweet-spot search — on both
+ * synthetic sweep data and small simulated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/boundedness.hh"
+#include "analysis/compare.hh"
+#include "analysis/sweep.hh"
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+
+namespace skipsim::analysis
+{
+namespace
+{
+
+/** Synthetic sweep with chosen TKLQT/IL/idle values. */
+SweepResult
+syntheticSweep(const std::vector<int> &batches,
+               const std::vector<double> &tklqt,
+               const std::vector<double> &il,
+               const std::vector<double> &gpu_idle = {},
+               const std::vector<double> &cpu_idle = {})
+{
+    SweepResult sweep;
+    sweep.modelName = "synthetic";
+    sweep.platformName = "test";
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        SweepPoint point;
+        point.batch = batches[i];
+        point.metrics.tklqtNs = tklqt[i];
+        point.metrics.ilNs = il[i];
+        point.metrics.numKernels = 100;
+        point.metrics.avgLaunchNs = tklqt[i] / 100.0;
+        point.metrics.gpuIdleNs =
+            i < gpu_idle.size() ? gpu_idle[i] : 0.0;
+        point.metrics.cpuIdleNs =
+            i < cpu_idle.size() ? cpu_idle[i] : 0.0;
+        sweep.points.push_back(point);
+    }
+    return sweep;
+}
+
+// ------------------------------------------------------------------ sweep
+
+TEST(Sweep, DefaultGridIsPaperGrid)
+{
+    auto grid = defaultBatchGrid();
+    ASSERT_EQ(grid.size(), 8u);
+    EXPECT_EQ(grid.front(), 1);
+    EXPECT_EQ(grid.back(), 128);
+}
+
+TEST(Sweep, RunBatchSweepCollectsAllPoints)
+{
+    SweepResult sweep = runBatchSweep(
+        workload::gpt2(), hw::platforms::intelH100(), {1, 2, 4}, 128);
+    ASSERT_EQ(sweep.points.size(), 3u);
+    EXPECT_EQ(sweep.modelName, "GPT2");
+    EXPECT_EQ(sweep.platformName, "Intel+H100");
+    EXPECT_GT(sweep.at(2).metrics.ilNs, 0.0);
+    EXPECT_THROW(sweep.at(64), FatalError);
+}
+
+TEST(Sweep, EmptyBatchesThrow)
+{
+    EXPECT_THROW(runBatchSweep(workload::gpt2(),
+                               hw::platforms::intelH100(), {}),
+                 FatalError);
+}
+
+TEST(Sweep, SeriesExtraction)
+{
+    SweepResult sweep = syntheticSweep({1, 2, 4}, {10, 20, 30},
+                                       {100, 200, 300}, {5, 6, 7},
+                                       {1, 2, 3});
+    EXPECT_DOUBLE_EQ(sweep.tklqtSeries().at(2), 20.0);
+    EXPECT_DOUBLE_EQ(sweep.latencySeries().at(4), 300.0);
+    EXPECT_DOUBLE_EQ(sweep.gpuIdleSeries().at(1), 5.0);
+    EXPECT_DOUBLE_EQ(sweep.cpuIdleSeries().at(4), 3.0);
+}
+
+TEST(Sweep, LatencyGrowsWithLargeBatch)
+{
+    SweepResult sweep = runBatchSweep(
+        workload::bertBaseUncased(), hw::platforms::intelH100(),
+        {1, 32}, 512);
+    EXPECT_GT(sweep.at(32).metrics.ilNs, sweep.at(1).metrics.ilNs);
+}
+
+// ------------------------------------------------------------ boundedness
+
+TEST(Boundedness, PlateauThenKneeDetected)
+{
+    SweepResult sweep = syntheticSweep(
+        {1, 2, 4, 8, 16}, {100, 110, 105, 2000, 9000},
+        {10, 10, 10, 20, 40});
+    BoundednessResult result = classifyBoundedness(sweep, 8.0);
+    ASSERT_TRUE(result.transitionBatch.has_value());
+    EXPECT_EQ(*result.transitionBatch, 8);
+    EXPECT_EQ(result.lastCpuBoundBatch, 4);
+    EXPECT_EQ(result.classify(4), Boundedness::CpuBound);
+    EXPECT_EQ(result.classify(8), Boundedness::GpuBound);
+    EXPECT_EQ(result.classify(64), Boundedness::GpuBound);
+}
+
+TEST(Boundedness, FlatSweepNeverTransitions)
+{
+    SweepResult sweep = syntheticSweep(
+        {1, 2, 4, 8}, {100, 105, 95, 102}, {10, 10, 10, 10});
+    BoundednessResult result = classifyBoundedness(sweep);
+    EXPECT_FALSE(result.transitionBatch.has_value());
+    EXPECT_EQ(result.classify(128), Boundedness::CpuBound);
+}
+
+TEST(Boundedness, QueueDominatedFromStart)
+{
+    // avgLaunch at batch 1 is 1 ms -> queue-bound everywhere.
+    SweepResult sweep = syntheticSweep(
+        {1, 2, 4}, {1e7, 2e7, 4e7}, {1e7, 2e7, 4e7});
+    BoundednessResult result = classifyBoundedness(sweep);
+    ASSERT_TRUE(result.transitionBatch.has_value());
+    EXPECT_EQ(*result.transitionBatch, 1);
+    EXPECT_EQ(result.classify(1), Boundedness::GpuBound);
+}
+
+TEST(Boundedness, EmptySweepThrows)
+{
+    SweepResult sweep;
+    EXPECT_THROW(classifyBoundedness(sweep), FatalError);
+}
+
+TEST(Boundedness, Names)
+{
+    EXPECT_STREQ(boundednessName(Boundedness::CpuBound), "CPU-bound");
+    EXPECT_STREQ(boundednessName(Boundedness::GpuBound), "GPU-bound");
+}
+
+// -------------------------------------------------------------- sweet spot
+
+TEST(SweetSpot, BalancedMiddleRegionFound)
+{
+    // Idle fractions: low batch = GPU idle; high batch = CPU idle.
+    SweepResult sweep = syntheticSweep(
+        {1, 2, 4, 8, 16},
+        {0, 0, 0, 0, 0},
+        {100, 100, 100, 100, 100},
+        {90, 60, 20, 10, 5},    // gpu idle
+        {5, 10, 20, 30, 80});   // cpu idle
+    // Worse idle fractions: {0.9, 0.6, 0.2, 0.3, 0.8} -> [4, 8].
+    SweetSpot spot = findSweetSpot(sweep, 0.5);
+    EXPECT_EQ(spot.minBatch, 4);
+    EXPECT_EQ(spot.maxBatch, 8);
+}
+
+TEST(SweetSpot, FallsBackToLeastBadPoint)
+{
+    SweepResult sweep = syntheticSweep(
+        {1, 2}, {0, 0}, {100, 100}, {95, 60}, {2, 70});
+    SweetSpot spot = findSweetSpot(sweep, 0.3);
+    EXPECT_EQ(spot.minBatch, 2);
+    EXPECT_EQ(spot.maxBatch, 2);
+}
+
+TEST(SweetSpot, InvalidThresholdThrows)
+{
+    SweepResult sweep = syntheticSweep({1}, {0}, {1}, {0}, {0});
+    EXPECT_THROW(findSweetSpot(sweep, 0.0), FatalError);
+    EXPECT_THROW(findSweetSpot(sweep, 1.0), FatalError);
+    EXPECT_THROW(findSweetSpot(SweepResult{}), FatalError);
+}
+
+// -------------------------------------------------------------- crossover
+
+TEST(Crossover, ChallengerWinsBeyondPoint)
+{
+    SweepResult challenger = syntheticSweep(
+        {1, 2, 4, 8}, {0, 0, 0, 0}, {100, 100, 100, 100});
+    SweepResult baseline = syntheticSweep(
+        {1, 2, 4, 8}, {0, 0, 0, 0}, {20, 50, 120, 300});
+    Crossover cross = findCrossover(challenger, baseline);
+    ASSERT_TRUE(cross.firstWinBatch.has_value());
+    EXPECT_EQ(*cross.firstWinBatch, 4);
+    ASSERT_TRUE(cross.crossoverPoint.has_value());
+    EXPECT_EQ(*cross.crossoverPoint, 2);
+}
+
+TEST(Crossover, NoWinMeansNoCrossover)
+{
+    SweepResult challenger = syntheticSweep(
+        {1, 2}, {0, 0}, {500, 500});
+    SweepResult baseline = syntheticSweep({1, 2}, {0, 0}, {10, 20});
+    Crossover cross = findCrossover(challenger, baseline);
+    EXPECT_FALSE(cross.firstWinBatch.has_value());
+    EXPECT_FALSE(cross.crossoverPoint.has_value());
+}
+
+TEST(Crossover, WinFromStartHasNoCp)
+{
+    SweepResult challenger = syntheticSweep(
+        {1, 2}, {0, 0}, {5, 5});
+    SweepResult baseline = syntheticSweep({1, 2}, {0, 0}, {10, 20});
+    Crossover cross = findCrossover(challenger, baseline);
+    ASSERT_TRUE(cross.firstWinBatch.has_value());
+    EXPECT_EQ(*cross.firstWinBatch, 1);
+    EXPECT_FALSE(cross.crossoverPoint.has_value());
+}
+
+TEST(Crossover, TransientWinIgnored)
+{
+    // Challenger dips below once at batch 2 but loses again at 4:
+    // only the trailing run counts.
+    SweepResult challenger = syntheticSweep(
+        {1, 2, 4, 8}, {0, 0, 0, 0}, {100, 10, 100, 10});
+    SweepResult baseline = syntheticSweep(
+        {1, 2, 4, 8}, {0, 0, 0, 0}, {50, 50, 50, 50});
+    Crossover cross = findCrossover(challenger, baseline);
+    ASSERT_TRUE(cross.firstWinBatch.has_value());
+    EXPECT_EQ(*cross.firstWinBatch, 8);
+    EXPECT_EQ(*cross.crossoverPoint, 4);
+}
+
+TEST(Crossover, DisjointGridsThrow)
+{
+    SweepResult a = syntheticSweep({1, 2}, {0, 0}, {1, 1});
+    SweepResult b = syntheticSweep({4, 8}, {0, 0}, {1, 1});
+    EXPECT_THROW(findCrossover(a, b), FatalError);
+}
+
+TEST(Speedup, RatioComputed)
+{
+    SweepResult challenger = syntheticSweep({4}, {0}, {50});
+    SweepResult baseline = syntheticSweep({4}, {0}, {100});
+    EXPECT_DOUBLE_EQ(speedupAt(challenger, baseline, 4), 2.0);
+}
+
+TEST(ComparePlatforms, SharedGridTabulated)
+{
+    SweepResult a = syntheticSweep({1, 2, 4}, {0, 0, 0}, {10, 20, 30});
+    SweepResult b = syntheticSweep({2, 4, 8}, {0, 0, 0}, {5, 6, 7});
+    auto rows = comparePlatforms({a, b});
+    ASSERT_EQ(rows.size(), 2u); // batches 2 and 4
+    EXPECT_EQ(rows[0].batch, 2);
+    EXPECT_DOUBLE_EQ(rows[0].latencyNs[0], 20.0);
+    EXPECT_DOUBLE_EQ(rows[0].latencyNs[1], 5.0);
+    EXPECT_THROW(comparePlatforms({}), FatalError);
+}
+
+} // namespace
+} // namespace skipsim::analysis

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for proximity-score chain mining (paper Eqs. 6-8):
+ * PS arithmetic on hand-built sequences, greedy non-overlapping
+ * selection, Eq. 7/8 launch accounting, and recommendation reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fusion/proximity.hh"
+#include "fusion/recommend.hh"
+
+namespace skipsim::fusion
+{
+namespace
+{
+
+std::vector<std::string>
+seqOf(const std::string &compact)
+{
+    // One kernel per character: "ABAB" -> {"A","B","A","B"}.
+    std::vector<std::string> out;
+    for (char c : compact)
+        out.emplace_back(1, c);
+    return out;
+}
+
+// ------------------------------------------------------------- frequencies
+
+TEST(Proximity, KernelFrequencyCounts)
+{
+    ProximityAnalyzer pa(seqOf("ABCABCAB"));
+    EXPECT_EQ(pa.kernelFrequency("A"), 3u);
+    EXPECT_EQ(pa.kernelFrequency("C"), 2u);
+    EXPECT_EQ(pa.kernelFrequency("Z"), 0u);
+    EXPECT_EQ(pa.sequenceLength(), 8u);
+}
+
+TEST(Proximity, ChainFrequencyCountsOccurrences)
+{
+    ProximityAnalyzer pa(seqOf("ABCABCAB"));
+    EXPECT_EQ(pa.chainFrequency(seqOf("AB")), 3u);
+    EXPECT_EQ(pa.chainFrequency(seqOf("ABC")), 2u);
+    EXPECT_EQ(pa.chainFrequency(seqOf("CA")), 2u);
+    EXPECT_EQ(pa.chainFrequency(seqOf("ZZ")), 0u);
+}
+
+TEST(Proximity, OverlappingOccurrencesCounted)
+{
+    ProximityAnalyzer pa(seqOf("AAAA"));
+    EXPECT_EQ(pa.chainFrequency(seqOf("AA")), 3u);
+}
+
+// ---------------------------------------------------------------- Eq. 6 PS
+
+TEST(Proximity, DeterministicChainHasPsOne)
+{
+    // Every A is followed by B.
+    ProximityAnalyzer pa(seqOf("ABxABxAB"));
+    EXPECT_DOUBLE_EQ(pa.proximityScore(seqOf("AB")), 1.0);
+}
+
+TEST(Proximity, PartialChainHasFractionalPs)
+{
+    // A followed by B twice out of three As.
+    ProximityAnalyzer pa(seqOf("ABABAC"));
+    EXPECT_NEAR(pa.proximityScore(seqOf("AB")), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Proximity, AbsentChainPsZero)
+{
+    ProximityAnalyzer pa(seqOf("ABC"));
+    EXPECT_DOUBLE_EQ(pa.proximityScore(seqOf("CA")), 0.0);
+    EXPECT_DOUBLE_EQ(pa.proximityScore(seqOf("ZZ")), 0.0);
+}
+
+TEST(Proximity, EmptyChainThrows)
+{
+    ProximityAnalyzer pa(seqOf("ABC"));
+    EXPECT_THROW(pa.proximityScore({}), FatalError);
+}
+
+// ------------------------------------------------------------ analyze (L)
+
+TEST(Analyze, UniqueAndTotalCounts)
+{
+    ProximityAnalyzer pa(seqOf("ABCABC"));
+    ChainStats stats = pa.analyze(2);
+    // Windows: AB BC CA AB BC -> unique {AB, BC, CA}, total 5.
+    EXPECT_EQ(stats.uniqueChains, 3u);
+    EXPECT_EQ(stats.totalInstances, 5u);
+}
+
+TEST(Analyze, DeterministicChainsIdentified)
+{
+    // AB deterministic (every A -> B); BC deterministic; CA is not
+    // deterministic: the final C has no successor, so f(CA)=1 < f(C)=2.
+    ProximityAnalyzer pa(seqOf("ABCABC"));
+    ChainStats stats = pa.analyze(2);
+    EXPECT_EQ(stats.deterministicChains, 2u);
+}
+
+TEST(Analyze, GreedyNonOverlappingSelection)
+{
+    // ABABAB: AB is deterministic; greedy fuses at 0, 2, 4.
+    ProximityAnalyzer pa(seqOf("ABABAB"));
+    ChainStats stats = pa.analyze(2);
+    EXPECT_EQ(stats.fusedChains, 3u);
+    EXPECT_EQ(stats.kernelsFused, 6u);
+    // Eq. 7: K_fused = 6 - 3*(2-1) = 3; Eq. 8: speedup = 2.
+    EXPECT_EQ(stats.kFused, 3u);
+    EXPECT_DOUBLE_EQ(stats.idealSpeedup, 2.0);
+}
+
+TEST(Analyze, GreedySkipsBrokenOccurrences)
+{
+    // "ABABAC": f(A)=3, f(AB)=2 -> AB is NOT deterministic and cannot
+    // fuse, but BA (f=2, f(B)=2) is; the greedy pass fuses both BA
+    // occurrences and skips over every AB window.
+    ProximityAnalyzer pa(seqOf("ABABAC"));
+    ChainStats stats = pa.analyze(2);
+    EXPECT_EQ(stats.fusedChains, 2u);
+    EXPECT_EQ(stats.kFused, 4u);
+    EXPECT_DOUBLE_EQ(stats.idealSpeedup, 1.5);
+    // And AB itself is indeed not a PS=1 candidate.
+    for (const auto &cand : pa.candidates(2, 1.0))
+        EXPECT_NE(cand.kernels, seqOf("AB"));
+}
+
+TEST(Analyze, UniqueAnchorMakesLongChainFusable)
+{
+    // "S" occurs once, so the window starting at S is deterministic
+    // regardless of its interior.
+    ProximityAnalyzer pa(seqOf("SABXABYAB"));
+    ChainStats stats = pa.analyze(4);
+    EXPECT_GE(stats.fusedChains, 1u);
+    EXPECT_EQ(stats.kEager, 9u);
+}
+
+TEST(Analyze, ChainLongerThanSequenceYieldsNothing)
+{
+    ProximityAnalyzer pa(seqOf("ABC"));
+    ChainStats stats = pa.analyze(8);
+    EXPECT_EQ(stats.uniqueChains, 0u);
+    EXPECT_EQ(stats.fusedChains, 0u);
+    EXPECT_EQ(stats.kFused, stats.kEager);
+    EXPECT_DOUBLE_EQ(stats.idealSpeedup, 1.0);
+}
+
+TEST(Analyze, LengthOneRejected)
+{
+    ProximityAnalyzer pa(seqOf("AB"));
+    EXPECT_THROW(pa.analyze(1), FatalError);
+    EXPECT_THROW(pa.analyze(0), FatalError);
+}
+
+TEST(Analyze, PeriodicSequenceEq7Accounting)
+{
+    // Period-3 sequence repeated 5 times: at L=3, windows starting at
+    // each A are deterministic; greedy fuses 5 of them.
+    ProximityAnalyzer pa(seqOf("ABCABCABCABCABC"));
+    ChainStats stats = pa.analyze(3);
+    EXPECT_EQ(stats.fusedChains, 5u);
+    EXPECT_EQ(stats.kFused, 15u - 5u * 2u);
+    EXPECT_DOUBLE_EQ(stats.idealSpeedup, 3.0);
+}
+
+TEST(Analyze, SweepCoversAllLengths)
+{
+    ProximityAnalyzer pa(seqOf("ABCABCABC"));
+    auto sweep = pa.sweep({2, 3, 4});
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(sweep[0].length, 2u);
+    EXPECT_EQ(sweep[2].length, 4u);
+}
+
+// -------------------------------------------------------------- candidates
+
+TEST(Candidates, ThresholdFilters)
+{
+    ProximityAnalyzer pa(seqOf("ABABAC"));
+    auto all = pa.candidates(2, 0.0);
+    auto strict = pa.candidates(2, 1.0);
+    EXPECT_GT(all.size(), strict.size());
+    for (const auto &cand : strict)
+        EXPECT_DOUBLE_EQ(cand.proximityScore, 1.0);
+}
+
+TEST(Candidates, SortedByFrequency)
+{
+    ProximityAnalyzer pa(seqOf("ABABABxCDx"));
+    auto cands = pa.candidates(2, 1.0);
+    ASSERT_GE(cands.size(), 2u);
+    EXPECT_GE(cands[0].frequency, cands[1].frequency);
+    EXPECT_EQ(cands[0].kernels, seqOf("AB"));
+}
+
+TEST(Candidates, BadThresholdThrows)
+{
+    ProximityAnalyzer pa(seqOf("AB"));
+    EXPECT_THROW(pa.candidates(2, -0.1), FatalError);
+    EXPECT_THROW(pa.candidates(2, 1.1), FatalError);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Recommend, ReportSelectsBestLength)
+{
+    // Strongly periodic: longer chains win.
+    std::string compact;
+    for (int i = 0; i < 16; ++i)
+        compact += "ABCD";
+    FusionReport report = recommend(seqOf(compact), {2, 4});
+    EXPECT_EQ(report.kEager, 64u);
+    EXPECT_EQ(report.best().length, 4u);
+    EXPECT_DOUBLE_EQ(report.best().idealSpeedup, 4.0);
+    EXPECT_FALSE(report.topCandidates.empty());
+}
+
+TEST(Recommend, RenderListsAllLengths)
+{
+    FusionReport report = recommend(seqOf("ABABABAB"), {2, 4});
+    std::string text = report.render();
+    EXPECT_NE(text.find("K_eager = 8"), std::string::npos);
+    EXPECT_NE(text.find("speedup"), std::string::npos);
+}
+
+TEST(Recommend, EmptyLengthsThrow)
+{
+    EXPECT_THROW(recommend(seqOf("AB"), {}), FatalError);
+}
+
+TEST(Recommend, CandidateCapRespected)
+{
+    std::string compact;
+    for (int i = 0; i < 30; ++i)
+        compact += "AB";
+    FusionReport report = recommend(seqOf(compact), {2}, 1.0, 1);
+    EXPECT_LE(report.topCandidates.size(), 1u);
+}
+
+TEST(Recommend, BestOnEmptyReportThrows)
+{
+    FusionReport report;
+    EXPECT_THROW(report.best(), FatalError);
+}
+
+// ------------------------------------------------------- trace integration
+
+TEST(TraceSequence, ExtractsKernelsInStreamOrder)
+{
+    trace::Trace tr;
+    auto add_kernel = [&](const char *name, std::int64_t ts) {
+        trace::TraceEvent k;
+        k.kind = trace::EventKind::Kernel;
+        k.name = name;
+        k.tsBeginNs = ts;
+        k.durNs = 1;
+        k.streamId = 7;
+        k.correlationId = static_cast<std::uint64_t>(ts);
+        tr.add(k);
+    };
+    add_kernel("late", 100);
+    add_kernel("early", 1);
+    trace::TraceEvent mc;
+    mc.kind = trace::EventKind::Memcpy;
+    mc.name = "Memcpy HtoD";
+    mc.tsBeginNs = 0;
+    mc.durNs = 1;
+    mc.streamId = 7;
+    tr.add(mc);
+
+    auto seq = kernelSequenceFromTrace(tr);
+    ASSERT_EQ(seq.size(), 2u); // memcpy excluded
+    EXPECT_EQ(seq[0], "early");
+    EXPECT_EQ(seq[1], "late");
+}
+
+TEST(DefaultLengths, MatchPaperSweep)
+{
+    auto lengths = defaultChainLengths();
+    ASSERT_EQ(lengths.size(), 8u);
+    EXPECT_EQ(lengths.front(), 2u);
+    EXPECT_EQ(lengths.back(), 256u);
+}
+
+// --------------------------------------------- property-style parameterized
+
+class GreedyInvariant : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(GreedyInvariant, Eq7AccountingAlwaysConsistent)
+{
+    // A pseudo-random but deterministic sequence over a small alphabet.
+    std::vector<std::string> seq;
+    std::uint64_t state = 0x1234;
+    for (int i = 0; i < 200; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        seq.emplace_back(1, static_cast<char>('A' + (state >> 60) % 6));
+    }
+    ProximityAnalyzer pa(seq);
+    std::size_t length = GetParam();
+    ChainStats stats = pa.analyze(length);
+
+    // Invariants of Eqs. 7/8 and the greedy cover.
+    EXPECT_EQ(stats.kernelsFused, stats.fusedChains * length);
+    EXPECT_LE(stats.kernelsFused, stats.kEager);
+    EXPECT_EQ(stats.kFused,
+              stats.kEager - stats.fusedChains * (length - 1));
+    EXPECT_GE(stats.idealSpeedup, 1.0);
+    EXPECT_LE(stats.deterministicChains, stats.uniqueChains);
+    if (stats.uniqueChains > 0) {
+        EXPECT_EQ(stats.totalInstances,
+                  stats.kEager - length + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, GreedyInvariant,
+                         ::testing::Values(2, 3, 4, 8, 16, 32, 64, 128));
+
+} // namespace
+} // namespace skipsim::fusion

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Randomized property tests: generate pseudo-random operator graphs
+ * and verify simulator/analyzer invariants hold for every one of them
+ * — trace validity, metric identities, flatten/round-trip equivalence,
+ * chain-mining accounting and Chrome-trace round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "fusion/proximity.hh"
+#include "hw/catalog.hh"
+#include "sim/simulator.hh"
+#include "skip/dep_graph.hh"
+#include "skip/metrics.hh"
+#include "trace/chrome.hh"
+#include "workload/flatten.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim
+{
+namespace
+{
+
+/** Build a random operator graph from a seed (up to depth-2 nesting). */
+workload::OperatorGraph
+randomGraph(std::uint64_t seed)
+{
+    Rng rng(seed);
+    workload::OperatorGraph graph;
+    std::size_t roots = 5 + rng.below(40);
+    int kernel_names = 3 + static_cast<int>(rng.below(6));
+
+    for (std::size_t i = 0; i < roots; ++i) {
+        workload::OpNode node;
+        node.name = "op_" + std::to_string(rng.below(8));
+        node.cpuNs = 500.0 + static_cast<double>(rng.below(20000));
+        node.preFraction = 0.2 + 0.6 * rng.uniform();
+
+        std::size_t children = rng.below(3);
+        for (std::size_t c = 0; c < children; ++c) {
+            workload::OpNode child;
+            child.name = "child_" + std::to_string(rng.below(4));
+            child.cpuNs = 300.0 + static_cast<double>(rng.below(8000));
+            if (rng.below(2) == 0) {
+                workload::KernelLaunch launch;
+                launch.kernelName =
+                    "k" + std::to_string(rng.below(
+                              static_cast<std::uint64_t>(kernel_names)));
+                hw::KernelWork w;
+                w.cls = rng.below(2) == 0 ? hw::KernelClass::Gemm
+                                          : hw::KernelClass::Elementwise;
+                w.flops = static_cast<double>(rng.below(5'000'000'000ULL));
+                w.bytes = static_cast<double>(rng.below(50'000'000ULL));
+                w.rows = static_cast<double>(64 + rng.below(8192));
+                launch.work.push_back(w);
+                child.launches.push_back(std::move(launch));
+            }
+            node.children.push_back(std::move(child));
+        }
+
+        if (rng.below(3) != 0) {
+            workload::KernelLaunch launch;
+            launch.kernelName =
+                "k" + std::to_string(rng.below(
+                          static_cast<std::uint64_t>(kernel_names)));
+            hw::KernelWork w;
+            w.cls = hw::KernelClass::Elementwise;
+            w.bytes = static_cast<double>(rng.below(20'000'000ULL));
+            launch.work.push_back(w);
+            node.launches.push_back(std::move(launch));
+        }
+        graph.roots.push_back(std::move(node));
+    }
+    return graph;
+}
+
+class FuzzGraphs : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FuzzGraphs, SimulatedTraceIsAlwaysValid)
+{
+    workload::OperatorGraph graph = randomGraph(GetParam());
+    for (const auto &platform :
+         {hw::platforms::intelH100(), hw::platforms::gh200()}) {
+        sim::Simulator simulator(platform);
+        sim::SimResult result = simulator.run(graph);
+        EXPECT_TRUE(result.trace.validate().empty());
+        EXPECT_GE(result.wallNs, 0.0);
+        EXPECT_EQ(result.numKernels, graph.numKernelLaunches());
+    }
+}
+
+TEST_P(FuzzGraphs, MetricIdentitiesHold)
+{
+    workload::OperatorGraph graph = randomGraph(GetParam());
+    sim::Simulator simulator(hw::platforms::amdA100());
+    sim::SimResult result = simulator.run(graph);
+    skip::MetricsReport metrics = skip::computeMetrics(
+        skip::DependencyGraph::build(std::move(result.trace)));
+
+    if (metrics.numKernels == 0)
+        return;
+    EXPECT_NEAR(metrics.gpuBusyNs + metrics.gpuIdleNs, metrics.ilNs,
+                1.0);
+    EXPECT_GE(metrics.tklqtNs, metrics.tklqtQueueNs);
+    EXPECT_GE(metrics.cpuBusyNs, 0.0);
+    EXPECT_LE(metrics.cpuBusyNs, metrics.ilNs + 1.0);
+    EXPECT_NEAR(metrics.avgLaunchNs * metrics.numKernels,
+                metrics.tklqtNs, 1.0);
+    std::size_t by_kernel_total = 0;
+    for (const auto &stat : metrics.byKernel)
+        by_kernel_total += stat.count;
+    EXPECT_EQ(by_kernel_total, metrics.numKernels);
+}
+
+TEST_P(FuzzGraphs, FlattenPreservesSimulation)
+{
+    workload::OperatorGraph graph = randomGraph(GetParam());
+    workload::OperatorGraph flat =
+        workload::timelineToGraph(workload::flattenGraph(graph));
+
+    sim::SimOptions opts;
+    opts.jitter = false;
+    sim::Simulator simulator(hw::platforms::gh200(), opts);
+    sim::SimResult a = simulator.run(graph);
+    sim::SimResult b = simulator.run(flat);
+    auto ka = a.trace.ofKind(trace::EventKind::Kernel);
+    auto kb = b.trace.ofKind(trace::EventKind::Kernel);
+    ASSERT_EQ(ka.size(), kb.size());
+    for (std::size_t i = 0; i < ka.size(); ++i) {
+        // Merging CPU segments rounds once where the tree rounds
+        // twice, so timestamps may drift by a few ns over the run.
+        EXPECT_NEAR(static_cast<double>(ka[i].tsBeginNs),
+                    static_cast<double>(kb[i].tsBeginNs), 100.0);
+        EXPECT_EQ(ka[i].durNs, kb[i].durNs);
+        EXPECT_EQ(ka[i].name, kb[i].name);
+    }
+}
+
+TEST_P(FuzzGraphs, ChromeRoundTripLossless)
+{
+    workload::OperatorGraph graph = randomGraph(GetParam());
+    sim::Simulator simulator(hw::platforms::intelH100());
+    sim::SimResult result = simulator.run(graph);
+
+    trace::Trace reloaded =
+        trace::fromChromeText(trace::toChromeText(result.trace));
+    ASSERT_EQ(reloaded.size(), result.trace.size());
+    skip::MetricsReport a = skip::computeMetrics(
+        skip::DependencyGraph::build(result.trace));
+    skip::MetricsReport b = skip::computeMetrics(
+        skip::DependencyGraph::build(std::move(reloaded)));
+    EXPECT_DOUBLE_EQ(a.tklqtNs, b.tklqtNs);
+    EXPECT_DOUBLE_EQ(a.ilNs, b.ilNs);
+}
+
+TEST_P(FuzzGraphs, ChainMiningInvariants)
+{
+    workload::OperatorGraph graph = randomGraph(GetParam());
+    fusion::ProximityAnalyzer analyzer(graph.kernelSequence());
+    for (std::size_t length : {std::size_t(2), std::size_t(5)}) {
+        if (analyzer.sequenceLength() < length)
+            continue;
+        fusion::ChainStats stats = analyzer.analyze(length);
+        EXPECT_EQ(stats.totalInstances,
+                  analyzer.sequenceLength() - length + 1);
+        EXPECT_LE(stats.deterministicChains, stats.uniqueChains);
+        EXPECT_EQ(stats.kFused,
+                  stats.kEager - stats.fusedChains * (length - 1));
+        EXPECT_GE(stats.idealSpeedup, 1.0);
+        for (const auto &cand : analyzer.candidates(length, 1.0)) {
+            EXPECT_DOUBLE_EQ(analyzer.proximityScore(cand.kernels),
+                             1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGraphs,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89, 144, 233));
+
+} // namespace
+} // namespace skipsim

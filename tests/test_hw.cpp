@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the hardware models: kernel cost roofline, efficiency
+ * curves, platform catalog calibration anchors (paper Tables IV/V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+#include "hw/kernel_cost.hh"
+#include "hw/platform.hh"
+
+namespace skipsim::hw
+{
+namespace
+{
+
+GpuModel
+testGpu()
+{
+    GpuModel gpu;
+    gpu.fp16Tflops = 1000.0;    // 1e6 flop/us
+    gpu.memBwGBs = 1000.0;      // 1e3 bytes/ns at memEff=1
+    gpu.minKernelNs = 1000.0;
+    gpu.maxGemmEff = 0.5;
+    gpu.gemmHalfWorkFlops = 1e9;
+    gpu.gemmHalfRows = 1000.0;
+    gpu.memEff = 1.0;
+    return gpu;
+}
+
+// ------------------------------------------------------------ efficiency
+
+TEST(GemmEfficiency, SaturatesWithWork)
+{
+    GpuModel gpu = testGpu();
+    double small = gemmEfficiency(gpu, 1e8);
+    double large = gemmEfficiency(gpu, 1e12);
+    EXPECT_LT(small, large);
+    EXPECT_NEAR(large, gpu.maxGemmEff, 0.01);
+}
+
+TEST(GemmEfficiency, HalfWorkIsHalfEff)
+{
+    GpuModel gpu = testGpu();
+    EXPECT_NEAR(gemmEfficiency(gpu, 1e9), 0.25, 1e-9);
+}
+
+TEST(GemmEfficiency, RowFactorPenalizesSkinnyGemms)
+{
+    GpuModel gpu = testGpu();
+    double wide = gemmEfficiency(gpu, 1e10, 100000.0);
+    double skinny = gemmEfficiency(gpu, 1e10, 100.0);
+    EXPECT_GT(wide, 3.0 * skinny);
+}
+
+TEST(GemmEfficiency, UnknownRowsNeutral)
+{
+    GpuModel gpu = testGpu();
+    EXPECT_DOUBLE_EQ(gemmEfficiency(gpu, 1e9, 0.0),
+                     gemmEfficiency(gpu, 1e9));
+}
+
+// --------------------------------------------------------------- duration
+
+TEST(KernelDuration, NullKernelTakesMinimum)
+{
+    GpuModel gpu = testGpu();
+    KernelWork w;
+    w.cls = KernelClass::Null;
+    EXPECT_DOUBLE_EQ(kernelDurationNs(gpu, w), gpu.minKernelNs);
+}
+
+TEST(KernelDuration, MemoryBoundKernelUsesBandwidth)
+{
+    GpuModel gpu = testGpu();
+    KernelWork w;
+    w.cls = KernelClass::Elementwise;
+    w.bytes = 1e7; // 10 MB at 1000 B/ns -> 10 us
+    EXPECT_NEAR(kernelDurationNs(gpu, w), 1e4, 1.0);
+}
+
+TEST(KernelDuration, ComputeBoundGemmUsesFlops)
+{
+    GpuModel gpu = testGpu();
+    KernelWork w;
+    w.cls = KernelClass::Gemm;
+    w.flops = 1e12;
+    w.bytes = 1.0; // negligible
+    // eff ~ 0.5 at saturation: 1e12 / (1e6 flop/us * 0.5) ~ 2e6 us... in
+    // ns: 1e12 / (1e6 flop/ns * ~0.4995) ~ 2.0e6 ns.
+    EXPECT_NEAR(kernelDurationNs(gpu, w), 2.0e6, 5e4);
+}
+
+TEST(KernelDuration, RooflineTakesMax)
+{
+    GpuModel gpu = testGpu();
+    KernelWork w;
+    w.cls = KernelClass::Gemm;
+    w.flops = 1e9;
+    w.bytes = 1e9; // 1e6 ns of memory time, dominating
+    EXPECT_NEAR(kernelDurationNs(gpu, w), 1e6, 1e3);
+}
+
+TEST(KernelDuration, MinimumFloorsEverything)
+{
+    GpuModel gpu = testGpu();
+    KernelWork w;
+    w.cls = KernelClass::Elementwise;
+    w.flops = 10.0;
+    w.bytes = 10.0;
+    EXPECT_DOUBLE_EQ(kernelDurationNs(gpu, w), gpu.minKernelNs);
+}
+
+TEST(KernelDuration, FusedComponentsSum)
+{
+    GpuModel gpu = testGpu();
+    KernelWork a;
+    a.cls = KernelClass::Elementwise;
+    a.bytes = 1e7;
+    KernelWork b = a;
+    double single = kernelDurationNs(gpu, a);
+    EXPECT_DOUBLE_EQ(kernelDurationNs(gpu, {a, b}), 2.0 * single);
+}
+
+TEST(KernelDuration, EmptyComponentListIsNullKernel)
+{
+    GpuModel gpu = testGpu();
+    EXPECT_DOUBLE_EQ(kernelDurationNs(gpu, std::vector<KernelWork>{}),
+                     gpu.minKernelNs);
+}
+
+TEST(KernelDuration, InvalidGpuThrows)
+{
+    GpuModel gpu = testGpu();
+    gpu.fp16Tflops = 0.0;
+    KernelWork w;
+    EXPECT_THROW(kernelDurationNs(gpu, w), FatalError);
+}
+
+TEST(KernelClassNames, AllDistinct)
+{
+    EXPECT_STREQ(kernelClassName(KernelClass::Gemm), "gemm");
+    EXPECT_STREQ(kernelClassName(KernelClass::Attention), "attention");
+    EXPECT_STREQ(kernelClassName(KernelClass::Null), "null");
+    EXPECT_STREQ(kernelClassName(KernelClass::Graph), "graph");
+}
+
+// --------------------------------------------------------------- platform
+
+TEST(Platform, CouplingNames)
+{
+    EXPECT_STREQ(couplingName(Coupling::LooselyCoupled), "LC");
+    EXPECT_STREQ(couplingName(Coupling::CloselyCoupled), "CC");
+    EXPECT_STREQ(couplingName(Coupling::TightlyCoupled), "TC");
+}
+
+TEST(Platform, CpuOpScaling)
+{
+    Platform p = platforms::gh200();
+    double base = 10000.0;
+    EXPECT_GT(p.cpuOpNs(base), base); // Grace is slower than reference
+    Platform intel = platforms::intelH100();
+    EXPECT_DOUBLE_EQ(intel.cpuOpNs(base), base);
+}
+
+TEST(Platform, TransferTimeScalesWithBytes)
+{
+    Platform p = platforms::intelH100();
+    double small = p.transferNs(1e3);
+    double large = p.transferNs(1e6);
+    EXPECT_GT(large, small);
+    EXPECT_DOUBLE_EQ(p.transferNs(0.0), 0.0);
+}
+
+TEST(Platform, TransferWithoutBandwidthThrows)
+{
+    Platform p = platforms::intelH100();
+    p.link.bwGBs = 0.0;
+    EXPECT_THROW(p.transferNs(100.0), FatalError);
+}
+
+// ---------------------------------------------------------------- catalog
+
+TEST(Catalog, PaperTrioMatchesTableIV)
+{
+    auto trio = platforms::paperTrio();
+    ASSERT_EQ(trio.size(), 3u);
+    EXPECT_EQ(trio[0].name, "AMD+A100");
+    EXPECT_EQ(trio[0].coupling, Coupling::LooselyCoupled);
+    EXPECT_EQ(trio[1].name, "Intel+H100");
+    EXPECT_EQ(trio[1].coupling, Coupling::LooselyCoupled);
+    EXPECT_EQ(trio[2].name, "GH200");
+    EXPECT_EQ(trio[2].coupling, Coupling::CloselyCoupled);
+}
+
+TEST(Catalog, TableVAnchorsEncodedExactly)
+{
+    // Paper Table V: launch overheads and nullKernel durations.
+    EXPECT_DOUBLE_EQ(platforms::amdA100().cpu.launchOverheadNs, 2260.5);
+    EXPECT_DOUBLE_EQ(platforms::intelH100().cpu.launchOverheadNs, 2374.6);
+    EXPECT_DOUBLE_EQ(platforms::gh200().cpu.launchOverheadNs, 2771.6);
+    EXPECT_DOUBLE_EQ(platforms::amdA100().gpu.minKernelNs, 1440.0);
+    EXPECT_DOUBLE_EQ(platforms::intelH100().gpu.minKernelNs, 1235.2);
+    EXPECT_DOUBLE_EQ(platforms::gh200().gpu.minKernelNs, 1171.2);
+}
+
+TEST(Catalog, LaunchOverheadOrderingMatchesPaper)
+{
+    // AMD < Intel < GH200 on launch overhead; reverse on duration.
+    auto trio = platforms::paperTrio();
+    EXPECT_LT(trio[0].cpu.launchOverheadNs, trio[1].cpu.launchOverheadNs);
+    EXPECT_LT(trio[1].cpu.launchOverheadNs, trio[2].cpu.launchOverheadNs);
+    EXPECT_GT(trio[0].gpu.minKernelNs, trio[1].gpu.minKernelNs);
+    EXPECT_GT(trio[1].gpu.minKernelNs, trio[2].gpu.minKernelNs);
+}
+
+TEST(Catalog, GraceSingleThreadSlowest)
+{
+    EXPECT_LT(platforms::gh200().cpu.singleThreadScore,
+              platforms::amdA100().cpu.singleThreadScore);
+    EXPECT_LT(platforms::amdA100().cpu.singleThreadScore,
+              platforms::intelH100().cpu.singleThreadScore);
+}
+
+TEST(Catalog, Gh200HasUnifiedMemoryAndBandwidthEdge)
+{
+    Platform gh = platforms::gh200();
+    EXPECT_TRUE(gh.unifiedMemory);
+    EXPECT_GT(gh.gpu.memBwGBs, platforms::intelH100().gpu.memBwGBs);
+    EXPECT_GT(gh.link.bwGBs, platforms::intelH100().link.bwGBs);
+}
+
+TEST(Catalog, LcPlatformsHaveSeparateMemory)
+{
+    EXPECT_FALSE(platforms::amdA100().unifiedMemory);
+    EXPECT_FALSE(platforms::intelH100().unifiedMemory);
+    EXPECT_TRUE(platforms::mi300a().unifiedMemory);
+}
+
+TEST(Catalog, ByNameCaseInsensitive)
+{
+    EXPECT_EQ(platforms::byName("gh200").name, "GH200");
+    EXPECT_EQ(platforms::byName("INTEL+H100").name, "Intel+H100");
+    EXPECT_EQ(platforms::byName("mi300a").coupling,
+              Coupling::TightlyCoupled);
+}
+
+TEST(Catalog, ByNameUnknownThrows)
+{
+    EXPECT_THROW(platforms::byName("tpu-v5"), FatalError);
+}
+
+TEST(Catalog, NamesListsAllPlatforms)
+{
+    auto names = platforms::names();
+    ASSERT_EQ(names.size(), platforms::all().size());
+    for (const auto &name : names)
+        EXPECT_NO_THROW(platforms::byName(name));
+}
+
+} // namespace
+} // namespace skipsim::hw

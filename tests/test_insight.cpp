@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the profiler insight passes: run diffing, GPU gap
+ * analysis, and the roofline classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+#include "skip/diff.hh"
+#include "skip/gaps.hh"
+#include "skip/profile.hh"
+#include "workload/builder.hh"
+#include "workload/roofline.hh"
+
+namespace skipsim
+{
+namespace
+{
+
+skip::MetricsReport
+profileMetrics(workload::ExecMode mode, int batch = 1)
+{
+    return skip::profilePrefill(workload::gpt2(),
+                                hw::platforms::intelH100(), batch, 512,
+                                mode)
+        .metrics;
+}
+
+// ------------------------------------------------------------------- diff
+
+TEST(RunDiff, Fa2VsEagerShowsLaunchSavings)
+{
+    skip::MetricsReport eager =
+        profileMetrics(workload::ExecMode::Eager);
+    skip::MetricsReport fa2 =
+        profileMetrics(workload::ExecMode::FlashAttention2);
+    skip::RunDiff diff = skip::diffRuns(eager, fa2);
+
+    // FA2 replaces 9 attention kernels per layer with 1 flash kernel.
+    EXPECT_EQ(diff.kernelCountDelta, -12 * 8);
+    EXPECT_GT(diff.speedup, 1.0);
+    EXPECT_LT(diff.ilDeltaNs, 0.0);
+    EXPECT_FALSE(diff.byKernel.empty());
+
+    // The flash kernel appears only in the candidate run.
+    bool found_flash = false;
+    for (const auto &d : diff.byKernel) {
+        if (d.name.rfind("flash_fwd_kernel", 0) == 0) {
+            EXPECT_EQ(d.countBefore, 0u);
+            EXPECT_EQ(d.countAfter, 12u);
+            found_flash = true;
+        }
+    }
+    EXPECT_TRUE(found_flash);
+}
+
+TEST(RunDiff, IdenticalRunsAreNeutral)
+{
+    skip::MetricsReport a = profileMetrics(workload::ExecMode::Eager);
+    skip::RunDiff diff = skip::diffRuns(a, a);
+    EXPECT_DOUBLE_EQ(diff.ilDeltaNs, 0.0);
+    EXPECT_EQ(diff.kernelCountDelta, 0);
+    EXPECT_DOUBLE_EQ(diff.speedup, 1.0);
+}
+
+TEST(RunDiff, CrossPlatformDiff)
+{
+    skip::MetricsReport intel = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), 1)
+        .metrics;
+    skip::MetricsReport gh = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::gh200(), 1)
+        .metrics;
+    skip::RunDiff diff = skip::diffRuns(intel, gh);
+    // GH200 is slower at BS=1 (CPU-bound): speedup < 1.
+    EXPECT_LT(diff.speedup, 1.0);
+    EXPECT_EQ(diff.kernelCountDelta, 0);
+}
+
+TEST(RunDiff, ZeroCandidateThrows)
+{
+    skip::MetricsReport a = profileMetrics(workload::ExecMode::Eager);
+    skip::MetricsReport empty;
+    EXPECT_THROW(skip::diffRuns(a, empty), FatalError);
+    EXPECT_NE(skip::diffRuns(a, a).render().find("Run diff"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------------- gaps
+
+TEST(GapAnalysis, CpuBoundRunHasLargeGaps)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::gh200(), 1);
+    skip::DependencyGraph dep = skip::DependencyGraph::build(run.trace);
+    skip::GapReport report = skip::analyzeGaps(dep);
+
+    EXPECT_FALSE(report.gaps.empty());
+    // Interior gaps account for most of the GPU idle time.
+    EXPECT_GT(report.totalGapNs, 0.5 * run.metrics.gpuIdleNs);
+    EXPECT_GT(report.maxGapNs, 0.0);
+    EXPECT_FALSE(report.blameByOp.empty());
+}
+
+TEST(GapAnalysis, GpuBoundRunHasSmallGaps)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), 64);
+    skip::DependencyGraph dep = skip::DependencyGraph::build(run.trace);
+    skip::GapReport report = skip::analyzeGaps(dep);
+    // Saturated stream: total interior gap time is a tiny share of IL.
+    EXPECT_LT(report.totalGapNs, 0.1 * run.metrics.ilNs);
+}
+
+TEST(GapAnalysis, BlameSumsToTotal)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::gh200(), 1, 256);
+    skip::DependencyGraph dep = skip::DependencyGraph::build(run.trace);
+    skip::GapReport report = skip::analyzeGaps(dep);
+    double sum = 0.0;
+    for (const auto &[op, total] : report.blameByOp)
+        sum += total;
+    EXPECT_NEAR(sum, report.totalGapNs, 1.0);
+    EXPECT_NE(report.render().find("GPU gaps"), std::string::npos);
+}
+
+TEST(GapAnalysis, EmptyTraceYieldsNothing)
+{
+    skip::GapReport report = skip::analyzeGaps(
+        skip::DependencyGraph::build(trace::Trace{}));
+    EXPECT_TRUE(report.gaps.empty());
+    EXPECT_DOUBLE_EQ(report.totalGapNs, 0.0);
+}
+
+// --------------------------------------------------------------- roofline
+
+TEST(Roofline, RidgePointSane)
+{
+    // H100 PCIe: 756 TF x 0.55 / (2000 GB/s x 0.82) ~ 254 FLOP/B.
+    double ridge = workload::ridgePointFlopsPerByte(
+        hw::platforms::intelH100().gpu);
+    EXPECT_GT(ridge, 100.0);
+    EXPECT_LT(ridge, 600.0);
+}
+
+TEST(Roofline, EagerTransformerIsMostlyMemoryBound)
+{
+    workload::BuildOptions opts;
+    opts.batch = 1;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::gpt2(), opts);
+    workload::RooflineReport report = workload::rooflineReport(
+        graph, hw::platforms::intelH100().gpu);
+
+    EXPECT_FALSE(report.points.empty());
+    // Eager small-batch prefill: elementwise/softmax dominate kernel
+    // count; the memory-bound share of GPU time is substantial.
+    EXPECT_GT(report.memoryBoundShare(), 0.3);
+    EXPECT_NE(report.render().find("Roofline"), std::string::npos);
+}
+
+TEST(Roofline, GemmsAreComputeBoundElementwiseNot)
+{
+    workload::BuildOptions opts;
+    opts.batch = 32;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::gpt2(), opts);
+    workload::RooflineReport report = workload::rooflineReport(
+        graph, hw::platforms::intelH100().gpu);
+
+    for (const auto &point : report.points) {
+        if (point.kernelName.rfind("elementwise_", 0) == 0) {
+            EXPECT_FALSE(point.computeBound) << point.kernelName;
+        }
+        if (point.kernelName.rfind("gemm_", 0) == 0 &&
+            point.kernelName.find("x768x3072") != std::string::npos) {
+            EXPECT_TRUE(point.computeBound) << point.kernelName;
+        }
+    }
+}
+
+TEST(Roofline, HigherBandwidthLowersRidge)
+{
+    double intel = workload::ridgePointFlopsPerByte(
+        hw::platforms::intelH100().gpu);
+    double gh = workload::ridgePointFlopsPerByte(
+        hw::platforms::gh200().gpu);
+    EXPECT_LT(gh, intel);
+}
+
+} // namespace
+} // namespace skipsim

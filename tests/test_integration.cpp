@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cross-module integration tests: the full pipeline (build -> simulate
+ * -> export -> re-import -> analyze) must be lossless; SKIP metrics
+ * computed on an exported/re-imported trace must match the originals;
+ * fusion mining must work off on-disk traces exactly as off live runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/boundedness.hh"
+#include "analysis/sweep.hh"
+#include "fusion/recommend.hh"
+#include "hw/catalog.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "skip/profile.hh"
+#include "trace/chrome.hh"
+#include "workload/builder.hh"
+
+namespace skipsim
+{
+namespace
+{
+
+TEST(Integration, ChromeRoundTripPreservesMetrics)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::gh200(), 2, 256);
+
+    std::string text = trace::toChromeText(run.trace);
+    trace::Trace reloaded = trace::fromChromeText(text);
+
+    skip::MetricsReport original = run.metrics;
+    skip::MetricsReport recomputed = skip::computeMetrics(
+        skip::DependencyGraph::build(std::move(reloaded)));
+
+    EXPECT_DOUBLE_EQ(recomputed.tklqtNs, original.tklqtNs);
+    EXPECT_DOUBLE_EQ(recomputed.akdNs, original.akdNs);
+    EXPECT_DOUBLE_EQ(recomputed.ilNs, original.ilNs);
+    EXPECT_DOUBLE_EQ(recomputed.gpuIdleNs, original.gpuIdleNs);
+    EXPECT_DOUBLE_EQ(recomputed.cpuIdleNs, original.cpuIdleNs);
+    EXPECT_EQ(recomputed.numKernels, original.numKernels);
+    EXPECT_EQ(recomputed.numOps, original.numOps);
+}
+
+TEST(Integration, ChromeFileRoundTripViaDisk)
+{
+    std::string path =
+        testing::TempDir() + "/skipsim_integration_trace.json";
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), 1, 128);
+    trace::writeChromeFile(path, run.trace);
+
+    trace::Trace reloaded = trace::readChromeFile(path);
+    EXPECT_EQ(reloaded.size(), run.trace.size());
+    EXPECT_EQ(reloaded.meta("model"), "Bert-Base-Uncased");
+
+    // The exported file is valid standalone JSON.
+    EXPECT_NO_THROW(json::parseFile(path));
+}
+
+TEST(Integration, FusionMiningIdenticalOnReloadedTrace)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::xlmRobertaBase(), hw::platforms::intelH100(), 1);
+    trace::Trace reloaded =
+        trace::fromChromeText(trace::toChromeText(run.trace));
+
+    fusion::FusionReport live = fusion::recommendFromTrace(run.trace);
+    fusion::FusionReport disk = fusion::recommendFromTrace(reloaded);
+
+    ASSERT_EQ(live.byLength.size(), disk.byLength.size());
+    for (std::size_t i = 0; i < live.byLength.size(); ++i) {
+        EXPECT_EQ(live.byLength[i].fusedChains,
+                  disk.byLength[i].fusedChains);
+        EXPECT_EQ(live.byLength[i].kFused, disk.byLength[i].kFused);
+    }
+}
+
+TEST(Integration, SimulatedTraceAlwaysValidates)
+{
+    for (const auto &platform : hw::platforms::all()) {
+        for (auto mode : {workload::ExecMode::Eager,
+                          workload::ExecMode::FlashAttention2,
+                          workload::ExecMode::CompileReduceOverhead}) {
+            skip::ProfileResult run = skip::profilePrefill(
+                workload::llama32_1b(), platform, 2, 128, mode);
+            EXPECT_TRUE(run.trace.validate().empty())
+                << platform.name << "/" << workload::execModeName(mode);
+        }
+    }
+}
+
+TEST(Integration, KernelLaunchCountMatchesGraphAndTrace)
+{
+    workload::BuildOptions opts;
+    opts.batch = 4;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::gpt2(), opts);
+
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::amdA100(), 4);
+    EXPECT_EQ(run.metrics.numKernels, graph.numKernelLaunches());
+    EXPECT_EQ(run.kernelLaunches, graph.numKernelLaunches());
+    EXPECT_EQ(fusion::kernelSequenceFromTrace(run.trace),
+              graph.kernelSequence());
+}
+
+TEST(Integration, MemcpyCostOnlyOnLcPlatforms)
+{
+    // Identical workloads; LC pays the H2D staging copy, CC does not.
+    skip::ProfileResult lc = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), 64);
+    skip::ProfileResult cc = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::gh200(), 64);
+    EXPECT_EQ(lc.trace.countOf(trace::EventKind::Memcpy), 1u);
+    EXPECT_EQ(cc.trace.countOf(trace::EventKind::Memcpy), 0u);
+}
+
+TEST(Integration, MetricsJsonSerializable)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::gh200(), 1, 128);
+    json::Value doc = run.metrics.toJson();
+    std::string text = json::writePretty(doc);
+    json::Value reparsed = json::parse(text);
+    EXPECT_DOUBLE_EQ(reparsed.asObject().at("tklqt_ns").asDouble(),
+                     run.metrics.tklqtNs);
+}
+
+TEST(Integration, DecodeStepProfilable)
+{
+    // Extension: decode-step graphs run through the same pipeline.
+    workload::BuildOptions opts;
+    opts.batch = 4;
+    workload::OperatorGraph graph = workload::buildDecodeStepGraph(
+        workload::llama32_1b(), opts, 1024);
+    sim::Simulator simulator(hw::platforms::gh200());
+    sim::SimResult result = simulator.run(graph);
+    skip::MetricsReport metrics = skip::computeMetrics(
+        skip::DependencyGraph::build(result.trace));
+    EXPECT_GT(metrics.ilNs, 0.0);
+    EXPECT_EQ(metrics.numKernels, graph.numKernelLaunches());
+    // A single decode step is launch-dominated: deeply CPU-bound.
+    EXPECT_GT(metrics.gpuIdleNs / metrics.ilNs, 0.5);
+}
+
+TEST(Integration, SweepDeterministicGivenSeed)
+{
+    sim::SimOptions opts;
+    opts.seed = 7;
+    analysis::SweepResult a = analysis::runBatchSweep(
+        workload::gpt2(), hw::platforms::gh200(), {1, 4}, 512,
+        workload::ExecMode::Eager, opts);
+    analysis::SweepResult b = analysis::runBatchSweep(
+        workload::gpt2(), hw::platforms::gh200(), {1, 4}, 512,
+        workload::ExecMode::Eager, opts);
+    EXPECT_DOUBLE_EQ(a.at(1).metrics.ilNs, b.at(1).metrics.ilNs);
+    EXPECT_DOUBLE_EQ(a.at(4).metrics.tklqtNs,
+                     b.at(4).metrics.tklqtNs);
+}
+
+TEST(Integration, TopKOnRealRunFindsHotKernels)
+{
+    skip::ProfileResult run = skip::profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), 8);
+    auto top = run.metrics.topK(3, skip::TopKBy::Count);
+    ASSERT_EQ(top.size(), 3u);
+    // The q/k/v/out projection GEMM (4 per layer x 12 layers = 48) is
+    // the most frequent kernel in BERT.
+    EXPECT_EQ(top[0].count, 48u);
+    EXPECT_NE(top[0].name.find("gemm_"), std::string::npos);
+}
+
+} // namespace
+} // namespace skipsim

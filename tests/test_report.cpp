@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the full characterization report: structural consistency
+ * across platforms, markdown/JSON rendering, and the cross-platform
+ * conclusions it encodes (CC wins large batch, LC small batch).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hh"
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::analysis
+{
+namespace
+{
+
+const CharacterizationReport &
+bertReport()
+{
+    static CharacterizationReport report = characterize(
+        workload::bertBaseUncased(), hw::platforms::paperTrio(), 512);
+    return report;
+}
+
+TEST(Characterize, CoversEveryPlatform)
+{
+    const auto &report = bertReport();
+    ASSERT_EQ(report.platforms.size(), 3u);
+    EXPECT_EQ(report.platforms[0].platformName, "AMD+A100");
+    EXPECT_EQ(report.platforms[0].coupling, "LC");
+    EXPECT_EQ(report.platforms[2].platformName, "GH200");
+    EXPECT_EQ(report.platforms[2].coupling, "CC");
+    EXPECT_EQ(report.crossoversVsFirst.size(), 2u);
+    EXPECT_EQ(report.modelName, "Bert-Base-Uncased");
+}
+
+TEST(Characterize, EncodesThePaperStory)
+{
+    const auto &report = bertReport();
+    const auto &intel = report.platforms[1];
+    const auto &gh = report.platforms[2];
+
+    // LC faster at BS=1; CC faster at BS=128.
+    EXPECT_LT(intel.latencyBs1Ns, gh.latencyBs1Ns);
+    EXPECT_GT(intel.latencyMaxNs, gh.latencyMaxNs);
+
+    // CC transition 4x later; balanced region later too.
+    ASSERT_TRUE(intel.boundedness.transitionBatch.has_value());
+    ASSERT_TRUE(gh.boundedness.transitionBatch.has_value());
+    EXPECT_EQ(*gh.boundedness.transitionBatch,
+              4 * *intel.boundedness.transitionBatch);
+    EXPECT_GT(gh.sweetSpot.minBatch, intel.sweetSpot.minBatch);
+
+    // Fusion potential and memory residency populated.
+    for (const auto &pc : report.platforms) {
+        EXPECT_GT(pc.fusionPotential, 2.0);
+        EXPECT_GT(pc.maxResidentSeqs, 100);
+        EXPECT_GT(pc.energyBs1J, 0.0);
+        EXPECT_LT(pc.energyMaxJ, pc.energyBs1J);
+    }
+}
+
+TEST(Characterize, MarkdownRenderComplete)
+{
+    std::string md = bertReport().renderMarkdown();
+    EXPECT_NE(md.find("# Characterization: Bert-Base-Uncased"),
+              std::string::npos);
+    EXPECT_NE(md.find("Latency vs batch"), std::string::npos);
+    EXPECT_NE(md.find("Crossovers vs AMD+A100"), std::string::npos);
+    EXPECT_NE(md.find("GH200"), std::string::npos);
+}
+
+TEST(Characterize, JsonRoundTripsAndMatches)
+{
+    const auto &report = bertReport();
+    json::Value doc = json::parse(json::writePretty(report.toJson()));
+    const json::Object &root = doc.asObject();
+    EXPECT_EQ(root.at("model").asString(), "Bert-Base-Uncased");
+    EXPECT_EQ(root.at("seq_len").asInt(), 512);
+    const auto &platforms = root.at("platforms").asArray();
+    ASSERT_EQ(platforms.size(), 3u);
+    const json::Object &gh = platforms[2].asObject();
+    EXPECT_EQ(gh.at("platform").asString(), "GH200");
+    EXPECT_EQ(gh.at("transition_batch").asInt(), 32);
+    EXPECT_EQ(gh.at("sweep").asArray().size(), 8u);
+    EXPECT_DOUBLE_EQ(gh.at("ttft_bs1_ns").asDouble(),
+                     report.platforms[2].latencyBs1Ns);
+}
+
+TEST(Characterize, EmptyPlatformListThrows)
+{
+    EXPECT_THROW(characterize(workload::gpt2(), {}, 512), FatalError);
+}
+
+TEST(Characterize, SinglePlatformHasNoCrossovers)
+{
+    CharacterizationReport report = characterize(
+        workload::gpt2(), {hw::platforms::gh200()}, 256);
+    EXPECT_EQ(report.platforms.size(), 1u);
+    EXPECT_TRUE(report.crossoversVsFirst.empty());
+    EXPECT_NO_THROW(report.renderMarkdown());
+}
+
+} // namespace
+} // namespace skipsim::analysis

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for platform/model JSON serialization: full round trips for
+ * every catalog entry, partial-document defaults, and validation of
+ * malformed configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+#include "hw/serde.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "skip/profile.hh"
+#include "workload/model_config.hh"
+#include "workload/serde.hh"
+
+namespace skipsim
+{
+namespace
+{
+
+// -------------------------------------------------------------- platforms
+
+TEST(PlatformSerde, RoundTripAllCatalogEntries)
+{
+    for (const auto &original : hw::platforms::all()) {
+        hw::Platform parsed =
+            hw::platformFromJson(hw::platformToJson(original));
+        EXPECT_EQ(parsed.name, original.name);
+        EXPECT_EQ(parsed.coupling, original.coupling);
+        EXPECT_EQ(parsed.unifiedMemory, original.unifiedMemory);
+        EXPECT_DOUBLE_EQ(parsed.cpu.singleThreadScore,
+                         original.cpu.singleThreadScore);
+        EXPECT_DOUBLE_EQ(parsed.cpu.launchOverheadNs,
+                         original.cpu.launchOverheadNs);
+        EXPECT_DOUBLE_EQ(parsed.gpu.fp16Tflops,
+                         original.gpu.fp16Tflops);
+        EXPECT_DOUBLE_EQ(parsed.gpu.memBwGBs, original.gpu.memBwGBs);
+        EXPECT_DOUBLE_EQ(parsed.gpu.minKernelNs,
+                         original.gpu.minKernelNs);
+        EXPECT_DOUBLE_EQ(parsed.gpu.maxGemmEff,
+                         original.gpu.maxGemmEff);
+        EXPECT_DOUBLE_EQ(parsed.link.bwGBs, original.link.bwGBs);
+        EXPECT_DOUBLE_EQ(parsed.gpu.busyPowerW,
+                         original.gpu.busyPowerW);
+    }
+}
+
+TEST(PlatformSerde, PartialDocumentKeepsDefaults)
+{
+    hw::Platform p = hw::platformFromJson(json::parse(
+        R"({"name": "mini", "gpu": {"fp16_tflops": 100.0}})"));
+    EXPECT_EQ(p.name, "mini");
+    EXPECT_DOUBLE_EQ(p.gpu.fp16Tflops, 100.0);
+    EXPECT_DOUBLE_EQ(p.cpu.singleThreadScore, 1.0); // default
+}
+
+TEST(PlatformSerde, BadCouplingThrows)
+{
+    EXPECT_THROW(
+        hw::platformFromJson(json::parse(R"({"coupling": "XX"})")),
+        FatalError);
+}
+
+TEST(PlatformSerde, NonPositiveRatesThrow)
+{
+    EXPECT_THROW(hw::platformFromJson(json::parse(
+                     R"({"gpu": {"fp16_tflops": 0}})")),
+                 FatalError);
+    EXPECT_THROW(hw::platformFromJson(json::parse(
+                     R"({"cpu": {"single_thread_score": -1}})")),
+                 FatalError);
+}
+
+TEST(PlatformSerde, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/skipsim_platform.json";
+    hw::savePlatform(path, hw::platforms::gh200());
+    hw::Platform loaded = hw::loadPlatform(path);
+    EXPECT_EQ(loaded.name, "GH200");
+    EXPECT_DOUBLE_EQ(loaded.cpu.launchOverheadNs, 2771.6);
+}
+
+TEST(PlatformSerde, LoadedPlatformIsUsable)
+{
+    std::string path = testing::TempDir() + "/skipsim_platform2.json";
+    hw::savePlatform(path, hw::platforms::intelH100());
+    hw::Platform loaded = hw::loadPlatform(path);
+    skip::ProfileResult original = skip::profilePrefill(
+        workload::gpt2(), hw::platforms::intelH100(), 1, 128);
+    skip::ProfileResult reloaded =
+        skip::profilePrefill(workload::gpt2(), loaded, 1, 128);
+    EXPECT_DOUBLE_EQ(reloaded.metrics.ilNs, original.metrics.ilNs);
+}
+
+// ----------------------------------------------------------------- models
+
+TEST(ModelSerde, RoundTripAllCatalogEntries)
+{
+    for (const auto &original : workload::allModels()) {
+        workload::ModelConfig parsed =
+            workload::modelFromJson(workload::modelToJson(original));
+        EXPECT_EQ(parsed.name, original.name);
+        EXPECT_EQ(parsed.family, original.family);
+        EXPECT_EQ(parsed.layers, original.layers);
+        EXPECT_EQ(parsed.hidden, original.hidden);
+        EXPECT_EQ(parsed.heads, original.heads);
+        EXPECT_EQ(parsed.kvHeads, original.kvHeads);
+        EXPECT_EQ(parsed.intermediate, original.intermediate);
+        EXPECT_EQ(parsed.vocab, original.vocab);
+        EXPECT_EQ(parsed.activation, original.activation);
+        EXPECT_EQ(parsed.norm, original.norm);
+        EXPECT_EQ(parsed.rotary, original.rotary);
+        EXPECT_EQ(parsed.fusedQkv, original.fusedQkv);
+        EXPECT_EQ(parsed.biases, original.biases);
+        EXPECT_EQ(parsed.pooler, original.pooler);
+        EXPECT_NEAR(parsed.paramsM(), original.paramsM(), 1e-9);
+    }
+}
+
+TEST(ModelSerde, PartialDocumentKeepsDefaults)
+{
+    workload::ModelConfig m = workload::modelFromJson(
+        json::parse(R"({"name": "tiny", "layers": 2, "hidden": 128,
+                        "heads": 2})"));
+    EXPECT_EQ(m.name, "tiny");
+    EXPECT_EQ(m.layers, 2);
+    EXPECT_EQ(m.kvHeads, 2); // defaults to heads
+}
+
+TEST(ModelSerde, ValidationRejectsInconsistentDims)
+{
+    EXPECT_THROW(workload::modelFromJson(json::parse(
+                     R"({"hidden": 100, "heads": 3})")),
+                 FatalError);
+    EXPECT_THROW(workload::modelFromJson(json::parse(
+                     R"({"heads": 8, "kv_heads": 3, "hidden": 64})")),
+                 FatalError);
+    EXPECT_THROW(workload::modelFromJson(json::parse(
+                     R"({"layers": 0})")),
+                 FatalError);
+    EXPECT_THROW(workload::modelFromJson(json::parse(
+                     R"({"family": "mystery"})")),
+                 FatalError);
+    EXPECT_THROW(workload::modelFromJson(json::parse(
+                     R"({"activation": "swish"})")),
+                 FatalError);
+    EXPECT_THROW(workload::modelFromJson(json::parse(
+                     R"({"norm": "batch_norm"})")),
+                 FatalError);
+}
+
+TEST(ModelSerde, FileRoundTripAndProfile)
+{
+    std::string path = testing::TempDir() + "/skipsim_model.json";
+    workload::saveModel(path, workload::llama32_1b());
+    workload::ModelConfig loaded = workload::loadModel(path);
+    EXPECT_EQ(loaded.name, "Llama-3.2-1B");
+
+    skip::ProfileResult run = skip::profilePrefill(
+        loaded, hw::platforms::gh200(), 1, 128);
+    EXPECT_EQ(run.metrics.numKernels, 570u);
+}
+
+} // namespace
+} // namespace skipsim

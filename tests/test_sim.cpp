@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator: launch/queue timing
+ * semantics (paper Fig. 4), determinism, memcpy handling on LC vs CC
+ * platforms, and trace well-formedness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+#include "sim/simulator.hh"
+#include "workload/builder.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::sim
+{
+namespace
+{
+
+using workload::KernelLaunch;
+using workload::OpNode;
+using workload::OperatorGraph;
+
+/** A platform with round numbers for hand-checkable timing. */
+hw::Platform
+toyPlatform()
+{
+    hw::Platform p;
+    p.name = "toy";
+    p.coupling = hw::Coupling::LooselyCoupled;
+    p.unifiedMemory = false;
+    p.cpu.singleThreadScore = 1.0;
+    p.cpu.launchOverheadNs = 2000.0;
+    p.cpu.launchCpuNs = 1000.0;
+    p.cpu.syncCallNs = 500.0;
+    p.gpu.fp16Tflops = 1000.0;
+    p.gpu.memBwGBs = 1000.0;
+    p.gpu.minKernelNs = 1500.0;
+    p.gpu.maxGemmEff = 0.5;
+    p.gpu.gemmHalfWorkFlops = 1e9;
+    p.gpu.gemmHalfRows = 1000.0;
+    p.gpu.memEff = 1.0;
+    p.gpu.interKernelGapNs = 100.0;
+    p.link.bwGBs = 10.0;
+    p.link.latencyNs = 1000.0;
+    return p;
+}
+
+SimOptions
+noJitter()
+{
+    SimOptions opts;
+    opts.jitter = false;
+    return opts;
+}
+
+OperatorGraph
+singleKernelGraph(double cpu_ns = 10000.0)
+{
+    OperatorGraph graph;
+    hw::KernelWork w;
+    w.cls = hw::KernelClass::Null;
+    graph.roots.push_back(
+        workload::makeKernelOp("aten::op", cpu_ns, "k0", w));
+    return graph;
+}
+
+TEST(Simulator, SingleKernelTiming)
+{
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result = simulator.run(singleKernelGraph());
+
+    auto kernels = result.trace.ofKind(trace::EventKind::Kernel);
+    auto runtimes = result.trace.ofKind(trace::EventKind::Runtime);
+    ASSERT_EQ(kernels.size(), 1u);
+    // cudaLaunchKernel + cudaDeviceSynchronize.
+    ASSERT_EQ(runtimes.size(), 2u);
+
+    // The launch begins after the op's pre-dispatch phase (60% of 10us).
+    const auto &launch = runtimes[0];
+    EXPECT_EQ(launch.tsBeginNs, 6000);
+    EXPECT_EQ(launch.durNs, 1000);
+
+    // Kernel starts launchOverheadNs after the launch call begins.
+    EXPECT_EQ(kernels[0].tsBeginNs, launch.tsBeginNs + 2000);
+    EXPECT_EQ(kernels[0].durNs, 1500); // null kernel: minKernelNs
+}
+
+TEST(Simulator, OperatorEventSpansChildren)
+{
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result = simulator.run(singleKernelGraph());
+    auto ops = result.trace.ofKind(trace::EventKind::Operator);
+    ASSERT_EQ(ops.size(), 1u);
+    // 10us of CPU + 1us launch call.
+    EXPECT_EQ(ops[0].durNs, 11000);
+}
+
+TEST(Simulator, QueuedKernelsRunBackToBack)
+{
+    // Two heavy kernels launched quickly: the second must wait.
+    OperatorGraph graph;
+    hw::KernelWork w;
+    w.cls = hw::KernelClass::Elementwise;
+    w.bytes = 1e7; // 10 us on the toy GPU
+    graph.roots.push_back(workload::makeKernelOp("op1", 1000.0, "k", w));
+    graph.roots.push_back(workload::makeKernelOp("op2", 1000.0, "k", w));
+
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result = simulator.run(graph);
+    auto kernels = result.trace.ofKind(trace::EventKind::Kernel);
+    ASSERT_EQ(kernels.size(), 2u);
+    // Second kernel starts at first end + inter-kernel gap, not at its
+    // own launch + overhead.
+    EXPECT_EQ(kernels[1].tsBeginNs, kernels[0].tsEndNs() + 100);
+}
+
+TEST(Simulator, IdleStreamKernelsDoNotQueue)
+{
+    // Slow CPU (big ops) with tiny kernels: no queuing, so every
+    // kernel starts exactly launch + overhead.
+    OperatorGraph graph;
+    for (int i = 0; i < 5; ++i) {
+        hw::KernelWork w;
+        w.cls = hw::KernelClass::Null;
+        graph.roots.push_back(
+            workload::makeKernelOp("op", 50000.0, "k", w));
+    }
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result = simulator.run(graph);
+
+    auto kernels = result.trace.ofKind(trace::EventKind::Kernel);
+    auto runtimes = result.trace.ofKind(trace::EventKind::Runtime);
+    ASSERT_EQ(kernels.size(), 5u);
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        EXPECT_EQ(kernels[i].tsBeginNs,
+                  runtimes[i].tsBeginNs + 2000)
+            << "kernel " << i;
+    }
+}
+
+TEST(Simulator, CorrelationIdsLinkLaunchesToKernels)
+{
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result =
+        simulator.run(workload::buildNullKernelGraph(10));
+    EXPECT_TRUE(result.trace.validate().empty());
+    EXPECT_EQ(result.numKernels, 10u);
+}
+
+TEST(Simulator, DeterministicWithSameSeed)
+{
+    SimOptions opts;
+    opts.seed = 99;
+    workload::BuildOptions build;
+    build.batch = 2;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::gpt2(), build);
+
+    Simulator a(hw::platforms::intelH100(), opts);
+    Simulator b(hw::platforms::intelH100(), opts);
+    SimResult ra = a.run(graph);
+    SimResult rb = b.run(graph);
+    ASSERT_EQ(ra.trace.size(), rb.trace.size());
+    EXPECT_DOUBLE_EQ(ra.wallNs, rb.wallNs);
+    for (std::size_t i = 0; i < ra.trace.size(); ++i) {
+        EXPECT_EQ(ra.trace.events()[i].tsBeginNs,
+                  rb.trace.events()[i].tsBeginNs);
+    }
+}
+
+TEST(Simulator, DifferentSeedsJitterTimings)
+{
+    SimOptions opts_a;
+    opts_a.seed = 1;
+    SimOptions opts_b;
+    opts_b.seed = 2;
+    workload::OperatorGraph graph = workload::buildNullKernelGraph(100);
+    SimResult ra = Simulator(toyPlatform(), opts_a).run(graph);
+    SimResult rb = Simulator(toyPlatform(), opts_b).run(graph);
+    EXPECT_NE(ra.wallNs, rb.wallNs);
+}
+
+TEST(Simulator, MemcpyEmittedOnLooselyCoupled)
+{
+    workload::BuildOptions build;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::bertBaseUncased(), build);
+
+    SimResult lc = Simulator(hw::platforms::intelH100(), noJitter())
+        .run(graph);
+    EXPECT_EQ(lc.trace.countOf(trace::EventKind::Memcpy), 1u);
+}
+
+TEST(Simulator, MemcpySkippedOnUnifiedMemory)
+{
+    workload::BuildOptions build;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::bertBaseUncased(), build);
+
+    SimResult cc = Simulator(hw::platforms::gh200(), noJitter())
+        .run(graph);
+    EXPECT_EQ(cc.trace.countOf(trace::EventKind::Memcpy), 0u);
+}
+
+TEST(Simulator, SyncWaitsForLastKernel)
+{
+    OperatorGraph graph;
+    hw::KernelWork w;
+    w.cls = hw::KernelClass::Elementwise;
+    w.bytes = 1e8; // 100 us kernel, far outlasting CPU work
+    graph.roots.push_back(workload::makeKernelOp("op", 1000.0, "k", w));
+
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result = simulator.run(graph);
+    auto kernels = result.trace.ofKind(trace::EventKind::Kernel);
+    ASSERT_EQ(kernels.size(), 1u);
+    EXPECT_GE(result.wallNs,
+              static_cast<double>(kernels[0].tsEndNs()));
+
+    auto runtimes = result.trace.ofKind(trace::EventKind::Runtime);
+    const auto &sync = runtimes.back();
+    EXPECT_EQ(sync.name, "cudaDeviceSynchronize");
+    EXPECT_GE(sync.tsEndNs(), kernels[0].tsEndNs());
+}
+
+TEST(Simulator, WallCoversCpuAndGpu)
+{
+    Simulator simulator(toyPlatform(), noJitter());
+    SimResult result = simulator.run(singleKernelGraph());
+    EXPECT_GE(result.wallNs, static_cast<double>(result.trace.endNs()));
+    EXPECT_GT(result.gpuBusyNs, 0.0);
+}
+
+TEST(Simulator, SlowerCpuStretchesOperators)
+{
+    hw::Platform fast = toyPlatform();
+    hw::Platform slow = toyPlatform();
+    slow.cpu.singleThreadScore = 0.5;
+
+    OperatorGraph graph = singleKernelGraph(20000.0);
+    SimResult rf = Simulator(fast, noJitter()).run(graph);
+    SimResult rs = Simulator(slow, noJitter()).run(graph);
+
+    auto fast_op = rf.trace.ofKind(trace::EventKind::Operator)[0];
+    auto slow_op = rs.trace.ofKind(trace::EventKind::Operator)[0];
+    // 20us of framework time doubles; the 1us launch call does not.
+    EXPECT_EQ(fast_op.durNs, 21000);
+    EXPECT_EQ(slow_op.durNs, 41000);
+}
+
+TEST(Simulator, InvalidJitterFractionThrows)
+{
+    SimOptions opts;
+    opts.jitterFrac = 0.5;
+    EXPECT_THROW(Simulator(toyPlatform(), opts), FatalError);
+}
+
+TEST(Simulator, JitterStaysBounded)
+{
+    SimOptions opts;
+    opts.jitter = true;
+    opts.jitterFrac = 0.02;
+    Simulator simulator(toyPlatform(), opts);
+    SimResult result = simulator.run(workload::buildNullKernelGraph(500));
+    for (const auto &ev : result.trace.events()) {
+        if (ev.kind == trace::EventKind::Kernel) {
+            EXPECT_GT(ev.durNs, 1500 * 0.9);
+            EXPECT_LT(ev.durNs, 1500 * 1.1);
+        }
+    }
+}
+
+TEST(Simulator, TraceTimestampsMonotoneOnCpu)
+{
+    Simulator simulator(hw::platforms::amdA100(), {});
+    workload::BuildOptions build;
+    SimResult result = simulator.run(
+        workload::buildPrefillGraph(workload::gpt2(), build));
+    std::int64_t prev = -1;
+    for (const auto &ev : result.trace.events()) {
+        if (ev.kind == trace::EventKind::Runtime) {
+            EXPECT_GE(ev.tsBeginNs, prev);
+            prev = ev.tsBeginNs;
+        }
+    }
+}
+
+TEST(Simulator, StreamKernelsNeverOverlap)
+{
+    Simulator simulator(hw::platforms::gh200(), {});
+    workload::BuildOptions build;
+    build.batch = 8;
+    SimResult result = simulator.run(
+        workload::buildPrefillGraph(workload::bertBaseUncased(), build));
+    std::int64_t prev_end = -1;
+    for (const auto &ev : result.trace.events()) {
+        if (ev.onGpu()) {
+            EXPECT_GE(ev.tsBeginNs, prev_end);
+            prev_end = ev.tsEndNs();
+        }
+    }
+}
+
+TEST(Simulator, PlatformMetaRecorded)
+{
+    Simulator simulator(hw::platforms::gh200(), noJitter());
+    SimResult result = simulator.run(workload::buildNullKernelGraph(1));
+    EXPECT_EQ(result.trace.meta("platform"), "GH200");
+}
+
+} // namespace
+} // namespace skipsim::sim

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Unit tests for the SKIP core: dependency-graph construction (time
+ * containment + correlation linkage, paper Sec. IV-A) and the metric
+ * definitions TKLQT/AKD/IL/idle times (Eqs. 1-5) on hand-built traces
+ * with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/catalog.hh"
+#include "skip/dep_graph.hh"
+#include "skip/metrics.hh"
+#include "skip/profile.hh"
+
+namespace skipsim::skip
+{
+namespace
+{
+
+using trace::EventKind;
+using trace::Trace;
+using trace::TraceEvent;
+
+TraceEvent
+ev(EventKind kind, const std::string &name, std::int64_t begin,
+   std::int64_t dur, std::uint64_t corr = 0)
+{
+    TraceEvent event;
+    event.kind = kind;
+    event.name = name;
+    event.tsBeginNs = begin;
+    event.durNs = dur;
+    event.tid = 1;
+    event.correlationId = corr;
+    event.streamId =
+        (kind == EventKind::Kernel || kind == EventKind::Memcpy) ? 7 : -1;
+    return event;
+}
+
+/**
+ * A hand-crafted trace mirroring the paper's Fig. 4:
+ *
+ *   parent op [0, 100)
+ *     child op [10, 60)
+ *       launch l1 [20, 25) -> kernel k1 [30, 50)   (t_l = 10)
+ *     launch l2 [70, 75)   -> kernel k2 [90, 120)  (t_l = 20)
+ *   parent op2 [120, 140)
+ *     launch l3 [125, 130) -> kernel k3 [150, 160) (t_l = 25)
+ */
+Trace
+fig4Trace()
+{
+    Trace trace;
+    trace.add(ev(EventKind::Operator, "aten::parent", 0, 100));
+    trace.add(ev(EventKind::Operator, "aten::child", 10, 50));
+    trace.add(ev(EventKind::Runtime, "cudaLaunchKernel", 20, 5, 1));
+    trace.add(ev(EventKind::Kernel, "k1", 30, 20, 1));
+    trace.add(ev(EventKind::Runtime, "cudaLaunchKernel", 70, 5, 2));
+    trace.add(ev(EventKind::Kernel, "k2", 90, 30, 2));
+    trace.add(ev(EventKind::Operator, "aten::parent2", 120, 20));
+    trace.add(ev(EventKind::Runtime, "cudaLaunchKernel", 125, 5, 3));
+    trace.add(ev(EventKind::Kernel, "k3", 150, 10, 3));
+    return trace;
+}
+
+// ------------------------------------------------------- dependency graph
+
+TEST(DepGraph, ParentChildByContainment)
+{
+    DependencyGraph graph = DependencyGraph::build(fig4Trace());
+    // Root ops: parent (id 0) and parent2 (id 6).
+    ASSERT_EQ(graph.rootOps().size(), 2u);
+    EXPECT_EQ(graph.rootOps()[0], 0u);
+    EXPECT_EQ(graph.rootOps()[1], 6u);
+
+    // child (id 1) is inside parent (id 0).
+    ASSERT_TRUE(graph.parentOf(1).has_value());
+    EXPECT_EQ(*graph.parentOf(1), 0u);
+    EXPECT_FALSE(graph.parentOf(0).has_value());
+}
+
+TEST(DepGraph, LaunchBelongsToDeepestContainingOp)
+{
+    DependencyGraph graph = DependencyGraph::build(fig4Trace());
+    // l1 (id 2) is inside child (id 1), not directly inside parent.
+    ASSERT_TRUE(graph.parentOf(2).has_value());
+    EXPECT_EQ(*graph.parentOf(2), 1u);
+    // l2 (id 4) is inside parent only.
+    ASSERT_TRUE(graph.parentOf(4).has_value());
+    EXPECT_EQ(*graph.parentOf(4), 0u);
+}
+
+TEST(DepGraph, RootAncestorWalksUp)
+{
+    DependencyGraph graph = DependencyGraph::build(fig4Trace());
+    EXPECT_EQ(graph.rootAncestorOf(2), 0u);
+    EXPECT_EQ(graph.rootAncestorOf(8), 8u); // kernels have no CPU parent
+}
+
+TEST(DepGraph, KernelsLinkedByCorrelation)
+{
+    DependencyGraph graph = DependencyGraph::build(fig4Trace());
+    auto kernels = graph.kernels();
+    ASSERT_EQ(kernels.size(), 3u);
+    EXPECT_EQ(kernels[0].launchToStartNs, 10);
+    EXPECT_EQ(kernels[1].launchToStartNs, 20);
+    EXPECT_EQ(kernels[2].launchToStartNs, 25);
+    ASSERT_TRUE(kernels[0].rootOpId.has_value());
+    EXPECT_EQ(*kernels[0].rootOpId, 0u);
+    EXPECT_EQ(*kernels[2].rootOpId, 6u);
+}
+
+TEST(DepGraph, KernelsInStreamOrder)
+{
+    Trace trace = fig4Trace();
+    // Shuffle insertion: add a later kernel before an earlier one.
+    DependencyGraph graph = DependencyGraph::build(std::move(trace));
+    std::int64_t prev = -1;
+    for (const auto &link : graph.kernels()) {
+        std::int64_t begin = graph.trace().byId(link.kernelId).tsBeginNs;
+        EXPECT_GE(begin, prev);
+        prev = begin;
+    }
+}
+
+TEST(DepGraph, OrphanKernelThrows)
+{
+    Trace trace;
+    trace.add(ev(EventKind::Kernel, "k", 0, 10, 42));
+    EXPECT_THROW(DependencyGraph::build(std::move(trace)), FatalError);
+}
+
+TEST(DepGraph, ChildrenListsPopulated)
+{
+    DependencyGraph graph = DependencyGraph::build(fig4Trace());
+    const auto &kids = graph.childrenOf(0);
+    // parent (id 0) contains child (1) and l2 (4).
+    ASSERT_EQ(kids.size(), 2u);
+    EXPECT_EQ(kids[0], 1u);
+    EXPECT_EQ(kids[1], 4u);
+}
+
+TEST(DepGraph, SeparateThreadsDoNotNest)
+{
+    Trace trace;
+    TraceEvent a = ev(EventKind::Operator, "t1-op", 0, 100);
+    a.tid = 1;
+    TraceEvent b = ev(EventKind::Operator, "t2-op", 10, 20);
+    b.tid = 2;
+    trace.add(a);
+    trace.add(b);
+    DependencyGraph graph = DependencyGraph::build(std::move(trace));
+    EXPECT_FALSE(graph.parentOf(1).has_value());
+    EXPECT_EQ(graph.rootOps().size(), 2u);
+}
+
+TEST(DepGraph, MemcpyExcludedFromKernelsOnly)
+{
+    Trace trace = fig4Trace();
+    trace.add(ev(EventKind::Runtime, "cudaMemcpyAsync", 130, 5, 9));
+    trace.add(ev(EventKind::Memcpy, "Memcpy HtoD", 140, 5, 9));
+    DependencyGraph graph = DependencyGraph::build(std::move(trace));
+    EXPECT_EQ(graph.kernels().size(), 4u);
+    EXPECT_EQ(graph.computeKernelsOnly().size(), 3u);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, TklqtSumsLaunchToStart)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    // Eq. 2: 10 + 20 + 25.
+    EXPECT_DOUBLE_EQ(report.tklqtNs, 55.0);
+}
+
+TEST(Metrics, AkdIsMeanKernelDuration)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    // Eq. 3: (20 + 30 + 10) / 3.
+    EXPECT_DOUBLE_EQ(report.akdNs, 20.0);
+}
+
+TEST(Metrics, InferenceLatencySpansFirstOpToLastKernel)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    // Eq. 4: ts_e(k3)=160 - ts_b(parent)=0.
+    EXPECT_DOUBLE_EQ(report.ilNs, 160.0);
+}
+
+TEST(Metrics, GpuIdleIsIlMinusKernelTime)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    // Eq. 5: 160 - 60.
+    EXPECT_DOUBLE_EQ(report.gpuIdleNs, 100.0);
+    EXPECT_DOUBLE_EQ(report.gpuBusyNs, 60.0);
+}
+
+TEST(Metrics, CpuBusyAndIdle)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    // Root ops cover [0,100) and [120,140): busy 120, idle 40.
+    EXPECT_DOUBLE_EQ(report.cpuBusyNs, 120.0);
+    EXPECT_DOUBLE_EQ(report.cpuIdleNs, 40.0);
+}
+
+TEST(Metrics, CountsAndAverages)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    EXPECT_EQ(report.numKernels, 3u);
+    EXPECT_EQ(report.numOps, 3u);
+    EXPECT_NEAR(report.avgLaunchNs, 55.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, EmptyTraceAllZero)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(Trace{}));
+    EXPECT_DOUBLE_EQ(report.tklqtNs, 0.0);
+    EXPECT_DOUBLE_EQ(report.ilNs, 0.0);
+    EXPECT_EQ(report.numKernels, 0u);
+}
+
+TEST(Metrics, ByKernelAggregation)
+{
+    Trace trace;
+    trace.add(ev(EventKind::Operator, "op", 0, 100));
+    trace.add(ev(EventKind::Runtime, "l", 10, 2, 1));
+    trace.add(ev(EventKind::Kernel, "gemm", 20, 30, 1));
+    trace.add(ev(EventKind::Runtime, "l", 40, 2, 2));
+    trace.add(ev(EventKind::Kernel, "gemm", 60, 40, 2));
+    trace.add(ev(EventKind::Runtime, "l", 50, 2, 3));
+    trace.add(ev(EventKind::Kernel, "softmax", 110, 5, 3));
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(std::move(trace)));
+    ASSERT_EQ(report.byKernel.size(), 2u);
+    EXPECT_EQ(report.byKernel[0].name, "gemm"); // sorted by count
+    EXPECT_EQ(report.byKernel[0].count, 2u);
+    EXPECT_DOUBLE_EQ(report.byKernel[0].totalDurNs, 70.0);
+    EXPECT_DOUBLE_EQ(report.byKernel[0].meanDurNs(), 35.0);
+}
+
+TEST(Metrics, TopKByCriteria)
+{
+    Trace trace;
+    trace.add(ev(EventKind::Operator, "op", 0, 1000));
+    // "frequent": 3 launches, short; "heavy": 1 launch, long + big wait.
+    for (int i = 0; i < 3; ++i) {
+        auto corr = static_cast<std::uint64_t>(i + 1);
+        trace.add(ev(EventKind::Runtime, "l", 10 + i * 20, 2, corr));
+        trace.add(ev(EventKind::Kernel, "frequent", 15 + i * 20, 4,
+                     corr));
+    }
+    trace.add(ev(EventKind::Runtime, "l", 100, 2, 9));
+    trace.add(ev(EventKind::Kernel, "heavy", 400, 500, 9));
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(std::move(trace)));
+
+    auto by_count = report.topK(1, TopKBy::Count);
+    ASSERT_EQ(by_count.size(), 1u);
+    EXPECT_EQ(by_count[0].name, "frequent");
+
+    auto by_dur = report.topK(1, TopKBy::Duration);
+    EXPECT_EQ(by_dur[0].name, "heavy");
+
+    auto by_launch = report.topK(1, TopKBy::LaunchOverhead);
+    EXPECT_EQ(by_launch[0].name, "heavy");
+
+    EXPECT_EQ(report.topK(10, TopKBy::Count).size(), 2u);
+}
+
+TEST(Metrics, RenderAndJsonContainHeadlineNumbers)
+{
+    MetricsReport report =
+        computeMetrics(DependencyGraph::build(fig4Trace()));
+    std::string text = report.render();
+    EXPECT_NE(text.find("TKLQT"), std::string::npos);
+
+    json::Value doc = report.toJson();
+    EXPECT_DOUBLE_EQ(doc.asObject().at("tklqt_ns").asDouble(), 55.0);
+    EXPECT_EQ(doc.asObject().at("num_kernels").asInt(), 3);
+    EXPECT_EQ(doc.asObject().at("kernels").asArray().size(), 3u);
+}
+
+// --------------------------------------------------------- profile session
+
+TEST(Profile, EndToEndBertRun)
+{
+    ProfileResult result = profilePrefill(
+        workload::bertBaseUncased(), hw::platforms::intelH100(), 1);
+    EXPECT_EQ(result.modelName, "Bert-Base-Uncased");
+    EXPECT_EQ(result.platformName, "Intel+H100");
+    EXPECT_EQ(result.metrics.numKernels, 299u);
+    EXPECT_GT(result.ttftNs(), 0.0);
+    EXPECT_GE(result.wallNs, result.ttftNs());
+}
+
+TEST(Profile, TraceCarriesRunMetadata)
+{
+    ProfileResult result = profilePrefill(
+        workload::gpt2(), hw::platforms::gh200(), 4, 256);
+    EXPECT_EQ(result.trace.meta("model"), "GPT2");
+    EXPECT_EQ(result.trace.meta("platform"), "GH200");
+    EXPECT_EQ(result.trace.meta("batch"), "4");
+    EXPECT_EQ(result.trace.meta("seq_len"), "256");
+    EXPECT_EQ(result.trace.meta("mode"), "eager");
+}
+
+TEST(Profile, MetricsConsistentWithinRun)
+{
+    ProfileResult result = profilePrefill(
+        workload::gpt2(), hw::platforms::amdA100(), 2);
+    const auto &m = result.metrics;
+    EXPECT_NEAR(m.gpuBusyNs + m.gpuIdleNs, m.ilNs, 1.0);
+    EXPECT_GE(m.ilNs, m.gpuBusyNs);
+    EXPECT_GE(m.tklqtNs,
+              static_cast<double>(m.numKernels) * 2000.0);
+}
+
+TEST(Profile, FlashModeReducesKernelCount)
+{
+    ProfileResult eager = profilePrefill(
+        workload::llama32_1b(), hw::platforms::intelH100(), 1, 256);
+    ProfileResult fa2 = profilePrefill(
+        workload::llama32_1b(), hw::platforms::intelH100(), 1, 256,
+        workload::ExecMode::FlashAttention2);
+    EXPECT_LT(fa2.metrics.numKernels, eager.metrics.numKernels);
+}
+
+} // namespace
+} // namespace skipsim::skip

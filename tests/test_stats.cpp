@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the stats substrate: summary accumulators,
+ * percentiles, linear fits, series and knee detection.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/knee.hh"
+#include "stats/series.hh"
+#include "stats/summary.hh"
+
+namespace skipsim::stats
+{
+namespace
+{
+
+// ---------------------------------------------------------------- summary
+
+TEST(Summary, CountSumMean)
+{
+    Summary s;
+    s.addAll({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Summary, MinMaxTracked)
+{
+    Summary s;
+    s.addAll({5.0, -2.0, 7.0});
+    EXPECT_DOUBLE_EQ(s.min(), -2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, VarianceMatchesDefinition)
+{
+    Summary s;
+    s.addAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    // Known dataset: population var 4, sample var 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, SingleSampleVarianceZero)
+{
+    Summary s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, EmptyAccessorsThrow)
+{
+    Summary s;
+    EXPECT_THROW(s.mean(), FatalError);
+    EXPECT_THROW(s.min(), FatalError);
+    EXPECT_THROW(s.max(), FatalError);
+}
+
+TEST(Summary, WelfordStableForLargeOffsets)
+{
+    Summary s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(1e9 + (i % 2));
+    EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+// ------------------------------------------------------------- percentile
+
+TEST(Percentile, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, MedianOfEvenCountInterpolates)
+{
+    EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, SingleSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, InvalidInputsThrow)
+{
+    EXPECT_THROW(percentile({}, 50.0), FatalError);
+    EXPECT_THROW(percentile({1.0}, -1.0), FatalError);
+    EXPECT_THROW(percentile({1.0}, 101.0), FatalError);
+}
+
+// ---------------------------------------------------------------- geomean
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), FatalError);
+    EXPECT_THROW(geomean({}), FatalError);
+}
+
+// -------------------------------------------------------------- linear fit
+
+TEST(LinearFit, ExactLine)
+{
+    LinearFit fit = fitLinear({0.0, 1.0, 2.0}, {1.0, 3.0, 5.0});
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.at(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, LeastSquaresOnNoisyData)
+{
+    LinearFit fit =
+        fitLinear({1.0, 2.0, 3.0, 4.0}, {2.1, 3.9, 6.1, 7.9});
+    EXPECT_NEAR(fit.slope, 2.0, 0.1);
+}
+
+TEST(LinearFit, DegenerateInputsThrow)
+{
+    EXPECT_THROW(fitLinear({1.0}, {1.0}), FatalError);
+    EXPECT_THROW(fitLinear({1.0, 1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(fitLinear({1.0, 2.0}, {1.0}), FatalError);
+}
+
+// ----------------------------------------------------------------- series
+
+TEST(Series, KeepsSortedByX)
+{
+    Series s("test");
+    s.add(4.0, 40.0);
+    s.add(1.0, 10.0);
+    s.add(2.0, 20.0);
+    auto xs = s.xs();
+    EXPECT_EQ(xs, (std::vector<double>{1.0, 2.0, 4.0}));
+    EXPECT_EQ(s.ys(), (std::vector<double>{10.0, 20.0, 40.0}));
+}
+
+TEST(Series, ExactLookup)
+{
+    Series s;
+    s.add(8.0, 80.0);
+    EXPECT_DOUBLE_EQ(s.at(8.0), 80.0);
+    EXPECT_TRUE(s.hasX(8.0));
+    EXPECT_FALSE(s.hasX(9.0));
+    EXPECT_THROW(s.at(9.0), FatalError);
+}
+
+TEST(Series, InterpolationInside)
+{
+    Series s;
+    s.add(0.0, 0.0);
+    s.add(10.0, 100.0);
+    EXPECT_DOUBLE_EQ(s.interpolate(5.0), 50.0);
+}
+
+TEST(Series, InterpolationClampsOutside)
+{
+    Series s;
+    s.add(1.0, 10.0);
+    s.add(2.0, 20.0);
+    EXPECT_DOUBLE_EQ(s.interpolate(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.interpolate(9.0), 20.0);
+}
+
+TEST(Series, InterpolateEmptyThrows)
+{
+    Series s;
+    EXPECT_THROW(s.interpolate(1.0), FatalError);
+}
+
+TEST(Series, FirstCrossBelowFindsCrossover)
+{
+    Series a("challenger");
+    Series b("baseline");
+    for (double x : {1.0, 2.0, 4.0, 8.0}) {
+        a.add(x, 10.0);       // flat challenger
+        b.add(x, 3.0 * x);    // rising baseline
+    }
+    auto cross = firstCrossBelow(a, b);
+    ASSERT_TRUE(cross.has_value());
+    EXPECT_DOUBLE_EQ(*cross, 4.0);
+}
+
+TEST(Series, FirstCrossBelowNoneWhenAlwaysAbove)
+{
+    Series a;
+    Series b;
+    for (double x : {1.0, 2.0}) {
+        a.add(x, 100.0);
+        b.add(x, 1.0);
+    }
+    EXPECT_FALSE(firstCrossBelow(a, b).has_value());
+}
+
+// ------------------------------------------------------------------- knee
+
+TEST(Knee, DetectsPlateauThenRise)
+{
+    Series s;
+    s.add(1.0, 10.0);
+    s.add(2.0, 11.0);
+    s.add(4.0, 10.5);
+    s.add(8.0, 50.0);
+    s.add(16.0, 200.0);
+    KneeResult knee = detectKnee(s, 1.5);
+    ASSERT_TRUE(knee.kneeX.has_value());
+    EXPECT_DOUBLE_EQ(*knee.kneeX, 8.0);
+    EXPECT_DOUBLE_EQ(knee.lastPlateauX, 4.0);
+    EXPECT_NEAR(knee.plateauLevel, 10.5, 1.0);
+}
+
+TEST(Knee, NoKneeOnFlatSeries)
+{
+    Series s;
+    for (double x : {1.0, 2.0, 4.0, 8.0})
+        s.add(x, 5.0);
+    KneeResult knee = detectKnee(s, 1.5);
+    EXPECT_FALSE(knee.kneeX.has_value());
+    EXPECT_DOUBLE_EQ(knee.lastPlateauX, 8.0);
+}
+
+TEST(Knee, ToleratesSlowDriftWithinMargin)
+{
+    Series s;
+    s.add(1.0, 10.0);
+    s.add(2.0, 12.0);
+    s.add(4.0, 13.0);
+    s.add(8.0, 14.0);
+    s.add(16.0, 100.0);
+    KneeResult knee = detectKnee(s, 1.6);
+    ASSERT_TRUE(knee.kneeX.has_value());
+    EXPECT_DOUBLE_EQ(*knee.kneeX, 16.0);
+}
+
+TEST(Knee, ImmediateRiseKneesAtSecondPoint)
+{
+    Series s;
+    s.add(1.0, 1.0);
+    s.add(2.0, 100.0);
+    s.add(4.0, 200.0);
+    KneeResult knee = detectKnee(s, 1.5, 1);
+    ASSERT_TRUE(knee.kneeX.has_value());
+    EXPECT_DOUBLE_EQ(*knee.kneeX, 2.0);
+}
+
+TEST(Knee, InvalidArgumentsThrow)
+{
+    Series s;
+    EXPECT_THROW(detectKnee(s), FatalError);
+    s.add(1.0, 1.0);
+    EXPECT_THROW(detectKnee(s, 1.0), FatalError);
+    EXPECT_THROW(detectKnee(s, 0.5), FatalError);
+}
+
+TEST(Knee, SeedPointsClampedToSize)
+{
+    Series s;
+    s.add(1.0, 5.0);
+    s.add(2.0, 50.0);
+    KneeResult knee = detectKnee(s, 1.5, 10);
+    // With both points seeding the plateau there is nothing left to
+    // rise, so no knee is reported.
+    EXPECT_FALSE(knee.kneeX.has_value());
+}
+
+} // namespace
+} // namespace skipsim::stats

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: event model, trace container,
+ * validation, and Chrome-trace JSON round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "trace/chrome.hh"
+#include "trace/event.hh"
+#include "trace/trace.hh"
+
+namespace skipsim::trace
+{
+namespace
+{
+
+TraceEvent
+makeEvent(EventKind kind, const std::string &name, std::int64_t begin,
+          std::int64_t dur, std::uint64_t corr = 0, int stream = -1)
+{
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.name = name;
+    ev.tsBeginNs = begin;
+    ev.durNs = dur;
+    ev.tid = 1;
+    ev.correlationId = corr;
+    ev.streamId = kind == EventKind::Kernel || kind == EventKind::Memcpy
+        ? (stream < 0 ? 7 : stream)
+        : -1;
+    return ev;
+}
+
+// ------------------------------------------------------------------ event
+
+TEST(TraceEvent, KindNamesRoundTrip)
+{
+    for (EventKind kind :
+         {EventKind::Operator, EventKind::Runtime, EventKind::Kernel,
+          EventKind::Memcpy}) {
+        EXPECT_EQ(kindFromName(kindName(kind)), kind);
+    }
+}
+
+TEST(TraceEvent, UnknownKindNameThrows)
+{
+    EXPECT_THROW(kindFromName("python_function"), FatalError);
+}
+
+TEST(TraceEvent, CpuGpuPredicates)
+{
+    EXPECT_TRUE(makeEvent(EventKind::Operator, "op", 0, 1).onCpu());
+    EXPECT_TRUE(makeEvent(EventKind::Runtime, "rt", 0, 1).onCpu());
+    EXPECT_TRUE(makeEvent(EventKind::Kernel, "k", 0, 1).onGpu());
+    EXPECT_TRUE(makeEvent(EventKind::Memcpy, "m", 0, 1).onGpu());
+}
+
+TEST(TraceEvent, EndTimestamp)
+{
+    EXPECT_EQ(makeEvent(EventKind::Kernel, "k", 10, 5).tsEndNs(), 15);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, AssignsDenseIds)
+{
+    Trace trace;
+    EXPECT_EQ(trace.add(makeEvent(EventKind::Operator, "a", 0, 1)), 0u);
+    EXPECT_EQ(trace.add(makeEvent(EventKind::Operator, "b", 1, 1)), 1u);
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(Trace, SortByTimeOrdersByBeginThenId)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Operator, "late", 100, 1));
+    trace.add(makeEvent(EventKind::Operator, "early", 5, 1));
+    trace.add(makeEvent(EventKind::Operator, "tie-a", 50, 1));
+    trace.add(makeEvent(EventKind::Operator, "tie-b", 50, 1));
+    trace.sortByTime();
+    EXPECT_EQ(trace.events()[0].name, "early");
+    EXPECT_EQ(trace.events()[1].name, "tie-a");
+    EXPECT_EQ(trace.events()[3].name, "late");
+}
+
+TEST(Trace, ByIdWorksAfterSorting)
+{
+    Trace trace;
+    std::uint64_t id = trace.add(makeEvent(EventKind::Operator, "x",
+                                           100, 1));
+    trace.add(makeEvent(EventKind::Operator, "y", 1, 1));
+    trace.sortByTime();
+    EXPECT_EQ(trace.byId(id).name, "x");
+}
+
+TEST(Trace, ByIdUnknownThrows)
+{
+    Trace trace;
+    EXPECT_THROW(trace.byId(3), FatalError);
+}
+
+TEST(Trace, KindFilters)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Operator, "op", 0, 1));
+    trace.add(makeEvent(EventKind::Kernel, "k", 1, 1, 1));
+    trace.add(makeEvent(EventKind::Kernel, "k", 2, 1, 2));
+    EXPECT_EQ(trace.countOf(EventKind::Kernel), 2u);
+    EXPECT_EQ(trace.ofKind(EventKind::Operator).size(), 1u);
+}
+
+TEST(Trace, BeginEndSpan)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Operator, "a", 10, 5));
+    trace.add(makeEvent(EventKind::Kernel, "k", 12, 20, 1));
+    EXPECT_EQ(trace.beginNs(), 10);
+    EXPECT_EQ(trace.endNs(), 32);
+}
+
+TEST(Trace, EmptySpanThrows)
+{
+    Trace trace;
+    EXPECT_THROW(trace.beginNs(), FatalError);
+    EXPECT_THROW(trace.endNs(), FatalError);
+}
+
+TEST(Trace, MetaRoundTrip)
+{
+    Trace trace;
+    trace.setMeta("model", "GPT2");
+    trace.setMeta("model", "Llama");
+    trace.setMeta("batch", "4");
+    EXPECT_EQ(trace.meta("model"), "Llama");
+    EXPECT_EQ(trace.meta("batch"), "4");
+    EXPECT_EQ(trace.meta("missing"), "");
+    EXPECT_EQ(trace.metaEntries().size(), 2u);
+}
+
+// -------------------------------------------------------------- validate
+
+TEST(TraceValidate, CleanTraceHasNoProblems)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Runtime, "cudaLaunchKernel", 0, 2, 1));
+    trace.add(makeEvent(EventKind::Kernel, "k", 3, 5, 1));
+    EXPECT_TRUE(trace.validate().empty());
+}
+
+TEST(TraceValidate, NegativeDurationFlagged)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Operator, "op", 0, -1));
+    EXPECT_FALSE(trace.validate().empty());
+}
+
+TEST(TraceValidate, KernelWithoutStreamFlagged)
+{
+    Trace trace;
+    TraceEvent ev = makeEvent(EventKind::Kernel, "k", 0, 1, 1);
+    ev.streamId = -1;
+    trace.add(ev);
+    trace.add(makeEvent(EventKind::Runtime, "l", 0, 1, 1));
+    EXPECT_FALSE(trace.validate().empty());
+}
+
+TEST(TraceValidate, OrphanKernelFlagged)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Kernel, "k", 0, 1, 99));
+    EXPECT_FALSE(trace.validate().empty());
+}
+
+TEST(TraceValidate, DuplicateCorrelationFlagged)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Runtime, "l1", 0, 1, 5));
+    trace.add(makeEvent(EventKind::Runtime, "l2", 2, 1, 5));
+    trace.add(makeEvent(EventKind::Kernel, "k", 4, 1, 5));
+    EXPECT_FALSE(trace.validate().empty());
+}
+
+TEST(TraceValidate, LaunchWithoutKernelIsLegal)
+{
+    Trace trace;
+    trace.add(makeEvent(EventKind::Runtime, "cudaMemsetAsync", 0, 1, 3));
+    EXPECT_TRUE(trace.validate().empty());
+}
+
+// ----------------------------------------------------------- chrome trace
+
+Trace
+sampleTrace()
+{
+    Trace trace;
+    trace.setMeta("platform", "Intel+H100");
+    trace.setMeta("model", "GPT2");
+    TraceEvent op = makeEvent(EventKind::Operator, "aten::linear", 0, 100);
+    trace.add(op);
+    trace.add(makeEvent(EventKind::Runtime, "cudaLaunchKernel", 10, 2, 1));
+    TraceEvent k = makeEvent(EventKind::Kernel, "gemm_f16", 14, 30, 1);
+    k.flops = 1.5e9;
+    k.bytes = 2.5e6;
+    trace.add(k);
+    TraceEvent mc = makeEvent(EventKind::Memcpy, "Memcpy HtoD", 50, 8, 2);
+    trace.add(mc);
+    trace.add(makeEvent(EventKind::Runtime, "cudaMemcpyAsync", 44, 2, 2));
+    trace.sortByTime();
+    return trace;
+}
+
+TEST(ChromeTrace, RoundTripPreservesEvents)
+{
+    Trace original = sampleTrace();
+    Trace parsed = fromChromeText(toChromeText(original));
+    ASSERT_EQ(parsed.size(), original.size());
+
+    // Compare sorted views field by field.
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const TraceEvent &a = original.events()[i];
+        const TraceEvent &b = parsed.events()[i];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.tsBeginNs, b.tsBeginNs);
+        EXPECT_EQ(a.durNs, b.durNs);
+        EXPECT_EQ(a.correlationId, b.correlationId);
+        EXPECT_EQ(a.streamId, b.streamId);
+        EXPECT_DOUBLE_EQ(a.flops, b.flops);
+        EXPECT_DOUBLE_EQ(a.bytes, b.bytes);
+    }
+}
+
+TEST(ChromeTrace, RoundTripPreservesMeta)
+{
+    Trace parsed = fromChromeText(toChromeText(sampleTrace()));
+    EXPECT_EQ(parsed.meta("platform"), "Intel+H100");
+    EXPECT_EQ(parsed.meta("model"), "GPT2");
+}
+
+TEST(ChromeTrace, AcceptsMicrosecondOnlyEvents)
+{
+    // Kineto-style export with only us-resolution ts/dur.
+    std::string text = R"({"traceEvents":[
+        {"ph":"X","name":"k","cat":"kernel","ts":12.5,"dur":3.25,
+         "pid":0,"tid":1007,"args":{"correlation":4,"stream":7}},
+        {"ph":"X","name":"cudaLaunchKernel","cat":"cuda_runtime",
+         "ts":10.0,"dur":2.0,"pid":0,"tid":1,
+         "args":{"correlation":4}}]})";
+    Trace trace = fromChromeText(text);
+    ASSERT_EQ(trace.size(), 2u);
+    const TraceEvent &k = trace.events()[1];
+    EXPECT_EQ(k.kind, EventKind::Kernel);
+    EXPECT_EQ(k.tsBeginNs, 12500);
+    EXPECT_EQ(k.durNs, 3250);
+    EXPECT_EQ(k.streamId, 7);
+}
+
+TEST(ChromeTrace, SkipsUnknownCategoriesAndPhases)
+{
+    std::string text = R"({"traceEvents":[
+        {"ph":"X","name":"py","cat":"python_function","ts":0,"dur":1},
+        {"ph":"M","name":"meta","cat":"kernel"},
+        {"ph":"X","name":"op","cat":"cpu_op","ts":0,"dur":1,"tid":1}]})";
+    Trace trace = fromChromeText(text);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.events()[0].name, "op");
+}
+
+TEST(ChromeTrace, MissingTraceEventsThrows)
+{
+    EXPECT_THROW(fromChromeText("{}"), FatalError);
+}
+
+TEST(ChromeTrace, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/skipsim_trace_test.json";
+    writeChromeFile(path, sampleTrace());
+    Trace parsed = readChromeFile(path);
+    EXPECT_EQ(parsed.size(), sampleTrace().size());
+}
+
+TEST(ChromeTrace, GpuTidEncodesStream)
+{
+    json::Value doc = toChromeJson(sampleTrace());
+    bool found = false;
+    for (const auto &item : doc.asObject().at("traceEvents").asArray()) {
+        const auto &obj = item.asObject();
+        if (obj.at("cat").asString() == "kernel") {
+            EXPECT_EQ(obj.at("tid").asInt(), 1007);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace skipsim::trace
