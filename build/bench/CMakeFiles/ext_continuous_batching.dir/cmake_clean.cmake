@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_continuous_batching.dir/ext_continuous_batching.cpp.o"
+  "CMakeFiles/ext_continuous_batching.dir/ext_continuous_batching.cpp.o.d"
+  "ext_continuous_batching"
+  "ext_continuous_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_continuous_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fusion_validation.dir/ext_fusion_validation.cpp.o"
+  "CMakeFiles/ext_fusion_validation.dir/ext_fusion_validation.cpp.o.d"
+  "ext_fusion_validation"
+  "ext_fusion_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fusion_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

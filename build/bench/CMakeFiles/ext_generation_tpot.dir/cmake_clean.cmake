@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_generation_tpot.dir/ext_generation_tpot.cpp.o"
+  "CMakeFiles/ext_generation_tpot.dir/ext_generation_tpot.cpp.o.d"
+  "ext_generation_tpot"
+  "ext_generation_tpot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_generation_tpot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

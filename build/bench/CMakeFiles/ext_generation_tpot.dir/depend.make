@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_generation_tpot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_serving_slo.dir/ext_serving_slo.cpp.o"
+  "CMakeFiles/ext_serving_slo.dir/ext_serving_slo.cpp.o.d"
+  "ext_serving_slo"
+  "ext_serving_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_serving_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_speculative_decoding.dir/ext_speculative_decoding.cpp.o"
+  "CMakeFiles/ext_speculative_decoding.dir/ext_speculative_decoding.cpp.o.d"
+  "ext_speculative_decoding"
+  "ext_speculative_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_speculative_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tensor_parallel.dir/ext_tensor_parallel.cpp.o"
+  "CMakeFiles/ext_tensor_parallel.dir/ext_tensor_parallel.cpp.o.d"
+  "ext_tensor_parallel"
+  "ext_tensor_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tensor_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_encoder_latency.dir/fig10_encoder_latency.cpp.o"
+  "CMakeFiles/fig10_encoder_latency.dir/fig10_encoder_latency.cpp.o.d"
+  "fig10_encoder_latency"
+  "fig10_encoder_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_encoder_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

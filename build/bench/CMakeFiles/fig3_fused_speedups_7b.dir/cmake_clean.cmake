@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fused_speedups_7b.dir/fig3_fused_speedups_7b.cpp.o"
+  "CMakeFiles/fig3_fused_speedups_7b.dir/fig3_fused_speedups_7b.cpp.o.d"
+  "fig3_fused_speedups_7b"
+  "fig3_fused_speedups_7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fused_speedups_7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_fused_speedups_7b.
+# This may be replaced when dependencies are built.

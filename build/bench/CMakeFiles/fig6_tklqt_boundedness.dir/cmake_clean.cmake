@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tklqt_boundedness.dir/fig6_tklqt_boundedness.cpp.o"
+  "CMakeFiles/fig6_tklqt_boundedness.dir/fig6_tklqt_boundedness.cpp.o.d"
+  "fig6_tklqt_boundedness"
+  "fig6_tklqt_boundedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tklqt_boundedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

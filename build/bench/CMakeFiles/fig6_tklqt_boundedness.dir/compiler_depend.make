@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_tklqt_boundedness.
+# This may be replaced when dependencies are built.

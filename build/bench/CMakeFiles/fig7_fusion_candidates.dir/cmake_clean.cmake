@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fusion_candidates.dir/fig7_fusion_candidates.cpp.o"
+  "CMakeFiles/fig7_fusion_candidates.dir/fig7_fusion_candidates.cpp.o.d"
+  "fig7_fusion_candidates"
+  "fig7_fusion_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fusion_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

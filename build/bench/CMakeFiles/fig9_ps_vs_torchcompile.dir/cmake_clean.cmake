@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ps_vs_torchcompile.dir/fig9_ps_vs_torchcompile.cpp.o"
+  "CMakeFiles/fig9_ps_vs_torchcompile.dir/fig9_ps_vs_torchcompile.cpp.o.d"
+  "fig9_ps_vs_torchcompile"
+  "fig9_ps_vs_torchcompile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ps_vs_torchcompile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench_engine.cpp" "bench/CMakeFiles/microbench_engine.dir/microbench_engine.cpp.o" "gcc" "bench/CMakeFiles/microbench_engine.dir/microbench_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skipsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/skipsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/skipsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/skipsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skipsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skipsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/skipsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/skip/CMakeFiles/skipsim_skip.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/skipsim_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/skipsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/skipsim_serving.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

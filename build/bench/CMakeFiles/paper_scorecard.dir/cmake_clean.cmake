@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_scorecard.dir/paper_scorecard.cpp.o"
+  "CMakeFiles/paper_scorecard.dir/paper_scorecard.cpp.o.d"
+  "paper_scorecard"
+  "paper_scorecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_compile_modes.dir/table1_compile_modes.cpp.o"
+  "CMakeFiles/table1_compile_modes.dir/table1_compile_modes.cpp.o.d"
+  "table1_compile_modes"
+  "table1_compile_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_compile_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_nullkernel.dir/table5_nullkernel.cpp.o"
+  "CMakeFiles/table5_nullkernel.dir/table5_nullkernel.cpp.o.d"
+  "table5_nullkernel"
+  "table5_nullkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_nullkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_advisor.dir/fusion_advisor.cpp.o"
+  "CMakeFiles/fusion_advisor.dir/fusion_advisor.cpp.o.d"
+  "fusion_advisor"
+  "fusion_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

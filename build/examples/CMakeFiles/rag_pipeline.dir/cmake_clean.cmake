@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_pipeline.dir/rag_pipeline.cpp.o"
+  "CMakeFiles/rag_pipeline.dir/rag_pipeline.cpp.o.d"
+  "rag_pipeline"
+  "rag_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

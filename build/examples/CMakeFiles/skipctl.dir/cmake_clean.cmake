@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipctl.dir/skipctl.cpp.o"
+  "CMakeFiles/skipctl.dir/skipctl.cpp.o.d"
+  "skipctl"
+  "skipctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_analysis.dir/boundedness.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/boundedness.cc.o.d"
+  "CMakeFiles/skipsim_analysis.dir/compare.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/compare.cc.o.d"
+  "CMakeFiles/skipsim_analysis.dir/energy.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/energy.cc.o.d"
+  "CMakeFiles/skipsim_analysis.dir/generation.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/generation.cc.o.d"
+  "CMakeFiles/skipsim_analysis.dir/report.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/report.cc.o.d"
+  "CMakeFiles/skipsim_analysis.dir/speculative.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/speculative.cc.o.d"
+  "CMakeFiles/skipsim_analysis.dir/sweep.cc.o"
+  "CMakeFiles/skipsim_analysis.dir/sweep.cc.o.d"
+  "libskipsim_analysis.a"
+  "libskipsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

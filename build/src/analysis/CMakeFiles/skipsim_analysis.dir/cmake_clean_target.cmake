@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskipsim_analysis.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_common.dir/cli.cc.o"
+  "CMakeFiles/skipsim_common.dir/cli.cc.o.d"
+  "CMakeFiles/skipsim_common.dir/logging.cc.o"
+  "CMakeFiles/skipsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/skipsim_common.dir/random.cc.o"
+  "CMakeFiles/skipsim_common.dir/random.cc.o.d"
+  "CMakeFiles/skipsim_common.dir/strutil.cc.o"
+  "CMakeFiles/skipsim_common.dir/strutil.cc.o.d"
+  "CMakeFiles/skipsim_common.dir/table.cc.o"
+  "CMakeFiles/skipsim_common.dir/table.cc.o.d"
+  "libskipsim_common.a"
+  "libskipsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

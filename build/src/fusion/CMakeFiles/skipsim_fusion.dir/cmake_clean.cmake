@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_fusion.dir/apply.cc.o"
+  "CMakeFiles/skipsim_fusion.dir/apply.cc.o.d"
+  "CMakeFiles/skipsim_fusion.dir/proximity.cc.o"
+  "CMakeFiles/skipsim_fusion.dir/proximity.cc.o.d"
+  "CMakeFiles/skipsim_fusion.dir/recommend.cc.o"
+  "CMakeFiles/skipsim_fusion.dir/recommend.cc.o.d"
+  "libskipsim_fusion.a"
+  "libskipsim_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

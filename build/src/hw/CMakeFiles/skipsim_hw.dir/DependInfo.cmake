@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/catalog.cc" "src/hw/CMakeFiles/skipsim_hw.dir/catalog.cc.o" "gcc" "src/hw/CMakeFiles/skipsim_hw.dir/catalog.cc.o.d"
+  "/root/repo/src/hw/kernel_cost.cc" "src/hw/CMakeFiles/skipsim_hw.dir/kernel_cost.cc.o" "gcc" "src/hw/CMakeFiles/skipsim_hw.dir/kernel_cost.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/skipsim_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/skipsim_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/serde.cc" "src/hw/CMakeFiles/skipsim_hw.dir/serde.cc.o" "gcc" "src/hw/CMakeFiles/skipsim_hw.dir/serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skipsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/skipsim_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_hw.dir/catalog.cc.o"
+  "CMakeFiles/skipsim_hw.dir/catalog.cc.o.d"
+  "CMakeFiles/skipsim_hw.dir/kernel_cost.cc.o"
+  "CMakeFiles/skipsim_hw.dir/kernel_cost.cc.o.d"
+  "CMakeFiles/skipsim_hw.dir/platform.cc.o"
+  "CMakeFiles/skipsim_hw.dir/platform.cc.o.d"
+  "CMakeFiles/skipsim_hw.dir/serde.cc.o"
+  "CMakeFiles/skipsim_hw.dir/serde.cc.o.d"
+  "libskipsim_hw.a"
+  "libskipsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

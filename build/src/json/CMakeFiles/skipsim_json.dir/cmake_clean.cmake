@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_json.dir/parser.cc.o"
+  "CMakeFiles/skipsim_json.dir/parser.cc.o.d"
+  "CMakeFiles/skipsim_json.dir/value.cc.o"
+  "CMakeFiles/skipsim_json.dir/value.cc.o.d"
+  "CMakeFiles/skipsim_json.dir/writer.cc.o"
+  "CMakeFiles/skipsim_json.dir/writer.cc.o.d"
+  "libskipsim_json.a"
+  "libskipsim_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

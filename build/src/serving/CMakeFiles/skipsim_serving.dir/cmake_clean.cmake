@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_serving.dir/continuous.cc.o"
+  "CMakeFiles/skipsim_serving.dir/continuous.cc.o.d"
+  "CMakeFiles/skipsim_serving.dir/latency_model.cc.o"
+  "CMakeFiles/skipsim_serving.dir/latency_model.cc.o.d"
+  "CMakeFiles/skipsim_serving.dir/server_sim.cc.o"
+  "CMakeFiles/skipsim_serving.dir/server_sim.cc.o.d"
+  "libskipsim_serving.a"
+  "libskipsim_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/skipsim_sim.dir/simulator.cc.o.d"
+  "libskipsim_sim.a"
+  "libskipsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

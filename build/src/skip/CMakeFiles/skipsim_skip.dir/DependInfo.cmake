@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skip/dep_graph.cc" "src/skip/CMakeFiles/skipsim_skip.dir/dep_graph.cc.o" "gcc" "src/skip/CMakeFiles/skipsim_skip.dir/dep_graph.cc.o.d"
+  "/root/repo/src/skip/diff.cc" "src/skip/CMakeFiles/skipsim_skip.dir/diff.cc.o" "gcc" "src/skip/CMakeFiles/skipsim_skip.dir/diff.cc.o.d"
+  "/root/repo/src/skip/gaps.cc" "src/skip/CMakeFiles/skipsim_skip.dir/gaps.cc.o" "gcc" "src/skip/CMakeFiles/skipsim_skip.dir/gaps.cc.o.d"
+  "/root/repo/src/skip/metrics.cc" "src/skip/CMakeFiles/skipsim_skip.dir/metrics.cc.o" "gcc" "src/skip/CMakeFiles/skipsim_skip.dir/metrics.cc.o.d"
+  "/root/repo/src/skip/op_breakdown.cc" "src/skip/CMakeFiles/skipsim_skip.dir/op_breakdown.cc.o" "gcc" "src/skip/CMakeFiles/skipsim_skip.dir/op_breakdown.cc.o.d"
+  "/root/repo/src/skip/profile.cc" "src/skip/CMakeFiles/skipsim_skip.dir/profile.cc.o" "gcc" "src/skip/CMakeFiles/skipsim_skip.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skipsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/skipsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/skipsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/skipsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skipsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skipsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/skipsim_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_skip.dir/dep_graph.cc.o"
+  "CMakeFiles/skipsim_skip.dir/dep_graph.cc.o.d"
+  "CMakeFiles/skipsim_skip.dir/diff.cc.o"
+  "CMakeFiles/skipsim_skip.dir/diff.cc.o.d"
+  "CMakeFiles/skipsim_skip.dir/gaps.cc.o"
+  "CMakeFiles/skipsim_skip.dir/gaps.cc.o.d"
+  "CMakeFiles/skipsim_skip.dir/metrics.cc.o"
+  "CMakeFiles/skipsim_skip.dir/metrics.cc.o.d"
+  "CMakeFiles/skipsim_skip.dir/op_breakdown.cc.o"
+  "CMakeFiles/skipsim_skip.dir/op_breakdown.cc.o.d"
+  "CMakeFiles/skipsim_skip.dir/profile.cc.o"
+  "CMakeFiles/skipsim_skip.dir/profile.cc.o.d"
+  "libskipsim_skip.a"
+  "libskipsim_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_stats.dir/knee.cc.o"
+  "CMakeFiles/skipsim_stats.dir/knee.cc.o.d"
+  "CMakeFiles/skipsim_stats.dir/series.cc.o"
+  "CMakeFiles/skipsim_stats.dir/series.cc.o.d"
+  "CMakeFiles/skipsim_stats.dir/summary.cc.o"
+  "CMakeFiles/skipsim_stats.dir/summary.cc.o.d"
+  "libskipsim_stats.a"
+  "libskipsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

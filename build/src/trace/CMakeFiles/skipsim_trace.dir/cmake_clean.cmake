@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_trace.dir/chrome.cc.o"
+  "CMakeFiles/skipsim_trace.dir/chrome.cc.o.d"
+  "CMakeFiles/skipsim_trace.dir/event.cc.o"
+  "CMakeFiles/skipsim_trace.dir/event.cc.o.d"
+  "CMakeFiles/skipsim_trace.dir/timeline.cc.o"
+  "CMakeFiles/skipsim_trace.dir/timeline.cc.o.d"
+  "CMakeFiles/skipsim_trace.dir/trace.cc.o"
+  "CMakeFiles/skipsim_trace.dir/trace.cc.o.d"
+  "libskipsim_trace.a"
+  "libskipsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cc" "src/workload/CMakeFiles/skipsim_workload.dir/builder.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/builder.cc.o.d"
+  "/root/repo/src/workload/compile_model.cc" "src/workload/CMakeFiles/skipsim_workload.dir/compile_model.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/compile_model.cc.o.d"
+  "/root/repo/src/workload/exec_mode.cc" "src/workload/CMakeFiles/skipsim_workload.dir/exec_mode.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/exec_mode.cc.o.d"
+  "/root/repo/src/workload/flatten.cc" "src/workload/CMakeFiles/skipsim_workload.dir/flatten.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/flatten.cc.o.d"
+  "/root/repo/src/workload/future_workloads.cc" "src/workload/CMakeFiles/skipsim_workload.dir/future_workloads.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/future_workloads.cc.o.d"
+  "/root/repo/src/workload/memory.cc" "src/workload/CMakeFiles/skipsim_workload.dir/memory.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/memory.cc.o.d"
+  "/root/repo/src/workload/model_config.cc" "src/workload/CMakeFiles/skipsim_workload.dir/model_config.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/model_config.cc.o.d"
+  "/root/repo/src/workload/op_graph.cc" "src/workload/CMakeFiles/skipsim_workload.dir/op_graph.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/op_graph.cc.o.d"
+  "/root/repo/src/workload/roofline.cc" "src/workload/CMakeFiles/skipsim_workload.dir/roofline.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/roofline.cc.o.d"
+  "/root/repo/src/workload/serde.cc" "src/workload/CMakeFiles/skipsim_workload.dir/serde.cc.o" "gcc" "src/workload/CMakeFiles/skipsim_workload.dir/serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skipsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/skipsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/skipsim_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipsim_workload.dir/builder.cc.o"
+  "CMakeFiles/skipsim_workload.dir/builder.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/compile_model.cc.o"
+  "CMakeFiles/skipsim_workload.dir/compile_model.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/exec_mode.cc.o"
+  "CMakeFiles/skipsim_workload.dir/exec_mode.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/flatten.cc.o"
+  "CMakeFiles/skipsim_workload.dir/flatten.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/future_workloads.cc.o"
+  "CMakeFiles/skipsim_workload.dir/future_workloads.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/memory.cc.o"
+  "CMakeFiles/skipsim_workload.dir/memory.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/model_config.cc.o"
+  "CMakeFiles/skipsim_workload.dir/model_config.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/op_graph.cc.o"
+  "CMakeFiles/skipsim_workload.dir/op_graph.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/roofline.cc.o"
+  "CMakeFiles/skipsim_workload.dir/roofline.cc.o.d"
+  "CMakeFiles/skipsim_workload.dir/serde.cc.o"
+  "CMakeFiles/skipsim_workload.dir/serde.cc.o.d"
+  "libskipsim_workload.a"
+  "libskipsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

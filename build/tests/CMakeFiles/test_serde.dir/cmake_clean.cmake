@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serde.dir/test_serde.cpp.o"
+  "CMakeFiles/test_serde.dir/test_serde.cpp.o.d"
+  "test_serde"
+  "test_serde.pdb"
+  "test_serde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
