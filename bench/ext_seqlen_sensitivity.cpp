@@ -7,19 +7,47 @@
  * constant, so GH200's crossover moves toward BS=1 and, past a prompt
  * length, even a single request is GPU-bound everywhere.
  *
- * Usage: ext_seqlen_sensitivity [--model Bert-Base-Uncased] [--csv]
+ * The 18 (seqLen, platform) profiles fan out on the skipsim::exec
+ * engine; --jobs N prints serial vs parallel wall-clock.
+ *
+ * Usage: ext_seqlen_sensitivity [--model Bert-Base-Uncased] [--jobs N]
+ *                               [--csv]
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "exec/grid.hh"
 #include "hw/catalog.hh"
 #include "skip/profile.hh"
 #include "workload/model_config.hh"
 
 using namespace skipsim;
+
+namespace
+{
+
+/** The two numbers each grid point contributes to the table. */
+struct CellResult
+{
+    double ttftMs = 0.0;
+    double gpuIdlePct = 0.0;
+    bool closelyCoupled = false;
+};
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,6 +55,41 @@ main(int argc, char **argv)
     CliArgs args(argc, argv);
     workload::ModelConfig model = workload::modelByName(
         args.getString("model", "Bert-Base-Uncased"));
+    int jobs = static_cast<int>(args.getInt("jobs", 1));
+
+    std::vector<int> seqs{128, 256, 512, 1024, 2048, 4096};
+    std::vector<hw::Platform> platforms = hw::platforms::paperTrio();
+
+    exec::SweepSpec grid;
+    grid.models = {model};
+    grid.platforms = platforms;
+    grid.seqLens = seqs;
+
+    auto cell = [](const exec::RunSpec &spec) {
+        skip::ProfileResult run = skip::profile(spec.profileConfig());
+        CellResult result;
+        result.ttftMs = run.ttftNs() / 1e6;
+        result.gpuIdlePct =
+            100.0 * run.metrics.gpuIdleNs / run.metrics.ilNs;
+        result.closelyCoupled =
+            spec.platform().coupling == hw::Coupling::CloselyCoupled;
+        return result;
+    };
+
+    double serial_start = nowMs();
+    std::vector<CellResult> cells = exec::runGrid(grid, cell, 1);
+    double serial_ms = nowMs() - serial_start;
+
+    if (jobs != 1) {
+        double parallel_start = nowMs();
+        cells = exec::runGrid(grid, cell, jobs);
+        double parallel_ms = nowMs() - parallel_start;
+        std::printf("grid: %zu profiles, serial %.0f ms, parallel "
+                    "(--jobs %d) %.0f ms, speedup %.2fx\n\n",
+                    grid.size(), serial_ms, jobs,
+                    parallel_ms > 0.0 ? parallel_ms : 1.0,
+                    parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    }
 
     TextTable table(strprintf(
         "%s prefill TTFT (ms) at BS=1 vs prompt length "
@@ -34,17 +97,15 @@ main(int argc, char **argv)
     table.setHeader({"Seq", "AMD+A100", "Intel+H100", "GH200",
                      "GH200 GPU idle %"});
 
-    for (int seq : {128, 256, 512, 1024, 2048, 4096}) {
-        std::vector<std::string> row{std::to_string(seq)};
+    // Grid order: platform varies slower than seqLen (mode fastest).
+    for (std::size_t si = 0; si < seqs.size(); ++si) {
+        std::vector<std::string> row{std::to_string(seqs[si])};
         double gh_idle = 0.0;
-        for (const auto &platform : hw::platforms::paperTrio()) {
-            skip::ProfileResult run =
-                skip::profilePrefill(model, platform, 1, seq);
-            row.push_back(strprintf("%.2f", run.ttftNs() / 1e6));
-            if (platform.coupling == hw::Coupling::CloselyCoupled) {
-                gh_idle = 100.0 * run.metrics.gpuIdleNs /
-                    run.metrics.ilNs;
-            }
+        for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+            const CellResult &c = cells[pi * seqs.size() + si];
+            row.push_back(strprintf("%.2f", c.ttftMs));
+            if (c.closelyCoupled)
+                gh_idle = c.gpuIdlePct;
         }
         row.push_back(strprintf("%.0f", gh_idle));
         table.addRow(row);

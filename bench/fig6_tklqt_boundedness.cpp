@@ -5,55 +5,113 @@
  * the star-marker inflection batch where each workload transitions
  * from CPU-bound (launch-dominated) to GPU-bound (queue-dominated).
  *
- * Usage: fig6_tklqt_boundedness [--seq 512] [--batches 1,2,...] [--csv]
+ * The six (model, platform) sweeps are independent, so they fan out
+ * on the skipsim::exec engine; with --jobs > 1 the grid runs serially
+ * and in parallel and reports both wall-clock times (the results are
+ * byte-identical by construction).
+ *
+ * Usage: fig6_tklqt_boundedness [--seq 512] [--batches 1,2,...]
+ *                               [--jobs N] [--csv]
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "analysis/boundedness.hh"
 #include "analysis/sweep.hh"
 #include "common/cli.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "exec/grid.hh"
 #include "hw/catalog.hh"
 #include "workload/model_config.hh"
 
 using namespace skipsim;
+
+namespace
+{
+
+/** One (model, platform) grid point's outcome. */
+struct CellResult
+{
+    analysis::SweepResult sweep;
+    analysis::BoundednessResult bound;
+};
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
     int seq = static_cast<int>(args.getInt("seq", 512));
+    int jobs = static_cast<int>(args.getInt("jobs", 1));
     std::vector<int> batches;
     for (long b : args.getIntList("batches",
                                   {1, 2, 4, 8, 16, 32, 64, 128}))
         batches.push_back(static_cast<int>(b));
 
-    for (const auto &model :
-         {workload::bertBaseUncased(), workload::xlmRobertaBase()}) {
+    std::vector<workload::ModelConfig> models{
+        workload::bertBaseUncased(), workload::xlmRobertaBase()};
+    std::vector<hw::Platform> platforms = hw::platforms::paperTrio();
+
+    exec::SweepSpec grid;
+    grid.models = models;
+    grid.platforms = platforms;
+    grid.seqLens = {seq};
+
+    auto cell = [&batches](const exec::RunSpec &spec) {
+        CellResult result;
+        result.sweep = analysis::runBatchSweep(
+            spec.model(), spec.platform(), batches, spec.seqLen(),
+            spec.mode(), spec.simOptions());
+        result.bound = analysis::classifyBoundedness(result.sweep);
+        return result;
+    };
+
+    double serial_start = nowMs();
+    std::vector<CellResult> cells = exec::runGrid(grid, cell, 1);
+    double serial_ms = nowMs() - serial_start;
+
+    if (jobs != 1) {
+        double parallel_start = nowMs();
+        cells = exec::runGrid(grid, cell, jobs);
+        double parallel_ms = nowMs() - parallel_start;
+        std::printf("grid: %zu sweeps, serial %.0f ms, parallel "
+                    "(--jobs %d) %.0f ms, speedup %.2fx\n\n",
+                    grid.size(), serial_ms, jobs,
+                    parallel_ms > 0.0 ? parallel_ms : 1.0,
+                    parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    }
+
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+        const auto &model = models[mi];
         TextTable table(strprintf(
             "Fig. 6: TKLQT (ms) vs batch size, %s forward pass, seq=%d "
             "('*' marks the CPU->GPU-bound transition)",
             model.name.c_str(), seq));
         table.setHeader({"Batch", "AMD+A100", "Intel+H100", "GH200"});
 
-        std::vector<analysis::SweepResult> sweeps;
-        std::vector<analysis::BoundednessResult> bounds;
-        for (const auto &platform : hw::platforms::paperTrio()) {
-            sweeps.push_back(analysis::runBatchSweep(model, platform,
-                                                     batches, seq));
-            bounds.push_back(analysis::classifyBoundedness(sweeps.back()));
-        }
+        // Grid order: model varies slowest, platform fastest.
+        const CellResult *row_cells = &cells[mi * platforms.size()];
 
         for (int batch : batches) {
             std::vector<std::string> row{std::to_string(batch)};
-            for (std::size_t i = 0; i < sweeps.size(); ++i) {
-                bool star = bounds[i].transitionBatch &&
-                    *bounds[i].transitionBatch == batch;
+            for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+                const CellResult &c = row_cells[pi];
+                bool star = c.bound.transitionBatch &&
+                    *c.bound.transitionBatch == batch;
                 row.push_back(strprintf(
-                    "%.3f%s",
-                    sweeps[i].at(batch).metrics.tklqtNs / 1e6,
+                    "%.3f%s", c.sweep.at(batch).metrics.tklqtNs / 1e6,
                     star ? " *" : ""));
             }
             table.addRow(row);
@@ -62,14 +120,15 @@ main(int argc, char **argv)
                                    : table.render().c_str(),
                    stdout);
 
-        for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+            const CellResult &c = row_cells[pi];
             std::printf("  %-11s transition at BS=%s (plateau %.3f ms)\n",
-                        sweeps[i].platformName.c_str(),
-                        bounds[i].transitionBatch
+                        c.sweep.platformName.c_str(),
+                        c.bound.transitionBatch
                             ? std::to_string(
-                                  *bounds[i].transitionBatch).c_str()
+                                  *c.bound.transitionBatch).c_str()
                             : "none",
-                        bounds[i].plateauTklqtNs / 1e6);
+                        c.bound.plateauTklqtNs / 1e6);
         }
         std::puts("");
     }

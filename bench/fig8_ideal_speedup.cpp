@@ -2,16 +2,21 @@
  * @file
  * Regenerates paper Fig. 8: idealized prefill speedup from pure
  * kernel-launch savings (Eqs. 7-8) vs fusion chain length for GPT2
- * and XLM-Roberta-Base on Intel+H100.
+ * and XLM-Roberta-Base on Intel+H100. The two profiling runs fan out
+ * on the skipsim::exec engine (--jobs N prints serial vs parallel
+ * wall-clock; the reports are byte-identical either way).
  *
- * Usage: fig8_ideal_speedup [--seq 512] [--batch 1] [--csv]
+ * Usage: fig8_ideal_speedup [--seq 512] [--batch 1] [--jobs N] [--csv]
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "exec/grid.hh"
 #include "fusion/recommend.hh"
 #include "hw/catalog.hh"
 #include "skip/profile.hh"
@@ -19,21 +24,52 @@
 
 using namespace skipsim;
 
+namespace
+{
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
     int seq = static_cast<int>(args.getInt("seq", 512));
     int batch = static_cast<int>(args.getInt("batch", 1));
-    hw::Platform intel = hw::platforms::intelH100();
+    int jobs = static_cast<int>(args.getInt("jobs", 1));
 
-    workload::ModelConfig models[] = {workload::gpt2(),
-                                      workload::xlmRobertaBase()};
-    fusion::FusionReport reports[2];
-    for (int i = 0; i < 2; ++i) {
-        skip::ProfileResult run =
-            skip::profilePrefill(models[i], intel, batch, seq);
-        reports[i] = fusion::recommendFromTrace(run.trace);
+    exec::SweepSpec grid;
+    grid.models = {workload::gpt2(), workload::xlmRobertaBase()};
+    grid.platforms = {hw::platforms::intelH100()};
+    grid.batches = {batch};
+    grid.seqLens = {seq};
+
+    auto mine = [](const exec::RunSpec &spec) {
+        skip::ProfileResult run = skip::profile(spec.profileConfig());
+        return fusion::recommendFromTrace(run.trace);
+    };
+
+    double serial_start = nowMs();
+    std::vector<fusion::FusionReport> reports =
+        exec::runGrid(grid, mine, 1);
+    double serial_ms = nowMs() - serial_start;
+
+    if (jobs != 1) {
+        double parallel_start = nowMs();
+        reports = exec::runGrid(grid, mine, jobs);
+        double parallel_ms = nowMs() - parallel_start;
+        std::printf("grid: %zu profiles, serial %.0f ms, parallel "
+                    "(--jobs %d) %.0f ms, speedup %.2fx\n\n",
+                    grid.size(), serial_ms, jobs,
+                    parallel_ms > 0.0 ? parallel_ms : 1.0,
+                    parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
     }
 
     TextTable table(strprintf(

@@ -60,7 +60,7 @@ BENCHMARK(BM_SimulateForward)->Arg(1)->Arg(32);
 void
 BM_SimulateNoJitterAblation(benchmark::State &state)
 {
-    // Ablation: deterministic mode (jitter off) vs default.
+    // Ablation: deterministic mode (jitter off, the default) vs jittered.
     auto graph = gpt2Graph(1);
     sim::SimOptions opts;
     opts.jitter = state.range(0) != 0;

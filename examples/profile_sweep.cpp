@@ -6,21 +6,43 @@
  * meets a latency SLO — the decision an interactive-serving operator
  * (chatbot / agentic pipeline stage) actually has to make.
  *
+ * The per-batch profiles fan out on the skipsim::exec engine. Per-point
+ * seeds derive as mixSeed(baseSeed, pointIndex) — the same convention
+ * analysis::runBatchSweep uses — so this grid reproduces the library
+ * sweep byte-for-byte at any --jobs count.
+ *
  * Usage: profile_sweep [--model Llama-3.2-1B] [--platform GH200]
- *                      [--seq 512] [--slo-ms 200] [--csv]
+ *                      [--seq 512] [--slo-ms 200] [--jobs N] [--csv]
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "analysis/boundedness.hh"
 #include "analysis/sweep.hh"
 #include "common/cli.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "exec/grid.hh"
 #include "hw/catalog.hh"
+#include "skip/profile.hh"
 #include "workload/model_config.hh"
 
 using namespace skipsim;
+
+namespace
+{
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -32,9 +54,45 @@ main(int argc, char **argv)
         hw::platforms::byName(args.getString("platform", "GH200"));
     int seq = static_cast<int>(args.getInt("seq", 512));
     double slo_ms = args.getDouble("slo-ms", 200.0);
+    int jobs = static_cast<int>(args.getInt("jobs", 1));
 
-    analysis::SweepResult sweep = analysis::runBatchSweep(
-        model, platform, analysis::defaultBatchGrid(), seq);
+    exec::SweepSpec grid;
+    grid.models = {model};
+    grid.platforms = {platform};
+    grid.batches = analysis::defaultBatchGrid();
+    grid.seqLens = {seq};
+
+    auto point = [](const exec::RunSpec &spec) {
+        skip::ProfileResult run = skip::profile(spec.profileConfig());
+        analysis::SweepPoint out;
+        out.batch = spec.batch();
+        out.metrics = std::move(run.metrics);
+        out.wallNs = run.wallNs;
+        return out;
+    };
+
+    double serial_start = nowMs();
+    std::vector<analysis::SweepPoint> points =
+        exec::runGrid(grid, point, 1);
+    double serial_ms = nowMs() - serial_start;
+
+    if (jobs != 1) {
+        double parallel_start = nowMs();
+        points = exec::runGrid(grid, point, jobs);
+        double parallel_ms = nowMs() - parallel_start;
+        std::printf("grid: %zu profiles, serial %.0f ms, parallel "
+                    "(--jobs %d) %.0f ms, speedup %.2fx\n\n",
+                    grid.size(), serial_ms, jobs,
+                    parallel_ms > 0.0 ? parallel_ms : 1.0,
+                    parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    }
+
+    analysis::SweepResult sweep;
+    sweep.modelName = model.name;
+    sweep.platformName = platform.name;
+    sweep.seqLen = seq;
+    sweep.points = std::move(points);
+
     analysis::BoundednessResult bound =
         analysis::classifyBoundedness(sweep);
     analysis::SweetSpot spot = analysis::findSweetSpot(sweep);

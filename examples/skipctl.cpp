@@ -5,6 +5,8 @@
  *   skipctl profile  [--model M] [--platform P] [--batch N] [--seq S]
  *                    [--mode MODE] [--trace out.json]
  *   skipctl sweep    [--model M] [--platform P] [--seq S] [--csv]
+ *   skipctl sweep    --spec grid.json [--jobs N] [--analysis NAME]
+ *                    [--out report.json] [--full]
  *   skipctl fusion   [--model M] [--platform P] [--batch N] [--seq S]
  *   skipctl serve    [--model M] [--platform P] [--rate RPS]
  *                    [--max-batch N] [--slo-ms MS]
@@ -12,9 +14,13 @@
  *   skipctl diff     <before.json> <after.json>
  *   skipctl roofline [--model M] [--platform P] [--batch N] [--seq S]
  *   skipctl memory   [--model M] [--seq S]
- *   skipctl platforms | models
+ *   skipctl platforms | models | analyses
  *
  * All subcommands accept --model-file / --platform-file JSON configs.
+ * `sweep --spec` fans a JSON SweepSpec grid (models x platforms x
+ * batches x seqLens x modes) across worker threads on the exec engine
+ * and emits a JSON result report; --analysis picks any registered
+ * analysis (see `skipctl analyses`).
  */
 
 #include <cstdio>
@@ -25,7 +31,12 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "exec/registry.hh"
+#include "exec/runner.hh"
+#include "exec/run_spec.hh"
+#include "exec/sweep_spec.hh"
 #include "fusion/recommend.hh"
+#include "json/writer.hh"
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
 #include "serving/server_sim.hh"
@@ -62,22 +73,27 @@ pickPlatform(const CliArgs &args)
     return hw::platforms::byName(args.getString("platform", "GH200"));
 }
 
+/** The unified run description each subcommand dispatches on. */
+exec::RunSpec
+pickSpec(const CliArgs &args)
+{
+    return exec::RunSpec::of(pickModel(args))
+        .on(pickPlatform(args))
+        .batch(static_cast<int>(args.getInt("batch", 1)))
+        .seqLen(static_cast<int>(args.getInt("seq", 512)))
+        .mode(args.getString("mode", "eager"))
+        .seed(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+}
+
 int
 cmdProfile(const CliArgs &args)
 {
-    skip::ProfileConfig config;
-    config.model = pickModel(args);
-    config.platform = pickPlatform(args);
-    config.batch = static_cast<int>(args.getInt("batch", 1));
-    config.seqLen = static_cast<int>(args.getInt("seq", 512));
-    config.mode =
-        workload::execModeByName(args.getString("mode", "eager"));
-
-    skip::ProfileResult result = skip::profile(config);
+    exec::RunSpec spec = pickSpec(args);
+    skip::ProfileResult result = skip::profile(spec.profileConfig());
     std::printf("%s on %s, batch=%d, seq=%d, %s\n\n",
-                config.model.name.c_str(), config.platform.name.c_str(),
-                config.batch, config.seqLen,
-                workload::execModeName(config.mode));
+                spec.model().name.c_str(), spec.platform().name.c_str(),
+                spec.batch(), spec.seqLen(),
+                workload::execModeName(spec.mode()));
     std::fputs(result.metrics.render().c_str(), stdout);
 
     skip::DependencyGraph dep =
@@ -95,9 +111,41 @@ cmdProfile(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Grid mode: fan a JSON SweepSpec across worker threads and emit a
+ * JSON report (skipctl sweep --spec grid.json --jobs N).
+ */
+int
+cmdSweepGrid(const CliArgs &args)
+{
+    exec::SweepSpec grid = exec::SweepSpec::load(args.getString("spec"));
+    exec::Runner runner(static_cast<int>(args.getInt("jobs", 1)));
+    std::string analysis = args.getString("analysis", "profile");
+
+    exec::GridReport report = runner.runGrid(grid, analysis);
+    // --full includes host wall-clock timings; the default report is
+    // deterministic (byte-identical at any --jobs count).
+    json::Value doc = args.has("full") ? report.toJson()
+                                       : report.resultsJson();
+    if (args.has("out")) {
+        json::writeFile(args.getString("out"), doc);
+        std::printf("%zu/%zu points ok (%s, %d jobs, %.0f ms) -> %s\n",
+                    report.points.size() - report.failed(),
+                    report.points.size(), analysis.c_str(),
+                    report.jobs, report.wallMs,
+                    args.getString("out").c_str());
+    } else {
+        std::puts(json::writePretty(doc).c_str());
+    }
+    return report.failed() == 0 ? 0 : 1;
+}
+
 int
 cmdSweep(const CliArgs &args)
 {
+    if (args.has("spec"))
+        return cmdSweepGrid(args);
+
     workload::ModelConfig model = pickModel(args);
     hw::Platform platform = pickPlatform(args);
     int seq = static_cast<int>(args.getInt("seq", 512));
@@ -128,11 +176,8 @@ cmdSweep(const CliArgs &args)
 int
 cmdFusion(const CliArgs &args)
 {
-    workload::ModelConfig model = pickModel(args);
-    hw::Platform platform = pickPlatform(args);
-    skip::ProfileResult run = skip::profilePrefill(
-        model, platform, static_cast<int>(args.getInt("batch", 1)),
-        static_cast<int>(args.getInt("seq", 512)));
+    exec::RunSpec spec = pickSpec(args);
+    skip::ProfileResult run = skip::profile(spec.profileConfig());
     std::fputs(fusion::recommendFromTrace(run.trace).render().c_str(),
                stdout);
     return 0;
@@ -141,22 +186,23 @@ cmdFusion(const CliArgs &args)
 int
 cmdServe(const CliArgs &args)
 {
-    workload::ModelConfig model = pickModel(args);
-    hw::Platform platform = pickPlatform(args);
-    serving::LatencyModel latency(analysis::runBatchSweep(
-        model, platform, analysis::defaultBatchGrid(),
-        static_cast<int>(args.getInt("seq", 512))));
+    exec::RunSpec spec =
+        pickSpec(args)
+            .opt("rate", args.getDouble("rate", 50.0))
+            .opt("max-batch",
+                 static_cast<double>(args.getInt("max-batch", 32)))
+            .opt("max-wait-ms", args.getDouble("max-wait-ms", 5.0));
 
-    serving::ServingConfig config;
-    config.arrivalRatePerSec = args.getDouble("rate", 50.0);
-    config.maxBatch = static_cast<int>(args.getInt("max-batch", 32));
-    config.maxWaitNs = args.getDouble("max-wait-ms", 5.0) * 1e6;
+    serving::LatencyModel latency(analysis::runBatchSweep(
+        spec.model(), spec.platform(), analysis::defaultBatchGrid(),
+        spec.seqLen(), spec.mode(), spec.simOptions()));
+    serving::ServingConfig config = spec.servingConfig();
     serving::ServingResult result =
         serving::simulateServing(latency, config);
 
     double slo_ms = args.getDouble("slo-ms", 200.0);
     std::printf("serving %s on %s at %.0f rps (max batch %d):\n",
-                model.name.c_str(), platform.name.c_str(),
+                spec.model().name.c_str(), spec.platform().name.c_str(),
                 config.arrivalRatePerSec, config.maxBatch);
     std::printf("  completed %zu (%.1f rps), mean batch %.1f, "
                 "utilization %.0f%%\n",
@@ -280,6 +326,14 @@ cmdList(bool platforms)
     return 0;
 }
 
+int
+cmdAnalyses()
+{
+    for (const auto &name : exec::analysisNames())
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -290,7 +344,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: skipctl "
                      "<profile|sweep|fusion|serve|analyze|diff|roofline|"
-                     "memory|platforms|models> [options]\n");
+                     "memory|platforms|models|analyses> [options]\n");
         return 2;
     }
     const std::string &cmd = args.positional().front();
@@ -315,6 +369,8 @@ main(int argc, char **argv)
             return cmdList(true);
         if (cmd == "models")
             return cmdList(false);
+        if (cmd == "analyses")
+            return cmdAnalyses();
         std::fprintf(stderr, "skipctl: unknown command '%s'\n",
                      cmd.c_str());
         return 2;

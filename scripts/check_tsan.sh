@@ -1,0 +1,11 @@
+#!/bin/sh
+# Build the exec engine tests under ThreadSanitizer and run them.
+# Equivalent to `cmake --preset tsan && cmake --build --preset tsan &&
+# ctest --preset tsan` on CMake >= 3.21; spelled out here so it also
+# works with the project's minimum CMake.
+set -e
+
+cd "$(dirname "$0")/.."
+cmake -B build-tsan -S . -DSKIPSIM_TSAN=ON
+cmake --build build-tsan -j --target test_exec
+ctest --test-dir build-tsan -L exec --output-on-failure "$@"

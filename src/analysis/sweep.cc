@@ -1,6 +1,7 @@
 #include "analysis/sweep.hh"
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "common/strutil.hh"
 
 namespace skipsim::analysis
@@ -83,9 +84,10 @@ runCustomSweep(const std::string &workload_name,
     result.platformName = platform.name;
     result.seqLen = 0;
 
-    for (int batch : batches) {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        int batch = batches[i];
         sim::SimOptions opts = sim_opts;
-        opts.seed = sim_opts.seed + static_cast<std::uint64_t>(batch);
+        opts.seed = mixSeed(sim_opts.seed, i);
         sim::Simulator simulator(platform, opts);
         sim::SimResult sim_result = simulator.run(builder(batch));
 
@@ -116,7 +118,8 @@ runBatchSweep(const workload::ModelConfig &model,
     result.seqLen = seq_len;
     result.mode = mode;
 
-    for (int batch : batches) {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        int batch = batches[i];
         skip::ProfileConfig config;
         config.model = model;
         config.platform = platform;
@@ -124,8 +127,9 @@ runBatchSweep(const workload::ModelConfig &model,
         config.seqLen = seq_len;
         config.mode = mode;
         config.sim = sim_opts;
-        // Decorrelate jitter across sweep points deterministically.
-        config.sim.seed = sim_opts.seed + static_cast<std::uint64_t>(batch);
+        // Decorrelate jitter across sweep points deterministically,
+        // with the project-wide mixSeed(base, index) convention.
+        config.sim.seed = mixSeed(sim_opts.seed, i);
 
         skip::ProfileResult profiled = skip::profile(config);
 

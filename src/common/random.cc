@@ -24,6 +24,16 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t index)
+{
+    // Two finalizer rounds over the sum keep distinct (base, index)
+    // pairs well separated even for small sequential indices.
+    std::uint64_t x = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    splitmix64(x);
+    return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;

@@ -14,6 +14,16 @@ namespace skipsim
 {
 
 /**
+ * Derive an independent stream seed from a base seed and a stream
+ * index (splitmix64 finalizer over the combined words). This is the
+ * project-wide convention for decorrelating per-point PRNG streams in
+ * sweeps: every grid point i uses mixSeed(baseSeed, i), so a sweep's
+ * results are identical no matter which thread (or order) executes
+ * each point.
+ */
+std::uint64_t mixSeed(std::uint64_t base, std::uint64_t index);
+
+/**
  * xoshiro256** PRNG with splitmix64 seeding. Small, fast and
  * deterministic across platforms (unlike std::default_random_engine).
  */

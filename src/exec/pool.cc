@@ -1,0 +1,172 @@
+#include "exec/pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace skipsim::exec
+{
+
+namespace
+{
+
+/** A contiguous slice [begin, end) of the index range. */
+struct Chunk
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/**
+ * One worker's chunk deque. A plain mutex-guarded deque: the engine's
+ * work grain is whole simulations, so contention on the deque lock is
+ * immeasurable next to the work itself, and the simple structure is
+ * easy to reason about (and for TSan to verify).
+ */
+class WorkDeque
+{
+  public:
+    void
+    push(const Chunk &chunk)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _chunks.push_back(chunk);
+    }
+
+    /** Owner side: newest chunk first. */
+    bool
+    popBack(Chunk &out)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_chunks.empty())
+            return false;
+        out = _chunks.back();
+        _chunks.pop_back();
+        return true;
+    }
+
+    /** Thief side: oldest chunk first. */
+    bool
+    stealFront(Chunk &out)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_chunks.empty())
+            return false;
+        out = _chunks.front();
+        _chunks.pop_front();
+        return true;
+    }
+
+  private:
+    std::mutex _mutex;
+    std::deque<Chunk> _chunks;
+};
+
+} // namespace
+
+Pool::Pool(int workers)
+{
+    if (workers < 0)
+        fatal("exec::Pool: worker count must be >= 0");
+    _workers = workers == 0 ? hardwareWorkers() : workers;
+}
+
+int
+Pool::hardwareWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+Pool::RunStats
+Pool::lastRunStats() const
+{
+    return _lastStats;
+}
+
+void
+Pool::run(std::size_t n, const std::function<void(std::size_t)> &fn) const
+{
+    _lastStats = RunStats{};
+    if (n == 0)
+        return;
+
+    if (_workers == 1 || n == 1) {
+        _lastStats.chunks = n;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Several chunks per worker so a worker that drew only cheap
+    // points can steal leftovers from one stuck on expensive ones.
+    std::size_t workers = static_cast<std::size_t>(_workers);
+    std::size_t target_chunks = std::min(n, workers * 4);
+    std::size_t chunk_size = (n + target_chunks - 1) / target_chunks;
+
+    std::vector<WorkDeque> deques(workers);
+    std::size_t num_chunks = 0;
+    for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+        Chunk chunk{begin, std::min(begin + chunk_size, n)};
+        deques[num_chunks % workers].push(chunk);
+        ++num_chunks;
+    }
+
+    std::atomic<std::size_t> steals{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker_main = [&](std::size_t self) {
+        auto execute = [&](const Chunk &chunk) {
+            for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+                fn(i);
+        };
+        try {
+            Chunk chunk;
+            while (deques[self].popBack(chunk))
+                execute(chunk);
+            // Own deque drained: steal the oldest chunk from the
+            // first victim that still has work, round-robin from our
+            // right-hand neighbour.
+            for (;;) {
+                bool stole = false;
+                for (std::size_t off = 1; off < workers; ++off) {
+                    std::size_t victim = (self + off) % workers;
+                    if (deques[victim].stealFront(chunk)) {
+                        steals.fetch_add(1, std::memory_order_relaxed);
+                        execute(chunk);
+                        stole = true;
+                        break;
+                    }
+                }
+                if (!stole)
+                    return;
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads.emplace_back(worker_main, w);
+    for (auto &thread : threads)
+        thread.join();
+
+    _lastStats.chunks = num_chunks;
+    _lastStats.steals = steals.load();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace skipsim::exec

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Analysis registry: analyses are looked up by name (the
+ * workload-factory pattern), so front ends like skipctl and the bench
+ * binaries dispatch on a string instead of #include-ing every analysis
+ * module. An analysis maps one RunSpec to a JSON result document —
+ * JSON is the registry's uniform result currency so reports compose
+ * and serialize without per-analysis glue.
+ *
+ * Built-in analyses (registered on first use):
+ *  - "profile":    SKIP metric report of one prefill run.
+ *  - "serving":    dynamic-batching serving simulation (options:
+ *                  "rate", "horizon-sec", "max-batch", "max-wait-ms").
+ *  - "fusion":     proximity-score fusion recommendation.
+ *  - "generation": prefill + decode TTFT/TPOT (option: "gen-tokens").
+ */
+
+#ifndef SKIPSIM_EXEC_REGISTRY_HH
+#define SKIPSIM_EXEC_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/run_spec.hh"
+#include "json/value.hh"
+
+namespace skipsim::exec
+{
+
+/** An analysis: one RunSpec in, one JSON result document out. */
+using AnalysisFn = std::function<json::Value(const RunSpec &)>;
+
+/**
+ * Register (or replace) an analysis under @p name. Thread-safe.
+ * @throws skipsim::FatalError for an empty name or null function.
+ */
+void registerAnalysis(const std::string &name, AnalysisFn fn);
+
+/** @return true when @p name resolves (built-in or registered). */
+bool hasAnalysis(const std::string &name);
+
+/**
+ * Look up an analysis by name.
+ * @throws skipsim::FatalError for unknown names; the message lists
+ *         the registered analyses so callers can report, not abort.
+ */
+AnalysisFn analysisByName(const std::string &name);
+
+/** All registered analysis names, sorted. */
+std::vector<std::string> analysisNames();
+
+} // namespace skipsim::exec
+
+#endif // SKIPSIM_EXEC_REGISTRY_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * RunSpec: the one description of "a run" shared by every entry point.
+ * Historically the profile path (skip::ProfileConfig), the raw
+ * simulator (sim::SimOptions) and the serving simulator
+ * (serving::ServingConfig) each invented their own seed/batch/naming
+ * conventions; RunSpec unifies them behind a fluent builder
+ *
+ *     exec::RunSpec::of("GPT2").on("GH200").batch(8).seqLen(512).seed(42)
+ *
+ * and converts to each legacy config type, which remain as thin
+ * compatibility aliases for out-of-tree callers.
+ */
+
+#ifndef SKIPSIM_EXEC_RUN_SPEC_HH
+#define SKIPSIM_EXEC_RUN_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hw/platform.hh"
+#include "json/value.hh"
+#include "serving/server_sim.hh"
+#include "sim/simulator.hh"
+#include "skip/profile.hh"
+#include "workload/exec_mode.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::exec
+{
+
+/**
+ * Everything identifying one experiment point. Construct with of(),
+ * chain the fluent setters, then hand it to a Runner / analysis or
+ * convert to a legacy config type.
+ */
+class RunSpec
+{
+  public:
+    RunSpec();
+
+    /** @name Fluent construction
+     *  @{ */
+    static RunSpec of(const workload::ModelConfig &model);
+    /** @throws skipsim::FatalError for unknown catalog names. */
+    static RunSpec of(const std::string &model_name);
+
+    RunSpec &on(const hw::Platform &platform);
+    /** @throws skipsim::FatalError for unknown catalog names. */
+    RunSpec &on(const std::string &platform_name);
+
+    RunSpec &batch(int n);
+    RunSpec &seqLen(int n);
+    RunSpec &mode(workload::ExecMode m);
+    /** @throws skipsim::FatalError for unknown mode names. */
+    RunSpec &mode(const std::string &mode_name);
+    RunSpec &seed(std::uint64_t s);
+    /** Opt into timing jitter (determinism is the default). */
+    RunSpec &jitter(bool on, double frac = 0.02);
+    /** Analysis-specific numeric knob (e.g. "rate" for serving). */
+    RunSpec &opt(const std::string &key, double value);
+    /** @} */
+
+    /** @name Accessors
+     *  @{ */
+    const workload::ModelConfig &model() const { return _model; }
+    const hw::Platform &platform() const { return _platform; }
+    int batch() const { return _batch; }
+    int seqLen() const { return _seqLen; }
+    workload::ExecMode mode() const { return _mode; }
+    std::uint64_t seed() const { return _seed; }
+    bool jitterOn() const { return _jitter; }
+    double jitterFrac() const { return _jitterFrac; }
+    double opt(const std::string &key, double def) const;
+    const std::map<std::string, double> &options() const { return _options; }
+    /** @} */
+
+    /** "Model/Platform b8 s512 eager seed42" display identity. */
+    std::string label() const;
+
+    /** @name Conversions to the legacy per-module config structs
+     *  @{ */
+    sim::SimOptions simOptions() const;
+    skip::ProfileConfig profileConfig() const;
+    /**
+     * Serving knobs from the option map: "rate" (requests/s),
+     * "horizon-sec", "max-batch", "max-wait-ms"; arrival seed from
+     * seed().
+     */
+    serving::ServingConfig servingConfig() const;
+    /** @} */
+
+    /**
+     * JSON round trip. Models/platforms serialize by catalog name;
+     * fromJson also accepts inline model/platform objects
+     * (workload::modelFromJson / hw::platformFromJson).
+     */
+    json::Value toJson() const;
+    /** @throws skipsim::FatalError on malformed documents. */
+    static RunSpec fromJson(const json::Value &doc);
+
+  private:
+    workload::ModelConfig _model;
+    hw::Platform _platform;
+    int _batch = 1;
+    int _seqLen = 512;
+    workload::ExecMode _mode = workload::ExecMode::Eager;
+    std::uint64_t _seed = 42;
+    bool _jitter = false;
+    double _jitterFrac = 0.02;
+    std::map<std::string, double> _options;
+};
+
+} // namespace skipsim::exec
+
+#endif // SKIPSIM_EXEC_RUN_SPEC_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SweepSpec: a cartesian experiment grid over models x platforms x
+ * batches x seqLens x modes. Point i of the grid expands to a RunSpec
+ * whose PRNG seed is mixSeed(baseSeed, i), so a point's random stream
+ * depends only on its grid position — never on which worker ran it or
+ * in what order — making parallel and serial sweeps byte-identical.
+ */
+
+#ifndef SKIPSIM_EXEC_SWEEP_SPEC_HH
+#define SKIPSIM_EXEC_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/run_spec.hh"
+#include "hw/platform.hh"
+#include "json/value.hh"
+#include "workload/exec_mode.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::exec
+{
+
+/** The five grid axes plus shared run settings. */
+struct SweepSpec
+{
+    std::vector<workload::ModelConfig> models;
+    std::vector<hw::Platform> platforms;
+    std::vector<int> batches{1};
+    std::vector<int> seqLens{512};
+    std::vector<workload::ExecMode> modes{workload::ExecMode::Eager};
+
+    /** Per-point seeds derive as mixSeed(baseSeed, pointIndex). */
+    std::uint64_t baseSeed = 42;
+
+    /** Timing jitter for every point (determinism is the default). */
+    bool jitter = false;
+    double jitterFrac = 0.02;
+
+    /** Analysis-specific knobs copied onto every point's RunSpec. */
+    std::map<std::string, double> options;
+
+    /** Grid cardinality (product of the five axis sizes). */
+    std::size_t size() const;
+
+    /**
+     * Expand grid point @p index to a RunSpec (mode varies fastest,
+     * then seqLen, batch, platform; model varies slowest) with its
+     * derived per-point seed.
+     * @throws skipsim::FatalError when index >= size() or an axis is
+     *         empty.
+     */
+    RunSpec at(std::size_t index) const;
+
+    /** All points in submission (index) order. */
+    std::vector<RunSpec> expand() const;
+
+    /** @throws skipsim::FatalError when any axis is empty. */
+    void validate() const;
+
+    /**
+     * JSON round trip. Axes serialize as arrays; models/platforms by
+     * catalog name (fromJson also accepts inline objects). Example:
+     *
+     *     {"models": ["GPT2", "Bert-Base-Uncased"],
+     *      "platforms": ["GH200"],
+     *      "batches": [1, 8, 64],
+     *      "seqLens": [512],
+     *      "modes": ["eager"],
+     *      "seed": 42}
+     */
+    json::Value toJson() const;
+    /** @throws skipsim::FatalError on malformed documents. */
+    static SweepSpec fromJson(const json::Value &doc);
+
+    /** File round trip via src/json. */
+    static SweepSpec load(const std::string &path);
+    void save(const std::string &path) const;
+};
+
+} // namespace skipsim::exec
+
+#endif // SKIPSIM_EXEC_SWEEP_SPEC_HH

@@ -19,7 +19,15 @@
 namespace skipsim::serving
 {
 
-/** Dynamic-batching server configuration. */
+/**
+ * Dynamic-batching server configuration.
+ *
+ * @deprecated Thin compatibility carrier. New code should build an
+ * exec::RunSpec (options "rate", "horizon-sec", "max-batch",
+ * "max-wait-ms"; the arrival seed comes from RunSpec::seed()) and
+ * convert with RunSpec::servingConfig(); this struct stays so
+ * out-of-tree callers keep compiling.
+ */
 struct ServingConfig
 {
     /** Mean Poisson arrival rate, requests per second. */

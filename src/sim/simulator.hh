@@ -24,14 +24,27 @@
 namespace skipsim::sim
 {
 
-/** Knobs of one simulation run. */
+/**
+ * Knobs of one simulation run.
+ *
+ * @deprecated as a public entry-point currency: new code should build
+ * an exec::RunSpec and convert with RunSpec::simOptions(), so seeds
+ * and jitter settings follow the one project-wide convention. The
+ * struct itself remains the simulator's internal knob carrier (and
+ * keeps out-of-tree callers compiling).
+ */
 struct SimOptions
 {
     /** PRNG seed for timing jitter; same seed -> identical trace. */
     std::uint64_t seed = 42;
 
-    /** Apply multiplicative timing jitter (off = fully deterministic). */
-    bool jitter = true;
+    /**
+     * Apply multiplicative timing jitter. Off by default so that an
+     * identical configuration always yields an identical trace; noisy
+     * runs are an explicit opt-in (e.g. for calibration-robustness
+     * studies), not something a caller has to remember to disable.
+     */
+    bool jitter = false;
 
     /** Relative jitter magnitude (stddev of the multiplier). */
     double jitterFrac = 0.02;

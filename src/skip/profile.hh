@@ -20,7 +20,14 @@
 namespace skipsim::skip
 {
 
-/** Everything identifying one profiling run. */
+/**
+ * Everything identifying one profiling run.
+ *
+ * @deprecated Thin compatibility carrier. New code should build an
+ * exec::RunSpec (the unified run description shared by every entry
+ * point) and convert with RunSpec::profileConfig(); this struct stays
+ * so out-of-tree callers keep compiling.
+ */
 struct ProfileConfig
 {
     workload::ModelConfig model;

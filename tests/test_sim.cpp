@@ -152,6 +152,7 @@ TEST(Simulator, CorrelationIdsLinkLaunchesToKernels)
 TEST(Simulator, DeterministicWithSameSeed)
 {
     SimOptions opts;
+    opts.jitter = true;
     opts.seed = 99;
     workload::BuildOptions build;
     build.batch = 2;
@@ -173,8 +174,10 @@ TEST(Simulator, DeterministicWithSameSeed)
 TEST(Simulator, DifferentSeedsJitterTimings)
 {
     SimOptions opts_a;
+    opts_a.jitter = true;
     opts_a.seed = 1;
     SimOptions opts_b;
+    opts_b.jitter = true;
     opts_b.seed = 2;
     workload::OperatorGraph graph = workload::buildNullKernelGraph(100);
     SimResult ra = Simulator(toyPlatform(), opts_a).run(graph);
