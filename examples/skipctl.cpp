@@ -10,6 +10,7 @@
  *   skipctl fusion   [--model M] [--platform P] [--batch N] [--seq S]
  *   skipctl serve    [--model M] [--platform P] [--rate RPS]
  *                    [--max-batch N] [--slo-ms MS]
+ *   skipctl cluster  --spec cluster.json [--jobs N] [--out report.json]
  *   skipctl analyze  <trace.json> [--fusion]
  *   skipctl diff     <before.json> <after.json>
  *   skipctl roofline [--model M] [--platform P] [--batch N] [--seq S]
@@ -20,17 +21,22 @@
  * `sweep --spec` fans a JSON SweepSpec grid (models x platforms x
  * batches x seqLens x modes) across worker threads on the exec engine
  * and emits a JSON result report; --analysis picks any registered
- * analysis (see `skipctl analyses`).
+ * analysis (see `skipctl analyses`). `cluster --spec` runs a
+ * multi-replica cluster scenario (optionally a rate sweep, fanned
+ * across --jobs workers) and reports SLO attainment and goodput —
+ * the report is byte-identical at any --jobs count.
  */
 
 #include <cstdio>
 
 #include "analysis/boundedness.hh"
 #include "analysis/sweep.hh"
+#include "cluster/cluster.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "exec/pool.hh"
 #include "exec/registry.hh"
 #include "exec/runner.hh"
 #include "exec/run_spec.hh"
@@ -219,6 +225,92 @@ cmdServe(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Multi-replica cluster scenario (skipctl cluster --spec cluster.json
+ * [--jobs N] [--out report.json]). A spec with a "rates" axis expands
+ * to one scenario per rate, fanned across --jobs workers; results are
+ * assembled in scenario order, so the report is byte-identical at any
+ * jobs count.
+ */
+int
+cmdCluster(const CliArgs &args)
+{
+    if (!args.has("spec")) {
+        std::fprintf(stderr,
+                     "usage: skipctl cluster --spec cluster.json "
+                     "[--jobs N] [--out report.json]\n");
+        return 2;
+    }
+    cluster::ClusterSpec spec =
+        cluster::ClusterSpec::load(args.getString("spec"));
+
+    // The cost models simulate a batch grid per distinct platform —
+    // the expensive part — so build them once, serially, and share
+    // them read-only across scenario workers.
+    cluster::CostCache costs;
+    costs.build(spec);
+
+    std::size_t scenarios = spec.scenarioCount();
+    std::vector<cluster::ClusterResult> results(scenarios);
+    exec::Pool pool(static_cast<int>(args.getInt("jobs", 1)));
+    pool.run(scenarios, [&](std::size_t i) {
+        results[i] = cluster::simulateCluster(spec.scenarioAt(i), costs);
+    });
+
+    TextTable table(strprintf("%s x %zu replicas (%s router)",
+                              spec.model.name.c_str(),
+                              spec.replicas.size(),
+                              cluster::routerPolicyName(spec.router)));
+    table.setHeader({"Rate", "Offered", "Done", "Tput", "TTFT p50",
+                     "TTFT p99", "e2e p99", "SLO %", "Goodput"});
+    for (const cluster::ClusterResult &result : results)
+        table.addRow({strprintf("%.0f", result.arrivalRatePerSec),
+                      std::to_string(result.offered),
+                      std::to_string(result.completed),
+                      strprintf("%.1f", result.throughputRps),
+                      strprintf("%.1f ms", result.p50TtftNs / 1e6),
+                      strprintf("%.1f ms", result.p99TtftNs / 1e6),
+                      strprintf("%.1f ms", result.p99E2eNs / 1e6),
+                      strprintf("%.1f", 100.0 * result.sloAttainment),
+                      strprintf("%.1f", result.goodputRps)});
+    std::fputs(table.render().c_str(), stdout);
+
+    if (scenarios == 1) {
+        std::puts("");
+        TextTable fleet("per-replica");
+        fleet.setHeader({"#", "Platform", "Routed", "Done", "Rejected",
+                         "Rerouted", "Util %", "Mean act", "Peak KV"});
+        const cluster::ClusterResult &result = results.front();
+        for (std::size_t i = 0; i < result.replicas.size(); ++i) {
+            const cluster::ReplicaStats &rep = result.replicas[i];
+            fleet.addRow(
+                {std::to_string(i) + (rep.crashed ? "!" : ""),
+                 rep.platformName, std::to_string(rep.routed),
+                 std::to_string(rep.completed),
+                 std::to_string(rep.rejected),
+                 std::to_string(rep.rerouted),
+                 strprintf("%.0f", 100.0 * rep.utilization),
+                 strprintf("%.1f", rep.meanActive),
+                 formatBytes(
+                     static_cast<std::size_t>(rep.peakKvBytes))});
+        }
+        std::fputs(fleet.render().c_str(), stdout);
+    }
+
+    if (args.has("out")) {
+        json::Object doc;
+        doc.set("spec", spec.toJson());
+        json::Value::Array scenario_docs;
+        for (const cluster::ClusterResult &result : results)
+            scenario_docs.push_back(result.toJson());
+        doc.set("scenarios", json::Value(std::move(scenario_docs)));
+        json::writeFile(args.getString("out"), json::Value(doc));
+        std::printf("%zu scenario(s) -> %s\n", scenarios,
+                    args.getString("out").c_str());
+    }
+    return 0;
+}
+
 int
 cmdAnalyze(const CliArgs &args)
 {
@@ -343,8 +435,9 @@ main(int argc, char **argv)
     if (args.positional().empty()) {
         std::fprintf(stderr,
                      "usage: skipctl "
-                     "<profile|sweep|fusion|serve|analyze|diff|roofline|"
-                     "memory|platforms|models|analyses> [options]\n");
+                     "<profile|sweep|fusion|serve|cluster|analyze|diff|"
+                     "roofline|memory|platforms|models|analyses> "
+                     "[options]\n");
         return 2;
     }
     const std::string &cmd = args.positional().front();
@@ -357,6 +450,8 @@ main(int argc, char **argv)
             return cmdFusion(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "cluster")
+            return cmdCluster(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
         if (cmd == "diff")

@@ -7,5 +7,5 @@ set -e
 
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -S . -DSKIPSIM_TSAN=ON
-cmake --build build-tsan -j --target test_exec
+cmake --build build-tsan -j --target test_exec --target test_cluster
 ctest --test-dir build-tsan -L exec --output-on-failure "$@"

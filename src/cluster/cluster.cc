@@ -1,0 +1,697 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strutil.hh"
+#include "stats/summary.hh"
+#include "workload/memory.hh"
+
+namespace skipsim::cluster
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Crash:
+        return "crash";
+    case FaultKind::Slowdown:
+        return "slowdown";
+    case FaultKind::Partition:
+        return "partition";
+    }
+    return "unknown";
+}
+
+FaultKind
+faultKindByName(const std::string &name)
+{
+    for (FaultKind kind : {FaultKind::Crash, FaultKind::Slowdown,
+                           FaultKind::Partition}) {
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    fatal(strprintf("cluster: unknown fault kind '%s' (expected crash, "
+                    "slowdown or partition)",
+                    name.c_str()));
+}
+
+void
+ClusterSpec::validate() const
+{
+    if (replicas.empty())
+        fatal("ClusterSpec: need at least one replica");
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+        const ReplicaSpec &rep = replicas[r];
+        if (rep.maxActive <= 0)
+            fatal(strprintf("ClusterSpec: replica %zu maxActive must be "
+                            "positive",
+                            r));
+        if (rep.clock <= 0.0)
+            fatal(strprintf("ClusterSpec: replica %zu clock must be "
+                            "positive",
+                            r));
+        if (rep.maxQueue < 0)
+            fatal(strprintf("ClusterSpec: replica %zu maxQueue must be "
+                            "non-negative",
+                            r));
+    }
+    if (arrivalRatePerSec <= 0.0 && rates.empty())
+        fatal("ClusterSpec: arrival rate must be positive");
+    for (double rate : rates) {
+        if (rate <= 0.0)
+            fatal("ClusterSpec: every sweep rate must be positive");
+    }
+    if (horizonSec <= 0.0)
+        fatal("ClusterSpec: horizon must be positive");
+    if (promptLen <= 0)
+        fatal("ClusterSpec: promptLen must be positive");
+    if (genTokens <= 0)
+        fatal("ClusterSpec: genTokens must be positive");
+    if (sessions <= 0)
+        fatal("ClusterSpec: sessions must be positive");
+    if (detectDelaySec < 0.0)
+        fatal("ClusterSpec: detection delay must be non-negative");
+    if (jitterFrac < 0.0 || jitterFrac >= 1.0)
+        fatal("ClusterSpec: jitterFrac must be within [0, 1)");
+    for (const FaultSpec &f : faults) {
+        if (f.replica >= replicas.size())
+            fatal(strprintf("ClusterSpec: fault targets replica %zu of "
+                            "%zu",
+                            f.replica, replicas.size()));
+        if (f.atSec < 0.0)
+            fatal("ClusterSpec: fault time must be non-negative");
+        if (f.kind == FaultKind::Slowdown && f.factor <= 0.0)
+            fatal("ClusterSpec: slowdown factor must be positive");
+        if (f.kind == FaultKind::Partition && f.healSec >= 0.0 &&
+            f.healSec <= f.atSec)
+            fatal("ClusterSpec: partition heal must come after the "
+                  "fault");
+    }
+}
+
+std::size_t
+ClusterSpec::scenarioCount() const
+{
+    return rates.empty() ? 1 : rates.size();
+}
+
+ClusterSpec
+ClusterSpec::scenarioAt(std::size_t index) const
+{
+    if (index >= scenarioCount())
+        fatal(strprintf("ClusterSpec: scenario %zu of %zu", index,
+                        scenarioCount()));
+    ClusterSpec scenario = *this;
+    if (!rates.empty())
+        scenario.arrivalRatePerSec = rates[index];
+    scenario.rates.clear();
+    // Same discipline as exec::SweepSpec: the point seed is a pure
+    // function of (baseSeed, index), never of execution order.
+    scenario.seed = mixSeed(seed, index);
+    return scenario;
+}
+
+void
+CostCache::build(const ClusterSpec &spec)
+{
+    spec.validate();
+    if (!_models.empty() &&
+        (_modelName != spec.model.name || _promptLen != spec.promptLen))
+        fatal(strprintf("CostCache: built for %s/prompt %d, asked for "
+                        "%s/prompt %d",
+                        _modelName.c_str(), _promptLen,
+                        spec.model.name.c_str(), spec.promptLen));
+    _modelName = spec.model.name;
+    _promptLen = spec.promptLen;
+    for (const ReplicaSpec &rep : spec.replicas) {
+        if (_models.count(rep.platform.name))
+            continue;
+        _models[rep.platform.name] =
+            std::make_shared<serving::IterationCostModel>(
+                spec.model, rep.platform, spec.promptLen);
+    }
+}
+
+const serving::IterationCostModel &
+CostCache::get(const std::string &platformName) const
+{
+    auto it = _models.find(platformName);
+    if (it == _models.end())
+        fatal(strprintf("CostCache: platform '%s' was not built",
+                        platformName.c_str()));
+    return *it->second;
+}
+
+namespace
+{
+
+/** Discrete-event kinds, in tie-break order at equal timestamps. */
+enum EventType
+{
+    EvFault = 0,
+    EvDetect = 1,
+    EvHeal = 2,
+    EvIterEnd = 3,
+    EvArrival = 4,
+};
+
+struct Event
+{
+    double tNs = 0.0;
+    int type = EvArrival;
+    std::size_t idx = 0;       ///< fault index / replica / request id
+    std::uint64_t serial = 0;  ///< iteration serial (EvIterEnd)
+};
+
+struct EventAfter
+{
+    bool operator()(const Event &a, const Event &b) const
+    {
+        if (a.tNs != b.tNs)
+            return a.tNs > b.tNs;
+        if (a.type != b.type)
+            return a.type > b.type;
+        if (a.idx != b.idx)
+            return a.idx > b.idx;
+        return a.serial > b.serial;
+    }
+};
+
+struct Request
+{
+    double arrivalNs = 0.0;
+    int session = 0;
+    double ttftNs = -1.0;   ///< reset when a fault forces a restart
+    double doneNs = -1.0;
+    int tokensLeft = 0;     ///< decode tokens still owed (post-prefill)
+    int attempts = 0;       ///< dispatches, including fault re-routes
+};
+
+/** One replica's runtime state. */
+struct ReplicaRt
+{
+    const ReplicaSpec *spec = nullptr;
+    const serving::IterationCostModel *cost = nullptr;
+    Rng jitterRng{0};
+
+    double kvPerSeqBytes = 0.0;
+    double kvCapacityBytes = 0.0;
+    double kvBytes = 0.0;
+
+    std::deque<std::size_t> pending;   ///< accepted, awaiting admission
+    std::vector<std::size_t> limbo;    ///< sent while partitioned
+    std::vector<std::size_t> active;   ///< decoding
+    std::vector<std::size_t> prefilling;
+    std::vector<std::size_t> stranded; ///< frozen by a crash
+
+    bool busy = false;
+    bool prefillIter = false;
+    std::uint64_t iterSerial = 0;
+
+    bool crashed = false;
+    bool partitioned = false;
+    double slowFactor = 1.0;
+
+    double busyNs = 0.0;
+    stats::Summary activeSizes;
+    ReplicaStats stats;
+};
+
+/** The whole simulation, so handlers share state without globals. */
+class Sim
+{
+  public:
+    Sim(const ClusterSpec &spec, const CostCache &costs)
+        : _spec(spec), _horizonNs(spec.horizonSec * 1e9),
+          _router(spec.router, makeWeights(spec, costs))
+    {
+        _reps.resize(spec.replicas.size());
+        for (std::size_t r = 0; r < _reps.size(); ++r) {
+            ReplicaRt &rt = _reps[r];
+            rt.spec = &spec.replicas[r];
+            rt.cost = &costs.get(rt.spec->platform.name);
+            rt.jitterRng = Rng(mixSeed(spec.seed, r + 1));
+            rt.stats.platformName = rt.spec->platform.name;
+
+            // KV budget: HBM minus weights and one max-batch of
+            // activations; each admission conservatively reserves the
+            // full prompt+generation KV footprint (vLLM-style
+            // worst-case admission control).
+            workload::MemoryFootprint per_seq = workload::estimateMemory(
+                spec.model, 1, spec.promptLen + spec.genTokens);
+            workload::MemoryFootprint at_cap = workload::estimateMemory(
+                spec.model, rt.spec->maxActive, spec.promptLen);
+            rt.kvPerSeqBytes = per_seq.kvCacheBytes;
+            rt.kvCapacityBytes = rt.spec->platform.gpu.hbmBytes() -
+                at_cap.weightsBytes - at_cap.activationBytes;
+            if (rt.kvCapacityBytes < rt.kvPerSeqBytes)
+                fatal(strprintf(
+                    "simulateCluster: replica %zu (%s) cannot hold one "
+                    "%d-token sequence's KV cache",
+                    r, rt.spec->platform.name.c_str(),
+                    spec.promptLen + spec.genTokens));
+        }
+    }
+
+    ClusterResult run();
+
+  private:
+    static std::vector<double> makeWeights(const ClusterSpec &spec,
+                                           const CostCache &costs);
+
+    void dispatch(std::size_t id, double now);
+    void maybeStart(std::size_t r, double now);
+    void complete(std::size_t r, std::size_t id, double now);
+    void restartAndReroute(std::size_t r,
+                           std::vector<std::size_t> &ids, double now);
+    void drainBacklog(double now);
+
+    void onIterEnd(const Event &ev);
+    void onFault(const Event &ev);
+    void onDetect(const Event &ev);
+    void onHeal(const Event &ev);
+
+    const ClusterSpec &_spec;
+    double _horizonNs;
+    Router _router;
+    std::vector<ReplicaRt> _reps;
+    std::vector<Request> _requests;
+    std::vector<std::size_t> _backlog;
+    std::priority_queue<Event, std::vector<Event>, EventAfter> _events;
+    std::size_t _rerouted = 0;
+};
+
+std::vector<double>
+Sim::makeWeights(const ClusterSpec &spec, const CostCache &costs)
+{
+    // Static decode capacity (tokens/s at the full batch), the weight
+    // a real balancer would configure from offline benchmarks.
+    std::vector<double> weights;
+    weights.reserve(spec.replicas.size());
+    for (const ReplicaSpec &rep : spec.replicas) {
+        double decode_ns =
+            costs.get(rep.platform.name).decodeNs(rep.maxActive);
+        weights.push_back(static_cast<double>(rep.maxActive) /
+                          decode_ns * 1e9 * rep.clock);
+    }
+    return weights;
+}
+
+void
+Sim::dispatch(std::size_t id, double now)
+{
+    Request &req = _requests[id];
+    std::vector<std::size_t> exclude;
+    while (true) {
+        std::size_t r = _router.pick(req.session, exclude);
+        if (r == Router::npos()) {
+            _backlog.push_back(id);
+            return;
+        }
+        ReplicaRt &rt = _reps[r];
+        // Bounded-queue admission: a live, reachable replica answers a
+        // full queue with an immediate rejection and the router moves
+        // on. Crashed or partitioned replicas cannot answer at all —
+        // the dispatch sinks into the failure until detection.
+        if (!rt.crashed && !rt.partitioned && rt.spec->maxQueue > 0 &&
+            rt.pending.size() >=
+                static_cast<std::size_t>(rt.spec->maxQueue)) {
+            ++rt.stats.rejected;
+            exclude.push_back(r);
+            continue;
+        }
+        _router.onDispatch(r);
+        ++rt.stats.routed;
+        ++req.attempts;
+        if (rt.partitioned) {
+            rt.limbo.push_back(id);
+            return;
+        }
+        rt.pending.push_back(id);
+        maybeStart(r, now);
+        return;
+    }
+}
+
+void
+Sim::maybeStart(std::size_t r, double now)
+{
+    ReplicaRt &rt = _reps[r];
+    if (rt.crashed || rt.busy || now >= _horizonNs)
+        return;
+
+    // Admit pending prefills while batch slots and KV budget allow;
+    // what does not fit stays queued until completions release KV.
+    std::vector<std::size_t> admit;
+    while (!rt.pending.empty() &&
+           rt.active.size() + admit.size() <
+               static_cast<std::size_t>(rt.spec->maxActive) &&
+           rt.kvBytes + rt.kvPerSeqBytes <= rt.kvCapacityBytes) {
+        admit.push_back(rt.pending.front());
+        rt.pending.pop_front();
+        rt.kvBytes += rt.kvPerSeqBytes;
+    }
+    rt.stats.peakKvBytes = std::max(rt.stats.peakKvBytes, rt.kvBytes);
+
+    double base_ns = 0.0;
+    if (!admit.empty()) {
+        rt.prefillIter = true;
+        rt.prefilling = std::move(admit);
+        base_ns = rt.cost->prefillNs(static_cast<int>(rt.prefilling.size()));
+    } else if (!rt.active.empty()) {
+        rt.prefillIter = false;
+        rt.activeSizes.add(static_cast<double>(rt.active.size()));
+        base_ns = rt.cost->decodeNs(static_cast<int>(rt.active.size()));
+    } else {
+        return;
+    }
+
+    double dur_ns = base_ns * rt.slowFactor / rt.spec->clock;
+    if (_spec.jitterFrac > 0.0)
+        dur_ns *= std::max(
+            0.05, rt.jitterRng.gaussian(1.0, _spec.jitterFrac));
+
+    rt.busy = true;
+    ++rt.iterSerial;
+    rt.busyNs += dur_ns;
+    _events.push({now + dur_ns, EvIterEnd, r, rt.iterSerial});
+}
+
+void
+Sim::complete(std::size_t r, std::size_t id, double now)
+{
+    ReplicaRt &rt = _reps[r];
+    _requests[id].doneNs = now;
+    rt.kvBytes -= rt.kvPerSeqBytes;
+    ++rt.stats.completed;
+    _router.onSettled(r);
+}
+
+void
+Sim::restartAndReroute(std::size_t r, std::vector<std::size_t> &ids,
+                       double now)
+{
+    ReplicaRt &rt = _reps[r];
+    for (std::size_t id : ids) {
+        // Generated tokens died with the replica: the client restarts
+        // from scratch, so TTFT re-measures against the new replica.
+        Request &req = _requests[id];
+        req.ttftNs = -1.0;
+        req.tokensLeft = 0;
+        _router.onSettled(r);
+        ++rt.stats.rerouted;
+        ++_rerouted;
+        dispatch(id, now);
+    }
+    ids.clear();
+}
+
+void
+Sim::drainBacklog(double now)
+{
+    std::vector<std::size_t> waiting;
+    waiting.swap(_backlog);
+    for (std::size_t id : waiting)
+        dispatch(id, now);
+}
+
+void
+Sim::onIterEnd(const Event &ev)
+{
+    ReplicaRt &rt = _reps[ev.idx];
+    if (rt.crashed || !rt.busy || ev.serial != rt.iterSerial)
+        return; // cancelled by a crash
+    rt.busy = false;
+    if (rt.prefillIter) {
+        for (std::size_t id : rt.prefilling) {
+            Request &req = _requests[id];
+            req.ttftNs = ev.tNs - req.arrivalNs;
+            req.tokensLeft = _spec.genTokens - 1;
+            if (req.tokensLeft == 0)
+                complete(ev.idx, id, ev.tNs);
+            else
+                rt.active.push_back(id);
+        }
+        rt.prefilling.clear();
+    } else {
+        std::vector<std::size_t> still;
+        still.reserve(rt.active.size());
+        for (std::size_t id : rt.active) {
+            Request &req = _requests[id];
+            if (--req.tokensLeft <= 0)
+                complete(ev.idx, id, ev.tNs);
+            else
+                still.push_back(id);
+        }
+        rt.active.swap(still);
+    }
+    maybeStart(ev.idx, ev.tNs);
+}
+
+void
+Sim::onFault(const Event &ev)
+{
+    const FaultSpec &f = _spec.faults[ev.idx];
+    ReplicaRt &rt = _reps[f.replica];
+    switch (f.kind) {
+    case FaultKind::Crash: {
+        if (rt.crashed)
+            return;
+        rt.crashed = true;
+        rt.stats.crashed = true;
+        rt.busy = false;
+        ++rt.iterSerial; // invalidates the in-flight IterEnd
+        // Freeze everything on the replica until detection.
+        auto strand = [&](std::vector<std::size_t> &src) {
+            rt.stranded.insert(rt.stranded.end(), src.begin(),
+                               src.end());
+            src.clear();
+        };
+        for (std::size_t id : rt.pending)
+            rt.stranded.push_back(id);
+        rt.pending.clear();
+        strand(rt.prefilling);
+        strand(rt.active);
+        strand(rt.limbo);
+        rt.kvBytes = 0.0;
+        _events.push({ev.tNs + _spec.detectDelaySec * 1e9, EvDetect,
+                      ev.idx, 0});
+        return;
+    }
+    case FaultKind::Slowdown:
+        rt.slowFactor = f.factor; // next iteration start onward
+        return;
+    case FaultKind::Partition:
+        if (rt.crashed || rt.partitioned)
+            return;
+        rt.partitioned = true;
+        _events.push({ev.tNs + _spec.detectDelaySec * 1e9, EvDetect,
+                      ev.idx, 0});
+        if (f.healSec >= 0.0)
+            _events.push({f.healSec * 1e9, EvHeal, ev.idx, 0});
+        return;
+    }
+}
+
+void
+Sim::onDetect(const Event &ev)
+{
+    const FaultSpec &f = _spec.faults[ev.idx];
+    ReplicaRt &rt = _reps[f.replica];
+    if (f.kind == FaultKind::Crash) {
+        _router.markDown(f.replica);
+        restartAndReroute(f.replica, rt.stranded, ev.tNs);
+    } else if (f.kind == FaultKind::Partition) {
+        if (!rt.partitioned || rt.crashed)
+            return; // healed (or upgraded to a crash) before detection
+        _router.markDown(f.replica);
+        // Requests sent into the partition never arrived; the replica
+        // keeps serving what it already held (data plane intact).
+        restartAndReroute(f.replica, rt.limbo, ev.tNs);
+    }
+}
+
+void
+Sim::onHeal(const Event &ev)
+{
+    const FaultSpec &f = _spec.faults[ev.idx];
+    ReplicaRt &rt = _reps[f.replica];
+    if (rt.crashed || !rt.partitioned)
+        return;
+    rt.partitioned = false;
+    _router.markUp(f.replica);
+    // Undelivered requests from the undetected window finally arrive.
+    for (std::size_t id : rt.limbo)
+        rt.pending.push_back(id);
+    rt.limbo.clear();
+    maybeStart(f.replica, ev.tNs);
+    drainBacklog(ev.tNs);
+}
+
+ClusterResult
+Sim::run()
+{
+    // Poisson arrivals with per-request session ids, all from the
+    // dedicated arrival stream mixSeed(seed, 0).
+    Rng arrival_rng(mixSeed(_spec.seed, 0));
+    double mean_gap_ns = 1e9 / _spec.arrivalRatePerSec;
+    double t = 0.0;
+    while (true) {
+        double u = arrival_rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        t += -std::log(u) * mean_gap_ns;
+        if (t >= _horizonNs)
+            break;
+        Request req;
+        req.arrivalNs = t;
+        req.session = static_cast<int>(arrival_rng.below(
+            static_cast<std::uint64_t>(_spec.sessions)));
+        _requests.push_back(req);
+    }
+    for (std::size_t id = 0; id < _requests.size(); ++id)
+        _events.push({_requests[id].arrivalNs, EvArrival, id, 0});
+    for (std::size_t i = 0; i < _spec.faults.size(); ++i)
+        _events.push({_spec.faults[i].atSec * 1e9, EvFault, i, 0});
+
+    while (!_events.empty()) {
+        Event ev = _events.top();
+        _events.pop();
+        switch (ev.type) {
+        case EvArrival:
+            dispatch(ev.idx, ev.tNs);
+            break;
+        case EvIterEnd:
+            onIterEnd(ev);
+            break;
+        case EvFault:
+            onFault(ev);
+            break;
+        case EvDetect:
+            onDetect(ev);
+            break;
+        case EvHeal:
+            onHeal(ev);
+            break;
+        }
+    }
+
+    ClusterResult result;
+    result.arrivalRatePerSec = _spec.arrivalRatePerSec;
+    result.offered = _requests.size();
+    result.rerouted = _rerouted;
+
+    std::vector<double> ttfts;
+    std::vector<double> e2es;
+    double ttft_slo_ns = _spec.ttftSloMs * 1e6;
+    double e2e_slo_ns = _spec.e2eSloMs * 1e6;
+    std::size_t slo_ok = 0;
+    for (const Request &req : _requests) {
+        if (req.doneNs < 0.0)
+            continue;
+        ++result.completed;
+        double e2e = req.doneNs - req.arrivalNs;
+        ttfts.push_back(req.ttftNs);
+        e2es.push_back(e2e);
+        if (req.ttftNs <= ttft_slo_ns && e2e <= e2e_slo_ns)
+            ++slo_ok;
+    }
+    result.lost = result.offered - result.completed;
+    result.throughputRps =
+        static_cast<double>(result.completed) / _spec.horizonSec;
+    result.goodputRps =
+        static_cast<double>(slo_ok) / _spec.horizonSec;
+    result.sloAttainment = result.offered == 0
+        ? 0.0
+        : static_cast<double>(slo_ok) /
+            static_cast<double>(result.offered);
+    if (!ttfts.empty()) {
+        std::vector<double> tp =
+            stats::percentiles(ttfts, {50.0, 95.0, 99.0});
+        std::vector<double> ep =
+            stats::percentiles(e2es, {50.0, 95.0, 99.0});
+        result.p50TtftNs = tp[0];
+        result.p95TtftNs = tp[1];
+        result.p99TtftNs = tp[2];
+        result.p50E2eNs = ep[0];
+        result.p95E2eNs = ep[1];
+        result.p99E2eNs = ep[2];
+    }
+
+    for (ReplicaRt &rt : _reps) {
+        rt.stats.utilization =
+            std::min(1.0, rt.busyNs / _horizonNs);
+        rt.stats.meanActive =
+            rt.activeSizes.count() > 0 ? rt.activeSizes.mean() : 0.0;
+        result.replicas.push_back(rt.stats);
+    }
+    return result;
+}
+
+} // namespace
+
+ClusterResult
+simulateCluster(const ClusterSpec &spec, const CostCache &costs)
+{
+    spec.validate();
+    if (!spec.rates.empty())
+        fatal("simulateCluster: expand rate sweeps via scenarioAt() "
+              "first");
+    Sim sim(spec, costs);
+    return sim.run();
+}
+
+ClusterResult
+simulateCluster(const ClusterSpec &spec)
+{
+    CostCache costs;
+    costs.build(spec);
+    return simulateCluster(spec, costs);
+}
+
+json::Value
+ClusterResult::toJson() const
+{
+    json::Object doc;
+    doc.set("rate", arrivalRatePerSec);
+    doc.set("offered", static_cast<unsigned long long>(offered));
+    doc.set("completed", static_cast<unsigned long long>(completed));
+    doc.set("lost", static_cast<unsigned long long>(lost));
+    doc.set("rerouted", static_cast<unsigned long long>(rerouted));
+    doc.set("throughput_rps", throughputRps);
+    doc.set("ttft_p50_ms", p50TtftNs / 1e6);
+    doc.set("ttft_p95_ms", p95TtftNs / 1e6);
+    doc.set("ttft_p99_ms", p99TtftNs / 1e6);
+    doc.set("e2e_p50_ms", p50E2eNs / 1e6);
+    doc.set("e2e_p95_ms", p95E2eNs / 1e6);
+    doc.set("e2e_p99_ms", p99E2eNs / 1e6);
+    doc.set("slo_attainment", sloAttainment);
+    doc.set("goodput_rps", goodputRps);
+    json::Value::Array reps;
+    for (const ReplicaStats &rep : replicas) {
+        json::Object entry;
+        entry.set("platform", rep.platformName);
+        entry.set("routed", static_cast<unsigned long long>(rep.routed));
+        entry.set("completed",
+                  static_cast<unsigned long long>(rep.completed));
+        entry.set("rejected",
+                  static_cast<unsigned long long>(rep.rejected));
+        entry.set("rerouted",
+                  static_cast<unsigned long long>(rep.rerouted));
+        entry.set("utilization", rep.utilization);
+        entry.set("mean_active", rep.meanActive);
+        entry.set("peak_kv_bytes", rep.peakKvBytes);
+        entry.set("crashed", rep.crashed);
+        reps.push_back(json::Value(std::move(entry)));
+    }
+    doc.set("replicas", json::Value(std::move(reps)));
+    return json::Value(std::move(doc));
+}
+
+} // namespace skipsim::cluster

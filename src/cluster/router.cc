@@ -1,0 +1,154 @@
+#include "cluster/router.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::cluster
+{
+
+const char *
+routerPolicyName(RouterPolicy policy)
+{
+    switch (policy) {
+    case RouterPolicy::RoundRobin:
+        return "round-robin";
+    case RouterPolicy::LeastOutstanding:
+        return "least-outstanding";
+    case RouterPolicy::WeightedThroughput:
+        return "weighted";
+    case RouterPolicy::SessionAffinity:
+        return "affinity";
+    }
+    return "unknown";
+}
+
+RouterPolicy
+routerPolicyByName(const std::string &name)
+{
+    for (RouterPolicy policy :
+         {RouterPolicy::RoundRobin, RouterPolicy::LeastOutstanding,
+          RouterPolicy::WeightedThroughput,
+          RouterPolicy::SessionAffinity}) {
+        if (name == routerPolicyName(policy))
+            return policy;
+    }
+    fatal(strprintf("cluster: unknown router policy '%s' (expected "
+                    "round-robin, least-outstanding, weighted or "
+                    "affinity)",
+                    name.c_str()));
+}
+
+std::vector<std::string>
+routerPolicyNames()
+{
+    return {"round-robin", "least-outstanding", "weighted", "affinity"};
+}
+
+Router::Router(RouterPolicy policy, std::vector<double> weights)
+    : _policy(policy), _weights(std::move(weights))
+{
+    if (_weights.empty())
+        fatal("Router: need at least one replica");
+    for (double w : _weights) {
+        if (w <= 0.0)
+            fatal("Router: replica weights must be positive");
+    }
+    _outstanding.assign(_weights.size(), 0);
+    _down.assign(_weights.size(), false);
+}
+
+std::size_t
+Router::npos()
+{
+    return std::numeric_limits<std::size_t>::max();
+}
+
+bool
+Router::eligible(std::size_t replica,
+                 const std::vector<std::size_t> &exclude) const
+{
+    if (_down[replica])
+        return false;
+    return std::find(exclude.begin(), exclude.end(), replica) ==
+        exclude.end();
+}
+
+std::size_t
+Router::leastLoaded(const std::vector<std::size_t> &exclude,
+                    bool weighted) const
+{
+    std::size_t best = npos();
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < _weights.size(); ++r) {
+        if (!eligible(r, exclude))
+            continue;
+        double load = static_cast<double>(_outstanding[r]);
+        if (weighted)
+            load /= _weights[r];
+        if (load < best_load) {
+            best_load = load;
+            best = r;
+        }
+    }
+    return best;
+}
+
+std::size_t
+Router::pick(int session, const std::vector<std::size_t> &exclude) const
+{
+    std::size_t n = _weights.size();
+    switch (_policy) {
+    case RouterPolicy::RoundRobin:
+        for (std::size_t step = 0; step < n; ++step) {
+            std::size_t r = (_rrCursor + step) % n;
+            if (eligible(r, exclude)) {
+                _rrCursor = (r + 1) % n;
+                return r;
+            }
+        }
+        return npos();
+    case RouterPolicy::LeastOutstanding:
+        return leastLoaded(exclude, false);
+    case RouterPolicy::WeightedThroughput:
+        return leastLoaded(exclude, true);
+    case RouterPolicy::SessionAffinity: {
+        std::size_t home = static_cast<std::size_t>(session) % n;
+        if (eligible(home, exclude))
+            return home;
+        return leastLoaded(exclude, false);
+    }
+    }
+    return npos();
+}
+
+void
+Router::onDispatch(std::size_t replica)
+{
+    ++_outstanding.at(replica);
+}
+
+void
+Router::onSettled(std::size_t replica)
+{
+    std::size_t &count = _outstanding.at(replica);
+    if (count == 0)
+        fatal("Router: settled more requests than were dispatched");
+    --count;
+}
+
+void
+Router::markDown(std::size_t replica)
+{
+    _down.at(replica) = true;
+}
+
+void
+Router::markUp(std::size_t replica)
+{
+    _down.at(replica) = false;
+}
+
+} // namespace skipsim::cluster

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Request router for the cluster simulator: pluggable policies that
+ * pick which replica an arriving request is dispatched to, using only
+ * what a real front-end load balancer could know — per-replica
+ * outstanding counts it tracks itself, static capacity weights, and
+ * health marks that appear one detection delay after a fault. The
+ * router never peeks at replica-internal state, which is what makes
+ * routing skew and detection-delay tail amplification reproducible.
+ */
+
+#ifndef SKIPSIM_CLUSTER_ROUTER_HH
+#define SKIPSIM_CLUSTER_ROUTER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace skipsim::cluster
+{
+
+/** Replica-selection policy. */
+enum class RouterPolicy
+{
+    RoundRobin,         ///< cycle through healthy replicas in index order
+    LeastOutstanding,   ///< fewest router-tracked in-flight requests
+    WeightedThroughput, ///< least outstanding / decode-capacity weight
+    SessionAffinity,    ///< session id pins a home replica, LOR fallback
+};
+
+/** @return canonical policy name ("round-robin", ...). */
+const char *routerPolicyName(RouterPolicy policy);
+
+/** @throws skipsim::FatalError for unknown policy names. */
+RouterPolicy routerPolicyByName(const std::string &name);
+
+/** All policy names in enum order (CLI/bench enumeration). */
+std::vector<std::string> routerPolicyNames();
+
+/**
+ * The router's view of a replica fleet. Health and outstanding counts
+ * are updated by the cluster simulator as it learns about completions
+ * and (delayed) fault detections; pick() is a pure function of that
+ * view plus the round-robin cursor, so routing is deterministic for a
+ * given arrival sequence regardless of host thread count.
+ */
+class Router
+{
+  public:
+    /**
+     * @param policy replica-selection policy.
+     * @param weights static per-replica capacity weights (decode
+     *        tokens/s at nominal clock); must be positive. Only
+     *        WeightedThroughput consults them.
+     * @throws skipsim::FatalError on empty fleet or non-positive
+     *         weights.
+     */
+    Router(RouterPolicy policy, std::vector<double> weights);
+
+    std::size_t replicaCount() const { return _weights.size(); }
+    RouterPolicy policy() const { return _policy; }
+
+    /**
+     * Choose a replica for a request from @p session. Replicas marked
+     * down and replicas in @p exclude (admission-rejected during this
+     * dispatch) are skipped; ties break toward the lowest index.
+     * @return replica index, or npos() when no replica is eligible.
+     */
+    std::size_t pick(int session,
+                     const std::vector<std::size_t> &exclude) const;
+
+    /** Sentinel returned by pick() when every replica is ineligible. */
+    static std::size_t npos();
+
+    /** @name Simulator feedback
+     *  @{ */
+    void onDispatch(std::size_t replica);
+    /** A dispatched request completed or left the replica for good. */
+    void onSettled(std::size_t replica);
+    /** Fault detected: stop routing to @p replica. */
+    void markDown(std::size_t replica);
+    /** Partition healed: resume routing to @p replica. */
+    void markUp(std::size_t replica);
+    /** @} */
+
+    bool isDown(std::size_t replica) const { return _down.at(replica); }
+    std::size_t outstanding(std::size_t replica) const
+    {
+        return _outstanding.at(replica);
+    }
+
+  private:
+    bool eligible(std::size_t replica,
+                  const std::vector<std::size_t> &exclude) const;
+    std::size_t leastLoaded(const std::vector<std::size_t> &exclude,
+                            bool weighted) const;
+
+    RouterPolicy _policy;
+    std::vector<double> _weights;
+    std::vector<std::size_t> _outstanding;
+    std::vector<bool> _down;
+    mutable std::size_t _rrCursor = 0;
+};
+
+} // namespace skipsim::cluster
+
+#endif // SKIPSIM_CLUSTER_ROUTER_HH

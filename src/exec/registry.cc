@@ -5,6 +5,7 @@
 
 #include "analysis/generation.hh"
 #include "analysis/sweep.hh"
+#include "cluster/cluster.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "fusion/recommend.hh"
@@ -107,6 +108,46 @@ generationAnalysis(const RunSpec &spec)
     return doc;
 }
 
+json::Value
+clusterAnalysis(const RunSpec &spec)
+{
+    cluster::ClusterSpec config;
+    config.model = spec.model();
+    int replicas = static_cast<int>(spec.opt("replicas", 4));
+    if (replicas < 1)
+        fatal("cluster analysis: option 'replicas' must be >= 1");
+    cluster::ReplicaSpec replica;
+    replica.platform = spec.platform();
+    replica.maxActive = static_cast<int>(spec.opt("max-active", 32));
+    replica.maxQueue = static_cast<int>(spec.opt("max-queue", 0));
+    config.replicas.assign(static_cast<std::size_t>(replicas), replica);
+    int router = static_cast<int>(spec.opt("router", 1));
+    if (router < 0 || router > 3)
+        fatal("cluster analysis: option 'router' must be 0..3 "
+              "(round-robin, least-outstanding, weighted, affinity)");
+    config.router = static_cast<cluster::RouterPolicy>(router);
+    config.arrivalRatePerSec = spec.opt("rate", 100.0);
+    config.horizonSec = spec.opt("horizon-sec", 20.0);
+    config.promptLen = spec.seqLen();
+    config.genTokens = static_cast<int>(spec.opt("gen-tokens", 16));
+    config.sessions = static_cast<int>(spec.opt("sessions", 64));
+    config.detectDelaySec = spec.opt("detect-ms", 250.0) / 1e3;
+    config.ttftSloMs = spec.opt("ttft-slo-ms", 500.0);
+    config.e2eSloMs = spec.opt("e2e-slo-ms", 2000.0);
+    config.seed = spec.seed();
+    config.validate();
+
+    cluster::ClusterResult result = cluster::simulateCluster(config);
+
+    json::Object doc = identityJson(spec);
+    doc.set("replica_count", replicas);
+    doc.set("router", cluster::routerPolicyName(config.router));
+    json::Value report = result.toJson();
+    for (const std::string &key : report.asObject().keys())
+        doc.set(key, report.asObject().at(key));
+    return doc;
+}
+
 class Registry
 {
   public:
@@ -163,6 +204,7 @@ class Registry
         _analyses["serving"] = servingAnalysis;
         _analyses["fusion"] = fusionAnalysis;
         _analyses["generation"] = generationAnalysis;
+        _analyses["cluster"] = clusterAnalysis;
     }
 
     std::mutex _mutex;

@@ -13,6 +13,11 @@
  *                  "rate", "horizon-sec", "max-batch", "max-wait-ms").
  *  - "fusion":     proximity-score fusion recommendation.
  *  - "generation": prefill + decode TTFT/TPOT (option: "gen-tokens").
+ *  - "cluster":    multi-replica cluster serving simulation (options:
+ *                  "replicas", "rate", "horizon-sec", "max-active",
+ *                  "gen-tokens", "router" 0..3, "detect-ms",
+ *                  "ttft-slo-ms", "e2e-slo-ms", "max-queue",
+ *                  "sessions"); seqLen() is the prompt length.
  */
 
 #ifndef SKIPSIM_EXEC_REGISTRY_HH

@@ -244,8 +244,9 @@ simulateContinuous(const IterationCostModel &cost,
     result.unfinished = pending.size() + active_remaining.size() +
         (head_chunks_left > 0 ? 1 : 0);
     if (!ttfts.empty()) {
-        result.p50TtftNs = stats::percentile(ttfts, 50.0);
-        result.p99TtftNs = stats::percentile(ttfts, 99.0);
+        std::vector<double> ps = stats::percentiles(ttfts, {50.0, 99.0});
+        result.p50TtftNs = ps[0];
+        result.p99TtftNs = ps[1];
     }
     if (iter_latency.count() > 0) {
         result.meanTpotNs = iter_latency.mean();

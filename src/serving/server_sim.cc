@@ -98,9 +98,16 @@ simulateServing(const LatencyModel &latency, const ServingConfig &config)
 
     result.throughputRps =
         static_cast<double>(result.completed) / config.horizonSec;
-    result.p50LatencyNs = stats::percentile(latencies, 50.0);
-    result.p95LatencyNs = stats::percentile(latencies, 95.0);
-    result.p99LatencyNs = stats::percentile(latencies, 99.0);
+    std::vector<double> ps =
+        stats::percentiles(latencies, {50.0, 95.0, 99.0});
+    result.p50LatencyNs = ps[0];
+    result.p95LatencyNs = ps[1];
+    result.p99LatencyNs = ps[2];
+    // One forward pass serves the whole request: the first token is
+    // the completed batch, so TTFT == end-to-end latency (see header).
+    result.p50TtftNs = ps[0];
+    result.p95TtftNs = ps[1];
+    result.p99TtftNs = ps[2];
     stats::Summary lat;
     lat.addAll(latencies);
     result.meanLatencyNs = lat.mean();

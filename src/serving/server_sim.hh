@@ -64,6 +64,18 @@ struct ServingResult
     double p99LatencyNs = 0.0;
     double meanLatencyNs = 0.0;
 
+    /**
+     * Time-to-first-token percentiles (arrival to first decode step),
+     * ns. The dynamic batcher serves a request with one forward pass,
+     * so its first token appears when the batch completes and TTFT
+     * equals end-to-end latency here; the fields exist so
+     * single-instance and cluster reports share one latency
+     * vocabulary (cluster::ClusterResult separates the two).
+     */
+    double p50TtftNs = 0.0;
+    double p95TtftNs = 0.0;
+    double p99TtftNs = 0.0;
+
     /** Mean dispatched batch size. */
     double meanBatch = 0.0;
 

@@ -70,14 +70,15 @@ Summary::stddev() const
     return std::sqrt(variance());
 }
 
-double
-percentile(std::vector<double> xs, double p)
+namespace
 {
-    if (xs.empty())
-        fatal("percentile on empty sample set");
+
+/** Percentile of an already-sorted sample vector. */
+double
+sortedPercentile(const std::vector<double> &xs, double p)
+{
     if (p < 0.0 || p > 100.0)
         fatal("percentile p must be within [0, 100]");
-    std::sort(xs.begin(), xs.end());
     if (xs.size() == 1)
         return xs[0];
     double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
@@ -85,6 +86,30 @@ percentile(std::vector<double> xs, double p)
     std::size_t hi = std::min(lo + 1, xs.size() - 1);
     double frac = rank - static_cast<double>(lo);
     return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        fatal("percentile on empty sample set");
+    std::sort(xs.begin(), xs.end());
+    return sortedPercentile(xs, p);
+}
+
+std::vector<double>
+percentiles(std::vector<double> xs, const std::vector<double> &ps)
+{
+    if (xs.empty())
+        fatal("percentiles on empty sample set");
+    std::sort(xs.begin(), xs.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps)
+        out.push_back(sortedPercentile(xs, p));
+    return out;
 }
 
 double

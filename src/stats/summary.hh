@@ -56,6 +56,18 @@ class Summary
  */
 double percentile(std::vector<double> xs, double p);
 
+/**
+ * Several percentiles of one sample set, sorting the samples once
+ * (percentile() re-copies and re-sorts per call; result code asking
+ * for p50/p95/p99 of the same latency vector should use this).
+ * @param xs samples (not required to be sorted; copied internally).
+ * @param ps percentiles, each in [0, 100], in any order.
+ * @return one value per entry of @p ps, in the same order.
+ * @throws skipsim::FatalError on empty input or any p outside [0, 100].
+ */
+std::vector<double> percentiles(std::vector<double> xs,
+                                const std::vector<double> &ps);
+
 /** Median shorthand (50th percentile). */
 double median(std::vector<double> xs);
 

@@ -152,6 +152,22 @@ TEST(ServingSim, PercentilesOrdered)
     EXPECT_GT(result.meanLatencyNs, 0.0);
 }
 
+TEST(ServingSim, TtftSharesTheLatencyVocabulary)
+{
+    // One forward pass serves the whole request in this sim, so TTFT
+    // (arrival -> first decode step) coincides with end-to-end
+    // latency; the fields exist so single-instance and cluster
+    // reports read the same.
+    serving::LatencyModel model(linearSweep(1e6, 1e5));
+    serving::ServingResult result =
+        serving::simulateServing(model, config(2000.0));
+    EXPECT_GT(result.p50TtftNs, 0.0);
+    EXPECT_LE(result.p50TtftNs, result.p95TtftNs);
+    EXPECT_LE(result.p95TtftNs, result.p99TtftNs);
+    EXPECT_DOUBLE_EQ(result.p50TtftNs, result.p50LatencyNs);
+    EXPECT_DOUBLE_EQ(result.p99TtftNs, result.p99LatencyNs);
+}
+
 TEST(ServingSim, InvalidConfigsThrow)
 {
     serving::LatencyModel model(linearSweep(1e6, 1e5));

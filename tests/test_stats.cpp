@@ -105,6 +105,38 @@ TEST(Percentile, InvalidInputsThrow)
     EXPECT_THROW(percentile({1.0}, 101.0), FatalError);
 }
 
+TEST(Percentiles, MatchesSingleCallPerEntry)
+{
+    std::vector<double> xs{9.0, 1.0, 5.0, 3.0, 7.0};
+    std::vector<double> ps{0.0, 25.0, 50.0, 95.0, 100.0};
+    std::vector<double> batch = percentiles(xs, ps);
+    ASSERT_EQ(batch.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], percentile(xs, ps[i]));
+}
+
+TEST(Percentiles, PreservesRequestOrderNotSortedOrder)
+{
+    std::vector<double> out =
+        percentiles({0.0, 10.0}, {99.0, 1.0, 50.0});
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out[0], 9.9);
+    EXPECT_DOUBLE_EQ(out[1], 0.1);
+    EXPECT_DOUBLE_EQ(out[2], 5.0);
+}
+
+TEST(Percentiles, EmptyRequestListIsEmpty)
+{
+    EXPECT_TRUE(percentiles({1.0, 2.0}, {}).empty());
+}
+
+TEST(Percentiles, InvalidInputsThrow)
+{
+    EXPECT_THROW(percentiles({}, {50.0}), FatalError);
+    EXPECT_THROW(percentiles({1.0}, {50.0, 101.0}), FatalError);
+    EXPECT_THROW(percentiles({1.0}, {-0.5}), FatalError);
+}
+
 // ---------------------------------------------------------------- geomean
 
 TEST(Geomean, MatchesClosedForm)

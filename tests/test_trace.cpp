@@ -257,6 +257,55 @@ TEST(ChromeTrace, AcceptsMicrosecondOnlyEvents)
     EXPECT_EQ(k.streamId, 7);
 }
 
+TEST(ChromeTrace, MicrosecondOnlyOutOfOrderEventsSortAndRoundTrip)
+{
+    // Kineto writes events in flush order, not time order, and carries
+    // only us-resolution ts/dur. Import must time-sort and keep the
+    // launch<->kernel correlation ids intact through a re-export.
+    std::string text = R"({"traceEvents":[
+        {"ph":"X","name":"gemm","cat":"kernel","ts":30.0,"dur":5.0,
+         "pid":0,"tid":1007,"args":{"correlation":9,"stream":7}},
+        {"ph":"X","name":"aten::linear","cat":"cpu_op","ts":1.0,
+         "dur":40.0,"tid":3},
+        {"ph":"X","name":"Memcpy HtoD","cat":"gpu_memcpy","ts":50.0,
+         "dur":2.0,"pid":0,"tid":1000,"args":{"correlation":11}},
+        {"ph":"X","name":"cudaMemcpyAsync","cat":"cuda_runtime",
+         "ts":45.0,"dur":1.5,"tid":3,"args":{"correlation":11}},
+        {"ph":"X","name":"cudaLaunchKernel","cat":"cuda_runtime",
+         "ts":20.0,"dur":2.0,"tid":3,"args":{"correlation":9}}]})";
+    Trace imported = fromChromeText(text);
+    ASSERT_EQ(imported.size(), 5u);
+
+    // Time-sorted on import despite the shuffled input array.
+    for (std::size_t i = 1; i < imported.size(); ++i)
+        EXPECT_LE(imported.events()[i - 1].tsBeginNs,
+                  imported.events()[i].tsBeginNs);
+    EXPECT_EQ(imported.events()[0].name, "aten::linear");
+    EXPECT_EQ(imported.events()[1].name, "cudaLaunchKernel");
+    EXPECT_EQ(imported.events()[1].correlationId, 9u);
+    EXPECT_EQ(imported.events()[2].name, "gemm");
+    EXPECT_EQ(imported.events()[2].correlationId, 9u);
+    EXPECT_EQ(imported.events()[2].streamId, 7);
+    EXPECT_EQ(imported.events()[2].tsBeginNs, 30000);
+    EXPECT_EQ(imported.events()[2].durNs, 5000);
+
+    // Round trip through our exporter preserves ordering, timestamps
+    // and correlation ids exactly.
+    Trace reparsed = fromChromeText(toChromeText(imported));
+    ASSERT_EQ(reparsed.size(), imported.size());
+    for (std::size_t i = 0; i < imported.size(); ++i) {
+        const TraceEvent &a = imported.events()[i];
+        const TraceEvent &b = reparsed.events()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.tsBeginNs, b.tsBeginNs);
+        EXPECT_EQ(a.durNs, b.durNs);
+        EXPECT_EQ(a.correlationId, b.correlationId);
+        EXPECT_EQ(a.streamId, b.streamId);
+    }
+    EXPECT_TRUE(reparsed.validate().empty());
+}
+
 TEST(ChromeTrace, SkipsUnknownCategoriesAndPhases)
 {
     std::string text = R"({"traceEvents":[
