@@ -15,11 +15,17 @@
  *                            [--prompt 256] [--tokens 16]
  *                            [--max-active 32] [--jobs N]
  *                            [--quick] [--csv]
+ *                            [--obs-out obs.json]
+ *                            [--obs-interval-ms MS]
  *
- * --quick shrinks the grid and horizon for CI smoke runs.
+ * --quick shrinks the grid and horizon for CI smoke runs. --obs-out
+ * attaches a probe collector to each fault-resilience scenario (see
+ * docs/observability.md), adds a sample-count column to the fault
+ * table, and writes the per-policy time-series JSON.
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "cluster/cluster.hh"
@@ -29,6 +35,8 @@
 #include "common/table.hh"
 #include "exec/pool.hh"
 #include "hw/catalog.hh"
+#include "json/writer.hh"
+#include "obs/collector.hh"
 #include "serving/continuous.hh"
 #include "workload/model_config.hh"
 
@@ -146,6 +154,19 @@ main(int argc, char **argv)
     crash.replica = 0;
     crash.kind = cluster::FaultKind::Crash;
 
+    // Probe collectors on the fault scenarios (one per policy, indexed
+    // like `faulted`, so the export order is deterministic).
+    const bool want_obs = args.has("obs-out");
+    const double obs_interval_ms =
+        args.getDouble("obs-interval-ms", 100.0);
+    std::vector<std::unique_ptr<obs::Collector>> collectors(
+        policies.size());
+    if (want_obs) {
+        for (std::size_t i = 0; i < policies.size(); ++i)
+            collectors[i] =
+                std::make_unique<obs::Collector>(obs_interval_ms);
+    }
+
     std::vector<Scenario> faulted(policies.size());
     pool.run(policies.size(), [&](std::size_t i) {
         Scenario &scenario = faulted[i];
@@ -158,7 +179,8 @@ main(int argc, char **argv)
         spec.arrivalRatePerSec = 0.6 * per_replica_rps * 4;
         spec.faults.push_back(crash);
         spec.seed = mixSeed(base.seed, 1000 + i);
-        scenario.result = cluster::simulateCluster(spec, costs);
+        scenario.result = cluster::simulateCluster(spec, costs,
+                                                   collectors[i].get());
     });
 
     TextTable fault_table(strprintf(
@@ -167,8 +189,9 @@ main(int argc, char **argv)
         crash.atSec, base.detectDelaySec * 1e3));
     fault_table.setHeader({"Router", "Offered", "Done", "Lost",
                            "Rerouted", "TTFT p99 (ms)", "SLO %",
-                           "Goodput (rps)"});
-    for (const Scenario &scenario : faulted)
+                           "Goodput (rps)", "Obs samples"});
+    for (std::size_t i = 0; i < faulted.size(); ++i) {
+        const Scenario &scenario = faulted[i];
         fault_table.addRow(
             {cluster::routerPolicyName(scenario.router),
              std::to_string(scenario.result.offered),
@@ -177,10 +200,31 @@ main(int argc, char **argv)
              std::to_string(scenario.result.rerouted),
              strprintf("%.1f", scenario.result.p99TtftNs / 1e6),
              strprintf("%.1f", 100.0 * scenario.result.sloAttainment),
-             strprintf("%.1f", scenario.result.goodputRps)});
+             strprintf("%.1f", scenario.result.goodputRps),
+             want_obs
+                 ? std::to_string(collectors[i]->sampleCount())
+                 : std::string("-")});
+    }
     std::fputs(args.has("csv") ? fault_table.renderCsv().c_str()
                                : fault_table.render().c_str(),
                stdout);
+
+    if (want_obs) {
+        json::Object doc;
+        doc.set("interval_ms", obs_interval_ms);
+        json::Value::Array scenario_docs;
+        for (std::size_t i = 0; i < faulted.size(); ++i) {
+            json::Object entry;
+            entry.set("router",
+                      cluster::routerPolicyName(faulted[i].router));
+            entry.set("obs", collectors[i]->toJson());
+            scenario_docs.push_back(json::Value(std::move(entry)));
+        }
+        doc.set("scenarios", json::Value(std::move(scenario_docs)));
+        json::writeFile(args.getString("obs-out"), json::Value(doc));
+        std::printf("\nobs report -> %s\n",
+                    args.getString("obs-out").c_str());
+    }
 
     std::puts("\nKey takeaway: load-aware routing (least-outstanding, "
               "weighted) holds tail TTFT flat as the fleet grows, while "

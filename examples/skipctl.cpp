@@ -4,13 +4,21 @@
  *
  *   skipctl profile  [--model M] [--platform P] [--batch N] [--seq S]
  *                    [--mode MODE] [--trace out.json]
+ *                    [--obs-out obs.json] [--obs-interval-ms MS]
  *   skipctl sweep    [--model M] [--platform P] [--seq S] [--csv]
  *   skipctl sweep    --spec grid.json [--jobs N] [--analysis NAME]
  *                    [--out report.json] [--full]
+ *                    [--harness-trace harness.json]
  *   skipctl fusion   [--model M] [--platform P] [--batch N] [--seq S]
  *   skipctl serve    [--model M] [--platform P] [--rate RPS]
  *                    [--max-batch N] [--slo-ms MS]
+ *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
+ *                    [--obs-interval-ms MS]
  *   skipctl cluster  --spec cluster.json [--jobs N] [--out report.json]
+ *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
+ *                    [--obs-interval-ms MS]
+ *                    [--harness-trace harness.json]
+ *   skipctl validate <trace.json>
  *   skipctl analyze  <trace.json> [--fusion]
  *   skipctl diff     <before.json> <after.json>
  *   skipctl roofline [--model M] [--platform P] [--batch N] [--seq S]
@@ -25,9 +33,18 @@
  * multi-replica cluster scenario (optionally a rate sweep, fanned
  * across --jobs workers) and reports SLO attainment and goodput —
  * the report is byte-identical at any --jobs count.
+ *
+ * Observability (docs/observability.md): --obs-out writes a
+ * metrics/time-series JSON sampled at deterministic simulated-time
+ * boundaries (--obs-interval-ms, byte-identical at any --jobs);
+ * --obs-trace renders the same probes as a Chrome trace with duration,
+ * counter and instant events; --harness-trace profiles the harness
+ * itself (wall-clock, one track per worker). `validate` re-reads any
+ * emitted Chrome trace through our own reader.
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "analysis/boundedness.hh"
 #include "analysis/sweep.hh"
@@ -45,6 +62,9 @@
 #include "json/writer.hh"
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
+#include "obs/collector.hh"
+#include "obs/harness.hh"
+#include "obs/trace_probe.hh"
 #include "serving/server_sim.hh"
 #include "skip/diff.hh"
 #include "skip/gaps.hh"
@@ -109,7 +129,26 @@ cmdProfile(const CliArgs &args)
     std::puts("");
     std::fputs(skip::analyzeGaps(dep).render(5).c_str(), stdout);
 
+    // Trace probes (trace.launch_queue_depth / gpu_busy / cpu_busy)
+    // ride the op/kernel timescale, so the sampling interval defaults
+    // much finer here than for the second-scale serving horizons.
+    std::unique_ptr<obs::Collector> collector;
+    if (args.has("obs-out")) {
+        collector = std::make_unique<obs::Collector>(
+            args.getDouble("obs-interval-ms", 0.1));
+        obs::probeTrace(result.trace, *collector);
+        json::writeFile(args.getString("obs-out"), collector->toJson());
+        std::printf("\nobs report (%zu samples) written to %s\n",
+                    collector->sampleCount(),
+                    args.getString("obs-out").c_str());
+    }
+
     if (args.has("trace")) {
+        // With probes enabled the exported trace carries the sampled
+        // counter series too, so Perfetto shows them on the same
+        // timeline as the op/kernel spans.
+        if (collector != nullptr)
+            collector->appendTo(result.trace);
         trace::writeChromeFile(args.getString("trace"), result.trace);
         std::printf("\ntrace written to %s\n",
                     args.getString("trace").c_str());
@@ -128,7 +167,20 @@ cmdSweepGrid(const CliArgs &args)
     exec::Runner runner(static_cast<int>(args.getInt("jobs", 1)));
     std::string analysis = args.getString("analysis", "profile");
 
+    std::unique_ptr<obs::HarnessTracer> tracer;
+    if (args.has("harness-trace")) {
+        tracer = std::make_unique<obs::HarnessTracer>();
+        runner.setHarnessTracer(tracer.get());
+    }
+
     exec::GridReport report = runner.runGrid(grid, analysis);
+
+    if (tracer != nullptr) {
+        tracer->write(args.getString("harness-trace"));
+        std::printf("harness trace (%zu spans) -> %s\n",
+                    tracer->spanCount(),
+                    args.getString("harness-trace").c_str());
+    }
     // --full includes host wall-clock timings; the default report is
     // deterministic (byte-identical at any --jobs count).
     json::Value doc = args.has("full") ? report.toJson()
@@ -203,8 +255,12 @@ cmdServe(const CliArgs &args)
         spec.model(), spec.platform(), analysis::defaultBatchGrid(),
         spec.seqLen(), spec.mode(), spec.simOptions()));
     serving::ServingConfig config = spec.servingConfig();
+    std::unique_ptr<obs::Collector> collector;
+    if (args.has("obs-out") || args.has("obs-trace"))
+        collector = std::make_unique<obs::Collector>(
+            args.getDouble("obs-interval-ms", 100.0));
     serving::ServingResult result =
-        serving::simulateServing(latency, config);
+        serving::simulateServing(latency, config, collector.get());
 
     double slo_ms = args.getDouble("slo-ms", 200.0);
     std::printf("serving %s on %s at %.0f rps (max batch %d):\n",
@@ -222,6 +278,18 @@ cmdServe(const CliArgs &args)
     if (result.leftInQueue > 0)
         std::printf("  warning: %zu requests still queued (overload)\n",
                     result.leftInQueue);
+    if (args.has("obs-out")) {
+        json::writeFile(args.getString("obs-out"), collector->toJson());
+        std::printf("  obs report (%zu samples) -> %s\n",
+                    collector->sampleCount(),
+                    args.getString("obs-out").c_str());
+    }
+    if (args.has("obs-trace")) {
+        trace::writeChromeFile(args.getString("obs-trace"),
+                               collector->toTrace());
+        std::printf("  obs trace -> %s\n",
+                    args.getString("obs-trace").c_str());
+    }
     return 0;
 }
 
@@ -238,7 +306,10 @@ cmdCluster(const CliArgs &args)
     if (!args.has("spec")) {
         std::fprintf(stderr,
                      "usage: skipctl cluster --spec cluster.json "
-                     "[--jobs N] [--out report.json]\n");
+                     "[--jobs N] [--out report.json] "
+                     "[--obs-out obs.json] [--obs-trace trace.json] "
+                     "[--obs-interval-ms MS] "
+                     "[--harness-trace harness.json]\n");
         return 2;
     }
     cluster::ClusterSpec spec =
@@ -252,9 +323,31 @@ cmdCluster(const CliArgs &args)
 
     std::size_t scenarios = spec.scenarioCount();
     std::vector<cluster::ClusterResult> results(scenarios);
+
+    // One collector per scenario; assembled in scenario-index order,
+    // so the obs export inherits the report's determinism contract.
+    const bool want_obs = args.has("obs-out") || args.has("obs-trace");
+    const double obs_interval_ms =
+        args.getDouble("obs-interval-ms", 100.0);
+    std::vector<std::unique_ptr<obs::Collector>> collectors(scenarios);
+    if (want_obs) {
+        for (std::size_t i = 0; i < scenarios; ++i)
+            collectors[i] =
+                std::make_unique<obs::Collector>(obs_interval_ms);
+    }
+
+    std::unique_ptr<obs::HarnessTracer> tracer;
+    if (args.has("harness-trace"))
+        tracer = std::make_unique<obs::HarnessTracer>();
+
     exec::Pool pool(static_cast<int>(args.getInt("jobs", 1)));
     pool.run(scenarios, [&](std::size_t i) {
-        results[i] = cluster::simulateCluster(spec.scenarioAt(i), costs);
+        std::unique_ptr<obs::HarnessTracer::Scope> span;
+        if (tracer != nullptr)
+            span = std::make_unique<obs::HarnessTracer::Scope>(
+                *tracer, strprintf("scenario %zu", i));
+        results[i] = cluster::simulateCluster(spec.scenarioAt(i), costs,
+                                              collectors[i].get());
     });
 
     TextTable table(strprintf("%s x %zu replicas (%s router)",
@@ -307,6 +400,66 @@ cmdCluster(const CliArgs &args)
         json::writeFile(args.getString("out"), json::Value(doc));
         std::printf("%zu scenario(s) -> %s\n", scenarios,
                     args.getString("out").c_str());
+    }
+
+    if (args.has("obs-out")) {
+        json::Object doc;
+        doc.set("interval_ms", obs_interval_ms);
+        json::Value::Array scenario_docs;
+        for (std::size_t i = 0; i < scenarios; ++i) {
+            json::Object entry;
+            entry.set("rate", results[i].arrivalRatePerSec);
+            entry.set("obs", collectors[i]->toJson());
+            scenario_docs.push_back(json::Value(std::move(entry)));
+        }
+        doc.set("scenarios", json::Value(std::move(scenario_docs)));
+        json::writeFile(args.getString("obs-out"), json::Value(doc));
+        std::printf("obs report -> %s\n",
+                    args.getString("obs-out").c_str());
+    }
+    if (args.has("obs-trace")) {
+        if (scenarios > 1)
+            warnOnce("cluster-obs-trace-multi",
+                     "--obs-trace renders scenario 0 only; use "
+                     "--obs-out for the full sweep");
+        trace::writeChromeFile(args.getString("obs-trace"),
+                               collectors.front()->toTrace());
+        std::printf("obs trace -> %s\n",
+                    args.getString("obs-trace").c_str());
+    }
+    if (tracer != nullptr) {
+        tracer->write(args.getString("harness-trace"));
+        std::printf("harness trace (%zu spans) -> %s\n",
+                    tracer->spanCount(),
+                    args.getString("harness-trace").c_str());
+    }
+    return 0;
+}
+
+/**
+ * Round-trip check: re-read an emitted Chrome trace through our own
+ * reader and report what survived (skipctl validate <trace.json>).
+ * Exits non-zero when the file cannot be parsed or contains nothing.
+ */
+int
+cmdValidate(const CliArgs &args)
+{
+    if (args.positional().size() < 2) {
+        std::fprintf(stderr, "usage: skipctl validate <trace.json>\n");
+        return 2;
+    }
+    const std::string &path = args.positional()[1];
+    trace::Trace loaded = trace::readChromeFile(path);
+    std::printf("%s: %zu events, %zu counters, %zu instants\n",
+                path.c_str(), loaded.events().size(),
+                loaded.counters().size(), loaded.instants().size());
+    if (loaded.events().empty() && loaded.counters().empty() &&
+        loaded.instants().empty()) {
+        std::fprintf(stderr,
+                     "skipctl validate: %s parsed but holds no "
+                     "events\n",
+                     path.c_str());
+        return 1;
     }
     return 0;
 }
@@ -435,9 +588,9 @@ main(int argc, char **argv)
     if (args.positional().empty()) {
         std::fprintf(stderr,
                      "usage: skipctl "
-                     "<profile|sweep|fusion|serve|cluster|analyze|diff|"
-                     "roofline|memory|platforms|models|analyses> "
-                     "[options]\n");
+                     "<profile|sweep|fusion|serve|cluster|validate|"
+                     "analyze|diff|roofline|memory|platforms|models|"
+                     "analyses> [options]\n");
         return 2;
     }
     const std::string &cmd = args.positional().front();
@@ -452,6 +605,8 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (cmd == "cluster")
             return cmdCluster(args);
+        if (cmd == "validate")
+            return cmdValidate(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
         if (cmd == "diff")

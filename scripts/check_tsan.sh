@@ -7,5 +7,6 @@ set -e
 
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -S . -DSKIPSIM_TSAN=ON
-cmake --build build-tsan -j --target test_exec --target test_cluster
+cmake --build build-tsan -j --target test_exec --target test_cluster \
+    --target test_obs
 ctest --test-dir build-tsan -L exec --output-on-failure "$@"

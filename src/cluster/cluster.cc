@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strutil.hh"
+#include "obs/collector.hh"
 #include "stats/summary.hh"
 #include "workload/memory.hh"
 
@@ -213,6 +214,7 @@ struct ReplicaRt
     bool busy = false;
     bool prefillIter = false;
     std::uint64_t iterSerial = 0;
+    double iterBeginNs = 0.0; ///< start of the in-flight iteration
 
     bool crashed = false;
     bool partitioned = false;
@@ -227,10 +229,19 @@ struct ReplicaRt
 class Sim
 {
   public:
-    Sim(const ClusterSpec &spec, const CostCache &costs)
+    Sim(const ClusterSpec &spec, const CostCache &costs,
+        obs::Collector *obs)
         : _spec(spec), _horizonNs(spec.horizonSec * 1e9),
-          _router(spec.router, makeWeights(spec, costs))
+          _router(spec.router, makeWeights(spec, costs)), _obs(obs)
     {
+        if (_obs != nullptr) {
+            _ticker = _obs->ticker();
+            // Visit through the first boundary at or past the horizon
+            // so the final partial window is represented; iterations
+            // draining past the horizon are not sampled.
+            _obsStopNs = static_cast<std::int64_t>(_horizonNs) +
+                _obs->intervalNs() - 1;
+        }
         _reps.resize(spec.replicas.size());
         for (std::size_t r = 0; r < _reps.size(); ++r) {
             ReplicaRt &rt = _reps[r];
@@ -277,6 +288,15 @@ class Sim
     void onDetect(const Event &ev);
     void onHeal(const Event &ev);
 
+    /** Sample every unvisited probe boundary up to @p nowNs. */
+    void flushObs(double nowNs);
+    /** One boundary sample of the current cluster state. */
+    void sampleObs(std::int64_t t);
+    /** End-of-run registry totals and histograms. */
+    void finishObs(const ClusterResult &result,
+                   const std::vector<double> &ttfts,
+                   const std::vector<double> &e2es);
+
     const ClusterSpec &_spec;
     double _horizonNs;
     Router _router;
@@ -285,6 +305,14 @@ class Sim
     std::vector<std::size_t> _backlog;
     std::priority_queue<Event, std::vector<Event>, EventAfter> _events;
     std::size_t _rerouted = 0;
+
+    obs::Collector *_obs = nullptr;
+    obs::Ticker _ticker{0};
+    std::int64_t _obsStopNs = 0;
+    // Per-window accumulators, reset at every sampled boundary.
+    std::size_t _windowCompleted = 0;
+    double _windowTtftNs = 0.0;
+    std::size_t _windowTtftCount = 0;
 };
 
 std::vector<double>
@@ -379,8 +407,54 @@ Sim::maybeStart(std::size_t r, double now)
 
     rt.busy = true;
     ++rt.iterSerial;
+    rt.iterBeginNs = now;
     rt.busyNs += dur_ns;
     _events.push({now + dur_ns, EvIterEnd, r, rt.iterSerial});
+}
+
+void
+Sim::flushObs(double nowNs)
+{
+    if (_obs == nullptr)
+        return;
+    _ticker.advanceTo(std::min(nowNs,
+                               static_cast<double>(_obsStopNs)),
+                      [this](std::int64_t t) { sampleObs(t); });
+}
+
+void
+Sim::sampleObs(std::int64_t t)
+{
+    for (std::size_t r = 0; r < _reps.size(); ++r) {
+        const ReplicaRt &rt = _reps[r];
+        const obs::Labels labels{{"replica", std::to_string(r)}};
+        _obs->sample("cluster.queue_depth", labels, t,
+                     static_cast<double>(rt.pending.size()));
+        _obs->sample("cluster.batch_active", labels, t,
+                     static_cast<double>(rt.active.size() +
+                                         rt.prefilling.size()));
+        _obs->sample("cluster.kv_bytes", labels, t, rt.kvBytes);
+        _obs->sample("cluster.outstanding", labels, t,
+                     static_cast<double>(_router.outstanding(r)));
+        _obs->sample("cluster.rerouted", labels, t,
+                     static_cast<double>(rt.stats.rerouted));
+    }
+    const double window_sec =
+        static_cast<double>(_obs->intervalNs()) / 1e9;
+    _obs->sample("cluster.throughput_rps", {}, t,
+                 static_cast<double>(_windowCompleted) / window_sec);
+    _obs->sample("cluster.ttft_ms", {}, t,
+                 _windowTtftCount > 0
+                     ? _windowTtftNs /
+                         static_cast<double>(_windowTtftCount) / 1e6
+                     : 0.0);
+    _obs->sample("cluster.backlog", {}, t,
+                 static_cast<double>(_backlog.size()));
+    _obs->sample("cluster.rerouted_total", {}, t,
+                 static_cast<double>(_rerouted));
+    _windowCompleted = 0;
+    _windowTtftNs = 0.0;
+    _windowTtftCount = 0;
 }
 
 void
@@ -390,6 +464,7 @@ Sim::complete(std::size_t r, std::size_t id, double now)
     _requests[id].doneNs = now;
     rt.kvBytes -= rt.kvPerSeqBytes;
     ++rt.stats.completed;
+    ++_windowCompleted;
     _router.onSettled(r);
 }
 
@@ -428,10 +503,21 @@ Sim::onIterEnd(const Event &ev)
     if (rt.crashed || !rt.busy || ev.serial != rt.iterSerial)
         return; // cancelled by a crash
     rt.busy = false;
+    if (_obs != nullptr) {
+        const std::size_t batch = rt.prefillIter ? rt.prefilling.size()
+                                                 : rt.active.size();
+        _obs->span((rt.prefillIter ? "prefill b=" : "decode b=") +
+                       std::to_string(batch),
+                   static_cast<int>(ev.idx),
+                   std::llround(rt.iterBeginNs),
+                   std::llround(ev.tNs - rt.iterBeginNs));
+    }
     if (rt.prefillIter) {
         for (std::size_t id : rt.prefilling) {
             Request &req = _requests[id];
             req.ttftNs = ev.tNs - req.arrivalNs;
+            _windowTtftNs += req.ttftNs;
+            ++_windowTtftCount;
             req.tokensLeft = _spec.genTokens - 1;
             if (req.tokensLeft == 0)
                 complete(ev.idx, id, ev.tNs);
@@ -459,6 +545,10 @@ Sim::onFault(const Event &ev)
 {
     const FaultSpec &f = _spec.faults[ev.idx];
     ReplicaRt &rt = _reps[f.replica];
+    if (_obs != nullptr)
+        _obs->instant(std::string("fault.") + faultKindName(f.kind),
+                      static_cast<int>(f.replica),
+                      std::llround(ev.tNs));
     switch (f.kind) {
     case FaultKind::Crash: {
         if (rt.crashed)
@@ -505,11 +595,19 @@ Sim::onDetect(const Event &ev)
     const FaultSpec &f = _spec.faults[ev.idx];
     ReplicaRt &rt = _reps[f.replica];
     if (f.kind == FaultKind::Crash) {
+        if (_obs != nullptr)
+            _obs->instant("fault.detected",
+                          static_cast<int>(f.replica),
+                          std::llround(ev.tNs));
         _router.markDown(f.replica);
         restartAndReroute(f.replica, rt.stranded, ev.tNs);
     } else if (f.kind == FaultKind::Partition) {
         if (!rt.partitioned || rt.crashed)
             return; // healed (or upgraded to a crash) before detection
+        if (_obs != nullptr)
+            _obs->instant("fault.detected",
+                          static_cast<int>(f.replica),
+                          std::llround(ev.tNs));
         _router.markDown(f.replica);
         // Requests sent into the partition never arrived; the replica
         // keeps serving what it already held (data plane intact).
@@ -525,6 +623,9 @@ Sim::onHeal(const Event &ev)
     if (rt.crashed || !rt.partitioned)
         return;
     rt.partitioned = false;
+    if (_obs != nullptr)
+        _obs->instant("fault.healed", static_cast<int>(f.replica),
+                      std::llround(ev.tNs));
     _router.markUp(f.replica);
     // Undelivered requests from the undetected window finally arrive.
     for (std::size_t id : rt.limbo)
@@ -563,6 +664,10 @@ Sim::run()
     while (!_events.empty()) {
         Event ev = _events.top();
         _events.pop();
+        // Sample every probe boundary up to (and including) this
+        // event's instant before applying it: boundary samples see the
+        // state as of the boundary, never a partially applied event.
+        flushObs(ev.tNs);
         switch (ev.type) {
         case EvArrival:
             dispatch(ev.idx, ev.tNs);
@@ -631,28 +736,72 @@ Sim::run()
             rt.activeSizes.count() > 0 ? rt.activeSizes.mean() : 0.0;
         result.replicas.push_back(rt.stats);
     }
+
+    if (_obs != nullptr) {
+        flushObs(static_cast<double>(_obsStopNs));
+        finishObs(result, ttfts, e2es);
+    }
     return result;
+}
+
+void
+Sim::finishObs(const ClusterResult &result,
+               const std::vector<double> &ttfts,
+               const std::vector<double> &e2es)
+{
+    obs::Registry &metrics = _obs->metrics();
+    metrics.counter("cluster.requests_offered")
+        .add(static_cast<double>(result.offered));
+    metrics.counter("cluster.requests_completed")
+        .add(static_cast<double>(result.completed));
+    metrics.counter("cluster.requests_lost")
+        .add(static_cast<double>(result.lost));
+    metrics.counter("cluster.rerouted")
+        .add(static_cast<double>(result.rerouted));
+    for (std::size_t r = 0; r < _reps.size(); ++r) {
+        const ReplicaStats &stats = _reps[r].stats;
+        const obs::Labels labels{{"replica", std::to_string(r)}};
+        metrics.counter("cluster.replica_routed", labels)
+            .add(static_cast<double>(stats.routed));
+        metrics.counter("cluster.replica_completed", labels)
+            .add(static_cast<double>(stats.completed));
+        metrics.counter("cluster.replica_rejected", labels)
+            .add(static_cast<double>(stats.rejected));
+        metrics.counter("cluster.replica_rerouted", labels)
+            .add(static_cast<double>(stats.rerouted));
+        metrics.gauge("cluster.replica_peak_kv_bytes", labels)
+            .set(stats.peakKvBytes);
+    }
+    obs::Histogram &ttft_hist = metrics.histogram(
+        "cluster.ttft_ms", obs::defaultLatencyBucketsMs());
+    for (double ttft : ttfts)
+        ttft_hist.observe(ttft / 1e6);
+    obs::Histogram &e2e_hist = metrics.histogram(
+        "cluster.e2e_ms", obs::defaultLatencyBucketsMs());
+    for (double e2e : e2es)
+        e2e_hist.observe(e2e / 1e6);
 }
 
 } // namespace
 
 ClusterResult
-simulateCluster(const ClusterSpec &spec, const CostCache &costs)
+simulateCluster(const ClusterSpec &spec, const CostCache &costs,
+                obs::Collector *obs)
 {
     spec.validate();
     if (!spec.rates.empty())
         fatal("simulateCluster: expand rate sweeps via scenarioAt() "
               "first");
-    Sim sim(spec, costs);
+    Sim sim(spec, costs, obs);
     return sim.run();
 }
 
 ClusterResult
-simulateCluster(const ClusterSpec &spec)
+simulateCluster(const ClusterSpec &spec, obs::Collector *obs)
 {
     CostCache costs;
     costs.build(spec);
-    return simulateCluster(spec, costs);
+    return simulateCluster(spec, costs, obs);
 }
 
 json::Value

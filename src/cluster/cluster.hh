@@ -35,6 +35,11 @@
 #include "serving/continuous.hh"
 #include "workload/model_config.hh"
 
+namespace skipsim::obs
+{
+class Collector;
+}
+
 namespace skipsim::cluster
 {
 
@@ -266,14 +271,29 @@ class CostCache
 
 /**
  * Simulate one cluster scenario. Builds a private CostCache; prefer
- * the two-argument overload when running many scenarios.
+ * the cost-cache overload when running many scenarios.
+ *
+ * When @p obs is non-null the simulation records probes into it at the
+ * collector's deterministic simulated-time boundaries: per-replica
+ * cluster.queue_depth / cluster.batch_active / cluster.kv_bytes /
+ * cluster.outstanding / cluster.rerouted samples, cluster-wide
+ * windowed cluster.throughput_rps / cluster.ttft_ms plus
+ * cluster.backlog and cluster.rerouted_total, one duration span per
+ * completed iteration (track = replica index), instant markers for
+ * fault injection/detection/heal, and end-of-run registry totals with
+ * TTFT/E2E histograms. Probes never perturb the result; because
+ * sampling instants are pure functions of the interval, the obs JSON
+ * honours the same determinism contract as the report itself.
+ *
  * @throws skipsim::FatalError on invalid specs.
  */
-ClusterResult simulateCluster(const ClusterSpec &spec);
+ClusterResult simulateCluster(const ClusterSpec &spec,
+                              obs::Collector *obs = nullptr);
 
 /** Simulate with a pre-built cost cache (see CostCache). */
 ClusterResult simulateCluster(const ClusterSpec &spec,
-                              const CostCache &costs);
+                              const CostCache &costs,
+                              obs::Collector *obs = nullptr);
 
 } // namespace skipsim::cluster
 

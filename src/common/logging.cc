@@ -1,46 +1,109 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <set>
 
 namespace skipsim
 {
 
 namespace
 {
-LogLevel global_level = LogLevel::Inform;
+
+std::atomic<LogLevel> global_level{LogLevel::Inform};
+
+std::mutex &
+ioMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Single guarded write per message so concurrent lines never shear. */
+void
+writeLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(ioMutex());
+    std::fputs(line.c_str(), stderr);
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (global_level >= LogLevel::Inform)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Inform)
+        writeLine("info: ", msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    if (global_level >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        writeLine("warn: ", msg);
+}
+
+namespace
+{
+
+std::mutex &
+onceMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::set<std::string> &
+onceKeys()
+{
+    static std::set<std::string> keys;
+    return keys;
+}
+
+} // namespace
+
+bool
+warnOnce(const std::string &key, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(onceMutex());
+        if (!onceKeys().insert(key).second)
+            return false;
+    }
+    warn(msg);
+    return true;
+}
+
+void
+resetWarnOnce()
+{
+    std::lock_guard<std::mutex> lock(onceMutex());
+    onceKeys().clear();
 }
 
 void
 debug(const std::string &msg)
 {
-    if (global_level >= LogLevel::Debug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Debug)
+        writeLine("debug: ", msg);
 }
 
 void

@@ -7,6 +7,10 @@
  *
  * Errors are reported as exceptions rather than process exits so that the
  * library is embeddable and the behaviours are unit-testable.
+ *
+ * Output is thread-safe: each message is formatted into one buffer and
+ * written under a mutex, so lines from concurrent exec::Pool workers
+ * never interleave mid-line.
  */
 
 #ifndef SKIPSIM_COMMON_LOGGING_HH
@@ -50,6 +54,17 @@ void inform(const std::string &msg);
 
 /** Print a warning message to stderr when verbosity allows. */
 void warn(const std::string &msg);
+
+/**
+ * warn() the first time @p key is seen and stay silent on repeats, so
+ * per-point conditions in thousand-point sweeps report once instead of
+ * flooding stderr. Thread-safe.
+ * @return true when the warning was emitted (first sighting).
+ */
+bool warnOnce(const std::string &key, const std::string &msg);
+
+/** Forget all warnOnce() keys (test hook). */
+void resetWarnOnce();
 
 /** Print a debug message to stderr when verbosity allows. */
 void debug(const std::string &msg);

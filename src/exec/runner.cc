@@ -1,9 +1,12 @@
 #include "exec/runner.hh"
 
 #include <chrono>
+#include <memory>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "exec/grid.hh"
+#include "obs/harness.hh"
 
 namespace skipsim::exec
 {
@@ -104,17 +107,31 @@ Runner::runGrid(const SweepSpec &spec, const AnalysisFn &fn,
     report.jobs = _jobs;
 
     auto grid_start = std::chrono::steady_clock::now();
+    obs::HarnessTracer *tracer = _tracer;
     report.points = exec::runGrid(
         spec,
-        [&fn](const RunSpec &point, std::size_t index) {
+        [&fn, &label, tracer](const RunSpec &point, std::size_t index) {
             PointResult result;
             result.index = index;
             result.spec = point;
+            std::unique_ptr<obs::HarnessTracer::Scope> span;
+            if (tracer != nullptr)
+                span = std::make_unique<obs::HarnessTracer::Scope>(
+                    *tracer,
+                    strprintf("point %zu: %s", index,
+                              point.label().c_str()));
             auto point_start = std::chrono::steady_clock::now();
             try {
                 result.value = fn(point);
             } catch (const FatalError &err) {
                 result.error = err.what();
+                // A sweep can fail the same way at hundreds of points;
+                // one warning per distinct (analysis, message) pair
+                // keeps stderr readable while still surfacing it.
+                warnOnce(label + "|" + result.error,
+                         strprintf("analysis '%s' failed: %s",
+                                   label.c_str(),
+                                   result.error.c_str()));
             }
             result.wallMs = elapsedMs(point_start);
             return result;

@@ -20,6 +20,11 @@
 #include "exec/sweep_spec.hh"
 #include "json/value.hh"
 
+namespace skipsim::obs
+{
+class HarnessTracer;
+}
+
 namespace skipsim::exec
 {
 
@@ -99,8 +104,23 @@ class Runner
     GridReport runGrid(const SweepSpec &spec, const AnalysisFn &fn,
                        const std::string &label = "custom") const;
 
+    /**
+     * Attach a harness self-tracer: every grid point records one
+     * wall-clock span ("point <i>: <spec label>") on its worker
+     * thread's track, so parallel speedup and stragglers are visible
+     * in Perfetto. Pass nullptr to detach. The tracer must outlive the
+     * runs it observes; it does not affect results.
+     */
+    void setHarnessTracer(obs::HarnessTracer *tracer)
+    {
+        _tracer = tracer;
+    }
+
+    obs::HarnessTracer *harnessTracer() const { return _tracer; }
+
   private:
     int _jobs = 1;
+    obs::HarnessTracer *_tracer = nullptr;
 };
 
 } // namespace skipsim::exec

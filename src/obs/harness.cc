@@ -1,0 +1,118 @@
+#include "obs/harness.hh"
+
+#include <algorithm>
+
+#include "trace/chrome.hh"
+
+namespace skipsim::obs
+{
+
+HarnessTracer::HarnessTracer()
+    : _origin(std::chrono::steady_clock::now())
+{}
+
+std::int64_t
+HarnessTracer::nowNs() const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - _origin)
+        .count();
+}
+
+int
+HarnessTracer::trackOfCallingThread()
+{
+    // Caller holds _mutex.
+    auto id = std::this_thread::get_id();
+    auto it = _tracks.find(id);
+    if (it != _tracks.end())
+        return it->second;
+    int track = static_cast<int>(_tracks.size());
+    _tracks.emplace(id, track);
+    return track;
+}
+
+void
+HarnessTracer::record(std::string name, std::int64_t beginNs,
+                      std::int64_t endNs)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::Operator;
+    ev.name = std::move(name);
+    ev.tsBeginNs = beginNs;
+    ev.durNs = std::max<std::int64_t>(0, endNs - beginNs);
+    ev.tid = trackOfCallingThread();
+    _spans.push_back(std::move(ev));
+}
+
+void
+HarnessTracer::instant(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    trace::InstantEvent ev;
+    ev.name = name;
+    ev.tsNs = nowNs();
+    ev.tid = trackOfCallingThread();
+    _instants.push_back(std::move(ev));
+}
+
+std::size_t
+HarnessTracer::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _spans.size();
+}
+
+HarnessTracer::Scope::Scope(HarnessTracer &tracer, std::string name)
+    : _tracer(tracer), _name(std::move(name)), _beginNs(tracer.nowNs())
+{}
+
+HarnessTracer::Scope::~Scope()
+{
+    _tracer.record(std::move(_name), _beginNs, _tracer.nowNs());
+}
+
+trace::Trace
+HarnessTracer::build() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    trace::Trace trace;
+    trace.setMeta("source", "skipsim-harness");
+    for (const trace::TraceEvent &ev : _spans)
+        trace.add(ev);
+    for (const trace::InstantEvent &ev : _instants)
+        trace.addInstant(ev);
+
+    // Derive the inflight counter from span edges: how many grid
+    // points were executing at once (the parallelism actually won).
+    std::vector<std::pair<std::int64_t, int>> edges;
+    edges.reserve(_spans.size() * 2);
+    for (const trace::TraceEvent &ev : _spans) {
+        edges.emplace_back(ev.tsBeginNs, +1);
+        edges.emplace_back(ev.tsEndNs(), -1);
+    }
+    std::sort(edges.begin(), edges.end());
+    int inflight = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        inflight += edges[i].second;
+        // One sample per instant: fold simultaneous edges together.
+        if (i + 1 < edges.size() && edges[i + 1].first == edges[i].first)
+            continue;
+        trace::CounterEvent counter;
+        counter.name = "harness.inflight";
+        counter.tsNs = edges[i].first;
+        counter.value = inflight;
+        trace.addCounter(std::move(counter));
+    }
+    trace.sortByTime();
+    return trace;
+}
+
+void
+HarnessTracer::write(const std::string &path) const
+{
+    trace::writeChromeFile(path, build());
+}
+
+} // namespace skipsim::obs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Harness self-tracing: profile the profiler, the same trick SKIP
+ * plays on PyTorch. A HarnessTracer records wall-clock spans (one per
+ * grid point / scenario) onto one track per observed thread — for
+ * exec::Pool runs that is one track per worker — plus instant markers,
+ * and renders them as a Chrome trace. build() also derives a
+ * "harness.inflight" counter (spans concurrently open) so the trace
+ * carries both duration and counter events; parallel speedup and
+ * stragglers are visible at a glance in Perfetto.
+ *
+ * Wall-clock by nature: harness traces are diagnostics, not part of
+ * any deterministic report. Thread-safe.
+ */
+
+#ifndef SKIPSIM_OBS_HARNESS_HH
+#define SKIPSIM_OBS_HARNESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace skipsim::obs
+{
+
+/** Wall-clock span recorder; see file comment. */
+class HarnessTracer
+{
+  public:
+    /** Trace origin is the construction instant. */
+    HarnessTracer();
+
+    HarnessTracer(const HarnessTracer &) = delete;
+    HarnessTracer &operator=(const HarnessTracer &) = delete;
+
+    /**
+     * RAII span: records [construction, destruction) on the calling
+     * thread's track under the tracer's origin.
+     */
+    class Scope
+    {
+      public:
+        Scope(HarnessTracer &tracer, std::string name);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        HarnessTracer &_tracer;
+        std::string _name;
+        std::int64_t _beginNs = 0;
+    };
+
+    /** Open a span named @p name on the calling thread's track. */
+    Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+    /** Record an instant marker on the calling thread's track. */
+    void instant(const std::string &name);
+
+    /** Spans recorded so far. */
+    std::size_t spanCount() const;
+
+    /**
+     * Render the recorded spans plus the derived harness.inflight
+     * counter as a time-sorted trace.
+     */
+    trace::Trace build() const;
+
+    /** writeChromeFile(build()). */
+    void write(const std::string &path) const;
+
+  private:
+    friend class Scope;
+
+    std::int64_t nowNs() const;
+
+    /** Track id of the calling thread (assigned on first sight). */
+    int trackOfCallingThread();
+
+    void record(std::string name, std::int64_t beginNs,
+                std::int64_t endNs);
+
+    std::chrono::steady_clock::time_point _origin;
+    mutable std::mutex _mutex;
+    std::map<std::thread::id, int> _tracks;
+    std::vector<trace::TraceEvent> _spans;
+    std::vector<trace::InstantEvent> _instants;
+};
+
+} // namespace skipsim::obs
+
+#endif // SKIPSIM_OBS_HARNESS_HH

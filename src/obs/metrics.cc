@@ -1,0 +1,190 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::obs
+{
+
+std::string
+metricKey(const std::string &name, const Labels &labels)
+{
+    if (name.empty())
+        fatal("obs: metric name must not be empty");
+    if (labels.empty())
+        return name;
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string key = name + "{";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i].first.empty())
+            fatal(strprintf("obs: metric '%s' has an empty label name",
+                            name.c_str()));
+        if (i > 0)
+            key += ",";
+        key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+    }
+    key += "}";
+    return key;
+}
+
+void
+Counter::add(double delta)
+{
+    // CAS loop instead of fetch_add(double): portable to pre-C++20
+    // atomic implementations and contention here is negligible.
+    double cur = _value.load(std::memory_order_relaxed);
+    while (!_value.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : _bounds(std::move(bounds))
+{
+    if (_bounds.empty())
+        fatal("obs::Histogram: need at least one bucket bound");
+    for (std::size_t i = 1; i < _bounds.size(); ++i) {
+        if (_bounds[i] <= _bounds[i - 1])
+            fatal("obs::Histogram: bounds must be strictly ascending");
+    }
+    _buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+        _bounds.size() + 1);
+    for (std::size_t i = 0; i <= _bounds.size(); ++i)
+        _buckets[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    std::size_t bucket = std::lower_bound(_bounds.begin(), _bounds.end(),
+                                          v) -
+        _bounds.begin();
+    _buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    double cur = _sum.load(std::memory_order_relaxed);
+    while (!_sum.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> counts(_bounds.size() + 1);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] = _buckets[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+std::vector<double>
+defaultLatencyBucketsMs()
+{
+    return {0.1, 0.25, 0.5, 1.0,   2.5,   5.0,   10.0,   25.0,  50.0,
+            100., 250., 500., 1000., 2500., 5000., 10000.};
+}
+
+Counter &
+Registry::counter(const std::string &name, const Labels &labels)
+{
+    const std::string key = metricKey(name, labels);
+    std::lock_guard<std::mutex> lock(_mutex);
+    Instrument &slot = _instruments[key];
+    if (!slot.counter) {
+        if (slot.gauge || slot.histogram)
+            fatal(strprintf("obs: '%s' is already a non-counter metric",
+                            key.c_str()));
+        slot.counter = std::make_unique<Counter>();
+    }
+    return *slot.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const Labels &labels)
+{
+    const std::string key = metricKey(name, labels);
+    std::lock_guard<std::mutex> lock(_mutex);
+    Instrument &slot = _instruments[key];
+    if (!slot.gauge) {
+        if (slot.counter || slot.histogram)
+            fatal(strprintf("obs: '%s' is already a non-gauge metric",
+                            key.c_str()));
+        slot.gauge = std::make_unique<Gauge>();
+    }
+    return *slot.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &bounds,
+                    const Labels &labels)
+{
+    const std::string key = metricKey(name, labels);
+    std::lock_guard<std::mutex> lock(_mutex);
+    Instrument &slot = _instruments[key];
+    if (!slot.histogram) {
+        if (slot.counter || slot.gauge)
+            fatal(strprintf("obs: '%s' is already a non-histogram metric",
+                            key.c_str()));
+        slot.histogram = std::make_unique<Histogram>(bounds);
+    } else if (slot.histogram->bounds() != bounds) {
+        fatal(strprintf("obs: histogram '%s' re-registered with "
+                        "different bounds",
+                        key.c_str()));
+    }
+    return *slot.histogram;
+}
+
+std::size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _instruments.size();
+}
+
+json::Value
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    json::Object counters;
+    json::Object gauges;
+    json::Object histograms;
+    // std::map iteration is key-sorted, so the dump is byte-stable.
+    for (const auto &[key, slot] : _instruments) {
+        if (slot.counter) {
+            counters.set(key, slot.counter->value());
+        } else if (slot.gauge) {
+            gauges.set(key, slot.gauge->value());
+        } else if (slot.histogram) {
+            json::Object hist;
+            hist.set("count", static_cast<unsigned long long>(
+                                  slot.histogram->count()));
+            hist.set("sum", slot.histogram->sum());
+            json::Value::Array buckets;
+            std::vector<std::uint64_t> counts =
+                slot.histogram->bucketCounts();
+            const std::vector<double> &bounds = slot.histogram->bounds();
+            for (std::size_t i = 0; i < counts.size(); ++i) {
+                json::Object bucket;
+                if (i < bounds.size())
+                    bucket.set("le", bounds[i]);
+                else
+                    bucket.set("le", "+inf");
+                bucket.set("count",
+                           static_cast<unsigned long long>(counts[i]));
+                buckets.push_back(json::Value(std::move(bucket)));
+            }
+            hist.set("buckets", json::Value(std::move(buckets)));
+            histograms.set(key, json::Value(std::move(hist)));
+        }
+    }
+    json::Object doc;
+    doc.set("counters", json::Value(std::move(counters)));
+    doc.set("gauges", json::Value(std::move(gauges)));
+    doc.set("histograms", json::Value(std::move(histograms)));
+    return json::Value(std::move(doc));
+}
+
+} // namespace skipsim::obs

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Thread-safe metrics registry: labeled counters, gauges, and
+ * fixed-bucket histograms with deterministic JSON export. Instruments
+ * are created (or found) under a registry mutex and then updated
+ * lock-free through atomics, so exec::Pool workers can hammer the same
+ * counter without serializing on the registry. The naming scheme is
+ * Prometheus-flavoured: `subsystem.metric{label="value",...}` with
+ * labels sorted, so a metric's identity — and therefore the JSON dump
+ * order — is independent of which thread touched it first.
+ */
+
+#ifndef SKIPSIM_OBS_METRICS_HH
+#define SKIPSIM_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace skipsim::obs
+{
+
+/** Label set of one instrument; rendered sorted by label name. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Canonical instrument key: `name` for an empty label set, otherwise
+ * `name{a="1",b="x"}` with labels sorted by name.
+ * @throws skipsim::FatalError on empty metric or label names.
+ */
+std::string metricKey(const std::string &name, const Labels &labels);
+
+/** Monotonically increasing value (lock-free add). */
+class Counter
+{
+  public:
+    void add(double delta = 1.0);
+    double value() const { return _value.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> _value{0.0};
+};
+
+/** Last-write-wins scalar (lock-free set). */
+class Gauge
+{
+  public:
+    void set(double v) { _value.store(v, std::memory_order_relaxed); }
+    double value() const { return _value.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> _value{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: cumulative-style upper bounds plus an
+ * implicit +inf overflow bucket, with lock-free observation.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bounds strictly ascending bucket upper bounds.
+     * @throws skipsim::FatalError when empty or not ascending.
+     */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    const std::vector<double> &bounds() const { return _bounds; }
+
+    /** Per-bucket counts; the extra last entry is the +inf bucket. */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    std::uint64_t count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return _sum.load(std::memory_order_relaxed); }
+
+  private:
+    std::vector<double> _bounds;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> _buckets;
+    std::atomic<std::uint64_t> _count{0};
+    std::atomic<double> _sum{0.0};
+};
+
+/** Default latency bucket bounds in milliseconds (0.1 .. 10000). */
+std::vector<double> defaultLatencyBucketsMs();
+
+/**
+ * The instrument registry. counter()/gauge()/histogram() find or
+ * create an instrument under a mutex and return a reference that stays
+ * valid for the registry's lifetime; updates through the reference are
+ * lock-free. toJson() dumps every instrument sorted by key, so the
+ * export is byte-stable regardless of creation or update order.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name, const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const Labels &labels = {});
+
+    /**
+     * Find or create a histogram. @throws skipsim::FatalError when an
+     * existing histogram under the same key has different bounds, or
+     * when the key names an instrument of another type.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds,
+                         const Labels &labels = {});
+
+    /** Number of registered instruments. */
+    std::size_t size() const;
+
+    /**
+     * Deterministic dump:
+     * {"counters": {key: value, ...}, "gauges": {...},
+     *  "histograms": {key: {"count","sum","buckets":[{"le","count"}]}}}
+     */
+    json::Value toJson() const;
+
+  private:
+    struct Instrument
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Instrument> _instruments;
+};
+
+} // namespace skipsim::obs
+
+#endif // SKIPSIM_OBS_METRICS_HH

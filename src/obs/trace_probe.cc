@@ -1,0 +1,122 @@
+#include "obs/trace_probe.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace skipsim::obs
+{
+
+namespace
+{
+
+/** Merge intervals and return the union as disjoint sorted spans. */
+std::vector<std::pair<std::int64_t, std::int64_t>>
+mergeIntervals(std::vector<std::pair<std::int64_t, std::int64_t>> spans)
+{
+    std::sort(spans.begin(), spans.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+    for (const auto &span : spans) {
+        if (!merged.empty() && span.first <= merged.back().second)
+            merged.back().second =
+                std::max(merged.back().second, span.second);
+        else
+            merged.push_back(span);
+    }
+    return merged;
+}
+
+/** Overlap of the union @p spans with the window [begin, end). */
+double
+coverage(const std::vector<std::pair<std::int64_t, std::int64_t>> &spans,
+         std::int64_t begin, std::int64_t end)
+{
+    double covered = 0.0;
+    for (const auto &span : spans) {
+        if (span.second <= begin)
+            continue;
+        if (span.first >= end)
+            break;
+        covered += static_cast<double>(std::min(span.second, end) -
+                                       std::max(span.first, begin));
+    }
+    return covered;
+}
+
+} // namespace
+
+void
+probeTrace(const trace::Trace &trace, Collector &collector)
+{
+    if (trace.empty())
+        return;
+
+    std::vector<std::pair<std::int64_t, std::int64_t>> gpu_spans;
+    std::vector<std::pair<std::int64_t, std::int64_t>> cpu_spans;
+    std::map<std::uint64_t, std::int64_t> launch_end; // corr -> ns
+    std::size_t ops = 0;
+    std::size_t kernels = 0;
+    std::size_t launches = 0;
+
+    for (const trace::TraceEvent &ev : trace.events()) {
+        if (ev.onGpu()) {
+            ++kernels;
+            gpu_spans.emplace_back(ev.tsBeginNs, ev.tsEndNs());
+        } else if (ev.kind == trace::EventKind::Runtime) {
+            ++launches;
+            if (ev.correlationId != 0)
+                launch_end[ev.correlationId] = ev.tsEndNs();
+        } else {
+            ++ops;
+            cpu_spans.emplace_back(ev.tsBeginNs, ev.tsEndNs());
+        }
+    }
+
+    Registry &metrics = collector.metrics();
+    metrics.counter("trace.ops").add(static_cast<double>(ops));
+    metrics.counter("trace.kernels").add(static_cast<double>(kernels));
+    metrics.counter("trace.launches").add(static_cast<double>(launches));
+
+    // Launch-queue membership: +1 when the launch call returns, -1
+    // when the correlated kernel starts executing.
+    std::vector<std::pair<std::int64_t, int>> queue_deltas;
+    for (const trace::TraceEvent &ev : trace.events()) {
+        if (!ev.onGpu() || ev.correlationId == 0)
+            continue;
+        auto it = launch_end.find(ev.correlationId);
+        if (it == launch_end.end())
+            continue;
+        queue_deltas.emplace_back(it->second, +1);
+        queue_deltas.emplace_back(ev.tsBeginNs, -1);
+    }
+    std::sort(queue_deltas.begin(), queue_deltas.end());
+
+    gpu_spans = mergeIntervals(std::move(gpu_spans));
+    cpu_spans = mergeIntervals(std::move(cpu_spans));
+
+    const std::int64_t end = trace.endNs();
+    Ticker tick = collector.ticker();
+    std::size_t delta_idx = 0;
+    int queue_depth = 0;
+    // Sample through the first boundary at or past the trace end so
+    // the final partial window is represented too.
+    const std::int64_t stop = end + collector.intervalNs() - 1;
+    tick.advanceTo(static_cast<double>(stop), [&](std::int64_t t) {
+        while (delta_idx < queue_deltas.size() &&
+               queue_deltas[delta_idx].first <= t) {
+            queue_depth += queue_deltas[delta_idx].second;
+            ++delta_idx;
+        }
+        const std::int64_t window_begin = t - collector.intervalNs();
+        const double window =
+            static_cast<double>(collector.intervalNs());
+        collector.sample("trace.launch_queue_depth", {}, t,
+                         static_cast<double>(queue_depth));
+        collector.sample("trace.gpu_busy", {}, t,
+                         coverage(gpu_spans, window_begin, t) / window);
+        collector.sample("trace.cpu_busy", {}, t,
+                         coverage(cpu_spans, window_begin, t) / window);
+    });
+}
+
+} // namespace skipsim::obs

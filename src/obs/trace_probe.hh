@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Derive sampled counter series from a Kineto-style op/kernel trace —
+ * the same quantities the paper reads off PyTorch Profiler timelines.
+ * At every sampling boundary of the collector's interval:
+ *
+ *  - trace.launch_queue_depth: kernels whose runtime launch call has
+ *    returned but whose GPU execution has not begun (the kernel launch
+ *    queue behind TKLQT, Sec. III of the paper);
+ *  - trace.gpu_busy: fraction of the preceding window covered by
+ *    kernel/memcpy execution;
+ *  - trace.cpu_busy: fraction of the preceding window covered by
+ *    CPU-side operator events.
+ *
+ * Registry totals (trace.ops, trace.kernels, trace.launches) ride
+ * along. Everything derives from trace timestamps only, so the output
+ * is deterministic for a given trace and interval.
+ */
+
+#ifndef SKIPSIM_OBS_TRACE_PROBE_HH
+#define SKIPSIM_OBS_TRACE_PROBE_HH
+
+#include "obs/collector.hh"
+#include "trace/trace.hh"
+
+namespace skipsim::obs
+{
+
+/** Sample @p trace into @p collector (no-op on an empty trace). */
+void probeTrace(const trace::Trace &trace, Collector &collector);
+
+} // namespace skipsim::obs
+
+#endif // SKIPSIM_OBS_TRACE_PROBE_HH

@@ -6,12 +6,114 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "obs/collector.hh"
 #include "sim/simulator.hh"
 #include "stats/summary.hh"
 #include "workload/builder.hh"
 
 namespace skipsim::serving
 {
+
+namespace
+{
+
+/** One batching iteration, for post-hoc probe replay. */
+struct IterRec
+{
+    double beginNs = 0.0;
+    double endNs = 0.0;
+    /** Sequences worked this iteration (decode batch + prefills). */
+    int active = 0;
+    /** Tokens emitted when the iteration completes. */
+    int tokens = 0;
+    /** Span name ("prefill b=N" / "decode b=N" / "chunk+decode b=N"). */
+    std::string label;
+};
+
+/**
+ * Replay recorded iterations over the collector's deterministic
+ * sampling boundaries; runs after the simulation completes.
+ */
+void
+emitContinuousObs(obs::Collector &obs,
+                  const std::vector<double> &arrivals,
+                  const std::vector<std::pair<double, int>> &admits,
+                  const std::vector<IterRec> &iters,
+                  const std::vector<std::pair<double, double>> &ttfts,
+                  std::size_t completed, std::size_t tokens_total,
+                  double horizon_ns)
+{
+    obs::Registry &metrics = obs.metrics();
+    metrics.counter("continuous.requests_offered")
+        .add(static_cast<double>(arrivals.size()));
+    metrics.counter("continuous.requests_completed")
+        .add(static_cast<double>(completed));
+    metrics.counter("continuous.tokens")
+        .add(static_cast<double>(tokens_total));
+    metrics.counter("continuous.iterations")
+        .add(static_cast<double>(iters.size()));
+    obs::Histogram &ttft_hist = metrics.histogram(
+        "continuous.ttft_ms", obs::defaultLatencyBucketsMs());
+    for (const auto &ttft : ttfts)
+        ttft_hist.observe(ttft.second / 1e6);
+
+    for (const IterRec &iter : iters)
+        obs.span(iter.label, 0, std::llround(iter.beginNs),
+                 std::llround(iter.endNs - iter.beginNs));
+
+    obs::Ticker tick = obs.ticker();
+    const double window_sec =
+        static_cast<double>(obs.intervalNs()) / 1e9;
+    std::size_t arr_i = 0;
+    std::size_t admit_i = 0;
+    std::size_t iter_i = 0;  // iteration possibly covering the boundary
+    std::size_t token_i = 0; // iterations whose tokens are counted
+    std::size_t ttft_i = 0;
+    long long admitted = 0;
+    const double stop =
+        horizon_ns + static_cast<double>(obs.intervalNs()) - 1.0;
+    tick.advanceTo(stop, [&](std::int64_t t) {
+        const double now = static_cast<double>(t);
+        while (arr_i < arrivals.size() && arrivals[arr_i] <= now)
+            ++arr_i;
+        while (admit_i < admits.size() && admits[admit_i].first <= now) {
+            admitted += admits[admit_i].second;
+            ++admit_i;
+        }
+        while (iter_i < iters.size() && iters[iter_i].endNs <= now)
+            ++iter_i;
+        double active = 0.0;
+        if (iter_i < iters.size() && iters[iter_i].beginNs <= now)
+            active = static_cast<double>(iters[iter_i].active);
+
+        long long window_tokens = 0;
+        while (token_i < iters.size() && iters[token_i].endNs <= now) {
+            window_tokens += iters[token_i].tokens;
+            ++token_i;
+        }
+        const std::size_t ttft_begin = ttft_i;
+        double window_ttft_ns = 0.0;
+        while (ttft_i < ttfts.size() && ttfts[ttft_i].first <= now) {
+            window_ttft_ns += ttfts[ttft_i].second;
+            ++ttft_i;
+        }
+        const std::size_t window_ttfts = ttft_i - ttft_begin;
+
+        obs.sample("continuous.queue_depth", {}, t,
+                   static_cast<double>(arr_i) -
+                       static_cast<double>(admitted));
+        obs.sample("continuous.batch_active", {}, t, active);
+        obs.sample("continuous.tokens_per_sec", {}, t,
+                   static_cast<double>(window_tokens) / window_sec);
+        obs.sample("continuous.ttft_ms", {}, t,
+                   window_ttfts > 0
+                       ? window_ttft_ns /
+                           static_cast<double>(window_ttfts) / 1e6
+                       : 0.0);
+    });
+}
+
+} // namespace
 
 IterationCostModel::IterationCostModel(const workload::ModelConfig &model,
                                        const hw::Platform &platform,
@@ -93,7 +195,7 @@ IterationCostModel::chunkNs(int chunk_tokens) const
 
 ContinuousResult
 simulateContinuous(const IterationCostModel &cost,
-                   const ContinuousConfig &config)
+                   const ContinuousConfig &config, obs::Collector *obs)
 {
     if (config.arrivalRatePerSec <= 0.0)
         fatal("simulateContinuous: arrival rate must be positive");
@@ -121,6 +223,12 @@ simulateContinuous(const IterationCostModel &cost,
     }
 
     ContinuousResult result;
+    std::vector<double> all_arrivals;
+    std::vector<std::pair<double, int>> obs_admits;
+    std::vector<IterRec> obs_iters;
+    std::vector<std::pair<double, double>> obs_ttfts;
+    if (obs != nullptr)
+        all_arrivals.assign(pending.begin(), pending.end());
     std::vector<double> ttfts;
     std::vector<int> active_remaining; // tokens left per active seq
     stats::Summary active_sizes;
@@ -146,6 +254,8 @@ simulateContinuous(const IterationCostModel &cost,
 
     auto finish_prefill = [&](double done_time, double arrival) {
         ttfts.push_back(done_time - arrival);
+        if (obs != nullptr)
+            obs_ttfts.emplace_back(done_time, done_time - arrival);
         ++tokens_emitted; // the prefill emits the first token
         if (config.genTokens == 1)
             ++result.completed;
@@ -175,7 +285,14 @@ simulateContinuous(const IterationCostModel &cost,
                 head_chunks_left =
                     (config.promptLen + config.chunkTokens - 1) /
                     config.chunkTokens;
+                if (obs != nullptr)
+                    obs_admits.emplace_back(now, 1);
             }
+            const double iter_begin = now;
+            const std::size_t tokens_before = tokens_emitted;
+            const int decode_count =
+                static_cast<int>(active_remaining.size());
+            const bool chunk_sched = head_chunks_left > 0;
             double latency = 0.0;
             if (!active_remaining.empty()) {
                 latency += cost.decodeNs(
@@ -204,6 +321,21 @@ simulateContinuous(const IterationCostModel &cost,
                 finish_prefill(now, head_arrival);
                 head_arrival = 0.0;
             }
+            if (obs != nullptr) {
+                std::string label;
+                if (chunk_sched && decode_count > 0)
+                    label = "chunk+decode b=" +
+                        std::to_string(decode_count + 1);
+                else if (chunk_sched)
+                    label = "chunk b=1";
+                else
+                    label = "decode b=" + std::to_string(decode_count);
+                obs_iters.push_back(
+                    {iter_begin, now,
+                     decode_count + (chunk_sched ? 1 : 0),
+                     static_cast<int>(tokens_emitted - tokens_before),
+                     std::move(label)});
+            }
             continue;
         }
 
@@ -212,6 +344,14 @@ simulateContinuous(const IterationCostModel &cost,
             std::size_t admit = std::min(ready, room);
             double latency =
                 cost.prefillNs(static_cast<int>(admit));
+            if (obs != nullptr) {
+                obs_admits.emplace_back(now,
+                                        static_cast<int>(admit));
+                obs_iters.push_back(
+                    {now, now + latency, static_cast<int>(admit),
+                     static_cast<int>(admit),
+                     "prefill b=" + std::to_string(admit)});
+            }
             now += latency;
             for (std::size_t i = 0; i < admit; ++i) {
                 double arrival = pending.front();
@@ -225,6 +365,13 @@ simulateContinuous(const IterationCostModel &cost,
             active_sizes.add(
                 static_cast<double>(active_remaining.size()));
             iter_latency.add(latency);
+            if (obs != nullptr)
+                obs_iters.push_back(
+                    {now, now + latency,
+                     static_cast<int>(active_remaining.size()),
+                     static_cast<int>(active_remaining.size()),
+                     "decode b=" +
+                         std::to_string(active_remaining.size())});
             now += latency;
             tokens_emitted += active_remaining.size();
             std::vector<int> still;
@@ -240,6 +387,11 @@ simulateContinuous(const IterationCostModel &cost,
             now = std::max(now, pending.front());
         }
     }
+
+    if (obs != nullptr)
+        emitContinuousObs(*obs, all_arrivals, obs_admits, obs_iters,
+                          obs_ttfts, result.completed, tokens_emitted,
+                          horizon_ns);
 
     result.unfinished = pending.size() + active_remaining.size() +
         (head_chunks_left > 0 ? 1 : 0);

@@ -19,6 +19,11 @@
 #include "hw/platform.hh"
 #include "workload/model_config.hh"
 
+namespace skipsim::obs
+{
+class Collector;
+}
+
 namespace skipsim::serving
 {
 
@@ -118,10 +123,19 @@ struct ContinuousResult
  * Simulate a continuous-batching server: pending prefills are admitted
  * (batched together) whenever capacity allows, and all active
  * sequences advance one token per decode iteration.
+ *
+ * When @p obs is non-null the simulation additionally records probes:
+ * one duration span per iteration ("prefill b=N" / "decode b=N" /
+ * "chunk+decode b=N"), boundary samples of continuous.queue_depth /
+ * continuous.batch_active and windowed continuous.tokens_per_sec /
+ * continuous.ttft_ms, plus registry totals and a continuous.ttft_ms
+ * histogram. Probes never perturb the result.
+ *
  * @throws skipsim::FatalError on non-positive rate/horizon/capacity.
  */
 ContinuousResult simulateContinuous(const IterationCostModel &cost,
-                                    const ContinuousConfig &config);
+                                    const ContinuousConfig &config,
+                                    obs::Collector *obs = nullptr);
 
 } // namespace skipsim::serving
 

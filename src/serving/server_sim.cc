@@ -6,13 +6,107 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "obs/collector.hh"
 #include "stats/summary.hh"
 
 namespace skipsim::serving
 {
 
+namespace
+{
+
+/** One dispatched batch, for post-hoc probe replay. */
+struct BatchRec
+{
+    double dispatchNs = 0.0;
+    double doneNs = 0.0;
+    int count = 0;
+};
+
+/**
+ * Replay the recorded batches/completions over the collector's
+ * deterministic sampling boundaries. Runs after the simulation so the
+ * probes cannot perturb it.
+ */
+void
+emitServingObs(obs::Collector &obs, const std::vector<double> &arrivals,
+               const std::vector<BatchRec> &batches,
+               const std::vector<std::pair<double, double>> &completions,
+               double horizon_ns)
+{
+    obs::Registry &metrics = obs.metrics();
+    metrics.counter("serving.requests_offered")
+        .add(static_cast<double>(arrivals.size()));
+    metrics.counter("serving.requests_completed")
+        .add(static_cast<double>(completions.size()));
+    metrics.counter("serving.batches")
+        .add(static_cast<double>(batches.size()));
+    obs::Histogram &lat_hist = metrics.histogram(
+        "serving.latency_ms", obs::defaultLatencyBucketsMs());
+    for (const auto &completion : completions)
+        lat_hist.observe(completion.second / 1e6);
+
+    for (const BatchRec &batch : batches)
+        obs.span("batch b=" + std::to_string(batch.count), 0,
+                 std::llround(batch.dispatchNs),
+                 std::llround(batch.doneNs - batch.dispatchNs));
+
+    // Boundary replay: arrivals, dispatches, and completions are all
+    // time-sorted (the server is serial), so one pass suffices.
+    obs::Ticker tick = obs.ticker();
+    const double window_sec =
+        static_cast<double>(obs.intervalNs()) / 1e9;
+    std::size_t arr_i = 0;
+    std::size_t batch_i = 0;
+    std::size_t comp_i = 0;
+    long long dispatched = 0;
+    // Visit through the first boundary at or past the horizon so the
+    // final partial window is represented.
+    const double stop =
+        horizon_ns + static_cast<double>(obs.intervalNs()) - 1.0;
+    tick.advanceTo(stop, [&](std::int64_t t) {
+        const double now = static_cast<double>(t);
+        while (arr_i < arrivals.size() && arrivals[arr_i] <= now)
+            ++arr_i;
+        while (batch_i < batches.size() &&
+               batches[batch_i].dispatchNs <= now) {
+            dispatched += batches[batch_i].count;
+            ++batch_i;
+        }
+        double inflight = 0.0;
+        if (batch_i > 0 && batches[batch_i - 1].doneNs > now)
+            inflight = static_cast<double>(batches[batch_i - 1].count);
+
+        const std::size_t window_begin = comp_i;
+        double window_latency_ns = 0.0;
+        while (comp_i < completions.size() &&
+               completions[comp_i].first <= now) {
+            window_latency_ns += completions[comp_i].second;
+            ++comp_i;
+        }
+        const std::size_t window_count = comp_i - window_begin;
+
+        obs.sample("serving.queue_depth", {}, t,
+                   static_cast<double>(arr_i) -
+                       static_cast<double>(dispatched));
+        obs.sample("serving.batch_inflight", {}, t, inflight);
+        obs.sample("serving.throughput_rps", {}, t,
+                   static_cast<double>(window_count) / window_sec);
+        // TTFT == end-to-end latency for the dynamic batcher (see
+        // ServingResult); windowed mean, 0 when the window is empty.
+        obs.sample("serving.ttft_ms", {}, t,
+                   window_count > 0
+                       ? window_latency_ns /
+                           static_cast<double>(window_count) / 1e6
+                       : 0.0);
+    });
+}
+
+} // namespace
+
 ServingResult
-simulateServing(const LatencyModel &latency, const ServingConfig &config)
+simulateServing(const LatencyModel &latency, const ServingConfig &config,
+                obs::Collector *obs)
 {
     if (config.arrivalRatePerSec <= 0.0)
         fatal("simulateServing: arrival rate must be positive");
@@ -40,8 +134,14 @@ simulateServing(const LatencyModel &latency, const ServingConfig &config)
     }
 
     ServingResult result;
-    if (arrivals.empty())
+    std::vector<BatchRec> obs_batches;
+    std::vector<std::pair<double, double>> obs_completions;
+    if (arrivals.empty()) {
+        if (obs != nullptr)
+            emitServingObs(*obs, arrivals, obs_batches, obs_completions,
+                           horizon_ns);
         return result;
+    }
 
     std::vector<double> latencies;
     double server_free = 0.0;
@@ -84,12 +184,23 @@ simulateServing(const LatencyModel &latency, const ServingConfig &config)
         busy_ns += exec;
         batch_sizes.add(static_cast<double>(count));
 
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
             latencies.push_back(done - arrivals[next + i]);
+            if (obs != nullptr)
+                obs_completions.emplace_back(done,
+                                             done - arrivals[next + i]);
+        }
+        if (obs != nullptr)
+            obs_batches.push_back(
+                {dispatch, done, static_cast<int>(count)});
 
         next += count;
         server_free = done;
     }
+
+    if (obs != nullptr)
+        emitServingObs(*obs, arrivals, obs_batches, obs_completions,
+                       horizon_ns);
 
     result.completed = latencies.size();
     result.leftInQueue = arrivals.size() - next;

@@ -16,6 +16,11 @@
 
 #include "serving/latency_model.hh"
 
+namespace skipsim::obs
+{
+class Collector;
+}
+
 namespace skipsim::serving
 {
 
@@ -94,10 +99,18 @@ struct ServingResult
  * oldest pending request has waited maxWaitNs; the batch contains
  * every request arrived by the dispatch instant (capped at maxBatch).
  *
+ * When @p obs is non-null the simulation additionally records probes
+ * into it: per-batch duration spans, boundary samples of
+ * serving.queue_depth / serving.batch_inflight and windowed
+ * serving.throughput_rps / serving.ttft_ms, plus registry totals
+ * (serving.requests_offered/completed, serving.batches) and a
+ * serving.latency_ms histogram. Probes never perturb the result.
+ *
  * @throws skipsim::FatalError on non-positive rate/horizon/batch.
  */
 ServingResult simulateServing(const LatencyModel &latency,
-                              const ServingConfig &config);
+                              const ServingConfig &config,
+                              obs::Collector *obs = nullptr);
 
 } // namespace skipsim::serving
 

@@ -41,6 +41,88 @@ eventToJson(const TraceEvent &ev)
     return json::Value(std::move(obj));
 }
 
+json::Value
+counterToJson(const CounterEvent &counter)
+{
+    json::Object obj;
+    obj.set("ph", "C");
+    obj.set("name", counter.name);
+    obj.set("pid", 0);
+    obj.set("tid", counter.tid);
+    obj.set("ts", static_cast<double>(counter.tsNs) / 1000.0);
+    // Exact nanosecond timestamp as a top-level extra field: viewers
+    // ignore it, and it cannot live in args because every args member
+    // of a "C" event renders as its own counter series.
+    obj.set("ts_ns", static_cast<long long>(counter.tsNs));
+    json::Object args;
+    args.set("value", counter.value);
+    obj.set("args", json::Value(std::move(args)));
+    return json::Value(std::move(obj));
+}
+
+json::Value
+instantToJson(const InstantEvent &instant)
+{
+    json::Object obj;
+    obj.set("ph", "i");
+    obj.set("name", instant.name);
+    obj.set("pid", 0);
+    obj.set("tid", instant.tid);
+    obj.set("ts", static_cast<double>(instant.tsNs) / 1000.0);
+    obj.set("ts_ns", static_cast<long long>(instant.tsNs));
+    obj.set("s", "t"); // thread-scoped marker
+    return json::Value(std::move(obj));
+}
+
+/** Timestamp in ns: exact ts_ns when present, else microsecond ts. */
+std::int64_t
+timestampNs(const json::Object &obj)
+{
+    if (obj.has("ts_ns"))
+        return obj.at("ts_ns").asInt();
+    return static_cast<std::int64_t>(
+        std::llround(obj.at("ts").asDouble() * 1000.0));
+}
+
+CounterEvent
+counterFromJson(const json::Object &obj)
+{
+    CounterEvent counter;
+    counter.name = obj.at("name").asString();
+    counter.tsNs = timestampNs(obj);
+    counter.tid =
+        static_cast<int>(obj.get("tid", json::Value(0)).asInt());
+    const json::Value null_value;
+    const json::Value &args_value = obj.get("args", null_value);
+    if (args_value.isObject()) {
+        const json::Object &args = args_value.asObject();
+        if (args.has("value")) {
+            counter.value = args.at("value").asDouble();
+        } else {
+            // Kineto-style counters name their series arbitrarily;
+            // take the first numeric member.
+            for (const auto &key : args.keys()) {
+                if (args.at(key).isNumber()) {
+                    counter.value = args.at(key).asDouble();
+                    break;
+                }
+            }
+        }
+    }
+    return counter;
+}
+
+InstantEvent
+instantFromJson(const json::Object &obj)
+{
+    InstantEvent instant;
+    instant.name = obj.at("name").asString();
+    instant.tsNs = timestampNs(obj);
+    instant.tid =
+        static_cast<int>(obj.get("tid", json::Value(0)).asInt());
+    return instant;
+}
+
 TraceEvent
 eventFromJson(const json::Object &obj)
 {
@@ -98,9 +180,14 @@ toChromeJson(const Trace &trace)
     root.set("skipsimMeta", json::Value(std::move(meta)));
 
     json::Value::Array events;
-    events.reserve(trace.size());
+    events.reserve(trace.size() + trace.counters().size() +
+                   trace.instants().size());
     for (const auto &ev : trace.events())
         events.push_back(eventToJson(ev));
+    for (const auto &counter : trace.counters())
+        events.push_back(counterToJson(counter));
+    for (const auto &instant : trace.instants())
+        events.push_back(instantToJson(instant));
     root.set("traceEvents", json::Value(std::move(events)));
     root.set("displayTimeUnit", "ns");
     return json::Value(std::move(root));
@@ -134,7 +221,16 @@ fromChromeJson(const json::Value &doc)
         fatal("chrome trace: missing 'traceEvents'");
     for (const auto &item : root.at("traceEvents").asArray()) {
         const json::Object &obj = item.asObject();
-        if (obj.get("ph", json::Value("X")).asString() != "X")
+        const std::string ph = obj.get("ph", json::Value("X")).asString();
+        if (ph == "C") {
+            trace.addCounter(counterFromJson(obj));
+            continue;
+        }
+        if (ph == "i" || ph == "I") {
+            trace.addInstant(instantFromJson(obj));
+            continue;
+        }
+        if (ph != "X")
             continue;
         if (!obj.has("cat"))
             continue;

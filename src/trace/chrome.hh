@@ -6,6 +6,9 @@
  * microsecond ts/dur, so a round trip is lossless while the file stays
  * loadable in standard viewers; the importer also accepts traces that
  * only carry microsecond fields (e.g. real PyTorch Kineto exports).
+ * Counter events ("ph":"C", one args member "value") and instant
+ * markers ("ph":"i") round-trip too, carrying their exact nanosecond
+ * timestamp in a top-level "ts_ns" field.
  */
 
 #ifndef SKIPSIM_TRACE_CHROME_HH
@@ -29,8 +32,10 @@ std::string toChromeText(const Trace &trace);
 void writeChromeFile(const std::string &path, const Trace &trace);
 
 /**
- * Parse a Chrome-trace JSON document into a Trace.
- * Unknown event categories and non-"X" phases are skipped.
+ * Parse a Chrome-trace JSON document into a Trace. "X" events of the
+ * modeled categories become TraceEvents; "C" events become counters
+ * and "i"/"I" events instant markers. Unknown event categories and
+ * other phases are skipped.
  * @throws skipsim::FatalError on malformed documents.
  */
 Trace fromChromeJson(const json::Value &doc);

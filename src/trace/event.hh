@@ -85,6 +85,36 @@ struct TraceEvent
     bool onGpu() const { return !onCpu(); }
 };
 
+/**
+ * One sampled counter value (Chrome-trace "ph":"C"). Counter tracks
+ * are keyed by name; per-entity series fold their labels into the
+ * name (e.g. cluster.queue_depth{replica="0"}) so every series gets
+ * its own Perfetto counter track.
+ */
+struct CounterEvent
+{
+    std::string name;
+
+    /** Sample instant, ns from trace origin. */
+    std::int64_t tsNs = 0;
+
+    double value = 0.0;
+
+    /** Track hint (thread/replica id); counters render per name. */
+    int tid = 0;
+};
+
+/** A zero-duration marker (Chrome-trace "ph":"i"), e.g. a fault. */
+struct InstantEvent
+{
+    std::string name;
+
+    /** Marker instant, ns from trace origin. */
+    std::int64_t tsNs = 0;
+
+    int tid = 0;
+};
+
 } // namespace skipsim::trace
 
 #endif // SKIPSIM_TRACE_EVENT_HH

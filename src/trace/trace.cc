@@ -40,6 +40,18 @@ Trace::add(TraceEvent event)
 }
 
 void
+Trace::addCounter(CounterEvent counter)
+{
+    _counters.push_back(std::move(counter));
+}
+
+void
+Trace::addInstant(InstantEvent instant)
+{
+    _instants.push_back(std::move(instant));
+}
+
+void
 Trace::sortByTime()
 {
     std::stable_sort(_events.begin(), _events.end(),
@@ -47,6 +59,14 @@ Trace::sortByTime()
                          if (a.tsBeginNs != b.tsBeginNs)
                              return a.tsBeginNs < b.tsBeginNs;
                          return a.id < b.id;
+                     });
+    std::stable_sort(_counters.begin(), _counters.end(),
+                     [](const CounterEvent &a, const CounterEvent &b) {
+                         return a.tsNs < b.tsNs;
+                     });
+    std::stable_sort(_instants.begin(), _instants.end(),
+                     [](const InstantEvent &a, const InstantEvent &b) {
+                         return a.tsNs < b.tsNs;
                      });
 }
 

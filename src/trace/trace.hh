@@ -45,7 +45,28 @@ class Trace
      */
     std::uint64_t add(TraceEvent event);
 
-    /** Stable-sort events by (tsBeginNs, id). */
+    /** Append a sampled counter value ("ph":"C" in Chrome traces). */
+    void addCounter(CounterEvent counter);
+
+    /** Append an instant marker ("ph":"i" in Chrome traces). */
+    void addInstant(InstantEvent instant);
+
+    /** Counter samples in current order. */
+    const std::vector<CounterEvent> &counters() const
+    {
+        return _counters;
+    }
+
+    /** Instant markers in current order. */
+    const std::vector<InstantEvent> &instants() const
+    {
+        return _instants;
+    }
+
+    /**
+     * Stable-sort events by (tsBeginNs, id); counters and instants
+     * stable-sort by timestamp.
+     */
     void sortByTime();
 
     std::size_t size() const { return _events.size(); }
@@ -78,6 +99,8 @@ class Trace
 
   private:
     std::vector<TraceEvent> _events;
+    std::vector<CounterEvent> _counters;
+    std::vector<InstantEvent> _instants;
     std::vector<std::pair<std::string, std::string>> _meta;
 };
 

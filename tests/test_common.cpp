@@ -348,5 +348,19 @@ TEST(Logging, LevelRoundTrip)
     setLogLevel(before);
 }
 
+TEST(Logging, WarnOnceEmitsPerKeyOnce)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet); // suppress output, keep bookkeeping
+    resetWarnOnce();
+    EXPECT_TRUE(warnOnce("k1", "first"));
+    EXPECT_FALSE(warnOnce("k1", "repeat"));
+    EXPECT_TRUE(warnOnce("k2", "other key"));
+    resetWarnOnce();
+    EXPECT_TRUE(warnOnce("k1", "emits again after reset"));
+    resetWarnOnce();
+    setLogLevel(before);
+}
+
 } // namespace
 } // namespace skipsim

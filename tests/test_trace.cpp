@@ -344,5 +344,72 @@ TEST(ChromeTrace, GpuTidEncodesStream)
     EXPECT_TRUE(found);
 }
 
+TEST(ChromeTrace, CounterAndInstantRoundTrip)
+{
+    Trace original = sampleTrace();
+    CounterEvent c1;
+    c1.name = "cluster.queue_depth{replica=\"0\"}";
+    c1.tsNs = 12345;
+    c1.value = 3.0;
+    c1.tid = 0;
+    original.addCounter(c1);
+    CounterEvent c2;
+    c2.name = "cluster.kv_bytes";
+    c2.tsNs = 99;
+    c2.value = 1.5e9;
+    c2.tid = 2;
+    original.addCounter(c2);
+    InstantEvent marker;
+    marker.name = "fault.crash";
+    marker.tsNs = 777;
+    marker.tid = 1;
+    original.addInstant(marker);
+    original.sortByTime();
+
+    // Counters/instants sort by timestamp alongside the span stream.
+    EXPECT_EQ(original.counters().front().name, "cluster.kv_bytes");
+
+    Trace parsed = fromChromeText(toChromeText(original));
+    ASSERT_EQ(parsed.counters().size(), 2u);
+    ASSERT_EQ(parsed.instants().size(), 1u);
+    EXPECT_EQ(parsed.size(), original.size());
+
+    const CounterEvent &kv = parsed.counters()[0];
+    EXPECT_EQ(kv.name, "cluster.kv_bytes");
+    EXPECT_EQ(kv.tsNs, 99); // exact ns via the top-level ts_ns field
+    EXPECT_DOUBLE_EQ(kv.value, 1.5e9);
+    EXPECT_EQ(kv.tid, 2);
+    const CounterEvent &depth = parsed.counters()[1];
+    EXPECT_EQ(depth.name, "cluster.queue_depth{replica=\"0\"}");
+    EXPECT_EQ(depth.tsNs, 12345);
+    EXPECT_DOUBLE_EQ(depth.value, 3.0);
+
+    const InstantEvent &fault = parsed.instants()[0];
+    EXPECT_EQ(fault.name, "fault.crash");
+    EXPECT_EQ(fault.tsNs, 777);
+    EXPECT_EQ(fault.tid, 1);
+}
+
+TEST(ChromeTrace, ReadsForeignCounterAndInstantEvents)
+{
+    // Kineto-flavoured counters carry the value under an arbitrary
+    // args member and only us-resolution timestamps; "I" instants are
+    // the legacy spelling of "i".
+    std::string text = R"({"traceEvents":[
+        {"ph":"C","name":"GPU mem","ts":2.5,"pid":0,"tid":0,
+         "args":{"bytes":4096}},
+        {"ph":"I","name":"marker","ts":1.0,"tid":3},
+        {"ph":"X","name":"op","cat":"cpu_op","ts":0,"dur":1,"tid":1}]})";
+    Trace trace = fromChromeText(text);
+    EXPECT_EQ(trace.size(), 1u);
+    ASSERT_EQ(trace.counters().size(), 1u);
+    EXPECT_EQ(trace.counters()[0].name, "GPU mem");
+    EXPECT_EQ(trace.counters()[0].tsNs, 2500);
+    EXPECT_DOUBLE_EQ(trace.counters()[0].value, 4096.0);
+    ASSERT_EQ(trace.instants().size(), 1u);
+    EXPECT_EQ(trace.instants()[0].name, "marker");
+    EXPECT_EQ(trace.instants()[0].tsNs, 1000);
+}
+
 } // namespace
 } // namespace skipsim::trace
