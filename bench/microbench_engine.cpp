@@ -9,6 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "core/event_queue.hh"
 #include "fusion/proximity.hh"
 #include "hw/catalog.hh"
 #include "sim/simulator.hh"
@@ -129,6 +136,91 @@ BM_EndToEndProfile(benchmark::State &state)
 }
 BENCHMARK(BM_EndToEndProfile);
 
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    // Throughput of the core event queue every simulation path now
+    // runs on: push N events with random timestamps and mixed
+    // priorities, then drain. Timestamps are pre-generated so the
+    // measurement is the heap, not the PRNG.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(42);
+    std::vector<double> times(n);
+    std::vector<int> prios(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        times[i] = rng.uniform(0.0, 1e9);
+        prios[i] = static_cast<int>(rng.below(4));
+    }
+    for (auto _ : state) {
+        core::EventQueue queue;
+        for (std::size_t i = 0; i < n; ++i)
+            queue.schedule(times[i], prios[i], nullptr);
+        while (!queue.empty()) {
+            core::Event ev = queue.pop();
+            benchmark::DoNotOptimize(ev.timeNs);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueThroughput)
+    ->Arg(1 << 14)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineEventChurn(benchmark::State &state)
+{
+    // Engine run-loop overhead under self-rescheduling handlers — the
+    // access pattern of the ported serving/cluster engines (each
+    // iteration-end event schedules the next).
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        core::Engine engine;
+        int remaining = n;
+        std::function<void(double)> step = [&](double) {
+            if (--remaining > 0)
+                engine.after(1.0, 0, step);
+        };
+        engine.at(0.0, 0, step);
+        engine.run();
+        benchmark::DoNotOptimize(engine.processed());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EngineEventChurn)->Arg(1 << 16);
+
 } // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark rejects flags it does not recognize, so a custom
+// main translates the repo-wide --quick convention (see the ext_*
+// drivers) into a filter + short measurement budget for CI: just the
+// event-queue row, enough to catch gross regressions.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    bool quick = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else
+            args.push_back(argv[i]);
+    }
+    static std::string filter =
+        "--benchmark_filter=BM_EventQueueThroughput";
+    static std::string min_time = "--benchmark_min_time=0.05";
+    if (quick) {
+        args.push_back(filter.data());
+        args.push_back(min_time.data());
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Build the exec engine tests under ThreadSanitizer and run them.
+# Build the exec engine and discrete-event core tests under
+# ThreadSanitizer and run them.
 # Equivalent to `cmake --preset tsan && cmake --build --preset tsan &&
 # ctest --preset tsan` on CMake >= 3.21; spelled out here so it also
 # works with the project's minimum CMake.
@@ -8,5 +9,5 @@ set -e
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -S . -DSKIPSIM_TSAN=ON
 cmake --build build-tsan -j --target test_exec --target test_cluster \
-    --target test_obs
-ctest --test-dir build-tsan -L exec --output-on-failure "$@"
+    --target test_obs --target test_core
+ctest --test-dir build-tsan -L "exec|core" --output-on-failure "$@"

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <queue>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strutil.hh"
+#include "core/engine.hh"
+#include "core/rng_stream.hh"
 #include "obs/collector.hh"
+#include "serving/replica_engine.hh"
 #include "stats/summary.hh"
 #include "workload/memory.hh"
 
@@ -162,27 +164,20 @@ enum EventType
     EvArrival = 4,
 };
 
-struct Event
+/**
+ * Queue priority packing (type, entity index): the pre-core event
+ * comparator broke equal-timestamp ties by (type, idx, serial). The
+ * core queue orders by (time, priority, seq), so the index is packed
+ * under the type and push order stands in for the serial (a replica's
+ * iteration-end events are pushed in serial order).
+ */
+int
+eventPriority(EventType type, std::size_t idx)
 {
-    double tNs = 0.0;
-    int type = EvArrival;
-    std::size_t idx = 0;       ///< fault index / replica / request id
-    std::uint64_t serial = 0;  ///< iteration serial (EvIterEnd)
-};
-
-struct EventAfter
-{
-    bool operator()(const Event &a, const Event &b) const
-    {
-        if (a.tNs != b.tNs)
-            return a.tNs > b.tNs;
-        if (a.type != b.type)
-            return a.type > b.type;
-        if (a.idx != b.idx)
-            return a.idx > b.idx;
-        return a.serial > b.serial;
-    }
-};
+    constexpr std::size_t stride = std::size_t{1} << 20;
+    return static_cast<int>(type) * static_cast<int>(stride) +
+        static_cast<int>(std::min(idx, stride - 1));
+}
 
 struct Request
 {
@@ -190,38 +185,28 @@ struct Request
     int session = 0;
     double ttftNs = -1.0;   ///< reset when a fault forces a restart
     double doneNs = -1.0;
-    int tokensLeft = 0;     ///< decode tokens still owed (post-prefill)
     int attempts = 0;       ///< dispatches, including fault re-routes
 };
 
-/** One replica's runtime state. */
+/**
+ * One replica's runtime state. The batching discipline itself —
+ * queues, KV admission, iteration scheduling — lives in the shared
+ * serving::ReplicaEngine; this wrapper keeps what is cluster-specific:
+ * fault status, partition limbo, routing stats.
+ */
 struct ReplicaRt
 {
     const ReplicaSpec *spec = nullptr;
-    const serving::IterationCostModel *cost = nullptr;
     Rng jitterRng{0};
+    std::unique_ptr<serving::ReplicaEngine> engine;
 
-    double kvPerSeqBytes = 0.0;
-    double kvCapacityBytes = 0.0;
-    double kvBytes = 0.0;
-
-    std::deque<std::size_t> pending;   ///< accepted, awaiting admission
     std::vector<std::size_t> limbo;    ///< sent while partitioned
-    std::vector<std::size_t> active;   ///< decoding
-    std::vector<std::size_t> prefilling;
     std::vector<std::size_t> stranded; ///< frozen by a crash
-
-    bool busy = false;
-    bool prefillIter = false;
-    std::uint64_t iterSerial = 0;
-    double iterBeginNs = 0.0; ///< start of the in-flight iteration
 
     bool crashed = false;
     bool partitioned = false;
     double slowFactor = 1.0;
 
-    double busyNs = 0.0;
-    stats::Summary activeSizes;
     ReplicaStats stats;
 };
 
@@ -232,6 +217,7 @@ class Sim
     Sim(const ClusterSpec &spec, const CostCache &costs,
         obs::Collector *obs)
         : _spec(spec), _horizonNs(spec.horizonSec * 1e9),
+          _streams(spec.seed),
           _router(spec.router, makeWeights(spec, costs)), _obs(obs)
     {
         if (_obs != nullptr) {
@@ -246,8 +232,7 @@ class Sim
         for (std::size_t r = 0; r < _reps.size(); ++r) {
             ReplicaRt &rt = _reps[r];
             rt.spec = &spec.replicas[r];
-            rt.cost = &costs.get(rt.spec->platform.name);
-            rt.jitterRng = Rng(mixSeed(spec.seed, r + 1));
+            rt.jitterRng = _streams.stream(r + 1);
             rt.stats.platformName = rt.spec->platform.name;
 
             // KV budget: HBM minus weights and one max-batch of
@@ -258,15 +243,64 @@ class Sim
                 spec.model, 1, spec.promptLen + spec.genTokens);
             workload::MemoryFootprint at_cap = workload::estimateMemory(
                 spec.model, rt.spec->maxActive, spec.promptLen);
-            rt.kvPerSeqBytes = per_seq.kvCacheBytes;
-            rt.kvCapacityBytes = rt.spec->platform.gpu.hbmBytes() -
+            double kv_per_seq = per_seq.kvCacheBytes;
+            double kv_capacity = rt.spec->platform.gpu.hbmBytes() -
                 at_cap.weightsBytes - at_cap.activationBytes;
-            if (rt.kvCapacityBytes < rt.kvPerSeqBytes)
+            if (kv_capacity < kv_per_seq)
                 fatal(strprintf(
                     "simulateCluster: replica %zu (%s) cannot hold one "
                     "%d-token sequence's KV cache",
                     r, rt.spec->platform.name.c_str(),
                     spec.promptLen + spec.genTokens));
+
+            serving::ReplicaEngine::Config ec;
+            ec.cost = &costs.get(rt.spec->platform.name);
+            ec.maxActive = rt.spec->maxActive;
+            ec.promptLen = spec.promptLen;
+            ec.genTokens = spec.genTokens;
+            ec.kvPerSeqBytes = kv_per_seq;
+            ec.kvCapacityBytes = kv_capacity;
+            ec.horizonNs = _horizonNs;
+            ec.iterPriority = eventPriority(EvIterEnd, r);
+
+            serving::ReplicaEngine::Callbacks cb;
+            cb.onFirstToken = [this](std::size_t id, double ttft,
+                                     double) {
+                _requests[id].ttftNs = ttft;
+                _windowTtftNs += ttft;
+                ++_windowTtftCount;
+            };
+            cb.onComplete = [this, r](std::size_t id, double now) {
+                _requests[id].doneNs = now;
+                ++_reps[r].stats.completed;
+                ++_windowCompleted;
+                _router.onSettled(r);
+            };
+            cb.onIteration =
+                [this, r](const serving::IterationInfo &info) {
+                    if (_obs == nullptr)
+                        return;
+                    const int batch = info.prefill ? info.prefillBatch
+                                                   : info.decodeBatch;
+                    _obs->span((info.prefill ? "prefill b="
+                                             : "decode b=") +
+                                   std::to_string(batch),
+                               static_cast<int>(r),
+                               std::llround(info.beginNs),
+                               std::llround(info.endNs - info.beginNs));
+                };
+            cb.scaleDuration = [this, r](double base_ns) {
+                ReplicaRt &rep = _reps[r];
+                double dur_ns =
+                    base_ns * rep.slowFactor / rep.spec->clock;
+                if (_spec.jitterFrac > 0.0)
+                    dur_ns *= std::max(
+                        0.05,
+                        rep.jitterRng.gaussian(1.0, _spec.jitterFrac));
+                return dur_ns;
+            };
+            rt.engine = std::make_unique<serving::ReplicaEngine>(
+                _engine, ec, std::move(cb));
         }
     }
 
@@ -277,16 +311,13 @@ class Sim
                                            const CostCache &costs);
 
     void dispatch(std::size_t id, double now);
-    void maybeStart(std::size_t r, double now);
-    void complete(std::size_t r, std::size_t id, double now);
     void restartAndReroute(std::size_t r,
                            std::vector<std::size_t> &ids, double now);
     void drainBacklog(double now);
 
-    void onIterEnd(const Event &ev);
-    void onFault(const Event &ev);
-    void onDetect(const Event &ev);
-    void onHeal(const Event &ev);
+    void onFault(std::size_t faultIdx, double tNs);
+    void onDetect(std::size_t faultIdx, double tNs);
+    void onHeal(std::size_t faultIdx, double tNs);
 
     /** Sample every unvisited probe boundary up to @p nowNs. */
     void flushObs(double nowNs);
@@ -299,11 +330,12 @@ class Sim
 
     const ClusterSpec &_spec;
     double _horizonNs;
+    core::RngStreams _streams;
     Router _router;
+    core::Engine _engine;
     std::vector<ReplicaRt> _reps;
     std::vector<Request> _requests;
     std::vector<std::size_t> _backlog;
-    std::priority_queue<Event, std::vector<Event>, EventAfter> _events;
     std::size_t _rerouted = 0;
 
     obs::Collector *_obs = nullptr;
@@ -348,7 +380,7 @@ Sim::dispatch(std::size_t id, double now)
         // on. Crashed or partitioned replicas cannot answer at all —
         // the dispatch sinks into the failure until detection.
         if (!rt.crashed && !rt.partitioned && rt.spec->maxQueue > 0 &&
-            rt.pending.size() >=
+            rt.engine->pendingCount() >=
                 static_cast<std::size_t>(rt.spec->maxQueue)) {
             ++rt.stats.rejected;
             exclude.push_back(r);
@@ -361,55 +393,12 @@ Sim::dispatch(std::size_t id, double now)
             rt.limbo.push_back(id);
             return;
         }
-        rt.pending.push_back(id);
-        maybeStart(r, now);
+        // A crashed replica's engine still queues the request — it
+        // sinks into the failure until detection routes around it.
+        rt.engine->enqueue(id, req.arrivalNs);
+        rt.engine->maybeStart(now);
         return;
     }
-}
-
-void
-Sim::maybeStart(std::size_t r, double now)
-{
-    ReplicaRt &rt = _reps[r];
-    if (rt.crashed || rt.busy || now >= _horizonNs)
-        return;
-
-    // Admit pending prefills while batch slots and KV budget allow;
-    // what does not fit stays queued until completions release KV.
-    std::vector<std::size_t> admit;
-    while (!rt.pending.empty() &&
-           rt.active.size() + admit.size() <
-               static_cast<std::size_t>(rt.spec->maxActive) &&
-           rt.kvBytes + rt.kvPerSeqBytes <= rt.kvCapacityBytes) {
-        admit.push_back(rt.pending.front());
-        rt.pending.pop_front();
-        rt.kvBytes += rt.kvPerSeqBytes;
-    }
-    rt.stats.peakKvBytes = std::max(rt.stats.peakKvBytes, rt.kvBytes);
-
-    double base_ns = 0.0;
-    if (!admit.empty()) {
-        rt.prefillIter = true;
-        rt.prefilling = std::move(admit);
-        base_ns = rt.cost->prefillNs(static_cast<int>(rt.prefilling.size()));
-    } else if (!rt.active.empty()) {
-        rt.prefillIter = false;
-        rt.activeSizes.add(static_cast<double>(rt.active.size()));
-        base_ns = rt.cost->decodeNs(static_cast<int>(rt.active.size()));
-    } else {
-        return;
-    }
-
-    double dur_ns = base_ns * rt.slowFactor / rt.spec->clock;
-    if (_spec.jitterFrac > 0.0)
-        dur_ns *= std::max(
-            0.05, rt.jitterRng.gaussian(1.0, _spec.jitterFrac));
-
-    rt.busy = true;
-    ++rt.iterSerial;
-    rt.iterBeginNs = now;
-    rt.busyNs += dur_ns;
-    _events.push({now + dur_ns, EvIterEnd, r, rt.iterSerial});
 }
 
 void
@@ -429,11 +418,12 @@ Sim::sampleObs(std::int64_t t)
         const ReplicaRt &rt = _reps[r];
         const obs::Labels labels{{"replica", std::to_string(r)}};
         _obs->sample("cluster.queue_depth", labels, t,
-                     static_cast<double>(rt.pending.size()));
+                     static_cast<double>(rt.engine->pendingCount()));
         _obs->sample("cluster.batch_active", labels, t,
-                     static_cast<double>(rt.active.size() +
-                                         rt.prefilling.size()));
-        _obs->sample("cluster.kv_bytes", labels, t, rt.kvBytes);
+                     static_cast<double>(rt.engine->activeCount() +
+                                         rt.engine->prefillingCount()));
+        _obs->sample("cluster.kv_bytes", labels, t,
+                     rt.engine->kvBytes());
         _obs->sample("cluster.outstanding", labels, t,
                      static_cast<double>(_router.outstanding(r)));
         _obs->sample("cluster.rerouted", labels, t,
@@ -458,17 +448,6 @@ Sim::sampleObs(std::int64_t t)
 }
 
 void
-Sim::complete(std::size_t r, std::size_t id, double now)
-{
-    ReplicaRt &rt = _reps[r];
-    _requests[id].doneNs = now;
-    rt.kvBytes -= rt.kvPerSeqBytes;
-    ++rt.stats.completed;
-    ++_windowCompleted;
-    _router.onSettled(r);
-}
-
-void
 Sim::restartAndReroute(std::size_t r, std::vector<std::size_t> &ids,
                        double now)
 {
@@ -476,9 +455,7 @@ Sim::restartAndReroute(std::size_t r, std::vector<std::size_t> &ids,
     for (std::size_t id : ids) {
         // Generated tokens died with the replica: the client restarts
         // from scratch, so TTFT re-measures against the new replica.
-        Request &req = _requests[id];
-        req.ttftNs = -1.0;
-        req.tokensLeft = 0;
+        _requests[id].ttftNs = -1.0;
         _router.onSettled(r);
         ++rt.stats.rerouted;
         ++_rerouted;
@@ -497,81 +474,34 @@ Sim::drainBacklog(double now)
 }
 
 void
-Sim::onIterEnd(const Event &ev)
+Sim::onFault(std::size_t faultIdx, double tNs)
 {
-    ReplicaRt &rt = _reps[ev.idx];
-    if (rt.crashed || !rt.busy || ev.serial != rt.iterSerial)
-        return; // cancelled by a crash
-    rt.busy = false;
-    if (_obs != nullptr) {
-        const std::size_t batch = rt.prefillIter ? rt.prefilling.size()
-                                                 : rt.active.size();
-        _obs->span((rt.prefillIter ? "prefill b=" : "decode b=") +
-                       std::to_string(batch),
-                   static_cast<int>(ev.idx),
-                   std::llround(rt.iterBeginNs),
-                   std::llround(ev.tNs - rt.iterBeginNs));
-    }
-    if (rt.prefillIter) {
-        for (std::size_t id : rt.prefilling) {
-            Request &req = _requests[id];
-            req.ttftNs = ev.tNs - req.arrivalNs;
-            _windowTtftNs += req.ttftNs;
-            ++_windowTtftCount;
-            req.tokensLeft = _spec.genTokens - 1;
-            if (req.tokensLeft == 0)
-                complete(ev.idx, id, ev.tNs);
-            else
-                rt.active.push_back(id);
-        }
-        rt.prefilling.clear();
-    } else {
-        std::vector<std::size_t> still;
-        still.reserve(rt.active.size());
-        for (std::size_t id : rt.active) {
-            Request &req = _requests[id];
-            if (--req.tokensLeft <= 0)
-                complete(ev.idx, id, ev.tNs);
-            else
-                still.push_back(id);
-        }
-        rt.active.swap(still);
-    }
-    maybeStart(ev.idx, ev.tNs);
-}
-
-void
-Sim::onFault(const Event &ev)
-{
-    const FaultSpec &f = _spec.faults[ev.idx];
+    const FaultSpec &f = _spec.faults[faultIdx];
     ReplicaRt &rt = _reps[f.replica];
     if (_obs != nullptr)
         _obs->instant(std::string("fault.") + faultKindName(f.kind),
-                      static_cast<int>(f.replica),
-                      std::llround(ev.tNs));
+                      static_cast<int>(f.replica), std::llround(tNs));
     switch (f.kind) {
     case FaultKind::Crash: {
         if (rt.crashed)
             return;
         rt.crashed = true;
         rt.stats.crashed = true;
-        rt.busy = false;
-        ++rt.iterSerial; // invalidates the in-flight IterEnd
-        // Freeze everything on the replica until detection.
-        auto strand = [&](std::vector<std::size_t> &src) {
-            rt.stranded.insert(rt.stranded.end(), src.begin(),
-                               src.end());
-            src.clear();
-        };
-        for (std::size_t id : rt.pending)
-            rt.stranded.push_back(id);
-        rt.pending.clear();
-        strand(rt.prefilling);
-        strand(rt.active);
-        strand(rt.limbo);
-        rt.kvBytes = 0.0;
-        _events.push({ev.tNs + _spec.detectDelaySec * 1e9, EvDetect,
-                      ev.idx, 0});
+        // Cancel the in-flight iteration and freeze everything on the
+        // replica until detection: evicted in pending, prefilling,
+        // active order, with limbo appended last.
+        rt.engine->halt();
+        std::vector<std::size_t> evicted = rt.engine->evictAll();
+        rt.stranded.insert(rt.stranded.end(), evicted.begin(),
+                           evicted.end());
+        rt.stranded.insert(rt.stranded.end(), rt.limbo.begin(),
+                           rt.limbo.end());
+        rt.limbo.clear();
+        _engine.at(tNs + _spec.detectDelaySec * 1e9,
+                   eventPriority(EvDetect, faultIdx),
+                   [this, faultIdx](double t) {
+                       onDetect(faultIdx, t);
+                   });
         return;
     }
     case FaultKind::Slowdown:
@@ -581,66 +511,73 @@ Sim::onFault(const Event &ev)
         if (rt.crashed || rt.partitioned)
             return;
         rt.partitioned = true;
-        _events.push({ev.tNs + _spec.detectDelaySec * 1e9, EvDetect,
-                      ev.idx, 0});
+        _engine.at(tNs + _spec.detectDelaySec * 1e9,
+                   eventPriority(EvDetect, faultIdx),
+                   [this, faultIdx](double t) {
+                       onDetect(faultIdx, t);
+                   });
         if (f.healSec >= 0.0)
-            _events.push({f.healSec * 1e9, EvHeal, ev.idx, 0});
+            _engine.at(f.healSec * 1e9,
+                       eventPriority(EvHeal, faultIdx),
+                       [this, faultIdx](double t) {
+                           onHeal(faultIdx, t);
+                       });
         return;
     }
 }
 
 void
-Sim::onDetect(const Event &ev)
+Sim::onDetect(std::size_t faultIdx, double tNs)
 {
-    const FaultSpec &f = _spec.faults[ev.idx];
+    const FaultSpec &f = _spec.faults[faultIdx];
     ReplicaRt &rt = _reps[f.replica];
     if (f.kind == FaultKind::Crash) {
         if (_obs != nullptr)
             _obs->instant("fault.detected",
                           static_cast<int>(f.replica),
-                          std::llround(ev.tNs));
+                          std::llround(tNs));
         _router.markDown(f.replica);
-        restartAndReroute(f.replica, rt.stranded, ev.tNs);
+        restartAndReroute(f.replica, rt.stranded, tNs);
     } else if (f.kind == FaultKind::Partition) {
         if (!rt.partitioned || rt.crashed)
             return; // healed (or upgraded to a crash) before detection
         if (_obs != nullptr)
             _obs->instant("fault.detected",
                           static_cast<int>(f.replica),
-                          std::llround(ev.tNs));
+                          std::llround(tNs));
         _router.markDown(f.replica);
         // Requests sent into the partition never arrived; the replica
         // keeps serving what it already held (data plane intact).
-        restartAndReroute(f.replica, rt.limbo, ev.tNs);
+        restartAndReroute(f.replica, rt.limbo, tNs);
     }
 }
 
 void
-Sim::onHeal(const Event &ev)
+Sim::onHeal(std::size_t faultIdx, double tNs)
 {
-    const FaultSpec &f = _spec.faults[ev.idx];
+    const FaultSpec &f = _spec.faults[faultIdx];
     ReplicaRt &rt = _reps[f.replica];
     if (rt.crashed || !rt.partitioned)
         return;
     rt.partitioned = false;
     if (_obs != nullptr)
         _obs->instant("fault.healed", static_cast<int>(f.replica),
-                      std::llround(ev.tNs));
+                      std::llround(tNs));
     _router.markUp(f.replica);
     // Undelivered requests from the undetected window finally arrive.
     for (std::size_t id : rt.limbo)
-        rt.pending.push_back(id);
+        rt.engine->enqueue(id, _requests[id].arrivalNs);
     rt.limbo.clear();
-    maybeStart(f.replica, ev.tNs);
-    drainBacklog(ev.tNs);
+    rt.engine->maybeStart(tNs);
+    drainBacklog(tNs);
 }
 
 ClusterResult
 Sim::run()
 {
     // Poisson arrivals with per-request session ids, all from the
-    // dedicated arrival stream mixSeed(seed, 0).
-    Rng arrival_rng(mixSeed(_spec.seed, 0));
+    // dedicated arrival stream (index 0; replicas jitter on i + 1).
+    Rng arrival_rng = _streams.stream(0);
     double mean_gap_ns = 1e9 / _spec.arrivalRatePerSec;
     double t = 0.0;
     while (true) {
@@ -657,35 +594,19 @@ Sim::run()
         _requests.push_back(req);
     }
     for (std::size_t id = 0; id < _requests.size(); ++id)
-        _events.push({_requests[id].arrivalNs, EvArrival, id, 0});
+        _engine.at(_requests[id].arrivalNs,
+                   eventPriority(EvArrival, id),
+                   [this, id](double now) { dispatch(id, now); });
     for (std::size_t i = 0; i < _spec.faults.size(); ++i)
-        _events.push({_spec.faults[i].atSec * 1e9, EvFault, i, 0});
+        _engine.at(_spec.faults[i].atSec * 1e9,
+                   eventPriority(EvFault, i),
+                   [this, i](double now) { onFault(i, now); });
 
-    while (!_events.empty()) {
-        Event ev = _events.top();
-        _events.pop();
-        // Sample every probe boundary up to (and including) this
-        // event's instant before applying it: boundary samples see the
-        // state as of the boundary, never a partially applied event.
-        flushObs(ev.tNs);
-        switch (ev.type) {
-        case EvArrival:
-            dispatch(ev.idx, ev.tNs);
-            break;
-        case EvIterEnd:
-            onIterEnd(ev);
-            break;
-        case EvFault:
-            onFault(ev);
-            break;
-        case EvDetect:
-            onDetect(ev);
-            break;
-        case EvHeal:
-            onHeal(ev);
-            break;
-        }
-    }
+    // Sample every probe boundary up to (and including) each event's
+    // instant before applying it: boundary samples see the state as
+    // of the boundary, never a partially applied event.
+    _engine.onBeforeEvent([this](double tNs) { flushObs(tNs); });
+    _engine.run();
 
     ClusterResult result;
     result.arrivalRatePerSec = _spec.arrivalRatePerSec;
@@ -731,9 +652,11 @@ Sim::run()
 
     for (ReplicaRt &rt : _reps) {
         rt.stats.utilization =
-            std::min(1.0, rt.busyNs / _horizonNs);
-        rt.stats.meanActive =
-            rt.activeSizes.count() > 0 ? rt.activeSizes.mean() : 0.0;
+            std::min(1.0, rt.engine->busyNs() / _horizonNs);
+        rt.stats.meanActive = rt.engine->activeSizes().count() > 0
+            ? rt.engine->activeSizes().mean()
+            : 0.0;
+        rt.stats.peakKvBytes = rt.engine->peakKvBytes();
         result.replicas.push_back(rt.stats);
     }
 

@@ -1,0 +1,41 @@
+#include "common/jitter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skipsim
+{
+
+double
+jitterMultiplier(Rng &rng, double frac)
+{
+    double mult = rng.gaussian(1.0, frac);
+    return std::clamp(mult, 1.0 - 4.0 * frac, 1.0 + 4.0 * frac);
+}
+
+std::int64_t
+jitterNs(Rng &rng, double ns, double frac, bool enabled)
+{
+    if (ns <= 0.0)
+        return 0;
+    if (!enabled)
+        return static_cast<std::int64_t>(std::llround(ns));
+    return static_cast<std::int64_t>(
+        std::llround(ns * jitterMultiplier(rng, frac)));
+}
+
+std::int64_t
+jitterComponentsNs(Rng &rng, double ns, double frac, bool enabled,
+                   std::size_t components)
+{
+    if (!enabled || components <= 1)
+        return jitterNs(rng, ns, frac, enabled);
+    // No non-positive short-circuit here: the multiplier draw happens
+    // unconditionally, keeping the RNG stream position a function of
+    // the launch sequence alone.
+    double shrunk = frac / std::sqrt(static_cast<double>(components));
+    return static_cast<std::int64_t>(
+        std::llround(ns * jitterMultiplier(rng, shrunk)));
+}
+
+} // namespace skipsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Multiplicative timing-jitter helpers shared by the timing models
+ * (previously copied into each duration path of the execution
+ * simulator). The multiplier is a gaussian around 1 clamped to +-4
+ * sigma, so a jittered duration can stretch or shrink but never go
+ * negative or explode; fused-kernel durations use a sigma shrunk by
+ * sqrt(components), since a fused duration is a sum of independent
+ * component durations.
+ */
+
+#ifndef SKIPSIM_COMMON_JITTER_HH
+#define SKIPSIM_COMMON_JITTER_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace skipsim
+{
+
+/** Gaussian multiplier around 1, clamped to [1 - 4f, 1 + 4f]. */
+double jitterMultiplier(Rng &rng, double frac);
+
+/**
+ * @p ns jittered by a clamped gaussian multiplier and rounded to
+ * integer ns. Non-positive durations return 0; @p enabled false (the
+ * deterministic default) rounds without drawing from @p rng, so the
+ * stream position is untouched.
+ */
+std::int64_t jitterNs(Rng &rng, double ns, double frac, bool enabled);
+
+/**
+ * jitterNs() for a duration summing @p components independent parts:
+ * the relative noise shrinks with sqrt(components).
+ */
+std::int64_t jitterComponentsNs(Rng &rng, double ns, double frac,
+                                bool enabled, std::size_t components);
+
+} // namespace skipsim
+
+#endif // SKIPSIM_COMMON_JITTER_HH

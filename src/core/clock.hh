@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulated-time clock. One Clock is the single source of "now" for an
+ * engine; it only moves forward, and it moves only when the engine (or
+ * a synchronous runner like sim::Runner's CPU cursor) advances it.
+ * Time is a double in nanoseconds: integer-valued ns stay exact up to
+ * 2^53 (~104 simulated days), so engines that think in integer ns
+ * (the execution simulator) lose nothing, while engines that think in
+ * fractional ns (the serving/cluster cost models) keep their exact
+ * pre-core arithmetic.
+ */
+
+#ifndef SKIPSIM_CORE_CLOCK_HH
+#define SKIPSIM_CORE_CLOCK_HH
+
+#include "common/logging.hh"
+
+namespace skipsim::core
+{
+
+/** Monotone simulated-time cursor, ns. */
+class Clock
+{
+  public:
+    explicit Clock(double startNs = 0.0) : _nowNs(startNs) {}
+
+    double nowNs() const { return _nowNs; }
+
+    /**
+     * Move to @p tNs (>= now).
+     * @throws skipsim::PanicError on time regression — an engine bug.
+     */
+    void
+    advanceTo(double tNs)
+    {
+        if (tNs < _nowNs)
+            panic("core::Clock: time regression");
+        _nowNs = tNs;
+    }
+
+    /** Move forward by @p durNs (>= 0). */
+    void
+    advanceBy(double durNs)
+    {
+        if (durNs < 0.0)
+            panic("core::Clock: negative advance");
+        _nowNs += durNs;
+    }
+
+  private:
+    double _nowNs = 0.0;
+};
+
+} // namespace skipsim::core
+
+#endif // SKIPSIM_CORE_CLOCK_HH

@@ -1,0 +1,41 @@
+#include "core/engine.hh"
+
+#include <utility>
+
+namespace skipsim::core
+{
+
+bool
+Engine::step()
+{
+    if (_queue.empty())
+        return false;
+    Event ev = _queue.pop();
+    if (_beforeEvent)
+        _beforeEvent(ev.timeNs);
+    _clock.advanceTo(ev.timeNs);
+    ++_processed;
+    if (ev.fn)
+        ev.fn(ev.timeNs);
+    return true;
+}
+
+std::size_t
+Engine::run()
+{
+    std::size_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+std::size_t
+Engine::runUntil(double tNs)
+{
+    std::size_t n = 0;
+    while (!_queue.empty() && _queue.nextTimeNs() <= tNs && step())
+        ++n;
+    return n;
+}
+
+} // namespace skipsim::core

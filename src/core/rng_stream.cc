@@ -1,0 +1,18 @@
+#include "core/rng_stream.hh"
+
+namespace skipsim::core
+{
+
+std::uint64_t
+streamId(std::string_view name)
+{
+    // FNV-1a 64: deterministic across platforms, unlike std::hash.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace skipsim::core

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/strutil.hh"
+#include "core/engine.hh"
 #include "obs/collector.hh"
+#include "serving/replica_engine.hh"
 #include "sim/simulator.hh"
 #include "stats/summary.hh"
 #include "workload/builder.hh"
@@ -156,6 +158,10 @@ IterationCostModel::interpolate(const std::vector<int> &grid,
         }
     }
     // Extrapolate with the last segment's per-request slope.
+    warnOnce("IterationCostModel.extrapolate",
+             strprintf("IterationCostModel: batch %d beyond the "
+                       "measured grid (max %d); extrapolating linearly",
+                       batch, grid.back()));
     std::size_t n = grid.size();
     double slope = (ys[n - 1] - ys[n - 2]) /
         static_cast<double>(grid[n - 1] - grid[n - 2]);
@@ -210,7 +216,7 @@ simulateContinuous(const IterationCostModel &cost,
     Rng rng(config.seed);
     double horizon_ns = config.horizonSec * 1e9;
     double mean_gap_ns = 1e9 / config.arrivalRatePerSec;
-    std::deque<double> pending;
+    std::vector<double> arrivals;
     double t_arr = 0.0;
     while (true) {
         double u = rng.uniform();
@@ -219,195 +225,86 @@ simulateContinuous(const IterationCostModel &cost,
         t_arr += -std::log(u) * mean_gap_ns;
         if (t_arr >= horizon_ns)
             break;
-        pending.push_back(t_arr);
+        arrivals.push_back(t_arr);
     }
 
     ContinuousResult result;
-    std::vector<double> all_arrivals;
     std::vector<std::pair<double, int>> obs_admits;
     std::vector<IterRec> obs_iters;
     std::vector<std::pair<double, double>> obs_ttfts;
-    if (obs != nullptr)
-        all_arrivals.assign(pending.begin(), pending.end());
     std::vector<double> ttfts;
-    std::vector<int> active_remaining; // tokens left per active seq
-    stats::Summary active_sizes;
-    stats::Summary iter_latency;
-    double now = 0.0;
-    std::size_t tokens_emitted = 0;
 
-    // Chunked prefill bookkeeping: the head-of-line request's arrival
-    // time and remaining prompt tokens.
-    int head_chunks_left = 0;
-    double head_arrival = 0.0;
+    core::Engine engine;
+    ReplicaEngine::Config rc;
+    rc.cost = &cost;
+    rc.maxActive = config.maxActive;
+    rc.promptLen = config.promptLen;
+    rc.genTokens = config.genTokens;
+    rc.chunkTokens = config.chunkTokens;
+    rc.horizonNs = horizon_ns;
+    rc.iterPriority = 1; // arrivals (0) admit at an equal-time boundary
 
-    auto arrived = [&](double time) {
-        std::size_t n = 0;
-        for (double arrival : pending) {
-            if (arrival <= time)
-                ++n;
-            else
-                break;
-        }
-        return n;
-    };
-
-    auto finish_prefill = [&](double done_time, double arrival) {
-        ttfts.push_back(done_time - arrival);
+    ReplicaEngine::Callbacks cb;
+    if (obs != nullptr)
+        cb.onAdmit = [&](std::size_t count, double now) {
+            obs_admits.emplace_back(now, static_cast<int>(count));
+        };
+    cb.onFirstToken = [&](std::size_t, double ttft, double now) {
+        ttfts.push_back(ttft);
         if (obs != nullptr)
-            obs_ttfts.emplace_back(done_time, done_time - arrival);
-        ++tokens_emitted; // the prefill emits the first token
-        if (config.genTokens == 1)
-            ++result.completed;
-        else
-            active_remaining.push_back(config.genTokens - 1);
+            obs_ttfts.emplace_back(now, ttft);
     };
+    cb.onComplete = [&](std::size_t, double) { ++result.completed; };
+    if (obs != nullptr)
+        cb.onIteration = [&](const IterationInfo &info) {
+            std::string label;
+            int active = 0;
+            if (info.prefill) {
+                label = "prefill b=" + std::to_string(info.prefillBatch);
+                active = info.prefillBatch;
+            } else if (info.chunk && info.decodeBatch > 0) {
+                label = "chunk+decode b=" +
+                    std::to_string(info.decodeBatch + 1);
+                active = info.decodeBatch + 1;
+            } else if (info.chunk) {
+                label = "chunk b=1";
+                active = 1;
+            } else {
+                label = "decode b=" + std::to_string(info.decodeBatch);
+                active = info.decodeBatch;
+            }
+            obs_iters.push_back({info.beginNs, info.endNs, active,
+                                 info.tokens, std::move(label)});
+        };
 
-    while (now < horizon_ns &&
-           (!pending.empty() || !active_remaining.empty() ||
-            head_chunks_left > 0)) {
-        std::size_t ready = arrived(now);
-        std::size_t room = static_cast<std::size_t>(config.maxActive) -
-            active_remaining.size();
-
-        if (config.chunkTokens > 0) {
-            // Sarathi-style: co-schedule one prompt chunk with the
-            // running decode batch every iteration.
-            bool have_prefill_work = head_chunks_left > 0 ||
-                (ready > 0 && room > 0);
-            if (!have_prefill_work && active_remaining.empty()) {
-                now = std::max(now, pending.front());
-                continue;
-            }
-            if (head_chunks_left == 0 && ready > 0 && room > 0) {
-                head_arrival = pending.front();
-                pending.pop_front();
-                head_chunks_left =
-                    (config.promptLen + config.chunkTokens - 1) /
-                    config.chunkTokens;
-                if (obs != nullptr)
-                    obs_admits.emplace_back(now, 1);
-            }
-            const double iter_begin = now;
-            const std::size_t tokens_before = tokens_emitted;
-            const int decode_count =
-                static_cast<int>(active_remaining.size());
-            const bool chunk_sched = head_chunks_left > 0;
-            double latency = 0.0;
-            if (!active_remaining.empty()) {
-                latency += cost.decodeNs(
-                    static_cast<int>(active_remaining.size()));
-                active_sizes.add(
-                    static_cast<double>(active_remaining.size()));
-                tokens_emitted += active_remaining.size();
-            }
-            if (head_chunks_left > 0) {
-                latency += cost.chunkNs(config.chunkTokens);
-                --head_chunks_left;
-            }
-            iter_latency.add(latency);
-            now += latency;
-            if (!active_remaining.empty()) {
-                std::vector<int> still;
-                for (int remaining : active_remaining) {
-                    if (remaining - 1 <= 0)
-                        ++result.completed;
-                    else
-                        still.push_back(remaining - 1);
-                }
-                active_remaining = std::move(still);
-            }
-            if (head_chunks_left == 0 && head_arrival > 0.0) {
-                finish_prefill(now, head_arrival);
-                head_arrival = 0.0;
-            }
-            if (obs != nullptr) {
-                std::string label;
-                if (chunk_sched && decode_count > 0)
-                    label = "chunk+decode b=" +
-                        std::to_string(decode_count + 1);
-                else if (chunk_sched)
-                    label = "chunk b=1";
-                else
-                    label = "decode b=" + std::to_string(decode_count);
-                obs_iters.push_back(
-                    {iter_begin, now,
-                     decode_count + (chunk_sched ? 1 : 0),
-                     static_cast<int>(tokens_emitted - tokens_before),
-                     std::move(label)});
-            }
-            continue;
-        }
-
-        if (ready > 0 && room > 0) {
-            // Admit a prefill iteration for the waiting sequences.
-            std::size_t admit = std::min(ready, room);
-            double latency =
-                cost.prefillNs(static_cast<int>(admit));
-            if (obs != nullptr) {
-                obs_admits.emplace_back(now,
-                                        static_cast<int>(admit));
-                obs_iters.push_back(
-                    {now, now + latency, static_cast<int>(admit),
-                     static_cast<int>(admit),
-                     "prefill b=" + std::to_string(admit)});
-            }
-            now += latency;
-            for (std::size_t i = 0; i < admit; ++i) {
-                double arrival = pending.front();
-                pending.pop_front();
-                finish_prefill(now, arrival);
-            }
-        } else if (!active_remaining.empty()) {
-            // One decode iteration advances every active sequence.
-            double latency = cost.decodeNs(
-                static_cast<int>(active_remaining.size()));
-            active_sizes.add(
-                static_cast<double>(active_remaining.size()));
-            iter_latency.add(latency);
-            if (obs != nullptr)
-                obs_iters.push_back(
-                    {now, now + latency,
-                     static_cast<int>(active_remaining.size()),
-                     static_cast<int>(active_remaining.size()),
-                     "decode b=" +
-                         std::to_string(active_remaining.size())});
-            now += latency;
-            tokens_emitted += active_remaining.size();
-            std::vector<int> still;
-            for (int remaining : active_remaining) {
-                if (remaining - 1 <= 0)
-                    ++result.completed;
-                else
-                    still.push_back(remaining - 1);
-            }
-            active_remaining = std::move(still);
-        } else {
-            // Idle: jump to the next arrival.
-            now = std::max(now, pending.front());
-        }
-    }
+    ReplicaEngine replica(engine, rc, std::move(cb));
+    for (std::size_t id = 0; id < arrivals.size(); ++id)
+        engine.at(arrivals[id], 0, [&, id](double now) {
+            replica.enqueue(id, now);
+            replica.maybeStart(now);
+        });
+    engine.run();
 
     if (obs != nullptr)
-        emitContinuousObs(*obs, all_arrivals, obs_admits, obs_iters,
-                          obs_ttfts, result.completed, tokens_emitted,
-                          horizon_ns);
+        emitContinuousObs(*obs, arrivals, obs_admits, obs_iters,
+                          obs_ttfts, result.completed,
+                          replica.tokensEmitted(), horizon_ns);
 
-    result.unfinished = pending.size() + active_remaining.size() +
-        (head_chunks_left > 0 ? 1 : 0);
+    result.unfinished = replica.pendingCount() + replica.activeCount() +
+        (replica.chunkHeadInFlight() ? 1 : 0);
     if (!ttfts.empty()) {
         std::vector<double> ps = stats::percentiles(ttfts, {50.0, 99.0});
         result.p50TtftNs = ps[0];
         result.p99TtftNs = ps[1];
     }
-    if (iter_latency.count() > 0) {
-        result.meanTpotNs = iter_latency.mean();
-        result.meanActive = active_sizes.mean();
+    if (replica.iterLatency().count() > 0) {
+        result.meanTpotNs = replica.iterLatency().mean();
+        result.meanActive = replica.activeSizes().mean();
     }
-    double elapsed_s = std::min(now, horizon_ns) / 1e9;
+    double elapsed_s = std::min(engine.nowNs(), horizon_ns) / 1e9;
     if (elapsed_s > 0.0)
         result.tokensPerSec =
-            static_cast<double>(tokens_emitted) / elapsed_s;
+            static_cast<double>(replica.tokensEmitted()) / elapsed_s;
     return result;
 }
 

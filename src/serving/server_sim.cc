@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "core/engine.hh"
 #include "obs/collector.hh"
 #include "stats/summary.hh"
 
@@ -144,43 +144,54 @@ simulateServing(const LatencyModel &latency, const ServingConfig &config,
     }
 
     std::vector<double> latencies;
-    double server_free = 0.0;
     double busy_ns = 0.0;
     std::size_t next = 0; // first request not yet dispatched
+    bool server_busy = false;
     stats::Summary batch_sizes;
 
-    while (next < arrivals.size()) {
+    // Event-driven dynamic batcher on the core engine. A batch
+    // dispatches at the first instant the server is free AND either
+    // the oldest waiting request's deadline has passed or the batch
+    // is full. Three event kinds can create that instant, in
+    // tie-break order at equal timestamps: an arrival (may fill the
+    // batch), the server coming free, and a wait-deadline wake.
+    enum
+    {
+        PrioArrival = 0,
+        PrioServerFree = 1,
+        PrioWake = 2,
+    };
+
+    core::Engine engine;
+
+    // tryDispatch runs at each candidate instant; dispatch times are
+    // monotone, so the first candidate past the horizon means no
+    // batch ever dispatches again.
+    std::function<void(double)> try_dispatch = [&](double now) {
+        if (server_busy || next >= arrivals.size() ||
+            now > horizon_ns)
+            return;
         double oldest = arrivals[next];
-
-        // Earliest instant the server could start this batch.
-        double ready = std::max(server_free, oldest);
-
-        // The batch fills when the maxBatch-th request arrives (if it
-        // does); otherwise the oldest request's wait deadline fires.
-        double deadline = oldest + config.maxWaitNs;
+        if (oldest > now)
+            return; // nothing waiting yet
         std::size_t full_idx =
             next + static_cast<std::size_t>(config.maxBatch) - 1;
-        double full_time = full_idx < arrivals.size()
-            ? arrivals[full_idx]
-            : std::numeric_limits<double>::infinity();
-
-        double dispatch = std::max(ready,
-                                   std::min(deadline, full_time));
-        if (dispatch > horizon_ns)
-            break;
+        bool full = full_idx < arrivals.size() &&
+            arrivals[full_idx] <= now;
+        bool due = now >= oldest + config.maxWaitNs;
+        if (!full && !due)
+            return;
 
         // Everyone arrived by the dispatch instant rides along.
         std::size_t count = 0;
         while (next + count < arrivals.size() &&
                count < static_cast<std::size_t>(config.maxBatch) &&
-               arrivals[next + count] <= dispatch) {
+               arrivals[next + count] <= now) {
             ++count;
         }
-        if (count == 0)
-            count = 1; // the oldest request itself
 
         double exec = latency.latencyNs(static_cast<int>(count));
-        double done = dispatch + exec;
+        double done = now + exec;
         busy_ns += exec;
         batch_sizes.add(static_cast<double>(count));
 
@@ -191,12 +202,24 @@ simulateServing(const LatencyModel &latency, const ServingConfig &config,
                                              done - arrivals[next + i]);
         }
         if (obs != nullptr)
-            obs_batches.push_back(
-                {dispatch, done, static_cast<int>(count)});
+            obs_batches.push_back({now, done,
+                                   static_cast<int>(count)});
 
         next += count;
-        server_free = done;
+        server_busy = true;
+        engine.at(done, PrioServerFree, [&](double t) {
+            server_busy = false;
+            try_dispatch(t);
+        });
+    };
+
+    for (double arrival : arrivals) {
+        engine.at(arrival, PrioArrival, try_dispatch);
+        // The wake fires when this request, as the oldest waiting one,
+        // has waited out the batching window.
+        engine.at(arrival + config.maxWaitNs, PrioWake, try_dispatch);
     }
+    engine.run();
 
     if (obs != nullptr)
         emitServingObs(*obs, arrivals, obs_batches, obs_completions,

@@ -1,10 +1,13 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
-#include <cmath>
 
+#include "common/jitter.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "core/clock.hh"
+#include "core/engine.hh"
+#include "core/resource.hh"
 
 namespace skipsim::sim
 {
@@ -12,7 +15,16 @@ namespace skipsim::sim
 namespace
 {
 
-/** Internal execution state for one run. */
+/**
+ * Internal execution state for one run: a two-resource process pair on
+ * the core engine. The CPU dispatch thread is a synchronous process
+ * advancing a core::Clock (it never blocks mid-walk, so it needs no
+ * scheduled events of its own); the GPU stream is a core::FifoResource
+ * whose kernel completions are events on the core::EventQueue, drained
+ * at cudaDeviceSynchronize like a real in-order stream. The
+ * (time, priority, seq) queue order is exactly kernel issue order
+ * here, so the port preserves the pre-core trace byte-for-byte.
+ */
 class Runner
 {
   public:
@@ -28,7 +40,7 @@ class Runner
         deviceSynchronize();
 
         SimResult result;
-        result.wallNs = static_cast<double>(std::max(cpuNow, streamFree));
+        result.wallNs = std::max(cpu.nowNs(), stream.freeNs());
         result.numKernels = numKernels;
         result.gpuBusyNs = gpuBusy;
         result.trace = std::move(out);
@@ -42,26 +54,27 @@ class Runner
     const SimOptions &o;
     Rng rng;
 
+    core::Engine engine;       ///< carries GPU completion events
+    core::Clock cpu;           ///< CPU dispatch-thread cursor
+    core::FifoResource stream; ///< in-order GPU stream
+
     trace::Trace out;
-    std::int64_t cpuNow = 0;
-    std::int64_t streamFree = 0;
-    bool streamUsed = false;
     std::uint64_t nextCorrelation = 1;
     std::size_t numKernels = 0;
     double gpuBusy = 0.0;
 
-    /** Jittered duration: multiplicative noise, clamped near 1. */
+    /** CPU cursor as integer ns (exact: only integer ns are added). */
     std::int64_t
-    jitterNs(double ns)
+    cpuNowI() const
     {
-        if (ns <= 0.0)
-            return 0;
-        if (!o.jitter)
-            return static_cast<std::int64_t>(std::llround(ns));
-        double mult = rng.gaussian(1.0, o.jitterFrac);
-        mult = std::clamp(mult, 1.0 - 4.0 * o.jitterFrac,
-                          1.0 + 4.0 * o.jitterFrac);
-        return static_cast<std::int64_t>(std::llround(ns * mult));
+        return static_cast<std::int64_t>(cpu.nowNs());
+    }
+
+    /** Jittered duration on the run's RNG stream. */
+    std::int64_t
+    jitter(double ns)
+    {
+        return jitterNs(rng, ns, o.jitterFrac, o.jitter);
     }
 
     void
@@ -71,54 +84,40 @@ class Runner
         op.kind = trace::EventKind::Operator;
         op.name = node.name;
         op.tid = o.threadId;
-        op.tsBeginNs = cpuNow;
+        op.tsBeginNs = cpuNowI();
 
         double total_cpu = p.cpuOpNs(node.cpuNs);
         double pre = total_cpu * node.preFraction;
         double post = total_cpu - pre;
 
-        cpuNow += jitterNs(pre);
+        cpu.advanceBy(static_cast<double>(jitter(pre)));
         for (const auto &child : node.children)
             execOp(child);
         for (const auto &launch : node.launches)
             execLaunch(launch);
-        cpuNow += jitterNs(post);
+        cpu.advanceBy(static_cast<double>(jitter(post)));
 
-        op.durNs = cpuNow - op.tsBeginNs;
+        op.durNs = cpuNowI() - op.tsBeginNs;
         out.add(std::move(op));
     }
 
     /**
      * Start time for the next kernel: the launch-to-start latency on
      * an idle stream, or the previous kernel's end plus the GPU's
-     * inter-kernel scheduling gap when the stream is backed up.
+     * inter-kernel scheduling gap when the stream is backed up — the
+     * observed launch-to-start latency t_l stretches into queuing
+     * time, exactly what TKLQT accumulates.
      */
     std::int64_t
     kernelStart(std::int64_t launch_begin)
     {
-        std::int64_t earliest =
-            launch_begin + jitterNs(p.cpu.launchOverheadNs);
-        std::int64_t queued = streamUsed
-            ? streamFree + jitterNs(p.gpu.interKernelGapNs)
-            : 0;
-        return std::max(earliest, queued);
-    }
-
-    /**
-     * Jitter for a (possibly fused) kernel: a fused kernel's duration
-     * is a sum of n independent component durations, so its relative
-     * noise shrinks with sqrt(n).
-     */
-    std::int64_t
-    jitterComponentsNs(double ns, std::size_t components)
-    {
-        if (!o.jitter || components <= 1)
-            return jitterNs(ns);
-        double frac =
-            o.jitterFrac / std::sqrt(static_cast<double>(components));
-        double mult = rng.gaussian(1.0, frac);
-        mult = std::clamp(mult, 1.0 - 4.0 * frac, 1.0 + 4.0 * frac);
-        return static_cast<std::int64_t>(std::llround(ns * mult));
+        double earliest = static_cast<double>(
+            launch_begin + jitter(p.cpu.launchOverheadNs));
+        // The gap draw happens only on a backed-up stream, as before.
+        double gap = stream.everUsed()
+            ? static_cast<double>(jitter(p.gpu.interKernelGapNs))
+            : 0.0;
+        return static_cast<std::int64_t>(stream.startFor(earliest, gap));
     }
 
     void
@@ -136,9 +135,9 @@ class Runner
         rt.name = "cudaLaunchKernel";
         rt.tid = o.threadId;
         rt.correlationId = corr;
-        rt.tsBeginNs = cpuNow;
-        rt.durNs = jitterNs(p.cpu.launchCpuNs);
-        cpuNow += rt.durNs;
+        rt.tsBeginNs = cpuNowI();
+        rt.durNs = jitter(p.cpu.launchCpuNs);
+        cpu.advanceBy(static_cast<double>(rt.durNs));
 
         std::int64_t start = kernelStart(rt.tsBeginNs);
 
@@ -150,14 +149,18 @@ class Runner
         k.correlationId = corr;
         k.tsBeginNs = start;
         k.durNs = jitterComponentsNs(
-            hw::kernelDurationNs(p.gpu, launch.work),
-            launch.work.size());
+            rng, hw::kernelDurationNs(p.gpu, launch.work), o.jitterFrac,
+            o.jitter, launch.work.size());
         k.flops = launch.totalFlops();
         k.bytes = launch.totalBytes();
-        streamFree = k.tsEndNs();
-        streamUsed = true;
-        gpuBusy += static_cast<double>(k.durNs);
-        ++numKernels;
+        stream.occupyUntil(static_cast<double>(k.tsEndNs()));
+        // The stream-process half: the kernel's completion is an event
+        // on the core queue, applied when the stream drains.
+        engine.at(static_cast<double>(k.tsEndNs()), 0,
+                  [this, dur = k.durNs](double) {
+                      gpuBusy += static_cast<double>(dur);
+                      ++numKernels;
+                  });
 
         out.add(std::move(rt));
         out.add(std::move(k));
@@ -178,9 +181,9 @@ class Runner
         rt.name = "cudaMemcpyAsync";
         rt.tid = o.threadId;
         rt.correlationId = corr;
-        rt.tsBeginNs = cpuNow;
-        rt.durNs = jitterNs(p.cpu.launchCpuNs);
-        cpuNow += rt.durNs;
+        rt.tsBeginNs = cpuNowI();
+        rt.durNs = jitter(p.cpu.launchCpuNs);
+        cpu.advanceBy(static_cast<double>(rt.durNs));
 
         std::int64_t start = kernelStart(rt.tsBeginNs);
 
@@ -191,10 +194,12 @@ class Runner
         mc.streamId = o.streamId;
         mc.correlationId = corr;
         mc.tsBeginNs = start;
-        mc.durNs = jitterNs(p.transferNs(launch.totalBytes()));
+        mc.durNs = jitter(p.transferNs(launch.totalBytes()));
         mc.bytes = launch.totalBytes();
-        streamFree = mc.tsEndNs();
-        streamUsed = true;
+        stream.occupyUntil(static_cast<double>(mc.tsEndNs()));
+        // Copies occupy the stream but are not kernels: the completion
+        // event carries no counter updates.
+        engine.at(static_cast<double>(mc.tsEndNs()), 0, nullptr);
 
         out.add(std::move(rt));
         out.add(std::move(mc));
@@ -203,16 +208,21 @@ class Runner
     void
     deviceSynchronize()
     {
+        // Drain the stream process: every outstanding completion event
+        // applies before the synchronize returns.
+        engine.run();
+
         trace::TraceEvent rt;
         rt.kind = trace::EventKind::Runtime;
         rt.name = "cudaDeviceSynchronize";
         rt.tid = o.threadId;
-        rt.tsBeginNs = cpuNow;
+        rt.tsBeginNs = cpuNowI();
 
-        std::int64_t call = jitterNs(p.cpu.syncCallNs);
-        std::int64_t done = std::max(cpuNow + call, streamFree + call);
-        rt.durNs = done - cpuNow;
-        cpuNow = done;
+        double call = static_cast<double>(jitter(p.cpu.syncCallNs));
+        double done =
+            std::max(cpu.nowNs() + call, stream.freeNs() + call);
+        rt.durNs = static_cast<std::int64_t>(done) - rt.tsBeginNs;
+        cpu.advanceTo(done);
         out.add(std::move(rt));
     }
 };
