@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hh"
 #include "common/random.hh"
 #include "core/engine.hh"
 #include "core/event_queue.hh"
@@ -135,6 +136,25 @@ BM_EndToEndProfile(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EndToEndProfile);
+
+void
+BM_ValidateTrace(benchmark::State &state)
+{
+    // Cost of the full semantic invariant sweep (causality, stream
+    // FIFO, correlation bijection, queue depth) over a real prefill
+    // trace — the price every golden test and fuzz case now pays.
+    auto graph = gpt2Graph(static_cast<int>(state.range(0)));
+    sim::Simulator simulator(hw::platforms::gh200());
+    auto result = simulator.run(graph);
+    for (auto _ : state) {
+        auto report = check::validateTrace(result.trace);
+        benchmark::DoNotOptimize(report.violations.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(result.trace.size()));
+}
+BENCHMARK(BM_ValidateTrace)->Arg(1)->Arg(32);
 
 void
 BM_EventQueueThroughput(benchmark::State &state)

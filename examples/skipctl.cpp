@@ -19,6 +19,10 @@
  *                    [--obs-interval-ms MS]
  *                    [--harness-trace harness.json]
  *   skipctl validate <trace.json>
+ *   skipctl check    [--trace t.json | --props [--filter F]
+ *                    | --fuzz N [--seed S] [--jobs J] [--quick]
+ *                      [--repro-dir DIR]
+ *                    | --replay repro.json]
  *   skipctl analyze  <trace.json> [--fusion]
  *   skipctl diff     <before.json> <after.json>
  *   skipctl roofline [--model M] [--platform P] [--batch N] [--seq S]
@@ -41,6 +45,14 @@
  * counter and instant events; --harness-trace profiles the harness
  * itself (wall-clock, one track per worker). `validate` re-reads any
  * emitted Chrome trace through our own reader.
+ *
+ * Correctness (docs/testing.md): `check --trace` asserts the semantic
+ * trace invariants (causality, stream FIFO, correlation bijection) on
+ * any Chrome trace; `check --props` runs the metamorphic property
+ * suite against the real engines; `check --fuzz N` runs the
+ * deterministic fuzz campaign and, on failure, writes a shrunken
+ * minimal repro that `check --replay` re-runs. Bare `check` runs the
+ * property suite.
  */
 
 #include <cstdio>
@@ -48,6 +60,10 @@
 
 #include "analysis/boundedness.hh"
 #include "analysis/sweep.hh"
+#include "check/analysis.hh"
+#include "check/fuzzer.hh"
+#include "check/invariants.hh"
+#include "check/properties.hh"
 #include "cluster/cluster.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
@@ -59,6 +75,7 @@
 #include "exec/run_spec.hh"
 #include "exec/sweep_spec.hh"
 #include "fusion/recommend.hh"
+#include "json/parser.hh"
 #include "json/writer.hh"
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
@@ -464,6 +481,65 @@ cmdValidate(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Correctness front end (skipctl check). Four modes:
+ *  --trace t.json   semantic invariant check of one Chrome trace;
+ *  --props          metamorphic property suite (the default mode);
+ *  --fuzz N         deterministic fuzz campaign, shrunken repro on
+ *                   failure (--seed, --jobs, --quick, --repro-dir);
+ *  --replay r.json  re-run a written repro case.
+ * Exit code 0 only when every requested check passed.
+ */
+int
+cmdCheck(const CliArgs &args)
+{
+    if (args.has("trace")) {
+        const std::string path = args.getString("trace");
+        check::TraceCheckReport report =
+            check::validateTrace(trace::readChromeFile(path));
+        std::printf("%s\n", path.c_str());
+        std::fputs(report.render().c_str(), stdout);
+        return report.ok() ? 0 : 1;
+    }
+
+    if (args.has("replay")) {
+        const std::string path = args.getString("replay");
+        check::FuzzCase repro =
+            check::FuzzCase::fromJson(json::parseFile(path));
+        check::Fuzzer fuzzer;
+        std::vector<std::string> problems = fuzzer.runCase(repro);
+        std::printf("replay %s (%s case, seed %llu): %s\n",
+                    path.c_str(), check::fuzzKindName(repro.kind),
+                    static_cast<unsigned long long>(repro.seed),
+                    problems.empty() ? "OK" : "FAIL");
+        for (const std::string &problem : problems)
+            std::printf("  %s\n", problem.c_str());
+        return problems.empty() ? 0 : 1;
+    }
+
+    if (args.has("fuzz")) {
+        check::FuzzOptions opts;
+        opts.cases =
+            static_cast<std::size_t>(args.getInt("fuzz", 100));
+        opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+        opts.jobs = static_cast<int>(args.getInt("jobs", 1));
+        opts.quick = args.has("quick");
+        opts.reproDir = args.getString("repro-dir", ".");
+        check::FuzzReport report = check::Fuzzer(opts).run();
+        std::fputs(report.render().c_str(), stdout);
+        return report.ok() ? 0 : 1;
+    }
+
+    std::vector<check::PropertyResult> results =
+        check::runProperties(args.getString("filter", ""));
+    std::fputs(check::renderProperties(results).c_str(), stdout);
+    for (const check::PropertyResult &result : results) {
+        if (!result.passed)
+            return 1;
+    }
+    return results.empty() ? 1 : 0;
+}
+
 int
 cmdAnalyze(const CliArgs &args)
 {
@@ -589,11 +665,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: skipctl "
                      "<profile|sweep|fusion|serve|cluster|validate|"
-                     "analyze|diff|roofline|memory|platforms|models|"
-                     "analyses> [options]\n");
+                     "check|analyze|diff|roofline|memory|platforms|"
+                     "models|analyses> [options]\n");
         return 2;
     }
     const std::string &cmd = args.positional().front();
+    // check depends on the engines, so its analysis registers here
+    // rather than as an exec built-in (see check/analysis.hh).
+    check::registerCheckAnalysis();
     try {
         if (cmd == "profile")
             return cmdProfile(args);
@@ -607,6 +686,8 @@ main(int argc, char **argv)
             return cmdCluster(args);
         if (cmd == "validate")
             return cmdValidate(args);
+        if (cmd == "check")
+            return cmdCheck(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
         if (cmd == "diff")

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The "check" exec analysis: profiles a RunSpec and validates the
+ * resulting trace against every invariant in check::validateTrace, so
+ * sweeps can self-validate each grid point — a grid over models,
+ * platforms and batch sizes becomes a semantic test matrix for free.
+ *
+ * check depends on the engines it validates, so the analysis cannot be
+ * an exec built-in (that would invert the layering); front ends that
+ * want it call registerCheckAnalysis() once at startup and then use
+ * the name through the ordinary registry.
+ */
+
+#ifndef SKIPSIM_CHECK_ANALYSIS_HH
+#define SKIPSIM_CHECK_ANALYSIS_HH
+
+namespace skipsim::check
+{
+
+/**
+ * Register the "check" analysis with exec::registerAnalysis.
+ * Idempotent; safe to call from multiple front ends.
+ */
+void registerCheckAnalysis();
+
+} // namespace skipsim::check
+
+#endif // SKIPSIM_CHECK_ANALYSIS_HH

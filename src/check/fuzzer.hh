@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Deterministic fuzz harness with shrinking. Generates random but
+ * seed-reproducible specs across all three engines (operator graphs
+ * for the execution simulator, dynamic-batching serving configs,
+ * cluster scenarios), runs each through the real engine, and holds the
+ * output to the oracles a correct simulator cannot violate:
+ *
+ *  - every invariant validateTrace() asserts (sim cases);
+ *  - metric identities (gpu busy + idle == IL, TKLQT >= queue part);
+ *  - determinism: the same case run twice, and run on pool workers,
+ *    must produce byte-identical serialized output (the jobs-1 vs
+ *    jobs-N differential oracle);
+ *  - result sanity: percentile ordering, utilization in [0,1],
+ *    offered == completed + lost, goodput <= throughput.
+ *
+ * Case i derives its seed as mixSeed(baseSeed, i) — the same
+ * discipline exec::SweepSpec uses — so any failure reproduces from
+ * (baseSeed, index) alone. On failure the harness greedily shrinks the
+ * case (drop roots, clear children/launches, zero jitter, halve
+ * horizons and rates) to a minimal spec that still fails and writes it
+ * to disk as JSON; `skipctl check --replay <file>` re-runs it.
+ *
+ * FuzzOptions::traceMutator exists for testing the harness itself: it
+ * corrupts the simulated trace before validation, standing in for an
+ * intentionally-broken engine build, and lets tests assert the
+ * fail -> shrink -> repro-on-disk path end to end.
+ */
+
+#ifndef SKIPSIM_CHECK_FUZZER_HH
+#define SKIPSIM_CHECK_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "json/value.hh"
+#include "serving/server_sim.hh"
+#include "trace/trace.hh"
+#include "workload/op_graph.hh"
+
+namespace skipsim::check
+{
+
+/** Engine a fuzz case exercises. */
+enum class FuzzKind
+{
+    Sim,     ///< operator graph -> sim::Simulator -> trace oracles
+    Serving, ///< ServingConfig -> serving::simulateServing
+    Cluster, ///< ClusterSpec -> cluster::simulateCluster
+};
+
+/** @return canonical kind name ("sim", "serving", "cluster"). */
+const char *fuzzKindName(FuzzKind kind);
+
+/** @throws skipsim::FatalError for unknown kind names. */
+FuzzKind fuzzKindByName(const std::string &name);
+
+/** Operator-graph JSON round trip (repro files, replay). */
+json::Value graphToJson(const workload::OperatorGraph &graph);
+/** @throws skipsim::FatalError on malformed documents. */
+workload::OperatorGraph graphFromJson(const json::Value &doc);
+
+/**
+ * One generated (or replayed) fuzz case. Only the section named by
+ * `kind` is meaningful; the others stay at their defaults.
+ */
+struct FuzzCase
+{
+    FuzzKind kind = FuzzKind::Sim;
+
+    /** Case seed (mixSeed(baseSeed, index) when generated). */
+    std::uint64_t seed = 0;
+
+    /** @name Sim section
+     *  @{ */
+    std::string platformName = "GH200";
+    workload::OperatorGraph graph;
+    bool jitter = false;
+    /** @} */
+
+    /** @name Serving section (latency model is linear in batch)
+     *  @{ */
+    serving::ServingConfig serving;
+    double latencyBaseNs = 2e6;
+    double latencySlopeNs = 1e6;
+    /** @} */
+
+    /** @name Cluster section
+     *  @{ */
+    cluster::ClusterSpec cluster;
+    /** @} */
+
+    /** Shrink-progress size: operator count (sim) or scenario knobs. */
+    std::size_t sizeScore() const;
+
+    json::Value toJson() const;
+    /** @throws skipsim::FatalError on malformed documents. */
+    static FuzzCase fromJson(const json::Value &doc);
+};
+
+/** Campaign configuration. */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Cases to generate and run. */
+    std::size_t cases = 100;
+
+    /** Smaller graphs and shorter horizons (CI budget). */
+    bool quick = false;
+
+    /** Worker threads the campaign fans cases across (1 = serial). */
+    int jobs = 1;
+
+    /** Directory the shrunken repro JSON is written into. */
+    std::string reproDir = ".";
+
+    /**
+     * Test fixture: corrupt the simulated trace between engine and
+     * validation (sim cases only). Models an intentionally-broken
+     * build so the fail/shrink/repro path itself is testable. Must be
+     * callable concurrently when jobs > 1.
+     */
+    std::function<void(trace::Trace &)> traceMutator;
+};
+
+/** Campaign outcome. */
+struct FuzzReport
+{
+    std::size_t casesRun = 0;
+    std::size_t failures = 0;
+
+    /** Index and problems of the first failing case (campaign order). */
+    std::uint64_t firstFailureIndex = 0;
+    std::vector<std::string> firstProblems;
+
+    /** Shrunken minimal repro of the first failure. */
+    bool shrunk = false;
+    FuzzCase minimal;
+
+    /** Repro file path ("" when every case passed). */
+    std::string reproPath;
+
+    bool ok() const { return failures == 0; }
+
+    /** Human-readable campaign summary. */
+    std::string render() const;
+};
+
+/** Seed-driven generator + oracle runner + greedy shrinker. */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(FuzzOptions options = {});
+
+    /** Deterministically generate case @p index. */
+    FuzzCase generate(std::uint64_t index) const;
+
+    /**
+     * Run one case through its engine and every applicable oracle.
+     * @return one message per violated oracle; empty means the case
+     *         passed. Never throws on oracle failures; engine-level
+     *         FatalError/PanicError are captured as oracle messages.
+     */
+    std::vector<std::string> runCase(const FuzzCase &c) const;
+
+    /**
+     * Greedily shrink a failing case: repeatedly try size-reducing
+     * edits (drop roots, clear children/launches, zero jitter, halve
+     * horizon/rate/replicas/faults) and keep any edit that still
+     * fails, until no edit helps or the attempt budget is spent.
+     */
+    FuzzCase shrink(const FuzzCase &failing) const;
+
+    /**
+     * Run the whole campaign: generate options.cases cases, evaluate
+     * them (fanned over options.jobs workers), and on the first
+     * failure shrink it and write the repro JSON to options.reproDir.
+     */
+    FuzzReport run() const;
+
+    const FuzzOptions &options() const { return _options; }
+
+  private:
+    FuzzOptions _options;
+};
+
+} // namespace skipsim::check
+
+#endif // SKIPSIM_CHECK_FUZZER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Trace invariant checker: semantic validation of Kineto-style traces.
+ *
+ * SKIP's paper metrics (TKLQT, AKD, proximity score) are pure
+ * functions of trace timestamps, so a refactor of the generative
+ * process can corrupt them silently while byte-identical goldens
+ * either scream uselessly or get regolded. validateTrace() instead
+ * asserts the *laws* every causally-consistent CPU-GPU trace obeys,
+ * independent of the exact numbers:
+ *
+ *  - durations are non-negative (code "negative-duration");
+ *  - GPU events carry a stream id ("missing-stream");
+ *  - correlation ids form a bijection between runtime launches and
+ *    GPU events ("duplicate-launch-correlation",
+ *    "duplicate-kernel-correlation", "launch-without-kernel",
+ *    "orphan-kernel", "kernel-without-correlation");
+ *  - causality: operator begin <= launch begin <= kernel begin for
+ *    every correlated pair ("launch-outside-operator",
+ *    "kernel-before-launch");
+ *  - kernels (and memcpys) on one stream never overlap
+ *    ("stream-overlap") and start in FIFO launch order
+ *    ("fifo-order");
+ *  - the launch-queue depth derived from the trace (+1 at each launch
+ *    begin, -1 at the matching kernel begin) never goes negative
+ *    ("negative-queue-depth").
+ *
+ * The operator-enclosure check is skipped for traces that carry no
+ * Operator events at all (obs counter traces, harness self-traces),
+ * which have no CPU dispatch layer to check against.
+ */
+
+#ifndef SKIPSIM_CHECK_INVARIANTS_HH
+#define SKIPSIM_CHECK_INVARIANTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "trace/trace.hh"
+
+namespace skipsim::check
+{
+
+/** One violated invariant. */
+struct Violation
+{
+    /** Stable machine-readable code (see file comment). */
+    std::string code;
+
+    /** Precise human-readable diagnostic naming the events involved. */
+    std::string message;
+
+    /** Dense id of the primary offending event. */
+    std::uint64_t eventId = 0;
+};
+
+/** Outcome of one validateTrace() run. */
+struct TraceCheckReport
+{
+    std::vector<Violation> violations;
+
+    /** Events inspected (operators + runtime + GPU). */
+    std::size_t eventsChecked = 0;
+
+    /** GPU events (kernels + memcpys) inspected. */
+    std::size_t gpuChecked = 0;
+
+    /** Correlated launch/kernel pairs inspected. */
+    std::size_t pairsChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    /** True when any violation carries @p code. */
+    bool has(const std::string &code) const;
+
+    /** Aligned text rendering (summary line + one line per violation). */
+    std::string render() const;
+
+    /** Deterministic JSON document (ok flag, counts, violations). */
+    json::Value toJson() const;
+};
+
+/**
+ * Check every invariant against @p trace. Never throws on bad traces —
+ * all findings are reported, so one corrupted event cannot mask
+ * another.
+ */
+TraceCheckReport validateTrace(const trace::Trace &trace);
+
+} // namespace skipsim::check
+
+#endif // SKIPSIM_CHECK_INVARIANTS_HH

@@ -1,0 +1,407 @@
+#include "check/properties.hh"
+
+#include <cmath>
+#include <mutex>
+
+#include "analysis/sweep.hh"
+#include "cluster/cluster.hh"
+#include "common/strutil.hh"
+#include "hw/catalog.hh"
+#include "serving/latency_model.hh"
+#include "serving/server_sim.hh"
+#include "skip/profile.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::check
+{
+
+namespace
+{
+
+/**
+ * Directional comparison with a hair of relative slack: the engines
+ * are deterministic, but a property may legitimately hold with
+ * equality (e.g. a perturbation outside the binding constraint), and
+ * double arithmetic along two different code paths can differ in the
+ * last ulp.
+ */
+bool
+nonDecreasing(double base, double perturbed)
+{
+    return perturbed >= base - 1e-9 * (std::abs(base) + 1.0);
+}
+
+bool
+nonIncreasing(double base, double perturbed)
+{
+    return perturbed <= base + 1e-9 * (std::abs(base) + 1.0);
+}
+
+PropertyResult
+judge(const std::string &name, const std::string &engine, double base,
+      double perturbed, bool passed, std::string detail)
+{
+    PropertyResult r;
+    r.name = name;
+    r.engine = engine;
+    r.passed = passed;
+    r.baseValue = base;
+    r.perturbedValue = perturbed;
+    r.detail = std::move(detail);
+    return r;
+}
+
+/** One prefill profile of GPT2 on @p platform (deterministic). */
+skip::ProfileResult
+runSim(const hw::Platform &platform, int batch, int seq_len,
+       workload::ExecMode mode = workload::ExecMode::Eager)
+{
+    skip::ProfileConfig config;
+    config.model = workload::gpt2();
+    config.platform = platform;
+    config.batch = batch;
+    config.seqLen = seq_len;
+    config.mode = mode;
+    return skip::profile(config);
+}
+
+/**
+ * Synthetic linear batch-latency sweep, latency(b) = base + slope * b.
+ * Keeps the serving properties independent of the calibrated platform
+ * numbers: the laws under test are queueing laws, not cost-model laws.
+ */
+analysis::SweepResult
+linearSweep(double base_ns, double slope_ns)
+{
+    analysis::SweepResult sweep;
+    sweep.modelName = "synthetic";
+    sweep.platformName = "synthetic";
+    for (int batch : {1, 2, 4, 8, 16, 32}) {
+        analysis::SweepPoint point;
+        point.batch = batch;
+        point.metrics.ilNs =
+            base_ns + slope_ns * static_cast<double>(batch);
+        sweep.points.push_back(point);
+    }
+    return sweep;
+}
+
+serving::ServingConfig
+servingBase()
+{
+    serving::ServingConfig config;
+    config.arrivalRatePerSec = 400.0;
+    config.horizonSec = 10.0;
+    config.maxBatch = 16;
+    config.maxWaitNs = 2e6;
+    config.seed = 7;
+    return config;
+}
+
+/**
+ * Small two-replica GH200 cluster near saturation: short horizon and
+ * prompt keep the shared cost-model calibration cheap while leaving
+ * the fault and capacity laws something to bite on.
+ */
+cluster::ClusterSpec
+clusterBase()
+{
+    cluster::ClusterSpec spec;
+    spec.model = workload::gpt2();
+    cluster::ReplicaSpec replica;
+    replica.platform = hw::platforms::gh200();
+    replica.maxActive = 8;
+    spec.replicas = {replica, replica};
+    spec.arrivalRatePerSec = 40.0;
+    spec.horizonSec = 8.0;
+    spec.promptLen = 64;
+    spec.genTokens = 8;
+    spec.ttftSloMs = 250.0;
+    spec.e2eSloMs = 1000.0;
+    spec.seed = 7;
+    return spec;
+}
+
+/**
+ * Cost models shared by every cluster property (same model/prompt, one
+ * platform), built once on first use.
+ */
+const cluster::CostCache &
+sharedCosts()
+{
+    static cluster::CostCache cache;
+    static std::once_flag once;
+    std::call_once(once, [] { cache.build(clusterBase()); });
+    return cache;
+}
+
+std::vector<Property>
+buildCatalog()
+{
+    std::vector<Property> props;
+    auto add = [&props](const char *name, const char *engine,
+                        const char *law,
+                        std::function<PropertyResult()> run) {
+        Property p;
+        p.name = name;
+        p.engine = engine;
+        p.law = law;
+        p.run = std::move(run);
+        props.push_back(std::move(p));
+    };
+
+    add("sim.launch-overhead-tklqt", "sim",
+        "a larger kernel-launch overhead never decreases TKLQT", [] {
+            hw::Platform base = hw::platforms::gh200();
+            hw::Platform slow = base;
+            slow.cpu.launchOverheadNs *= 2.0;
+            double a = runSim(base, 1, 128).metrics.tklqtNs;
+            double b = runSim(slow, 1, 128).metrics.tklqtNs;
+            return judge("sim.launch-overhead-tklqt", "sim", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("TKLQT %.0f ns -> %.0f ns after "
+                                   "doubling launchOverheadNs",
+                                   a, b));
+        });
+
+    add("sim.launch-overhead-bound-region", "sim",
+        "a larger launch overhead never decreases the launch-bound "
+        "share of the run (GPU idle while the CPU dispatches)",
+        [] {
+            hw::Platform base = hw::platforms::gh200();
+            hw::Platform slow = base;
+            slow.cpu.launchOverheadNs *= 2.0;
+            slow.cpu.launchCpuNs *= 2.0;
+            skip::ProfileResult pa = runSim(base, 1, 128);
+            skip::ProfileResult pb = runSim(slow, 1, 128);
+            double a = pa.metrics.gpuIdleNs / pa.metrics.ilNs;
+            double b = pb.metrics.gpuIdleNs / pb.metrics.ilNs;
+            return judge("sim.launch-overhead-bound-region", "sim", a,
+                         b, nonDecreasing(a, b),
+                         strprintf("GPU-idle fraction %.4f -> %.4f "
+                                   "after doubling launch costs",
+                                   a, b));
+        });
+
+    // Note the law deliberately compares IL, not TKLQT: a faster CPU
+    // issues launches back-to-back faster, which *deepens* the launch
+    // queue and can legitimately raise TKLQT (queueing is part of it).
+    // The direction that must hold is end-to-end: shrinking every CPU
+    // segment can only move kernel starts earlier, never later.
+    add("sim.cpu-speed-latency", "sim",
+        "a faster CPU single-thread score never increases prefill "
+        "latency (IL)",
+        [] {
+            hw::Platform base = hw::platforms::gh200();
+            hw::Platform fast = base;
+            fast.cpu.singleThreadScore *= 2.0;
+            double a = runSim(base, 1, 128).metrics.ilNs;
+            double b = runSim(fast, 1, 128).metrics.ilNs;
+            return judge("sim.cpu-speed-latency", "sim", a, b,
+                         nonIncreasing(a, b),
+                         strprintf("IL %.0f ns -> %.0f ns after "
+                                   "doubling singleThreadScore",
+                                   a, b));
+        });
+
+    add("sim.batch-latency", "sim",
+        "a larger batch never decreases prefill latency (IL)", [] {
+            hw::Platform platform = hw::platforms::gh200();
+            double a = runSim(platform, 2, 128).metrics.ilNs;
+            double b = runSim(platform, 8, 128).metrics.ilNs;
+            return judge("sim.batch-latency", "sim", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("IL %.0f ns (batch 2) -> %.0f ns "
+                                   "(batch 8)",
+                                   a, b));
+        });
+
+    add("sim.seqlen-latency", "sim",
+        "a longer sequence never decreases prefill latency (IL)", [] {
+            hw::Platform platform = hw::platforms::gh200();
+            double a = runSim(platform, 2, 128).metrics.ilNs;
+            double b = runSim(platform, 2, 256).metrics.ilNs;
+            return judge("sim.seqlen-latency", "sim", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("IL %.0f ns (seq 128) -> %.0f ns "
+                                   "(seq 256)",
+                                   a, b));
+        });
+
+    add("sim.fusion-launches", "sim",
+        "a fused execution mode never launches more kernels than "
+        "eager (K_fused <= K_eager, paper Eq. 7)",
+        [] {
+            hw::Platform platform = hw::platforms::gh200();
+            double a = static_cast<double>(
+                runSim(platform, 2, 128, workload::ExecMode::Eager)
+                    .metrics.numKernels);
+            double b = static_cast<double>(
+                runSim(platform, 2, 128,
+                       workload::ExecMode::CompileDefault)
+                    .metrics.numKernels);
+            return judge("sim.fusion-launches", "sim", a, b,
+                         nonIncreasing(a, b),
+                         strprintf("kernel launches %.0f (eager) -> "
+                                   "%.0f (compiled)",
+                                   a, b));
+        });
+
+    add("serving.load-ttft", "serving",
+        "a higher arrival rate never decreases p50 TTFT", [] {
+            serving::LatencyModel latency(linearSweep(2e6, 1e6));
+            serving::ServingConfig base = servingBase();
+            serving::ServingConfig loaded = base;
+            loaded.arrivalRatePerSec *= 2.0;
+            double a =
+                serving::simulateServing(latency, base).p50TtftNs;
+            double b =
+                serving::simulateServing(latency, loaded).p50TtftNs;
+            return judge("serving.load-ttft", "serving", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("p50 TTFT %.0f ns at %.0f rps -> "
+                                   "%.0f ns at %.0f rps",
+                                   a, base.arrivalRatePerSec, b,
+                                   loaded.arrivalRatePerSec));
+        });
+
+    add("serving.horizon-completed", "serving",
+        "a longer horizon never decreases completed requests (the "
+        "arrival process is a prefix of the longer run)",
+        [] {
+            serving::LatencyModel latency(linearSweep(2e6, 1e6));
+            serving::ServingConfig base = servingBase();
+            serving::ServingConfig longer = base;
+            longer.horizonSec *= 2.0;
+            double a = static_cast<double>(
+                serving::simulateServing(latency, base).completed);
+            double b = static_cast<double>(
+                serving::simulateServing(latency, longer).completed);
+            return judge("serving.horizon-completed", "serving", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("completed %.0f in %.0f s -> %.0f "
+                                   "in %.0f s",
+                                   a, base.horizonSec, b,
+                                   longer.horizonSec));
+        });
+
+    add("cluster.crash-goodput", "cluster",
+        "injecting a replica crash never increases goodput", [] {
+            cluster::ClusterSpec base = clusterBase();
+            cluster::ClusterSpec faulty = base;
+            cluster::FaultSpec crash;
+            crash.atSec = 2.0;
+            crash.replica = 1;
+            crash.kind = cluster::FaultKind::Crash;
+            faulty.faults.push_back(crash);
+            double a =
+                cluster::simulateCluster(base, sharedCosts()).goodputRps;
+            double b = cluster::simulateCluster(faulty, sharedCosts())
+                           .goodputRps;
+            return judge("cluster.crash-goodput", "cluster", a, b,
+                         nonIncreasing(a, b),
+                         strprintf("goodput %.2f rps -> %.2f rps with "
+                                   "one crash at 2 s",
+                                   a, b));
+        });
+
+    add("cluster.slo-looseness", "cluster",
+        "loosening both SLOs never decreases SLO attainment", [] {
+            cluster::ClusterSpec base = clusterBase();
+            cluster::ClusterSpec loose = base;
+            loose.ttftSloMs *= 2.0;
+            loose.e2eSloMs *= 2.0;
+            double a = cluster::simulateCluster(base, sharedCosts())
+                           .sloAttainment;
+            double b = cluster::simulateCluster(loose, sharedCosts())
+                           .sloAttainment;
+            return judge("cluster.slo-looseness", "cluster", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("attainment %.4f -> %.4f after "
+                                   "doubling both SLOs",
+                                   a, b));
+        });
+
+    add("cluster.replica-capacity", "cluster",
+        "adding a replica never decreases completed requests", [] {
+            cluster::ClusterSpec two = clusterBase();
+            cluster::ClusterSpec one = two;
+            one.replicas.resize(1);
+            double a = static_cast<double>(
+                cluster::simulateCluster(one, sharedCosts()).completed);
+            double b = static_cast<double>(
+                cluster::simulateCluster(two, sharedCosts()).completed);
+            return judge("cluster.replica-capacity", "cluster", a, b,
+                         nonDecreasing(a, b),
+                         strprintf("completed %.0f (1 replica) -> "
+                                   "%.0f (2 replicas)",
+                                   a, b));
+        });
+
+    return props;
+}
+
+} // namespace
+
+const std::vector<Property> &
+properties()
+{
+    static const std::vector<Property> catalog = buildCatalog();
+    return catalog;
+}
+
+std::vector<PropertyResult>
+runProperties(const std::string &filter)
+{
+    std::vector<PropertyResult> results;
+    for (const Property &p : properties()) {
+        if (!filter.empty() &&
+            p.name.find(filter) == std::string::npos)
+            continue;
+        results.push_back(p.run());
+    }
+    return results;
+}
+
+std::string
+renderProperties(const std::vector<PropertyResult> &results)
+{
+    std::string out;
+    std::size_t passed = 0;
+    for (const PropertyResult &r : results) {
+        if (r.passed)
+            ++passed;
+        out += strprintf("  %-34s [%-7s] %s  (%s)\n", r.name.c_str(),
+                         r.engine.c_str(), r.passed ? "PASS" : "FAIL",
+                         r.detail.c_str());
+    }
+    out += strprintf("properties: %zu/%zu passed\n", passed,
+                     results.size());
+    return out;
+}
+
+json::Value
+propertiesToJson(const std::vector<PropertyResult> &results)
+{
+    json::Value::Array items;
+    std::size_t passed = 0;
+    for (const PropertyResult &r : results) {
+        if (r.passed)
+            ++passed;
+        json::Object item;
+        item.set("name", r.name);
+        item.set("engine", r.engine);
+        item.set("passed", json::Value(r.passed));
+        item.set("base", r.baseValue);
+        item.set("perturbed", r.perturbedValue);
+        item.set("detail", r.detail);
+        items.push_back(json::Value(std::move(item)));
+    }
+    json::Object doc;
+    doc.set("passed", static_cast<unsigned long long>(passed));
+    doc.set("total", static_cast<unsigned long long>(results.size()));
+    doc.set("properties", json::Value(std::move(items)));
+    return json::Value(std::move(doc));
+}
+
+} // namespace skipsim::check

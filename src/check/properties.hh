@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Metamorphic property suite: directional laws the simulators must
+ * obey under parameter perturbation. Where byte-identical goldens
+ * freeze one output and validateTrace() checks one trace, each
+ * property here runs a base/perturbed *pair* of configurations through
+ * the real engines and checks only the direction of the change —
+ * doubling the launch overhead must not shrink TKLQT, adding load must
+ * not improve p50 TTFT, injecting a crash must not raise goodput.
+ * Such laws survive recalibration and refactors that legitimately move
+ * every absolute number, yet catch sign errors, inverted scalings and
+ * dropped terms that goldens can only flag as "something changed".
+ *
+ * Properties are registered in a static catalog (properties()) spanning
+ * the sim, serving and cluster engines; runProperties() executes them
+ * (optionally filtered by substring) and reports base/perturbed values
+ * with a pass/fail per law.
+ */
+
+#ifndef SKIPSIM_CHECK_PROPERTIES_HH
+#define SKIPSIM_CHECK_PROPERTIES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace skipsim::check
+{
+
+/** Outcome of one property evaluation. */
+struct PropertyResult
+{
+    std::string name;   ///< catalog name, e.g. "sim.launch-overhead-tklqt"
+    std::string engine; ///< "sim", "serving" or "cluster"
+    bool passed = false;
+
+    /** Compared quantity in the base and perturbed runs. */
+    double baseValue = 0.0;
+    double perturbedValue = 0.0;
+
+    /** Human-readable account of what was compared. */
+    std::string detail;
+};
+
+/** One registered metamorphic property. */
+struct Property
+{
+    /** Dotted name: "<engine>.<law>", stable across releases. */
+    std::string name;
+
+    /** Engine exercised: "sim", "serving" or "cluster". */
+    std::string engine;
+
+    /** The directional law in words (documentation + reports). */
+    std::string law;
+
+    /** Run base + perturbed configurations and judge the direction. */
+    std::function<PropertyResult()> run;
+};
+
+/** The static property catalog (built once, thread-safe after that). */
+const std::vector<Property> &properties();
+
+/**
+ * Run every property whose name contains @p filter (all when empty).
+ * Cluster properties share one lazily-built cost cache, so the first
+ * call pays the calibration cost once.
+ */
+std::vector<PropertyResult>
+runProperties(const std::string &filter = std::string());
+
+/** Aligned text table: one line per property plus a summary line. */
+std::string renderProperties(const std::vector<PropertyResult> &results);
+
+/** Deterministic JSON document for reports and CI artifacts. */
+json::Value propertiesToJson(const std::vector<PropertyResult> &results);
+
+} // namespace skipsim::check
+
+#endif // SKIPSIM_CHECK_PROPERTIES_HH

@@ -170,8 +170,13 @@ ClusterSpec::fromJson(const json::Value &value)
         spec.e2eSloMs = obj.at("e2e-slo-ms").asDouble();
     if (obj.has("jitter-frac"))
         spec.jitterFrac = obj.at("jitter-frac").asDouble();
-    if (obj.has("seed"))
-        spec.seed = static_cast<std::uint64_t>(obj.at("seed").asInt());
+    if (obj.has("seed")) {
+        // Via double, not asInt: JSON numbers are doubles, and seeds
+        // in the upper uint64 range (e.g. mixSeed output) would
+        // saturate an int64 conversion and break the round trip.
+        spec.seed =
+            static_cast<std::uint64_t>(obj.at("seed").asDouble());
+    }
     if (obj.has("faults")) {
         for (const json::Value &fault : obj.at("faults").asArray())
             spec.faults.push_back(faultFromJson(fault));

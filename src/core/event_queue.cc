@@ -33,6 +33,22 @@ EventQueue::schedule(double timeNs, int priority, EventFn fn)
     std::push_heap(_heap.begin(), _heap.end(), after);
 }
 
+double
+EventQueue::nextTimeNs() const
+{
+    if (_heap.empty())
+        panic("core::EventQueue: nextTimeNs on empty queue");
+    return _heap.front().timeNs;
+}
+
+int
+EventQueue::nextPriority() const
+{
+    if (_heap.empty())
+        panic("core::EventQueue: nextPriority on empty queue");
+    return _heap.front().priority;
+}
+
 Event
 EventQueue::pop()
 {

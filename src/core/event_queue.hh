@@ -41,11 +41,11 @@ class EventQueue
     bool empty() const { return _heap.empty(); }
     std::size_t size() const { return _heap.size(); }
 
-    /** Timestamp of the next event; queue must be non-empty. */
-    double nextTimeNs() const { return _heap.front().timeNs; }
+    /** Timestamp of the next event. @throws PanicError when empty. */
+    double nextTimeNs() const;
 
-    /** Priority of the next event; queue must be non-empty. */
-    int nextPriority() const { return _heap.front().priority; }
+    /** Priority of the next event. @throws PanicError when empty. */
+    int nextPriority() const;
 
     /** Remove and return the next event (time, then priority, then
      *  scheduling order); queue must be non-empty. */

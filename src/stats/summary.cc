@@ -77,7 +77,9 @@ namespace
 double
 sortedPercentile(const std::vector<double> &xs, double p)
 {
-    if (p < 0.0 || p > 100.0)
+    // Negated form so NaN (every comparison false) is rejected too,
+    // instead of flowing into the rank arithmetic as UB.
+    if (!(p >= 0.0 && p <= 100.0))
         fatal("percentile p must be within [0, 100]");
     if (xs.size() == 1)
         return xs[0];

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "json/parser.hh"
 #include "json/writer.hh"
 
@@ -209,38 +210,62 @@ Trace
 fromChromeJson(const json::Value &doc)
 {
     Trace trace;
-    const json::Object &root = doc.asObject();
 
-    if (root.has("skipsimMeta")) {
-        const json::Object &meta = root.at("skipsimMeta").asObject();
-        for (const auto &key : meta.keys())
-            trace.setMeta(key, meta.at(key).asString());
+    // Chrome tracing has two container formats: the object form with a
+    // "traceEvents" member, and the legacy bare-array form (which is
+    // also what many exporters emit and what truncated captures get
+    // repaired into). Accept both.
+    const json::Value::Array *events = nullptr;
+    if (doc.isArray()) {
+        events = &doc.asArray();
+    } else if (doc.isObject()) {
+        const json::Object &root = doc.asObject();
+        if (root.has("skipsimMeta")) {
+            const json::Object &meta =
+                root.at("skipsimMeta").asObject();
+            for (const auto &key : meta.keys())
+                trace.setMeta(key, meta.at(key).asString());
+        }
+        if (!root.has("traceEvents"))
+            fatal("chrome trace: missing 'traceEvents' member (and "
+                  "the document is not a bare event array)");
+        if (!root.at("traceEvents").isArray())
+            fatal("chrome trace: 'traceEvents' must be an array");
+        events = &root.at("traceEvents").asArray();
+    } else {
+        fatal("chrome trace: top level must be an object with "
+              "'traceEvents' or an event array");
     }
 
-    if (!root.has("traceEvents"))
-        fatal("chrome trace: missing 'traceEvents'");
-    for (const auto &item : root.at("traceEvents").asArray()) {
-        const json::Object &obj = item.asObject();
-        const std::string ph = obj.get("ph", json::Value("X")).asString();
-        if (ph == "C") {
-            trace.addCounter(counterFromJson(obj));
-            continue;
+    std::size_t index = 0;
+    for (const auto &item : *events) {
+        // Malformed events (wrong kinds, missing timestamps) surface
+        // as FatalError from the json accessors; re-throw with the
+        // event index so a bad record in a megabyte export is
+        // findable.
+        try {
+            if (!item.isObject())
+                fatal("event is not a JSON object");
+            const json::Object &obj = item.asObject();
+            const std::string ph =
+                obj.get("ph", json::Value("X")).asString();
+            if (ph == "C") {
+                trace.addCounter(counterFromJson(obj));
+            } else if (ph == "i" || ph == "I") {
+                trace.addInstant(instantFromJson(obj));
+            } else if (ph == "X" && obj.has("cat")) {
+                // Skip categories we do not model (python_function,
+                // user_annotation...)
+                const std::string cat = obj.at("cat").asString();
+                if (cat == "cpu_op" || cat == "cuda_runtime" ||
+                    cat == "kernel" || cat == "gpu_memcpy")
+                    trace.add(eventFromJson(obj));
+            }
+        } catch (const FatalError &err) {
+            fatal(strprintf("chrome trace: event %zu: %s", index,
+                            err.what()));
         }
-        if (ph == "i" || ph == "I") {
-            trace.addInstant(instantFromJson(obj));
-            continue;
-        }
-        if (ph != "X")
-            continue;
-        if (!obj.has("cat"))
-            continue;
-        // Skip categories we do not model (python_function, user_annotation...)
-        const std::string cat = obj.at("cat").asString();
-        if (cat != "cpu_op" && cat != "cuda_runtime" && cat != "kernel" &&
-            cat != "gpu_memcpy") {
-            continue;
-        }
-        trace.add(eventFromJson(obj));
+        ++index;
     }
     trace.sortByTime();
     return trace;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/sweep.hh"
+#include "check/invariants.hh"
 #include "cluster/cluster.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -135,7 +136,15 @@ simGoldenText()
 
 TEST(GoldenOutputs, SimTraceByteIdentical)
 {
-    checkGolden("golden_sim_trace.json", simGoldenText());
+    const std::string text = simGoldenText();
+    checkGolden("golden_sim_trace.json", text);
+    // Byte-identity freezes one output; the semantic invariants must
+    // hold on the re-parsed document too (causality, stream FIFO,
+    // correlation bijection, non-negative queue depth).
+    check::TraceCheckReport report =
+        check::validateTrace(trace::fromChromeText(text));
+    EXPECT_TRUE(report.ok()) << report.render();
+    EXPECT_GT(report.pairsChecked, 0u);
 }
 
 // -------------------------------------------------------------- serving
@@ -383,6 +392,19 @@ TEST(CoreEventQueue, TimeOrdersBeforePriority)
     EXPECT_EQ(queue.size(), 2u);
     queue.clear();
     EXPECT_TRUE(queue.empty());
+}
+
+TEST(CoreEventQueue, EmptyAccessorsPanicInsteadOfUb)
+{
+    core::EventQueue queue;
+    EXPECT_THROW(queue.nextTimeNs(), PanicError);
+    EXPECT_THROW(queue.nextPriority(), PanicError);
+    EXPECT_THROW(queue.pop(), PanicError);
+    // Draining and re-emptying hits the same guards, not stale state.
+    queue.schedule(1.0, 0, nullptr);
+    queue.pop();
+    EXPECT_THROW(queue.nextTimeNs(), PanicError);
+    EXPECT_THROW(queue.pop(), PanicError);
 }
 
 TEST(CoreClock, AdvancesMonotonically)

@@ -1,14 +1,15 @@
 /**
  * @file
- * Randomized property tests: generate pseudo-random operator graphs
- * and verify simulator/analyzer invariants hold for every one of them
- * — trace validity, metric identities, flatten/round-trip equivalence,
- * chain-mining accounting and Chrome-trace round trips.
+ * Randomized property tests: draw pseudo-random operator graphs from
+ * the skipsim::check fuzz generator and verify simulator/analyzer
+ * invariants hold for every one of them — trace validity, metric
+ * identities, flatten/round-trip equivalence, chain-mining accounting
+ * and Chrome-trace round trips.
  */
 
 #include <gtest/gtest.h>
 
-#include "common/random.hh"
+#include "check/fuzzer.hh"
 #include "fusion/proximity.hh"
 #include "hw/catalog.hh"
 #include "sim/simulator.hh"
@@ -23,57 +24,27 @@ namespace skipsim
 namespace
 {
 
-/** Build a random operator graph from a seed (up to depth-2 nesting). */
+/**
+ * Draw a random operator graph from the shared check::Fuzzer
+ * generator (these tests predate it and used to keep their own copy).
+ * The generator mixes engine kinds, so scan indices for the first
+ * sim-kind case of this campaign seed; ~70% are sim cases, making a
+ * 64-index scan effectively infallible.
+ */
 workload::OperatorGraph
 randomGraph(std::uint64_t seed)
 {
-    Rng rng(seed);
-    workload::OperatorGraph graph;
-    std::size_t roots = 5 + rng.below(40);
-    int kernel_names = 3 + static_cast<int>(rng.below(6));
-
-    for (std::size_t i = 0; i < roots; ++i) {
-        workload::OpNode node;
-        node.name = "op_" + std::to_string(rng.below(8));
-        node.cpuNs = 500.0 + static_cast<double>(rng.below(20000));
-        node.preFraction = 0.2 + 0.6 * rng.uniform();
-
-        std::size_t children = rng.below(3);
-        for (std::size_t c = 0; c < children; ++c) {
-            workload::OpNode child;
-            child.name = "child_" + std::to_string(rng.below(4));
-            child.cpuNs = 300.0 + static_cast<double>(rng.below(8000));
-            if (rng.below(2) == 0) {
-                workload::KernelLaunch launch;
-                launch.kernelName =
-                    "k" + std::to_string(rng.below(
-                              static_cast<std::uint64_t>(kernel_names)));
-                hw::KernelWork w;
-                w.cls = rng.below(2) == 0 ? hw::KernelClass::Gemm
-                                          : hw::KernelClass::Elementwise;
-                w.flops = static_cast<double>(rng.below(5'000'000'000ULL));
-                w.bytes = static_cast<double>(rng.below(50'000'000ULL));
-                w.rows = static_cast<double>(64 + rng.below(8192));
-                launch.work.push_back(w);
-                child.launches.push_back(std::move(launch));
-            }
-            node.children.push_back(std::move(child));
-        }
-
-        if (rng.below(3) != 0) {
-            workload::KernelLaunch launch;
-            launch.kernelName =
-                "k" + std::to_string(rng.below(
-                          static_cast<std::uint64_t>(kernel_names)));
-            hw::KernelWork w;
-            w.cls = hw::KernelClass::Elementwise;
-            w.bytes = static_cast<double>(rng.below(20'000'000ULL));
-            launch.work.push_back(w);
-            node.launches.push_back(std::move(launch));
-        }
-        graph.roots.push_back(std::move(node));
+    check::FuzzOptions opts;
+    opts.seed = seed;
+    check::Fuzzer fuzzer(opts);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        check::FuzzCase c = fuzzer.generate(i);
+        if (c.kind == check::FuzzKind::Sim)
+            return c.graph;
     }
-    return graph;
+    ADD_FAILURE() << "no sim-kind fuzz case in 64 draws (seed "
+                  << seed << ")";
+    return {};
 }
 
 class FuzzGraphs : public ::testing::TestWithParam<std::uint64_t>

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/invariants.hh"
 #include "common/logging.hh"
 #include "hw/catalog.hh"
 #include "sim/simulator.hh"
@@ -302,6 +303,34 @@ TEST(Simulator, StreamKernelsNeverOverlap)
         if (ev.onGpu()) {
             EXPECT_GE(ev.tsBeginNs, prev_end);
             prev_end = ev.tsEndNs();
+        }
+    }
+}
+
+TEST(Simulator, TracesSatisfyEveryCheckedInvariant)
+{
+    // Beyond trace.validate()'s structural checks, the semantic
+    // invariant suite (causality, per-stream FIFO + no-overlap,
+    // launch-queue depth) must hold on real model workloads across
+    // coupled and discrete platforms, with and without jitter.
+    workload::BuildOptions build;
+    build.batch = 4;
+    workload::OperatorGraph graph =
+        workload::buildPrefillGraph(workload::gpt2(), build);
+    SimOptions jittered;
+    jittered.jitter = true;
+    jittered.seed = 11;
+    for (const auto &platform :
+         {hw::platforms::gh200(), hw::platforms::intelH100()}) {
+        for (const auto &opts : {noJitter(), jittered}) {
+            SimResult result = Simulator(platform, opts).run(graph);
+            check::TraceCheckReport report =
+                check::validateTrace(result.trace);
+            EXPECT_TRUE(report.ok())
+                << platform.name << ": " << report.render();
+            // Every graph kernel forms a correlated pair; discrete
+            // platforms add staging memcpy pairs on top.
+            EXPECT_GE(report.pairsChecked, result.numKernels);
         }
     }
 }

@@ -105,6 +105,16 @@ TEST(Percentile, InvalidInputsThrow)
     EXPECT_THROW(percentile({1.0}, 101.0), FatalError);
 }
 
+TEST(Percentile, NanRankRejectedNotUndefined)
+{
+    // A NaN p compares false against every bound, so a naive
+    // (p < 0 || p > 100) guard lets it through into the rank
+    // arithmetic and the float->size_t cast becomes UB.
+    const double nan = std::nan("");
+    EXPECT_THROW(percentile({1.0, 2.0}, nan), FatalError);
+    EXPECT_THROW(percentiles({1.0, 2.0}, {50.0, nan}), FatalError);
+}
+
 TEST(Percentiles, MatchesSingleCallPerEntry)
 {
     std::vector<double> xs{9.0, 1.0, 5.0, 3.0, 7.0};

@@ -322,6 +322,53 @@ TEST(ChromeTrace, MissingTraceEventsThrows)
     EXPECT_THROW(fromChromeText("{}"), FatalError);
 }
 
+TEST(ChromeTrace, AcceptsLegacyBareArrayForm)
+{
+    // The legacy Chrome format is a bare top-level array of events.
+    std::string text = R"([
+        {"ph":"X","name":"op","cat":"cpu_op","ts":0,"dur":1,"tid":1},
+        {"ph":"X","name":"k","cat":"kernel","ts":2.0,"dur":1.0,
+         "tid":1007,"args":{"correlation":1,"stream":7}}])";
+    Trace trace = fromChromeText(text);
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(ChromeTrace, NonContainerTopLevelThrows)
+{
+    EXPECT_THROW(fromChromeText("42"), FatalError);
+    EXPECT_THROW(fromChromeText("\"trace\""), FatalError);
+    EXPECT_THROW(fromChromeText(R"({"traceEvents": 7})"), FatalError);
+}
+
+TEST(ChromeTrace, TruncatedJsonThrowsCleanly)
+{
+    // A capture cut off mid-write must fail as a parse error, not
+    // crash or silently yield a partial trace.
+    std::string full = toChromeText(sampleTrace());
+    EXPECT_THROW(fromChromeText(full.substr(0, full.size() / 2)),
+                 FatalError);
+    EXPECT_THROW(fromChromeText(""), FatalError);
+}
+
+TEST(ChromeTrace, MalformedEventNamesItsIndex)
+{
+    // Second event lacks ts/dur entirely; the error must carry the
+    // event index so the bad record is findable in a large export.
+    std::string text = R"({"traceEvents":[
+        {"ph":"X","name":"ok","cat":"cpu_op","ts":0,"dur":1,"tid":1},
+        {"ph":"X","name":"broken","cat":"kernel"}]})";
+    try {
+        fromChromeText(text);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("event 1"),
+                  std::string::npos)
+            << "diagnostic missing the event index: " << err.what();
+    }
+    // Non-object entries in the array are diagnosed the same way.
+    EXPECT_THROW(fromChromeText(R"({"traceEvents":[17]})"), FatalError);
+}
+
 TEST(ChromeTrace, FileRoundTrip)
 {
     std::string path = testing::TempDir() + "/skipsim_trace_test.json";
