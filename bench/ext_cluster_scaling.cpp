@@ -59,7 +59,8 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    bool quick = args.has("quick");
+    RunFlags flags = parseRunFlags(args, /*defaultJobs=*/0);
+    bool quick = flags.quick;
     workload::ModelConfig model =
         workload::modelByName(args.getString("model", "GPT2"));
     hw::Platform platform =
@@ -67,7 +68,7 @@ main(int argc, char **argv)
     int prompt = static_cast<int>(args.getInt("prompt", 256));
     int tokens = static_cast<int>(args.getInt("tokens", 16));
     int max_active = static_cast<int>(args.getInt("max-active", 32));
-    exec::Pool pool(static_cast<int>(args.getInt("jobs", 0)));
+    exec::Pool pool(flags.jobs);
 
     std::vector<int> fleets = quick ? std::vector<int>{2, 4}
                                     : std::vector<int>{2, 4, 8};
@@ -142,7 +143,7 @@ main(int argc, char **argv)
              strprintf("%.1f", scenario.result.p99E2eNs / 1e6),
              strprintf("%.1f", 100.0 * scenario.result.sloAttainment),
              strprintf("%.1f", scenario.result.goodputRps)});
-    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+    std::fputs(flags.csv ? table.renderCsv().c_str()
                                : table.render().c_str(),
                stdout);
     std::puts("");
@@ -156,9 +157,8 @@ main(int argc, char **argv)
 
     // Probe collectors on the fault scenarios (one per policy, indexed
     // like `faulted`, so the export order is deterministic).
-    const bool want_obs = args.has("obs-out");
-    const double obs_interval_ms =
-        args.getDouble("obs-interval-ms", 100.0);
+    const bool want_obs = flags.wantObs();
+    const double obs_interval_ms = flags.obsIntervalMs;
     std::vector<std::unique_ptr<obs::Collector>> collectors(
         policies.size());
     if (want_obs) {
@@ -205,7 +205,7 @@ main(int argc, char **argv)
                  ? std::to_string(collectors[i]->sampleCount())
                  : std::string("-")});
     }
-    std::fputs(args.has("csv") ? fault_table.renderCsv().c_str()
+    std::fputs(flags.csv ? fault_table.renderCsv().c_str()
                                : fault_table.render().c_str(),
                stdout);
 
@@ -221,9 +221,8 @@ main(int argc, char **argv)
             scenario_docs.push_back(json::Value(std::move(entry)));
         }
         doc.set("scenarios", json::Value(std::move(scenario_docs)));
-        json::writeFile(args.getString("obs-out"), json::Value(doc));
-        std::printf("\nobs report -> %s\n",
-                    args.getString("obs-out").c_str());
+        json::writeFile(flags.obsOut, json::Value(doc));
+        std::printf("\nobs report -> %s\n", flags.obsOut.c_str());
     }
 
     std::puts("\nKey takeaway: load-aware routing (least-outstanding, "

@@ -55,7 +55,8 @@ main(int argc, char **argv)
     CliArgs args(argc, argv);
     workload::ModelConfig model = workload::modelByName(
         args.getString("model", "Bert-Base-Uncased"));
-    int jobs = static_cast<int>(args.getInt("jobs", 1));
+    RunFlags flags = parseRunFlags(args);
+    int jobs = flags.jobs;
 
     std::vector<int> seqs{128, 256, 512, 1024, 2048, 4096};
     std::vector<hw::Platform> platforms = hw::platforms::paperTrio();
@@ -110,7 +111,7 @@ main(int argc, char **argv)
         row.push_back(strprintf("%.0f", gh_idle));
         table.addRow(row);
     }
-    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+    std::fputs(flags.csv ? table.renderCsv().c_str()
                                : table.render().c_str(),
                stdout);
 

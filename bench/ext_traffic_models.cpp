@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Extension experiment: production-shaped traffic models. The paper's
+ * serving experiments (and the original skipsim cluster bench) drive
+ * the fleet with constant-rate Poisson arrivals, but production load is
+ * diurnal, bursty, conversational, and multi-tenant. This bench runs
+ * the scenario registry's traffic models against one shared deployment
+ * so the table isolates what the *arrival process* — not the cluster —
+ * does to tail latency and SLO attainment:
+ *
+ *  - steady-poisson: the legacy baseline (mean rate 60/s).
+ *  - mmpp-diurnal:   trough/shoulder/peak cycle, same 60/s mean.
+ *  - chat-sessions:  multi-turn conversations with prefix-cache reuse
+ *                    and session-affinity routing (60/s mean).
+ *  - multi-tenant:   premium/standard/batch tiers, per-tenant SLOs
+ *                    (60/s aggregate), with a per-tier breakdown table.
+ *
+ * Every row is built through scenario::buildScenario — the same code
+ * path as `skipctl run --scenario NAME` — so the bench doubles as an
+ * end-to-end exercise of the registry.
+ *
+ * Usage: ext_traffic_models [--jobs N] [--seed S] [--quick] [--csv]
+ *
+ * --quick shrinks the horizon for CI smoke runs. Reports are a pure
+ * function of the seed: byte-identical at any --jobs count.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "exec/pool.hh"
+#include "json/value.hh"
+#include "scenario/registry.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+struct Row
+{
+    std::string name;
+    cluster::ClusterSpec spec;
+    cluster::ClusterResult result;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    RunFlags flags = parseRunFlags(args, /*defaultJobs=*/0);
+    double horizon = flags.quick ? 3.0 : 12.0;
+
+    // One parameter document shared by every scenario: same fleet, same
+    // workload, same seed — only the arrival process differs.
+    json::Object params;
+    params.set("horizon-sec", horizon);
+    params.set("seed", static_cast<unsigned long long>(flags.seed));
+
+    std::vector<Row> rows;
+    for (const char *name : {"steady-poisson", "mmpp-diurnal",
+                             "chat-sessions", "multi-tenant"}) {
+        Row row;
+        row.name = name;
+        row.spec = scenario::buildScenario(name, params);
+        rows.push_back(std::move(row));
+    }
+
+    // All scenarios share GPT2 on GH200, so one cost cache serves the
+    // whole grid.
+    cluster::CostCache costs;
+    costs.build(rows.front().spec);
+
+    exec::Pool pool(flags.jobs);
+    pool.run(rows.size(), [&](std::size_t i) {
+        rows[i].result =
+            cluster::simulateCluster(rows[i].spec.scenarioAt(0), costs);
+    });
+
+    TextTable table(strprintf(
+        "Traffic models on one deployment: %s x%zu on %s "
+        "(horizon %.0fs, seed %llu)",
+        rows.front().spec.model.name.c_str(),
+        rows.front().spec.replicas.size(),
+        rows.front().spec.replicas.front().platform.name.c_str(),
+        horizon,
+        static_cast<unsigned long long>(flags.seed)));
+    table.setHeader({"Scenario", "Traffic", "Rate (rps)", "Offered",
+                     "Done", "TTFT p50 (ms)", "TTFT p99 (ms)",
+                     "e2e p99 (ms)", "SLO %", "Goodput (rps)"});
+    for (const Row &row : rows)
+        table.addRow(
+            {row.name, row.spec.traffic->kind(),
+             strprintf("%.0f", row.result.arrivalRatePerSec),
+             std::to_string(row.result.offered),
+             std::to_string(row.result.completed),
+             strprintf("%.1f", row.result.p50TtftNs / 1e6),
+             strprintf("%.1f", row.result.p99TtftNs / 1e6),
+             strprintf("%.1f", row.result.p99E2eNs / 1e6),
+             strprintf("%.1f", 100.0 * row.result.sloAttainment),
+             strprintf("%.1f", row.result.goodputRps)});
+    std::fputs(flags.csv ? table.renderCsv().c_str()
+                         : table.render().c_str(),
+               stdout);
+    std::puts("");
+
+    // Per-tier breakdown of the multi-tenant run: same fleet, three SLO
+    // contracts, one attainment number per contract.
+    const Row &tenants = rows.back();
+    TextTable tier_table("Multi-tenant breakdown (per-tier SLOs)");
+    tier_table.setHeader({"Tenant", "Offered", "Done", "SLO %",
+                          "Goodput (rps)", "TTFT p99 (ms)",
+                          "e2e p99 (ms)"});
+    for (const cluster::TenantStats &tier : tenants.result.tenants)
+        tier_table.addRow(
+            {tier.name, std::to_string(tier.offered),
+             std::to_string(tier.completed),
+             strprintf("%.1f", 100.0 * tier.sloAttainment),
+             strprintf("%.1f", tier.goodputRps),
+             strprintf("%.1f", tier.p99TtftNs / 1e6),
+             strprintf("%.1f", tier.p99E2eNs / 1e6)});
+    std::fputs(flags.csv ? tier_table.renderCsv().c_str()
+                         : tier_table.render().c_str(),
+               stdout);
+
+    std::puts("\nKey takeaway: at the same mean rate, the arrival "
+              "process is the tail. The MMPP peak state queues the "
+              "fleet that steady Poisson never stresses, so p99 TTFT "
+              "degrades at identical offered load; chat sessions claw "
+              "the tail back because prefix-cache hits skip most "
+              "prefill compute on follow-up turns; and multi-tenant "
+              "accounting shows one shared fleet meeting three "
+              "different SLO contracts at three different attainment "
+              "levels.");
+    return 0;
+}

@@ -54,7 +54,8 @@ main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
     int seq = static_cast<int>(args.getInt("seq", 512));
-    int jobs = static_cast<int>(args.getInt("jobs", 1));
+    RunFlags flags = parseRunFlags(args);
+    int jobs = flags.jobs;
     std::vector<int> batches;
     for (long b : args.getIntList("batches",
                                   {1, 2, 4, 8, 16, 32, 64, 128}))
@@ -116,7 +117,7 @@ main(int argc, char **argv)
             }
             table.addRow(row);
         }
-        std::fputs(args.has("csv") ? table.renderCsv().c_str()
+        std::fputs(flags.csv ? table.renderCsv().c_str()
                                    : table.render().c_str(),
                    stdout);
 

@@ -43,7 +43,8 @@ main(int argc, char **argv)
     CliArgs args(argc, argv);
     int seq = static_cast<int>(args.getInt("seq", 512));
     int batch = static_cast<int>(args.getInt("batch", 1));
-    int jobs = static_cast<int>(args.getInt("jobs", 1));
+    RunFlags flags = parseRunFlags(args);
+    int jobs = flags.jobs;
 
     exec::SweepSpec grid;
     grid.models = {workload::gpt2(), workload::xlmRobertaBase()};
@@ -83,7 +84,7 @@ main(int argc, char **argv)
                       strprintf("%.2fx",
                                 reports[1].byLength[li].idealSpeedup)});
     }
-    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+    std::fputs(flags.csv ? table.renderCsv().c_str()
                                : table.render().c_str(),
                stdout);
 

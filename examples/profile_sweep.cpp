@@ -54,7 +54,8 @@ main(int argc, char **argv)
         hw::platforms::byName(args.getString("platform", "GH200"));
     int seq = static_cast<int>(args.getInt("seq", 512));
     double slo_ms = args.getDouble("slo-ms", 200.0);
-    int jobs = static_cast<int>(args.getInt("jobs", 1));
+    RunFlags flags = parseRunFlags(args);
+    int jobs = flags.jobs;
 
     exec::SweepSpec grid;
     grid.models = {model};
@@ -112,7 +113,7 @@ main(int argc, char **argv)
                       analysis::boundednessName(
                           bound.classify(point.batch))});
     }
-    std::fputs(args.has("csv") ? table.renderCsv().c_str()
+    std::fputs(flags.csv ? table.renderCsv().c_str()
                                : table.render().c_str(),
                stdout);
 

@@ -18,6 +18,12 @@
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-interval-ms MS]
  *                    [--harness-trace harness.json]
+ *   skipctl run      --scenario NAME [--spec params.json] [--quick]
+ *                    [--jobs N] [--out report.json]
+ *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
+ *                    [--obs-interval-ms MS]
+ *                    [--harness-trace harness.json]
+ *   skipctl scenarios
  *   skipctl validate <trace.json>
  *   skipctl check    [--trace t.json | --props [--filter F]
  *                    | --fuzz N [--seed S] [--jobs J] [--quick]
@@ -38,6 +44,14 @@
  * across --jobs workers) and reports SLO attainment and goodput —
  * the report is byte-identical at any --jobs count.
  *
+ * Scenarios (docs/scenarios.md): `run --scenario NAME` builds a full
+ * cluster run from the scenario registry — production-shaped traffic
+ * models (mmpp-diurnal, chat-sessions, multi-tenant, steady-poisson)
+ * plus the raw `cluster` pass-through — parameterized by an optional
+ * --spec JSON file; `scenarios` lists what is registered. --quick
+ * caps the horizon for CI smoke runs without changing the code path,
+ * so quick reports stay byte-identical at any --jobs count too.
+ *
  * Observability (docs/observability.md): --obs-out writes a
  * metrics/time-series JSON sampled at deterministic simulated-time
  * boundaries (--obs-interval-ms, byte-identical at any --jobs);
@@ -55,6 +69,7 @@
  * property suite.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -82,6 +97,8 @@
 #include "obs/collector.hh"
 #include "obs/harness.hh"
 #include "obs/trace_probe.hh"
+#include "scenario/analysis.hh"
+#include "scenario/registry.hh"
 #include "serving/server_sim.hh"
 #include "skip/diff.hh"
 #include "skip/gaps.hh"
@@ -149,15 +166,17 @@ cmdProfile(const CliArgs &args)
     // Trace probes (trace.launch_queue_depth / gpu_busy / cpu_busy)
     // ride the op/kernel timescale, so the sampling interval defaults
     // much finer here than for the second-scale serving horizons.
+    RunFlags flags =
+        parseRunFlags(args, /*defaultJobs=*/1,
+                      /*defaultObsIntervalMs=*/0.1);
     std::unique_ptr<obs::Collector> collector;
-    if (args.has("obs-out")) {
-        collector = std::make_unique<obs::Collector>(
-            args.getDouble("obs-interval-ms", 0.1));
+    if (!flags.obsOut.empty()) {
+        collector =
+            std::make_unique<obs::Collector>(flags.obsIntervalMs);
         obs::probeTrace(result.trace, *collector);
-        json::writeFile(args.getString("obs-out"), collector->toJson());
+        json::writeFile(flags.obsOut, collector->toJson());
         std::printf("\nobs report (%zu samples) written to %s\n",
-                    collector->sampleCount(),
-                    args.getString("obs-out").c_str());
+                    collector->sampleCount(), flags.obsOut.c_str());
     }
 
     if (args.has("trace")) {
@@ -181,11 +200,12 @@ int
 cmdSweepGrid(const CliArgs &args)
 {
     exec::SweepSpec grid = exec::SweepSpec::load(args.getString("spec"));
-    exec::Runner runner(static_cast<int>(args.getInt("jobs", 1)));
+    RunFlags flags = parseRunFlags(args);
+    exec::Runner runner(flags.jobs);
     std::string analysis = args.getString("analysis", "profile");
 
     std::unique_ptr<obs::HarnessTracer> tracer;
-    if (args.has("harness-trace")) {
+    if (!flags.harnessTrace.empty()) {
         tracer = std::make_unique<obs::HarnessTracer>();
         runner.setHarnessTracer(tracer.get());
     }
@@ -193,22 +213,20 @@ cmdSweepGrid(const CliArgs &args)
     exec::GridReport report = runner.runGrid(grid, analysis);
 
     if (tracer != nullptr) {
-        tracer->write(args.getString("harness-trace"));
+        tracer->write(flags.harnessTrace);
         std::printf("harness trace (%zu spans) -> %s\n",
-                    tracer->spanCount(),
-                    args.getString("harness-trace").c_str());
+                    tracer->spanCount(), flags.harnessTrace.c_str());
     }
     // --full includes host wall-clock timings; the default report is
     // deterministic (byte-identical at any --jobs count).
     json::Value doc = args.has("full") ? report.toJson()
                                        : report.resultsJson();
-    if (args.has("out")) {
-        json::writeFile(args.getString("out"), doc);
+    if (flags.wantOut()) {
+        json::writeFile(flags.out, doc);
         std::printf("%zu/%zu points ok (%s, %d jobs, %.0f ms) -> %s\n",
                     report.points.size() - report.failed(),
                     report.points.size(), analysis.c_str(),
-                    report.jobs, report.wallMs,
-                    args.getString("out").c_str());
+                    report.jobs, report.wallMs, flags.out.c_str());
     } else {
         std::puts(json::writePretty(doc).c_str());
     }
@@ -242,8 +260,8 @@ cmdSweep(const CliArgs &args)
                       analysis::boundednessName(
                           bound.classify(point.batch))});
     }
-    std::fputs(args.has("csv") ? table.renderCsv().c_str()
-                               : table.render().c_str(),
+    std::fputs(parseRunFlags(args).csv ? table.renderCsv().c_str()
+                                       : table.render().c_str(),
                stdout);
     return 0;
 }
@@ -272,10 +290,11 @@ cmdServe(const CliArgs &args)
         spec.model(), spec.platform(), analysis::defaultBatchGrid(),
         spec.seqLen(), spec.mode(), spec.simOptions()));
     serving::ServingConfig config = spec.servingConfig();
+    RunFlags flags = parseRunFlags(args);
     std::unique_ptr<obs::Collector> collector;
-    if (args.has("obs-out") || args.has("obs-trace"))
-        collector = std::make_unique<obs::Collector>(
-            args.getDouble("obs-interval-ms", 100.0));
+    if (flags.wantObs())
+        collector =
+            std::make_unique<obs::Collector>(flags.obsIntervalMs);
     serving::ServingResult result =
         serving::simulateServing(latency, config, collector.get());
 
@@ -295,43 +314,29 @@ cmdServe(const CliArgs &args)
     if (result.leftInQueue > 0)
         std::printf("  warning: %zu requests still queued (overload)\n",
                     result.leftInQueue);
-    if (args.has("obs-out")) {
-        json::writeFile(args.getString("obs-out"), collector->toJson());
+    if (!flags.obsOut.empty()) {
+        json::writeFile(flags.obsOut, collector->toJson());
         std::printf("  obs report (%zu samples) -> %s\n",
-                    collector->sampleCount(),
-                    args.getString("obs-out").c_str());
+                    collector->sampleCount(), flags.obsOut.c_str());
     }
-    if (args.has("obs-trace")) {
-        trace::writeChromeFile(args.getString("obs-trace"),
-                               collector->toTrace());
-        std::printf("  obs trace -> %s\n",
-                    args.getString("obs-trace").c_str());
+    if (!flags.obsTrace.empty()) {
+        trace::writeChromeFile(flags.obsTrace, collector->toTrace());
+        std::printf("  obs trace -> %s\n", flags.obsTrace.c_str());
     }
     return 0;
 }
 
 /**
- * Multi-replica cluster scenario (skipctl cluster --spec cluster.json
- * [--jobs N] [--out report.json]). A spec with a "rates" axis expands
- * to one scenario per rate, fanned across --jobs workers; results are
- * assembled in scenario order, so the report is byte-identical at any
- * jobs count.
+ * Shared cluster-run pipeline: expand the spec's scenarios across
+ * --jobs workers over one shared cost cache, render the tables and
+ * write the requested report/obs/trace outputs. Every cluster-shaped
+ * entry point — `skipctl cluster`, `skipctl run --scenario NAME` —
+ * ends here, so their outputs share one determinism contract
+ * (byte-identical at any jobs count).
  */
 int
-cmdCluster(const CliArgs &args)
+runClusterSpec(const cluster::ClusterSpec &spec, const RunFlags &flags)
 {
-    if (!args.has("spec")) {
-        std::fprintf(stderr,
-                     "usage: skipctl cluster --spec cluster.json "
-                     "[--jobs N] [--out report.json] "
-                     "[--obs-out obs.json] [--obs-trace trace.json] "
-                     "[--obs-interval-ms MS] "
-                     "[--harness-trace harness.json]\n");
-        return 2;
-    }
-    cluster::ClusterSpec spec =
-        cluster::ClusterSpec::load(args.getString("spec"));
-
     // The cost models simulate a batch grid per distinct platform —
     // the expensive part — so build them once, serially, and share
     // them read-only across scenario workers.
@@ -343,21 +348,18 @@ cmdCluster(const CliArgs &args)
 
     // One collector per scenario; assembled in scenario-index order,
     // so the obs export inherits the report's determinism contract.
-    const bool want_obs = args.has("obs-out") || args.has("obs-trace");
-    const double obs_interval_ms =
-        args.getDouble("obs-interval-ms", 100.0);
     std::vector<std::unique_ptr<obs::Collector>> collectors(scenarios);
-    if (want_obs) {
+    if (flags.wantObs()) {
         for (std::size_t i = 0; i < scenarios; ++i)
             collectors[i] =
-                std::make_unique<obs::Collector>(obs_interval_ms);
+                std::make_unique<obs::Collector>(flags.obsIntervalMs);
     }
 
     std::unique_ptr<obs::HarnessTracer> tracer;
-    if (args.has("harness-trace"))
+    if (!flags.harnessTrace.empty())
         tracer = std::make_unique<obs::HarnessTracer>();
 
-    exec::Pool pool(static_cast<int>(args.getInt("jobs", 1)));
+    exec::Pool pool(flags.jobs);
     pool.run(scenarios, [&](std::size_t i) {
         std::unique_ptr<obs::HarnessTracer::Scope> span;
         if (tracer != nullptr)
@@ -383,7 +385,9 @@ cmdCluster(const CliArgs &args)
                       strprintf("%.1f ms", result.p99E2eNs / 1e6),
                       strprintf("%.1f", 100.0 * result.sloAttainment),
                       strprintf("%.1f", result.goodputRps)});
-    std::fputs(table.render().c_str(), stdout);
+    std::fputs(flags.csv ? table.renderCsv().c_str()
+                         : table.render().c_str(),
+               stdout);
 
     if (scenarios == 1) {
         std::puts("");
@@ -405,23 +409,39 @@ cmdCluster(const CliArgs &args)
                      static_cast<std::size_t>(rep.peakKvBytes))});
         }
         std::fputs(fleet.render().c_str(), stdout);
+
+        if (!result.tenants.empty()) {
+            std::puts("");
+            TextTable tiers("per-tenant");
+            tiers.setHeader({"Tenant", "Offered", "Done", "SLO %",
+                             "Goodput", "TTFT p99", "e2e p99"});
+            for (const cluster::TenantStats &tier : result.tenants)
+                tiers.addRow(
+                    {tier.name, std::to_string(tier.offered),
+                     std::to_string(tier.completed),
+                     strprintf("%.1f", 100.0 * tier.sloAttainment),
+                     strprintf("%.1f", tier.goodputRps),
+                     strprintf("%.1f ms", tier.p99TtftNs / 1e6),
+                     strprintf("%.1f ms", tier.p99E2eNs / 1e6)});
+            std::fputs(tiers.render().c_str(), stdout);
+        }
     }
 
-    if (args.has("out")) {
+    if (flags.wantOut()) {
         json::Object doc;
         doc.set("spec", spec.toJson());
         json::Value::Array scenario_docs;
         for (const cluster::ClusterResult &result : results)
             scenario_docs.push_back(result.toJson());
         doc.set("scenarios", json::Value(std::move(scenario_docs)));
-        json::writeFile(args.getString("out"), json::Value(doc));
+        json::writeFile(flags.out, json::Value(doc));
         std::printf("%zu scenario(s) -> %s\n", scenarios,
-                    args.getString("out").c_str());
+                    flags.out.c_str());
     }
 
-    if (args.has("obs-out")) {
+    if (!flags.obsOut.empty()) {
         json::Object doc;
-        doc.set("interval_ms", obs_interval_ms);
+        doc.set("interval_ms", flags.obsIntervalMs);
         json::Value::Array scenario_docs;
         for (std::size_t i = 0; i < scenarios; ++i) {
             json::Object entry;
@@ -430,26 +450,97 @@ cmdCluster(const CliArgs &args)
             scenario_docs.push_back(json::Value(std::move(entry)));
         }
         doc.set("scenarios", json::Value(std::move(scenario_docs)));
-        json::writeFile(args.getString("obs-out"), json::Value(doc));
-        std::printf("obs report -> %s\n",
-                    args.getString("obs-out").c_str());
+        json::writeFile(flags.obsOut, json::Value(doc));
+        std::printf("obs report -> %s\n", flags.obsOut.c_str());
     }
-    if (args.has("obs-trace")) {
+    if (!flags.obsTrace.empty()) {
         if (scenarios > 1)
             warnOnce("cluster-obs-trace-multi",
                      "--obs-trace renders scenario 0 only; use "
                      "--obs-out for the full sweep");
-        trace::writeChromeFile(args.getString("obs-trace"),
+        trace::writeChromeFile(flags.obsTrace,
                                collectors.front()->toTrace());
-        std::printf("obs trace -> %s\n",
-                    args.getString("obs-trace").c_str());
+        std::printf("obs trace -> %s\n", flags.obsTrace.c_str());
     }
     if (tracer != nullptr) {
-        tracer->write(args.getString("harness-trace"));
+        tracer->write(flags.harnessTrace);
         std::printf("harness trace (%zu spans) -> %s\n",
-                    tracer->spanCount(),
-                    args.getString("harness-trace").c_str());
+                    tracer->spanCount(), flags.harnessTrace.c_str());
     }
+    return 0;
+}
+
+/**
+ * Multi-replica cluster scenario (skipctl cluster --spec cluster.json
+ * [--jobs N] [--out report.json]). The spec file routes through the
+ * scenario registry's raw "cluster" pass-through, so this subcommand
+ * is sugar for `skipctl run --scenario cluster --spec cluster.json`.
+ * A spec with a "rates" axis expands to one scenario per rate, fanned
+ * across --jobs workers; results are assembled in scenario order, so
+ * the report is byte-identical at any jobs count.
+ */
+int
+cmdCluster(const CliArgs &args)
+{
+    if (!args.has("spec")) {
+        std::fprintf(stderr,
+                     "usage: skipctl cluster --spec cluster.json "
+                     "[--jobs N] [--out report.json] "
+                     "[--obs-out obs.json] [--obs-trace trace.json] "
+                     "[--obs-interval-ms MS] "
+                     "[--harness-trace harness.json]\n");
+        return 2;
+    }
+    cluster::ClusterSpec spec = scenario::buildScenario(
+        "cluster",
+        json::parseFile(args.getString("spec")).asObject());
+    return runClusterSpec(spec, parseRunFlags(args));
+}
+
+/**
+ * Registry-driven run (skipctl run --scenario NAME [--spec s.json]).
+ * The scenario builder constructs the whole cluster run — workload,
+ * arrival process, platform config — from the parameter file; the
+ * shared pipeline above executes it. --quick caps the horizon (CI
+ * smoke), applied before seeding workers so quick reports keep the
+ * byte-identical-at-any-jobs contract.
+ */
+int
+cmdRun(const CliArgs &args)
+{
+    if (!args.has("scenario")) {
+        std::fprintf(stderr,
+                     "usage: skipctl run --scenario NAME "
+                     "[--spec params.json] [--quick] [--jobs N] "
+                     "[--out report.json] [--obs-out obs.json] "
+                     "[--obs-trace trace.json] [--obs-interval-ms MS] "
+                     "[--harness-trace harness.json]\n"
+                     "scenarios: %s\n",
+                     join(scenario::scenarioNames(), ", ").c_str());
+        return 2;
+    }
+    json::Object params;
+    if (args.has("spec"))
+        params = json::parseFile(args.getString("spec")).asObject();
+    RunFlags flags = parseRunFlags(args);
+    cluster::ClusterSpec spec = scenario::buildScenario(
+        args.getString("scenario"), params);
+    if (flags.quick)
+        spec.horizonSec = std::min(spec.horizonSec, 2.0);
+    std::printf("scenario %s: %s\n",
+                args.getString("scenario").c_str(),
+                scenario::scenarioByName(args.getString("scenario"))
+                    .description.c_str());
+    return runClusterSpec(spec, flags);
+}
+
+/** List registered scenarios (skipctl scenarios). */
+int
+cmdScenarios()
+{
+    for (const scenario::Scenario &entry : scenario::scenarioList())
+        std::printf("%-16s %s\n", entry.name.c_str(),
+                    entry.description.c_str());
     return 0;
 }
 
@@ -518,12 +609,15 @@ cmdCheck(const CliArgs &args)
     }
 
     if (args.has("fuzz")) {
+        // The fuzzer's historical default seed is 1, not RunFlags' 42;
+        // campaigns recorded in CI scripts depend on it.
         check::FuzzOptions opts;
         opts.cases =
             static_cast<std::size_t>(args.getInt("fuzz", 100));
         opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
-        opts.jobs = static_cast<int>(args.getInt("jobs", 1));
-        opts.quick = args.has("quick");
+        RunFlags flags = parseRunFlags(args);
+        opts.jobs = flags.jobs;
+        opts.quick = flags.quick;
         opts.reproDir = args.getString("repro-dir", ".");
         check::FuzzReport report = check::Fuzzer(opts).run();
         std::fputs(report.render().c_str(), stdout);
@@ -664,15 +758,17 @@ main(int argc, char **argv)
     if (args.positional().empty()) {
         std::fprintf(stderr,
                      "usage: skipctl "
-                     "<profile|sweep|fusion|serve|cluster|validate|"
-                     "check|analyze|diff|roofline|memory|platforms|"
-                     "models|analyses> [options]\n");
+                     "<profile|sweep|fusion|serve|cluster|run|"
+                     "scenarios|validate|check|analyze|diff|roofline|"
+                     "memory|platforms|models|analyses> [options]\n");
         return 2;
     }
     const std::string &cmd = args.positional().front();
-    // check depends on the engines, so its analysis registers here
-    // rather than as an exec built-in (see check/analysis.hh).
+    // check and scenario depend on the engines, so their analyses
+    // register here rather than as exec built-ins (see
+    // check/analysis.hh, scenario/analysis.hh).
     check::registerCheckAnalysis();
+    scenario::registerScenarioAnalysis();
     try {
         if (cmd == "profile")
             return cmdProfile(args);
@@ -684,6 +780,10 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (cmd == "cluster")
             return cmdCluster(args);
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "scenarios")
+            return cmdScenarios();
         if (cmd == "validate")
             return cmdValidate(args);
         if (cmd == "check")

@@ -64,11 +64,24 @@ ClusterSpec::validate() const
                             "non-negative",
                             r));
     }
-    if (arrivalRatePerSec <= 0.0 && rates.empty())
+    if (traffic != nullptr) {
+        traffic->validate();
+        if (!rates.empty())
+            fatal("ClusterSpec: a rate sweep needs the default Poisson "
+                  "traffic (custom arrival processes carry their own "
+                  "rates)");
+    } else if (arrivalRatePerSec <= 0.0 && rates.empty()) {
         fatal("ClusterSpec: arrival rate must be positive");
+    }
     for (double rate : rates) {
         if (rate <= 0.0)
             fatal("ClusterSpec: every sweep rate must be positive");
+    }
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        if (tenants[i].ttftSloMs <= 0.0 || tenants[i].e2eSloMs <= 0.0)
+            fatal(strprintf("ClusterSpec: tenant %zu SLO thresholds "
+                            "must be positive",
+                            i));
     }
     if (horizonSec <= 0.0)
         fatal("ClusterSpec: horizon must be positive");
@@ -183,6 +196,8 @@ struct Request
 {
     double arrivalNs = 0.0;
     int session = 0;
+    int tenant = 0;         ///< SLO-tier index (0 when single-tenant)
+    double cachedFrac = 0.0; ///< prefix-cache share of the prompt
     double ttftNs = -1.0;   ///< reset when a fault forces a restart
     double doneNs = -1.0;
     int attempts = 0;       ///< dispatches, including fault re-routes
@@ -262,6 +277,15 @@ class Sim
             ec.kvCapacityBytes = kv_capacity;
             ec.horizonNs = _horizonNs;
             ec.iterPriority = eventPriority(EvIterEnd, r);
+            if (_spec.traffic != nullptr) {
+                // Prefix-cache hits (multi-turn traffic) skip the
+                // cached share of the prefill; legacy Poisson specs
+                // leave the hook unset so their cost path is
+                // bit-identical to the pre-traffic-model code.
+                ec.prefillFrac = [this](std::size_t id) {
+                    return 1.0 - _requests[id].cachedFrac;
+                };
+            }
 
             serving::ReplicaEngine::Callbacks cb;
             cb.onFirstToken = [this](std::size_t id, double ttft,
@@ -575,22 +599,25 @@ Sim::onHeal(std::size_t faultIdx, double tNs)
 ClusterResult
 Sim::run()
 {
-    // Poisson arrivals with per-request session ids, all from the
-    // dedicated arrival stream (index 0; replicas jitter on i + 1).
-    Rng arrival_rng = _streams.stream(0);
-    double mean_gap_ns = 1e9 / _spec.arrivalRatePerSec;
-    double t = 0.0;
-    while (true) {
-        double u = arrival_rng.uniform();
-        if (u <= 0.0)
-            u = 1e-12;
-        t += -std::log(u) * mean_gap_ns;
-        if (t >= _horizonNs)
-            break;
+    // Arrivals come from the spec's traffic model; a null traffic
+    // field means the legacy constant-rate Poisson, whose generate()
+    // replays the historical inline loop draw-for-draw (dedicated
+    // arrival stream 0; replicas jitter on i + 1).
+    const serving::ArrivalProcess *process = _spec.traffic.get();
+    serving::PoissonProcess legacy(_spec.arrivalRatePerSec,
+                                   _spec.sessions);
+    if (process == nullptr)
+        process = &legacy;
+    const int tenant_cap = _spec.tenants.empty()
+        ? 0
+        : static_cast<int>(_spec.tenants.size()) - 1;
+    for (const serving::Arrival &arr :
+         process->generate(_horizonNs, _spec.seed)) {
         Request req;
-        req.arrivalNs = t;
-        req.session = static_cast<int>(arrival_rng.below(
-            static_cast<std::uint64_t>(_spec.sessions)));
+        req.arrivalNs = arr.timeNs;
+        req.session = arr.session;
+        req.tenant = std::clamp(arr.tenant, 0, tenant_cap);
+        req.cachedFrac = arr.cachedFrac;
         _requests.push_back(req);
     }
     for (std::size_t id = 0; id < _requests.size(); ++id)
@@ -609,9 +636,22 @@ Sim::run()
     _engine.run();
 
     ClusterResult result;
-    result.arrivalRatePerSec = _spec.arrivalRatePerSec;
+    result.arrivalRatePerSec = _spec.traffic != nullptr
+        ? _spec.traffic->meanRatePerSec()
+        : _spec.arrivalRatePerSec;
     result.offered = _requests.size();
     result.rerouted = _rerouted;
+
+    // Per-tenant accounting scaffolding; single-tenant specs judge
+    // every request against the spec-level thresholds.
+    struct TenantAcc
+    {
+        std::size_t offered = 0;
+        std::size_t sloOk = 0;
+        std::vector<double> ttfts;
+        std::vector<double> e2es;
+    };
+    std::vector<TenantAcc> tenant_acc(_spec.tenants.size());
 
     std::vector<double> ttfts;
     std::vector<double> e2es;
@@ -619,14 +659,36 @@ Sim::run()
     double e2e_slo_ns = _spec.e2eSloMs * 1e6;
     std::size_t slo_ok = 0;
     for (const Request &req : _requests) {
+        TenantAcc *acc = _spec.tenants.empty()
+            ? nullptr
+            : &tenant_acc[static_cast<std::size_t>(req.tenant)];
+        double ttft_slo = acc == nullptr
+            ? ttft_slo_ns
+            : _spec.tenants[static_cast<std::size_t>(req.tenant)]
+                      .ttftSloMs *
+                1e6;
+        double e2e_slo = acc == nullptr
+            ? e2e_slo_ns
+            : _spec.tenants[static_cast<std::size_t>(req.tenant)]
+                      .e2eSloMs *
+                1e6;
+        if (acc != nullptr)
+            ++acc->offered;
         if (req.doneNs < 0.0)
             continue;
         ++result.completed;
         double e2e = req.doneNs - req.arrivalNs;
         ttfts.push_back(req.ttftNs);
         e2es.push_back(e2e);
-        if (req.ttftNs <= ttft_slo_ns && e2e <= e2e_slo_ns)
+        bool ok = req.ttftNs <= ttft_slo && e2e <= e2e_slo;
+        if (ok)
             ++slo_ok;
+        if (acc != nullptr) {
+            acc->ttfts.push_back(req.ttftNs);
+            acc->e2es.push_back(e2e);
+            if (ok)
+                ++acc->sloOk;
+        }
     }
     result.lost = result.offered - result.completed;
     result.throughputRps =
@@ -648,6 +710,25 @@ Sim::run()
         result.p50E2eNs = ep[0];
         result.p95E2eNs = ep[1];
         result.p99E2eNs = ep[2];
+    }
+
+    for (std::size_t i = 0; i < _spec.tenants.size(); ++i) {
+        const TenantAcc &acc = tenant_acc[i];
+        TenantStats ts;
+        ts.name = _spec.tenants[i].name;
+        ts.offered = acc.offered;
+        ts.completed = acc.ttfts.size();
+        ts.sloAttainment = acc.offered == 0
+            ? 0.0
+            : static_cast<double>(acc.sloOk) /
+                static_cast<double>(acc.offered);
+        ts.goodputRps =
+            static_cast<double>(acc.sloOk) / _spec.horizonSec;
+        if (!acc.ttfts.empty()) {
+            ts.p99TtftNs = stats::percentiles(acc.ttfts, {99.0})[0];
+            ts.p99E2eNs = stats::percentiles(acc.e2es, {99.0})[0];
+        }
+        result.tenants.push_back(std::move(ts));
     }
 
     for (ReplicaRt &rt : _reps) {
@@ -763,6 +844,23 @@ ClusterResult::toJson() const
         reps.push_back(json::Value(std::move(entry)));
     }
     doc.set("replicas", json::Value(std::move(reps)));
+    if (!tenants.empty()) {
+        json::Value::Array tiers;
+        for (const TenantStats &tier : tenants) {
+            json::Object entry;
+            entry.set("name", tier.name);
+            entry.set("offered",
+                      static_cast<unsigned long long>(tier.offered));
+            entry.set("completed",
+                      static_cast<unsigned long long>(tier.completed));
+            entry.set("slo_attainment", tier.sloAttainment);
+            entry.set("goodput_rps", tier.goodputRps);
+            entry.set("ttft_p99_ms", tier.p99TtftNs / 1e6);
+            entry.set("e2e_p99_ms", tier.p99E2eNs / 1e6);
+            tiers.push_back(json::Value(std::move(entry)));
+        }
+        doc.set("tenants", json::Value(std::move(tiers)));
+    }
     return json::Value(std::move(doc));
 }
 

@@ -32,6 +32,7 @@
 #include "cluster/router.hh"
 #include "hw/platform.hh"
 #include "json/value.hh"
+#include "serving/arrival.hh"
 #include "serving/continuous.hh"
 #include "workload/model_config.hh"
 
@@ -100,6 +101,21 @@ struct ReplicaSpec
     int maxQueue = 0;
 };
 
+/**
+ * One SLO tier of a multi-tenant fleet. When ClusterSpec::tenants is
+ * non-empty, a request's SLO thresholds come from its tenant tag
+ * (serving::Arrival::tenant, clamped into range) instead of the
+ * spec-level thresholds, and the result reports per-tenant attainment.
+ */
+struct TenantSpec
+{
+    std::string name = "tenant";
+
+    /** This tier's SLO thresholds, ms. */
+    double ttftSloMs = 500.0;
+    double e2eSloMs = 2000.0;
+};
+
 /** The whole cluster scenario. */
 struct ClusterSpec
 {
@@ -109,6 +125,22 @@ struct ClusterSpec
 
     /** Mean Poisson arrival rate, requests per second. */
     double arrivalRatePerSec = 100.0;
+
+    /**
+     * Pluggable traffic model (serving::ArrivalProcess). Null means
+     * the legacy constant-rate Poisson built from arrivalRatePerSec
+     * and sessions — draw-for-draw identical to the pre-registry
+     * inline loop, so old specs keep their byte-identical reports.
+     * Shared (immutable) so scenarioAt() copies stay cheap.
+     */
+    std::shared_ptr<const serving::ArrivalProcess> traffic;
+
+    /**
+     * SLO tiers for multi-tenant traffic; empty means single-tenant
+     * accounting against ttftSloMs/e2eSloMs. Indexed by the arrival
+     * process's tenant tags.
+     */
+    std::vector<TenantSpec> tenants;
 
     /**
      * Optional rate-sweep axis; when non-empty, scenarioCount() /
@@ -200,10 +232,29 @@ struct ReplicaStats
     bool crashed = false;
 };
 
+/** Per-tenant outcome (only populated for multi-tenant specs). */
+struct TenantStats
+{
+    std::string name;
+
+    std::size_t offered = 0;
+    std::size_t completed = 0;
+
+    /** Fraction of this tenant's offered requests meeting its SLOs. */
+    double sloAttainment = 0.0;
+
+    /** This tenant's SLO-meeting completions per simulated second. */
+    double goodputRps = 0.0;
+
+    double p99TtftNs = 0.0;
+    double p99E2eNs = 0.0;
+};
+
 /** Cluster-level outcome. */
 struct ClusterResult
 {
-    /** Arrival-rate identity of the scenario. */
+    /** Arrival-rate identity of the scenario (mean rate for
+     *  non-Poisson traffic). */
     double arrivalRatePerSec = 0.0;
 
     /** Requests that arrived within the horizon. */
@@ -239,6 +290,9 @@ struct ClusterResult
     double goodputRps = 0.0;
 
     std::vector<ReplicaStats> replicas;
+
+    /** Per-tenant breakdown (empty for single-tenant specs). */
+    std::vector<TenantStats> tenants;
 
     /** Deterministic report document (no host timings). */
     json::Value toJson() const;

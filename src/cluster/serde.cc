@@ -13,6 +13,7 @@
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
 #include "json/parser.hh"
+#include "json/schema.hh"
 #include "json/writer.hh"
 #include "workload/model_config.hh"
 #include "workload/serde.hh"
@@ -97,6 +98,7 @@ json::Value
 ClusterSpec::toJson() const
 {
     json::Object doc;
+    json::stampSchemaVersion(doc);
     doc.set("model", model.name);
     json::Value::Array reps;
     for (const ReplicaSpec &replica : replicas)
@@ -104,6 +106,19 @@ ClusterSpec::toJson() const
     doc.set("replicas", json::Value(std::move(reps)));
     doc.set("router", routerPolicyName(router));
     doc.set("rate", arrivalRatePerSec);
+    if (traffic != nullptr)
+        doc.set("traffic", traffic->toJson());
+    if (!tenants.empty()) {
+        json::Value::Array tiers;
+        for (const TenantSpec &tenant : tenants) {
+            json::Object entry;
+            entry.set("name", tenant.name);
+            entry.set("ttft-slo-ms", tenant.ttftSloMs);
+            entry.set("e2e-slo-ms", tenant.e2eSloMs);
+            tiers.push_back(json::Value(std::move(entry)));
+        }
+        doc.set("tenants", json::Value(std::move(tiers)));
+    }
     if (!rates.empty()) {
         json::Value::Array axis;
         for (double rate : rates)
@@ -133,6 +148,7 @@ ClusterSpec
 ClusterSpec::fromJson(const json::Value &value)
 {
     const json::Object &obj = value.asObject();
+    json::checkSchemaVersion(obj, "ClusterSpec");
     ClusterSpec spec;
     if (obj.has("model")) {
         const json::Value &model_value = obj.at("model");
@@ -150,6 +166,21 @@ ClusterSpec::fromJson(const json::Value &value)
         spec.router = routerPolicyByName(obj.at("router").asString());
     if (obj.has("rate"))
         spec.arrivalRatePerSec = obj.at("rate").asDouble();
+    if (obj.has("traffic"))
+        spec.traffic = serving::arrivalProcessFromJson(obj.at("traffic"));
+    if (obj.has("tenants")) {
+        for (const json::Value &entry : obj.at("tenants").asArray()) {
+            const json::Object &tier = entry.asObject();
+            TenantSpec tenant;
+            if (tier.has("name"))
+                tenant.name = tier.at("name").asString();
+            if (tier.has("ttft-slo-ms"))
+                tenant.ttftSloMs = tier.at("ttft-slo-ms").asDouble();
+            if (tier.has("e2e-slo-ms"))
+                tenant.e2eSloMs = tier.at("e2e-slo-ms").asDouble();
+            spec.tenants.push_back(std::move(tenant));
+        }
+    }
     if (obj.has("rates")) {
         for (const json::Value &rate : obj.at("rates").asArray())
             spec.rates.push_back(rate.asDouble());

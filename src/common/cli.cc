@@ -102,4 +102,23 @@ CliArgs::getIntList(const std::string &key, std::vector<long> def) const
     return out;
 }
 
+RunFlags
+parseRunFlags(const CliArgs &args, int defaultJobs,
+              double defaultObsIntervalMs)
+{
+    RunFlags flags;
+    flags.jobs = static_cast<int>(args.getInt("jobs", defaultJobs));
+    flags.seed = static_cast<std::uint64_t>(
+        args.getDouble("seed", 42.0));
+    flags.quick = args.getBool("quick");
+    flags.csv = args.getBool("csv");
+    flags.out = args.getString("out");
+    flags.obsOut = args.getString("obs-out");
+    flags.obsTrace = args.getString("obs-trace");
+    flags.harnessTrace = args.getString("harness-trace");
+    flags.obsIntervalMs =
+        args.getDouble("obs-interval-ms", defaultObsIntervalMs);
+    return flags;
+}
+
 } // namespace skipsim

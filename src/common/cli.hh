@@ -7,6 +7,7 @@
 #ifndef SKIPSIM_COMMON_CLI_HH
 #define SKIPSIM_COMMON_CLI_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -59,6 +60,54 @@ class CliArgs
     std::map<std::string, std::string> _options;
     std::vector<std::string> _positional;
 };
+
+/**
+ * The run-harness flags every entry point shares — parallelism, seed,
+ * report/observability outputs — parsed once by parseRunFlags() so
+ * skipctl subcommands and bench binaries stop hand-rolling the same
+ * getInt/getString calls (and drifting on defaults).
+ */
+struct RunFlags
+{
+    /** Worker threads (--jobs); semantics of 0 are caller-defined. */
+    int jobs = 1;
+
+    std::uint64_t seed = 42;
+
+    /** CI smoke mode (--quick): shrink grids/horizons, same code path. */
+    bool quick = false;
+
+    /** Machine-readable table output (--csv). */
+    bool csv = false;
+
+    /** Report JSON path (--out); empty means stdout/table only. */
+    std::string out;
+
+    /** Probe/metrics JSON path (--obs-out). */
+    std::string obsOut;
+
+    /** Chrome-trace render of the probes (--obs-trace). */
+    std::string obsTrace;
+
+    /** Harness self-trace path (--harness-trace). */
+    std::string harnessTrace;
+
+    /** Probe sampling interval (--obs-interval-ms). */
+    double obsIntervalMs = 100.0;
+
+    /** Any observability sink requested? */
+    bool wantObs() const { return !obsOut.empty() || !obsTrace.empty(); }
+
+    bool wantOut() const { return !out.empty(); }
+};
+
+/**
+ * Parse the shared flags out of @p args. Callers with different
+ * conventions pass their defaults (e.g. ext_cluster_scaling's
+ * jobs = 0 for "one per core", profile's 0.1 ms probe interval).
+ */
+RunFlags parseRunFlags(const CliArgs &args, int defaultJobs = 1,
+                       double defaultObsIntervalMs = 100.0);
 
 } // namespace skipsim
 

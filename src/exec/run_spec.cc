@@ -4,6 +4,7 @@
 #include "common/strutil.hh"
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
+#include "json/schema.hh"
 #include "workload/serde.hh"
 
 namespace skipsim::exec
@@ -98,6 +99,20 @@ RunSpec::opt(const std::string &key, double def) const
     return it == _options.end() ? def : it->second;
 }
 
+RunSpec &
+RunSpec::strOpt(const std::string &key, const std::string &value)
+{
+    _strOptions[key] = value;
+    return *this;
+}
+
+std::string
+RunSpec::strOpt(const std::string &key, const std::string &def) const
+{
+    auto it = _strOptions.find(key);
+    return it == _strOptions.end() ? def : it->second;
+}
+
 std::string
 RunSpec::label() const
 {
@@ -147,6 +162,7 @@ json::Value
 RunSpec::toJson() const
 {
     json::Object doc;
+    json::stampSchemaVersion(doc);
     doc.set("model", _model.name);
     doc.set("platform", _platform.name);
     doc.set("batch", _batch);
@@ -162,6 +178,12 @@ RunSpec::toJson() const
             options.set(key, value);
         doc.set("options", std::move(options));
     }
+    if (!_strOptions.empty()) {
+        json::Object options;
+        for (const auto &[key, value] : _strOptions)
+            options.set(key, value);
+        doc.set("str_options", std::move(options));
+    }
     return doc;
 }
 
@@ -169,6 +191,7 @@ RunSpec
 RunSpec::fromJson(const json::Value &doc)
 {
     const json::Object &obj = doc.asObject();
+    json::checkSchemaVersion(obj, "RunSpec");
     RunSpec spec;
     if (obj.has("model")) {
         const json::Value &model = obj.at("model");
@@ -202,6 +225,11 @@ RunSpec::fromJson(const json::Value &doc)
         for (const auto &key : obj.at("options").asObject().keys())
             spec._options[key] =
                 obj.at("options").asObject().at(key).asDouble();
+    }
+    if (obj.has("str_options")) {
+        for (const auto &key : obj.at("str_options").asObject().keys())
+            spec._strOptions[key] =
+                obj.at("str_options").asObject().at(key).asString();
     }
     return spec;
 }

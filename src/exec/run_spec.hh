@@ -60,6 +60,8 @@ class RunSpec
     RunSpec &jitter(bool on, double frac = 0.02);
     /** Analysis-specific numeric knob (e.g. "rate" for serving). */
     RunSpec &opt(const std::string &key, double value);
+    /** Analysis-specific string knob (e.g. "scenario" for scenario). */
+    RunSpec &strOpt(const std::string &key, const std::string &value);
     /** @} */
 
     /** @name Accessors
@@ -73,7 +75,13 @@ class RunSpec
     bool jitterOn() const { return _jitter; }
     double jitterFrac() const { return _jitterFrac; }
     double opt(const std::string &key, double def) const;
+    std::string strOpt(const std::string &key,
+                       const std::string &def) const;
     const std::map<std::string, double> &options() const { return _options; }
+    const std::map<std::string, std::string> &strOptions() const
+    {
+        return _strOptions;
+    }
     /** @} */
 
     /** "Model/Platform b8 s512 eager seed42" display identity. */
@@ -110,6 +118,7 @@ class RunSpec
     bool _jitter = false;
     double _jitterFrac = 0.02;
     std::map<std::string, double> _options;
+    std::map<std::string, std::string> _strOptions;
 };
 
 } // namespace skipsim::exec

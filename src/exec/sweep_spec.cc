@@ -6,6 +6,7 @@
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
 #include "json/parser.hh"
+#include "json/schema.hh"
 #include "json/writer.hh"
 #include "workload/serde.hh"
 
@@ -63,6 +64,8 @@ SweepSpec::at(std::size_t index) const
                        .jitter(jitter, jitterFrac);
     for (const auto &[key, value] : options)
         spec.opt(key, value);
+    for (const auto &[key, value] : strOptions)
+        spec.strOpt(key, value);
     return spec;
 }
 
@@ -81,6 +84,7 @@ json::Value
 SweepSpec::toJson() const
 {
     json::Object doc;
+    json::stampSchemaVersion(doc);
 
     json::Value::Array model_names;
     for (const auto &model : models)
@@ -117,6 +121,12 @@ SweepSpec::toJson() const
             opts.set(key, value);
         doc.set("options", std::move(opts));
     }
+    if (!strOptions.empty()) {
+        json::Object opts;
+        for (const auto &[key, value] : strOptions)
+            opts.set(key, value);
+        doc.set("str_options", std::move(opts));
+    }
     return doc;
 }
 
@@ -124,6 +134,7 @@ SweepSpec
 SweepSpec::fromJson(const json::Value &doc)
 {
     const json::Object &obj = doc.asObject();
+    json::checkSchemaVersion(obj, "SweepSpec");
     SweepSpec spec;
 
     if (!obj.has("models"))
@@ -174,6 +185,11 @@ SweepSpec::fromJson(const json::Value &doc)
         for (const auto &key : obj.at("options").asObject().keys())
             spec.options[key] =
                 obj.at("options").asObject().at(key).asDouble();
+    }
+    if (obj.has("str_options")) {
+        for (const auto &key : obj.at("str_options").asObject().keys())
+            spec.strOptions[key] =
+                obj.at("str_options").asObject().at(key).asString();
     }
 
     spec.validate();

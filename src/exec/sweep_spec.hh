@@ -43,6 +43,9 @@ struct SweepSpec
     /** Analysis-specific knobs copied onto every point's RunSpec. */
     std::map<std::string, double> options;
 
+    /** String knobs copied onto every point's RunSpec. */
+    std::map<std::string, std::string> strOptions;
+
     /** Grid cardinality (product of the five axis sizes). */
     std::size_t size() const;
 

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Schema versioning for persisted spec documents. Every spec the tool
+ * writes (RunSpec, SweepSpec, ClusterSpec, scenario specs) stamps a
+ * "schema_version" so a future incompatible format change can be
+ * detected up front instead of silently misreading old fields. Readers
+ * accept documents without the field (everything written before
+ * versioning existed is version 1 by definition) and reject any
+ * explicit version other than the current one with an error naming the
+ * document kind and both versions.
+ */
+
+#ifndef SKIPSIM_JSON_SCHEMA_HH
+#define SKIPSIM_JSON_SCHEMA_HH
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "json/value.hh"
+
+namespace skipsim::json
+{
+
+/** Current (and only) spec-document schema version. */
+inline constexpr int kSchemaVersion = 1;
+
+/** Stamp the current schema version onto an outgoing document. */
+inline void
+stampSchemaVersion(Object &doc)
+{
+    doc.set("schema_version", kSchemaVersion);
+}
+
+/**
+ * Validate an incoming document's "schema_version" (absent = current).
+ * @throws skipsim::FatalError naming @p what for any other version.
+ */
+inline void
+checkSchemaVersion(const Object &doc, const char *what)
+{
+    if (!doc.has("schema_version"))
+        return;
+    long version = doc.at("schema_version").asInt();
+    if (version != kSchemaVersion)
+        fatal(strprintf("%s: unsupported schema_version %ld (this "
+                        "build reads version %d)",
+                        what, version, kSchemaVersion));
+}
+
+} // namespace skipsim::json
+
+#endif // SKIPSIM_JSON_SCHEMA_HH

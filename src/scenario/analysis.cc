@@ -1,0 +1,64 @@
+#include "scenario/analysis.hh"
+
+#include "exec/registry.hh"
+#include "json/parser.hh"
+#include "scenario/registry.hh"
+
+namespace skipsim::scenario
+{
+
+namespace
+{
+
+json::Value
+scenarioAnalysis(const exec::RunSpec &spec)
+{
+    const std::string name =
+        spec.strOpt("scenario", "steady-poisson");
+    json::Object params;
+    const std::string path = spec.strOpt("scenario-spec", "");
+    if (!path.empty())
+        params = json::parseFile(path).asObject();
+    // The RunSpec fills in whatever the spec file leaves open, so
+    // sweep axes (models, platforms, per-point seeds) compose with a
+    // fixed scenario parameter file.
+    if (!params.has("model"))
+        params.set("model", spec.model().name);
+    if (!params.has("platform"))
+        params.set("platform", spec.platform().name);
+    if (!params.has("seed"))
+        params.set("seed",
+                   static_cast<unsigned long long>(spec.seed()));
+
+    cluster::ClusterSpec cspec = buildScenario(name, params);
+    cluster::CostCache costs;
+    costs.build(cspec);
+
+    json::Object doc;
+    doc.set("scenario", name);
+    if (cspec.scenarioCount() == 1) {
+        doc.set("result",
+                cluster::simulateCluster(cspec.scenarioAt(0), costs)
+                    .toJson());
+    } else {
+        // Rate sweeps (the raw "cluster" scenario) expand like the
+        // skipctl cluster path: scenario i reseeds mixSeed(seed, i).
+        json::Value::Array results;
+        for (std::size_t i = 0; i < cspec.scenarioCount(); ++i)
+            results.push_back(
+                cluster::simulateCluster(cspec.scenarioAt(i), costs)
+                    .toJson());
+        doc.set("results", json::Value(std::move(results)));
+    }
+    return json::Value(std::move(doc));
+}
+
+} // namespace
+
+void
+registerScenarioAnalysis()
+{
+    exec::registerAnalysis("scenario", scenarioAnalysis);
+}
+
+} // namespace skipsim::scenario

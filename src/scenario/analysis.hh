@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The "scenario" exec analysis: builds a registered scenario's cluster
+ * run from a RunSpec's string options and simulates it, so sweeps and
+ * the analyze subcommand reach the scenario registry through the
+ * ordinary analysis registry. Options:
+ *
+ *  - strOpt "scenario":      registry name (default "steady-poisson")
+ *  - strOpt "scenario-spec": optional path to the JSON parameter file
+ *
+ * The RunSpec's model, platform and seed fill in any of those
+ * parameters the spec file leaves unset, so a sweep axis over models
+ * or seeds composes with a fixed scenario spec.
+ *
+ * scenario depends on exec (RunSpec) and cluster, so the analysis
+ * cannot be an exec built-in without inverting the layering; front
+ * ends call registerScenarioAnalysis() once at startup, exactly like
+ * check::registerCheckAnalysis().
+ */
+
+#ifndef SKIPSIM_SCENARIO_ANALYSIS_HH
+#define SKIPSIM_SCENARIO_ANALYSIS_HH
+
+namespace skipsim::scenario
+{
+
+/**
+ * Register the "scenario" analysis with exec::registerAnalysis.
+ * Idempotent; safe to call from multiple front ends.
+ */
+void registerScenarioAnalysis();
+
+} // namespace skipsim::scenario
+
+#endif // SKIPSIM_SCENARIO_ANALYSIS_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Built-in scenarios. Each registers a builder that turns one JSON
+ * parameter object into a complete ClusterSpec; the production-shaped
+ * traffic scenarios pair a serving::ArrivalProcess with deployment
+ * defaults that make its signature visible (session affinity for chat
+ * traffic, per-tier SLOs for multi-tenant).
+ *
+ * Shared parameters understood by every scenario except the raw
+ * "cluster" pass-through: "model", "platform", "replicas" (count),
+ * "max-active", "max-queue", "router", "horizon-sec", "prompt",
+ * "gen-tokens", "sessions", "ttft-slo-ms", "e2e-slo-ms", "seed".
+ * See docs/scenarios.md for the full schema of each scenario.
+ */
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "hw/catalog.hh"
+#include "json/schema.hh"
+#include "scenario/registry.hh"
+#include "serving/arrival.hh"
+#include "workload/model_config.hh"
+
+namespace skipsim::scenario
+{
+
+namespace
+{
+
+double
+num(const json::Object &obj, const char *key, double def)
+{
+    return obj.has(key) ? obj.at(key).asDouble() : def;
+}
+
+int
+integer(const json::Object &obj, const char *key, int def)
+{
+    return obj.has(key) ? static_cast<int>(obj.at(key).asInt()) : def;
+}
+
+/** The deployment shape shared by the traffic-model scenarios. */
+cluster::ClusterSpec
+baseSpec(const json::Object &params)
+{
+    json::checkSchemaVersion(params, "scenario spec");
+    cluster::ClusterSpec spec;
+    spec.model =
+        workload::modelByName(params.has("model")
+                                  ? params.at("model").asString()
+                                  : "GPT2");
+    cluster::ReplicaSpec replica;
+    replica.platform =
+        hw::platforms::byName(params.has("platform")
+                                  ? params.at("platform").asString()
+                                  : "GH200");
+    replica.maxActive = integer(params, "max-active", 16);
+    replica.maxQueue = integer(params, "max-queue", 0);
+    int replicas = integer(params, "replicas", 2);
+    if (replicas <= 0)
+        fatal("'replicas' must be positive");
+    spec.replicas.assign(static_cast<std::size_t>(replicas), replica);
+    if (params.has("router"))
+        spec.router = cluster::routerPolicyByName(
+            params.at("router").asString());
+    spec.horizonSec = num(params, "horizon-sec", 10.0);
+    spec.promptLen = integer(params, "prompt", 128);
+    spec.genTokens = integer(params, "gen-tokens", 16);
+    spec.sessions = integer(params, "sessions", 64);
+    spec.ttftSloMs = num(params, "ttft-slo-ms", 500.0);
+    spec.e2eSloMs = num(params, "e2e-slo-ms", 2000.0);
+    spec.seed = static_cast<std::uint64_t>(num(params, "seed", 42.0));
+    return spec;
+}
+
+cluster::ClusterSpec
+buildRawCluster(const json::Object &params)
+{
+    // The pre-registry `skipctl cluster` entry point, as a scenario:
+    // the parameter document IS a ClusterSpec, so existing spec files
+    // run unchanged through the same registry path as everything else.
+    return cluster::ClusterSpec::fromJson(
+        json::Value(json::Object(params)));
+}
+
+cluster::ClusterSpec
+buildSteadyPoisson(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    spec.arrivalRatePerSec = num(params, "rate", 60.0);
+    spec.traffic = std::make_shared<serving::PoissonProcess>(
+        spec.arrivalRatePerSec, spec.sessions);
+    spec.validate();
+    return spec;
+}
+
+cluster::ClusterSpec
+buildMmppDiurnal(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    std::vector<serving::MmppProcess::State> states;
+    if (params.has("states")) {
+        for (const json::Value &entry : params.at("states").asArray()) {
+            const json::Object &obj = entry.asObject();
+            serving::MmppProcess::State state;
+            state.ratePerSec = num(obj, "rate", 0.0);
+            state.dwellSec = num(obj, "dwell-sec", 1.0);
+            states.push_back(state);
+        }
+    } else {
+        // Default diurnal cycle: a long trough, a shoulder, a short
+        // peak — mean rate 60/s, same as steady-poisson's default, so
+        // the two scenarios isolate the effect of burstiness.
+        states.push_back({30.0, 2.0});
+        states.push_back({60.0, 1.0});
+        states.push_back({120.0, 1.0});
+    }
+    auto process = std::make_shared<serving::MmppProcess>(
+        std::move(states), spec.sessions);
+    spec.arrivalRatePerSec = process->meanRatePerSec();
+    spec.traffic = std::move(process);
+    spec.validate();
+    return spec;
+}
+
+cluster::ClusterSpec
+buildChatSessions(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    if (!params.has("router")) {
+        // Conversations should stick to the replica holding their
+        // prefix cache; affinity is the point of this scenario.
+        spec.router = cluster::RouterPolicy::SessionAffinity;
+    }
+    serving::SessionProcess::Params traffic;
+    traffic.sessionRatePerSec = num(params, "session-rate", 15.0);
+    traffic.meanTurns = num(params, "mean-turns", 4.0);
+    traffic.thinkSec = num(params, "think-sec", 2.0);
+    traffic.cachedFrac = num(params, "cached-frac", 0.75);
+    traffic.sessions = spec.sessions;
+    auto process = std::make_shared<serving::SessionProcess>(traffic);
+    spec.arrivalRatePerSec = process->meanRatePerSec();
+    spec.traffic = std::move(process);
+    spec.validate();
+    return spec;
+}
+
+cluster::ClusterSpec
+buildMultiTenant(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    std::vector<serving::TieredProcess::Tier> tiers;
+    spec.tenants.clear();
+    auto add_tier = [&](const std::string &name, double rate,
+                        double ttft_slo_ms, double e2e_slo_ms) {
+        serving::TieredProcess::Tier tier;
+        tier.name = name;
+        tier.ratePerSec = rate;
+        tiers.push_back(std::move(tier));
+        cluster::TenantSpec tenant;
+        tenant.name = name;
+        tenant.ttftSloMs = ttft_slo_ms;
+        tenant.e2eSloMs = e2e_slo_ms;
+        spec.tenants.push_back(std::move(tenant));
+    };
+    if (params.has("tiers")) {
+        for (const json::Value &entry : params.at("tiers").asArray()) {
+            const json::Object &obj = entry.asObject();
+            add_tier(obj.has("name") ? obj.at("name").asString()
+                                     : strprintf("tier%zu",
+                                                 tiers.size()),
+                     num(obj, "rate", 10.0),
+                     num(obj, "ttft-slo-ms", spec.ttftSloMs),
+                     num(obj, "e2e-slo-ms", spec.e2eSloMs));
+        }
+    } else {
+        // Interactive premium, standard, and latency-tolerant batch
+        // tiers: same cluster, three SLO contracts.
+        add_tier("premium", 15.0, 250.0, 1000.0);
+        add_tier("standard", 30.0, 500.0, 2000.0);
+        add_tier("batch", 15.0, 2000.0, 8000.0);
+    }
+    auto process = std::make_shared<serving::TieredProcess>(
+        std::move(tiers), spec.sessions);
+    spec.arrivalRatePerSec = process->meanRatePerSec();
+    spec.traffic = std::move(process);
+    spec.validate();
+    return spec;
+}
+
+} // namespace
+
+void
+registerBuiltinScenarios()
+{
+    registerScenario(
+        {"cluster",
+         "raw ClusterSpec pass-through (the spec file is the cluster "
+         "document; rate sweeps supported)",
+         buildRawCluster});
+    registerScenario(
+        {"steady-poisson",
+         "constant-rate open-loop Poisson traffic (the legacy model, "
+         "as an explicit arrival process)",
+         buildSteadyPoisson});
+    registerScenario(
+        {"mmpp-diurnal",
+         "Markov-modulated Poisson traffic cycling through "
+         "trough/shoulder/peak rates (diurnal, bursty load)",
+         buildMmppDiurnal});
+    registerScenario(
+        {"chat-sessions",
+         "multi-turn chat sessions with prefix-cache reuse and "
+         "session-affinity routing",
+         buildChatSessions});
+    registerScenario(
+        {"multi-tenant",
+         "independent per-tier Poisson streams with per-tenant SLO "
+         "accounting (premium/standard/batch by default)",
+         buildMultiTenant});
+}
+
+} // namespace skipsim::scenario

@@ -1,6 +1,7 @@
 #include "serving/replica_engine.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -43,8 +44,15 @@ ReplicaEngine::maybeStart(double nowNs)
             _headId = _pending.front().first;
             _headArrivalNs = _pending.front().second;
             _pending.pop_front();
+            int prompt_tokens = _cfg.promptLen;
+            if (_cfg.prefillFrac)
+                prompt_tokens = std::max(
+                    1, static_cast<int>(std::lround(
+                           _cfg.promptLen *
+                           std::clamp(_cfg.prefillFrac(_headId), 0.05,
+                                      1.0))));
             _headChunksLeft =
-                (_cfg.promptLen + _cfg.chunkTokens - 1) /
+                (prompt_tokens + _cfg.chunkTokens - 1) /
                 _cfg.chunkTokens;
             _kvBytes += _cfg.kvPerSeqBytes;
             _peakKvBytes = std::max(_peakKvBytes, _kvBytes);
@@ -86,9 +94,18 @@ ReplicaEngine::maybeStart(double nowNs)
     if (!_prefilling.empty()) {
         if (_cb.onAdmit)
             _cb.onAdmit(_prefilling.size(), nowNs);
-        startIteration(nowNs,
-                       _cfg.cost->prefillNs(
-                           static_cast<int>(_prefilling.size())));
+        double base =
+            _cfg.cost->prefillNs(static_cast<int>(_prefilling.size()));
+        if (_cfg.prefillFrac) {
+            // Prefix-cache hits skip the cached share of the prompt;
+            // prefill time is near-linear in tokens, so the batch cost
+            // scales by the mean uncached share.
+            double share = 0.0;
+            for (const auto &[id, arrival] : _prefilling)
+                share += std::clamp(_cfg.prefillFrac(id), 0.05, 1.0);
+            base *= share / static_cast<double>(_prefilling.size());
+        }
+        startIteration(nowNs, base);
     } else if (!_active.empty()) {
         _activeSizes.add(static_cast<double>(_active.size()));
         _iterLatency.add(startIteration(

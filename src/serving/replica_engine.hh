@@ -94,6 +94,16 @@ class ReplicaEngine : private core::Process
 
         /** Queue priority of this replica's iteration-end events. */
         int iterPriority = 1;
+
+        /**
+         * Share of request @p id's prompt that must actually be
+         * prefilled, (0, 1] — below 1 when a prefix-cache hit covers
+         * the rest (multi-turn sessions). Prefill iteration cost
+         * scales by the admitted batch's mean share; KV stays
+         * reserved in full (conservative admission). Unset means
+         * every prompt is cold.
+         */
+        std::function<double(std::size_t id)> prefillFrac;
     };
 
     /**

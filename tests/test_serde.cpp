@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.hh"
 #include "common/logging.hh"
+#include "exec/run_spec.hh"
+#include "exec/sweep_spec.hh"
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
 #include "json/parser.hh"
+#include "json/schema.hh"
 #include "json/writer.hh"
 #include "skip/profile.hh"
 #include "workload/model_config.hh"
@@ -162,6 +166,89 @@ TEST(ModelSerde, FileRoundTripAndProfile)
     skip::ProfileResult run = skip::profilePrefill(
         loaded, hw::platforms::gh200(), 1, 128);
     EXPECT_EQ(run.metrics.numKernels, 570u);
+}
+
+// --------------------------------------------------------- schema version
+
+TEST(SchemaVersion, SpecsStampCurrentVersion)
+{
+    EXPECT_EQ(exec::RunSpec().toJson().asObject()
+                  .at("schema_version").asInt(),
+              json::kSchemaVersion);
+
+    exec::SweepSpec sweep;
+    sweep.models = {workload::gpt2()};
+    sweep.platforms = {hw::platforms::gh200()};
+    EXPECT_EQ(sweep.toJson().asObject().at("schema_version").asInt(),
+              json::kSchemaVersion);
+
+    cluster::ClusterSpec cspec;
+    cspec.model = workload::gpt2();
+    cluster::ReplicaSpec replica;
+    replica.platform = hw::platforms::gh200();
+    cspec.replicas = {replica};
+    EXPECT_EQ(cspec.toJson().asObject().at("schema_version").asInt(),
+              json::kSchemaVersion);
+}
+
+TEST(SchemaVersion, RoundTripPreservesSpecs)
+{
+    exec::RunSpec run = exec::RunSpec::of("GPT2")
+                            .on("GH200")
+                            .batch(4)
+                            .strOpt("scenario", "mmpp-diurnal");
+    const exec::RunSpec run2 = exec::RunSpec::fromJson(run.toJson());
+    EXPECT_EQ(run2.batch(), 4);
+    EXPECT_EQ(run2.strOpt("scenario", ""), "mmpp-diurnal");
+
+    exec::SweepSpec sweep;
+    sweep.models = {workload::gpt2()};
+    sweep.platforms = {hw::platforms::gh200()};
+    sweep.strOptions["scenario"] = "chat-sessions";
+    exec::SweepSpec sweep2 = exec::SweepSpec::fromJson(sweep.toJson());
+    EXPECT_EQ(sweep2.strOptions.at("scenario"), "chat-sessions");
+    // str_options propagate onto every expanded point.
+    const exec::RunSpec point = sweep2.at(0);
+    EXPECT_EQ(point.strOpt("scenario", ""), "chat-sessions");
+}
+
+TEST(SchemaVersion, MissingVersionIsAccepted)
+{
+    // Documents from before the field existed still load.
+    exec::RunSpec run = exec::RunSpec::fromJson(
+        json::parse(R"({"model": "GPT2", "platform": "GH200"})"));
+    EXPECT_EQ(run.model().name, "GPT2");
+}
+
+TEST(SchemaVersion, UnknownVersionIsRejected)
+{
+    EXPECT_THROW(exec::RunSpec::fromJson(json::parse(
+                     R"({"schema_version": 99, "model": "GPT2"})")),
+                 FatalError);
+    EXPECT_THROW(exec::SweepSpec::fromJson(json::parse(
+                     R"({"schema_version": 99,
+                         "models": ["GPT2"],
+                         "platforms": ["GH200"]})")),
+                 FatalError);
+    EXPECT_THROW(cluster::ClusterSpec::fromJson(json::parse(
+                     R"({"schema_version": 99, "model": "GPT2",
+                         "replicas": [{"platform": "GH200"}]})")),
+                 FatalError);
+
+    // The error says which document kind and which versions this build
+    // reads.
+    try {
+        exec::RunSpec::fromJson(
+            json::parse(R"({"schema_version": 99})"));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema_version 99"),
+                  std::string::npos)
+            << err.what();
+        EXPECT_NE(std::string(err.what()).find("RunSpec"),
+                  std::string::npos)
+            << err.what();
+    }
 }
 
 } // namespace
