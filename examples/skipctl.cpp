@@ -23,7 +23,7 @@
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-interval-ms MS]
  *                    [--harness-trace harness.json]
- *   skipctl scenarios
+ *   skipctl scenarios [--json]
  *   skipctl validate <trace.json>
  *   skipctl check    [--trace t.json | --props [--filter F]
  *                    | --fuzz N [--seed S] [--jobs J] [--quick]
@@ -46,9 +46,12 @@
  *
  * Scenarios (docs/scenarios.md): `run --scenario NAME` builds a full
  * cluster run from the scenario registry — production-shaped traffic
- * models (mmpp-diurnal, chat-sessions, multi-tenant, steady-poisson)
+ * models (mmpp-diurnal, chat-sessions, multi-tenant, steady-poisson),
+ * the KV-tiering and disaggregation scenarios (kv_offload, disagg)
  * plus the raw `cluster` pass-through — parameterized by an optional
- * --spec JSON file; `scenarios` lists what is registered. --quick
+ * --spec JSON file; `scenarios` lists what is registered and
+ * `scenarios --json` emits the same registry with accepted parameters
+ * as machine-readable JSON. --quick
  * caps the horizon for CI smoke runs without changing the code path,
  * so quick reports stay byte-identical at any --jobs count too.
  *
@@ -534,10 +537,19 @@ cmdRun(const CliArgs &args)
     return runClusterSpec(spec, flags);
 }
 
-/** List registered scenarios (skipctl scenarios). */
+/**
+ * List registered scenarios (skipctl scenarios [--json]). --json emits
+ * the machine-readable registry — name, description and accepted
+ * parameters per scenario — for tooling.
+ */
 int
-cmdScenarios()
+cmdScenarios(const CliArgs &args)
 {
+    if (args.has("json")) {
+        std::puts(json::writePretty(scenario::scenarioListToJson())
+                      .c_str());
+        return 0;
+    }
     for (const scenario::Scenario &entry : scenario::scenarioList())
         std::printf("%-16s %s\n", entry.name.c_str(),
                     entry.description.c_str());
@@ -783,7 +795,7 @@ main(int argc, char **argv)
         if (cmd == "run")
             return cmdRun(args);
         if (cmd == "scenarios")
-            return cmdScenarios();
+            return cmdScenarios(args);
         if (cmd == "validate")
             return cmdValidate(args);
         if (cmd == "check")

@@ -1,6 +1,7 @@
 #include "check/fuzzer.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <mutex>
 
@@ -171,6 +172,44 @@ nodeFromJson(const json::Value &doc)
     return node;
 }
 
+/** Lowercase hex encoding for repro files: mutated Chrome-trace bytes
+ *  are arbitrary (bit flips produce control and non-UTF-8 bytes), so
+ *  they cannot ride in a JSON string literal verbatim. */
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (unsigned char b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::string
+hexDecode(const std::string &hex)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fatal(strprintf("fuzz case: invalid hex digit '%c'", c));
+    };
+    if (hex.size() % 2 != 0)
+        fatal("fuzz case: odd-length hex string");
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2)
+        out.push_back(static_cast<char>((nibble(hex[i]) << 4) |
+                                        nibble(hex[i + 1])));
+    return out;
+}
+
 /** printf-exact fingerprint of a serving result for byte comparison. */
 std::string
 servingFingerprint(const serving::ServingResult &r)
@@ -195,6 +234,8 @@ fuzzKindName(FuzzKind kind)
         return "serving";
     case FuzzKind::Cluster:
         return "cluster";
+    case FuzzKind::Trace:
+        return "trace";
     }
     panic(strprintf("unhandled FuzzKind %d", static_cast<int>(kind)));
 }
@@ -208,6 +249,8 @@ fuzzKindByName(const std::string &name)
         return FuzzKind::Serving;
     if (name == "cluster")
         return FuzzKind::Cluster;
+    if (name == "trace")
+        return FuzzKind::Trace;
     fatal(strprintf("fuzz case: unknown kind '%s'", name.c_str()));
 }
 
@@ -245,6 +288,8 @@ FuzzCase::sizeScore() const
         return cluster.replicas.size() + cluster.faults.size() +
             static_cast<std::size_t>(cluster.arrivalRatePerSec *
                                      cluster.horizonSec);
+    case FuzzKind::Trace:
+        return chromeText.size();
     }
     return 0;
 }
@@ -279,6 +324,12 @@ FuzzCase::toJson() const
     case FuzzKind::Cluster:
         doc.set("cluster", cluster.toJson());
         break;
+    case FuzzKind::Trace: {
+        json::Object t;
+        t.set("hex", hexEncode(chromeText));
+        doc.set("trace", json::Value(std::move(t)));
+        break;
+    }
     }
     return json::Value(std::move(doc));
 }
@@ -315,6 +366,10 @@ FuzzCase::fromJson(const json::Value &doc)
     case FuzzKind::Cluster:
         c.cluster = cluster::ClusterSpec::fromJson(obj.at("cluster"));
         break;
+    case FuzzKind::Trace:
+        c.chromeText = hexDecode(
+            obj.at("trace").asObject().at("hex").asString());
+        break;
     }
     return c;
 }
@@ -334,12 +389,14 @@ Fuzzer::generate(std::uint64_t index) const
     Rng rng(c.seed);
 
     std::uint64_t pick = rng.below(10);
-    if (pick < 7)
+    if (pick < 6)
         c.kind = FuzzKind::Sim;
-    else if (pick < 9)
+    else if (pick < 8)
         c.kind = FuzzKind::Serving;
-    else
+    else if (pick < 9)
         c.kind = FuzzKind::Cluster;
+    else
+        c.kind = FuzzKind::Trace;
 
     switch (c.kind) {
     case FuzzKind::Sim: {
@@ -443,6 +500,97 @@ Fuzzer::generate(std::uint64_t index) const
                 : cluster::FaultKind::Slowdown;
             fault.factor = 1.5 + rng.uniform();
             c.cluster.faults.push_back(fault);
+        }
+        if (rng.below(3) == 0) {
+            // A third of the fleets mount the KV tier under real HBM
+            // pressure (0.4-0.8 GiB keeps the budget positive for
+            // GPT2 weights + activations but forces paging); the
+            // host pool is either starved or roomy.
+            const kv::OffloadPolicy policies[] = {
+                kv::OffloadPolicy::StaticWatermark,
+                kv::OffloadPolicy::LruBySession,
+                kv::OffloadPolicy::PrefixAware};
+            c.cluster.kvTier.policy = policies[rng.below(3)];
+            c.cluster.kvTier.hostCapacityGiB =
+                rng.below(2) == 0 ? 0.05 : 4.0;
+            c.cluster.kvTier.watermarkFrac =
+                0.5 + 0.4 * rng.uniform();
+            for (cluster::ReplicaSpec &rep : c.cluster.replicas)
+                rep.platform.gpu.hbmCapacityGiB =
+                    0.4 + 0.4 * rng.uniform();
+        }
+        if (replicas >= 2 && rng.below(4) == 0) {
+            // A quarter of multi-replica fleets disaggregate: one
+            // prefill replica, the rest decode (faults may still hit
+            // either pool).
+            c.cluster.replicas.front().role =
+                cluster::ReplicaRole::Prefill;
+            for (std::size_t i = 1; i < c.cluster.replicas.size();
+                 ++i)
+                c.cluster.replicas[i].role =
+                    cluster::ReplicaRole::Decode;
+        }
+        break;
+    }
+    case FuzzKind::Trace: {
+        // Start from a valid export: op -> launch -> kernel triplets
+        // linked by correlation ids, the shape validateTrace expects.
+        trace::Trace t;
+        std::size_t ops = 1 + rng.below(_options.quick ? 4 : 8);
+        std::int64_t now = 0;
+        for (std::size_t i = 0; i < ops; ++i) {
+            std::uint64_t corr = i + 1;
+            trace::TraceEvent op;
+            op.kind = trace::EventKind::Operator;
+            op.name = "aten::op_" + std::to_string(rng.below(5));
+            op.tsBeginNs = now;
+            op.durNs =
+                1000 + static_cast<std::int64_t>(rng.below(5000));
+            trace::TraceEvent launch;
+            launch.kind = trace::EventKind::Runtime;
+            launch.name = "cudaLaunchKernel";
+            launch.tsBeginNs = now + 100;
+            launch.durNs = 800;
+            launch.correlationId = corr;
+            trace::TraceEvent kernel;
+            kernel.kind = trace::EventKind::Kernel;
+            kernel.name = "k" + std::to_string(rng.below(3));
+            kernel.tsBeginNs = now + 2000;
+            kernel.durNs =
+                1500 + static_cast<std::int64_t>(rng.below(4000));
+            kernel.streamId = 0;
+            kernel.correlationId = corr;
+            now += op.durNs + 500;
+            t.add(op);
+            t.add(launch);
+            t.add(kernel);
+        }
+        c.chromeText = trace::toChromeText(t);
+
+        // Seeded byte-level corruption: bit flips, inserts, deletes
+        // and truncation, anywhere in the document.
+        std::size_t mutations =
+            1 + rng.below(_options.quick ? 6 : 16);
+        for (std::size_t m = 0; m < mutations; ++m) {
+            if (c.chromeText.empty())
+                break;
+            std::string &text = c.chromeText;
+            std::size_t pos = rng.below(text.size());
+            switch (rng.below(4)) {
+            case 0:
+                text[pos] ^= static_cast<char>(1u << rng.below(8));
+                break;
+            case 1:
+                text.insert(text.begin() + static_cast<long>(pos),
+                            static_cast<char>(rng.below(256)));
+                break;
+            case 2:
+                text.erase(text.begin() + static_cast<long>(pos));
+                break;
+            case 3:
+                text.resize(pos);
+                break;
+            }
         }
         break;
     }
@@ -615,6 +763,40 @@ Fuzzer::runCase(const FuzzCase &c) const
             }
             break;
         }
+        case FuzzKind::Trace: {
+            // Ingestion oracle: corrupted bytes may parse or may be
+            // rejected, but rejection must be a clean FatalError, and
+            // a diagnostic that blames an event must carry its index.
+            // Any other exception escapes to the outer handler and
+            // fails the case.
+            auto ingest = [&]() -> std::pair<bool, std::string> {
+                try {
+                    trace::Trace t =
+                        trace::fromChromeText(c.chromeText);
+                    return {true, trace::toChromeText(t)};
+                } catch (const FatalError &err) {
+                    return {false, std::string(err.what())};
+                }
+            };
+            std::pair<bool, std::string> first = ingest();
+            if (!first.first) {
+                const std::string &msg = first.second;
+                std::size_t at = msg.find("event ");
+                if (at != std::string::npos &&
+                    (at + 6 >= msg.size() ||
+                     !std::isdigit(static_cast<unsigned char>(
+                         msg[at + 6]))))
+                    problems.push_back(strprintf(
+                        "oracle: ingestion error blames an event "
+                        "without naming its index: %s",
+                        msg.c_str()));
+            }
+            if (ingest() != first)
+                problems.push_back(
+                    "oracle: trace ingestion is non-deterministic "
+                    "on identical bytes");
+            break;
+        }
         }
     } catch (const std::exception &e) {
         problems.push_back(
@@ -717,6 +899,21 @@ proposeEdits(const FuzzCase &c)
             if (t.cluster.replicas.size() <= 1)
                 return false;
             t.cluster.replicas.resize(1);
+            // A lone prefill replica is an invalid fleet; collapsing
+            // the pool collapses the split too.
+            t.cluster.replicas[0].role = cluster::ReplicaRole::Mixed;
+            return true;
+        });
+        edits.push_back([](FuzzCase &t) {
+            bool tiered = t.cluster.kvTier.enabled();
+            for (cluster::ReplicaSpec &rep : t.cluster.replicas)
+                tiered = tiered ||
+                         rep.role != cluster::ReplicaRole::Mixed;
+            if (!tiered)
+                return false;
+            t.cluster.kvTier = kv::TierSpec();
+            for (cluster::ReplicaSpec &rep : t.cluster.replicas)
+                rep.role = cluster::ReplicaRole::Mixed;
             return true;
         });
         edits.push_back([](FuzzCase &t) {
@@ -741,6 +938,21 @@ proposeEdits(const FuzzCase &c)
             if (t.cluster.jitterFrac == 0.0)
                 return false;
             t.cluster.jitterFrac = 0.0;
+            return true;
+        });
+        break;
+    }
+    case FuzzKind::Trace: {
+        edits.push_back([](FuzzCase &t) {
+            if (t.chromeText.size() <= 1)
+                return false;
+            t.chromeText.resize(t.chromeText.size() / 2);
+            return true;
+        });
+        edits.push_back([](FuzzCase &t) {
+            if (t.chromeText.size() <= 1)
+                return false;
+            t.chromeText.erase(0, t.chromeText.size() / 2);
             return true;
         });
         break;

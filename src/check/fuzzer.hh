@@ -1,9 +1,10 @@
 /**
  * @file
  * Deterministic fuzz harness with shrinking. Generates random but
- * seed-reproducible specs across all three engines (operator graphs
+ * seed-reproducible specs across the three engines (operator graphs
  * for the execution simulator, dynamic-batching serving configs,
- * cluster scenarios), runs each through the real engine, and holds the
+ * cluster scenarios) plus corrupted Chrome-trace bytes for the
+ * ingestion path, runs each through the real code, and holds the
  * output to the oracles a correct simulator cannot violate:
  *
  *  - every invariant validateTrace() asserts (sim cases);
@@ -50,9 +51,10 @@ enum class FuzzKind
     Sim,     ///< operator graph -> sim::Simulator -> trace oracles
     Serving, ///< ServingConfig -> serving::simulateServing
     Cluster, ///< ClusterSpec -> cluster::simulateCluster
+    Trace,   ///< mutated Chrome JSON bytes -> trace::fromChromeText
 };
 
-/** @return canonical kind name ("sim", "serving", "cluster"). */
+/** @return canonical kind name ("sim", "serving", "cluster", "trace"). */
 const char *fuzzKindName(FuzzKind kind);
 
 /** @throws skipsim::FatalError for unknown kind names. */
@@ -91,6 +93,19 @@ struct FuzzCase
     /** @name Cluster section
      *  @{ */
     cluster::ClusterSpec cluster;
+    /** @} */
+
+    /** @name Trace section
+     *  @{ */
+    /**
+     * Chrome-JSON bytes fed to trace::fromChromeText — a valid export
+     * corrupted by seeded byte-level mutations (bit flips, inserts,
+     * deletes, truncation). The ingestion oracle accepts success or a
+     * clean FatalError; anything else (crash, non-FatalError
+     * exception, an "event" diagnostic without the event index) fails
+     * the case.
+     */
+    std::string chromeText;
     /** @} */
 
     /** Shrink-progress size: operator count (sim) or scenario knobs. */

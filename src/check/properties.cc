@@ -8,6 +8,8 @@
 #include "cluster/cluster.hh"
 #include "common/strutil.hh"
 #include "hw/catalog.hh"
+#include "json/writer.hh"
+#include "kv/tier.hh"
 #include "serving/arrival.hh"
 #include "serving/latency_model.hh"
 #include "serving/server_sim.hh"
@@ -121,6 +123,33 @@ clusterBase()
     spec.ttftSloMs = 250.0;
     spec.e2eSloMs = 1000.0;
     spec.seed = 7;
+    return spec;
+}
+
+/**
+ * KV-pressured variant of clusterBase(): the HBM is shrunk until
+ * retained sessions cannot all stay resident and chatty multi-turn
+ * traffic keeps asking for its prefixes back, so the tiering policy
+ * and the offload link are both on the critical path. The platform
+ * *name* stays GH200, so the shared cost cache still applies (compute
+ * costs do not depend on HBM capacity or link speed).
+ */
+cluster::ClusterSpec
+kvClusterBase(kv::OffloadPolicy policy)
+{
+    cluster::ClusterSpec spec = clusterBase();
+    for (cluster::ReplicaSpec &replica : spec.replicas)
+        replica.platform.gpu.hbmCapacityGiB = 0.33;
+    spec.kvTier.policy = policy;
+    spec.kvTier.hostCapacityGiB = 0.05;
+    spec.kvTier.watermarkFrac = 0.9;
+    serving::SessionProcess::Params chat;
+    chat.sessionRatePerSec = 10.0;
+    chat.meanTurns = 4.0;
+    chat.thinkSec = 1.0;
+    chat.cachedFrac = 0.8;
+    chat.sessions = spec.sessions;
+    spec.traffic = std::make_shared<serving::SessionProcess>(chat);
     return spec;
 }
 
@@ -429,6 +458,109 @@ buildCatalog()
                          strprintf("attainment %.4f -> %.4f after "
                                    "doubling every tenant SLO",
                                    a, b));
+        });
+
+    add("cluster.kv-link-speed-ttft", "cluster",
+        "a faster offload interconnect never raises p99 TTFT, under "
+        "any tiering policy",
+        [] {
+            double worst_slow = 0.0, worst_fast = 0.0;
+            bool passed = true;
+            std::string detail;
+            for (kv::OffloadPolicy policy :
+                 {kv::OffloadPolicy::StaticWatermark,
+                  kv::OffloadPolicy::LruBySession,
+                  kv::OffloadPolicy::PrefixAware}) {
+                cluster::ClusterSpec slow = kvClusterBase(policy);
+                for (cluster::ReplicaSpec &r : slow.replicas) {
+                    r.platform.link.bwGBs = 4.0;
+                    r.platform.link.latencyNs = 5000.0;
+                }
+                cluster::ClusterSpec fast = kvClusterBase(policy);
+                for (cluster::ReplicaSpec &r : fast.replicas) {
+                    r.platform.link.bwGBs = 450.0;
+                    r.platform.link.latencyNs = 300.0;
+                }
+                double a =
+                    cluster::simulateCluster(slow, sharedCosts())
+                        .p99TtftNs;
+                double b =
+                    cluster::simulateCluster(fast, sharedCosts())
+                        .p99TtftNs;
+                bool ok = nonIncreasing(a, b);
+                if (!ok || detail.empty()) {
+                    worst_slow = a;
+                    worst_fast = b;
+                    detail = strprintf(
+                        "p99 TTFT %.0f ns (PCIe-class link) -> %.0f "
+                        "ns (C2C-class link) under %s",
+                        a, b, kv::offloadPolicyName(policy));
+                }
+                passed = passed && ok;
+                if (!ok)
+                    break;
+            }
+            return judge("cluster.kv-link-speed-ttft", "cluster",
+                         worst_slow, worst_fast, passed, detail);
+        });
+
+    add("cluster.kv-capacity-bounds", "cluster",
+        "KV tiering never holds more bytes than the HBM it offloads "
+        "from or the host pool it offloads into",
+        [] {
+            cluster::ClusterSpec spec =
+                kvClusterBase(kv::OffloadPolicy::LruBySession);
+            cluster::ClusterResult r =
+                cluster::simulateCluster(spec, sharedCosts());
+            double peak_hbm = 0.0, peak_host = 0.0;
+            for (const cluster::ReplicaStats &stats : r.replicas) {
+                peak_hbm = std::max(peak_hbm, stats.peakKvBytes);
+                peak_host = std::max(peak_host, stats.peakHostKvBytes);
+            }
+            double hbm_cap =
+                spec.replicas.front().platform.gpu.hbmBytes();
+            double host_cap = spec.kvTier.hostCapacityBytes();
+            bool pressured = r.kv.offloads > 0;
+            bool passed = pressured && peak_hbm <= hbm_cap + 0.5 &&
+                peak_host <= host_cap + 0.5;
+            return judge(
+                "cluster.kv-capacity-bounds", "cluster", peak_hbm,
+                peak_host, passed,
+                strprintf("peak KV %.0f B of %.0f B HBM, peak host "
+                          "%.0f B of %.0f B pool (%zu offloads)",
+                          peak_hbm, hbm_cap, peak_host, host_cap,
+                          static_cast<std::size_t>(r.kv.offloads)));
+        });
+
+    add("cluster.disagg-collapse", "cluster",
+        "a role-annotated spec collapsed to co-located (every replica "
+        "Mixed, tiering off) byte-matches the plain spec",
+        [] {
+            cluster::ClusterSpec plain = clusterBase();
+            // Round-trip through serde and annotate every replica
+            // with the explicit Mixed role: the collapsed form must
+            // take the exact non-disaggregated code path (no handoff
+            // lanes, no staging charges, no kv report section).
+            cluster::ClusterSpec collapsed =
+                cluster::ClusterSpec::fromJson(plain.toJson());
+            for (cluster::ReplicaSpec &r : collapsed.replicas)
+                r.role = cluster::ReplicaRole::Mixed;
+            collapsed.kvTier = kv::TierSpec{};
+            std::string a = json::write(
+                cluster::simulateCluster(plain, sharedCosts())
+                    .toJson());
+            std::string b = json::write(
+                cluster::simulateCluster(collapsed, sharedCosts())
+                    .toJson());
+            bool passed = a == b;
+            return judge("cluster.disagg-collapse", "cluster",
+                         static_cast<double>(a.size()),
+                         static_cast<double>(b.size()), passed,
+                         passed ? strprintf("identical %zu-byte "
+                                            "reports",
+                                            a.size())
+                                : "collapsed disagg report diverged "
+                                  "from the co-located report");
         });
 
     return props;

@@ -8,6 +8,7 @@
 #include "common/random.hh"
 #include "common/strutil.hh"
 #include "core/engine.hh"
+#include "core/resource.hh"
 #include "core/rng_stream.hh"
 #include "obs/collector.hh"
 #include "serving/replica_engine.hh"
@@ -42,6 +43,43 @@ faultKindByName(const std::string &name)
     fatal(strprintf("cluster: unknown fault kind '%s' (expected crash, "
                     "slowdown or partition)",
                     name.c_str()));
+}
+
+const char *
+replicaRoleName(ReplicaRole role)
+{
+    switch (role) {
+    case ReplicaRole::Mixed:
+        return "mixed";
+    case ReplicaRole::Prefill:
+        return "prefill";
+    case ReplicaRole::Decode:
+        return "decode";
+    }
+    return "unknown";
+}
+
+ReplicaRole
+replicaRoleByName(const std::string &name)
+{
+    for (ReplicaRole role : {ReplicaRole::Mixed, ReplicaRole::Prefill,
+                             ReplicaRole::Decode}) {
+        if (name == replicaRoleName(role))
+            return role;
+    }
+    fatal(strprintf("cluster: unknown replica role '%s' (expected "
+                    "mixed, prefill or decode)",
+                    name.c_str()));
+}
+
+bool
+ClusterSpec::disaggregated() const
+{
+    for (const ReplicaSpec &rep : replicas) {
+        if (rep.role != ReplicaRole::Mixed)
+            return true;
+    }
+    return false;
 }
 
 void
@@ -82,6 +120,24 @@ ClusterSpec::validate() const
             fatal(strprintf("ClusterSpec: tenant %zu SLO thresholds "
                             "must be positive",
                             i));
+    }
+    kvTier.validate();
+    if (disaggregated()) {
+        bool prefill_capable = false;
+        bool decode_capable = false;
+        for (const ReplicaSpec &rep : replicas) {
+            if (rep.role != ReplicaRole::Decode)
+                prefill_capable = true;
+            if (rep.role != ReplicaRole::Prefill)
+                decode_capable = true;
+        }
+        if (!prefill_capable)
+            fatal("ClusterSpec: a disaggregated fleet needs at least "
+                  "one prefill-capable (prefill or mixed) replica");
+        if (genTokens > 1 && !decode_capable)
+            fatal("ClusterSpec: a disaggregated fleet generating more "
+                  "than one token needs at least one decode-capable "
+                  "(decode or mixed) replica");
     }
     if (horizonSec <= 0.0)
         fatal("ClusterSpec: horizon must be positive");
@@ -175,6 +231,7 @@ enum EventType
     EvHeal = 2,
     EvIterEnd = 3,
     EvArrival = 4,
+    EvKvXfer = 5, ///< a KV handoff transfer reached the far side
 };
 
 /**
@@ -201,6 +258,10 @@ struct Request
     double ttftNs = -1.0;   ///< reset when a fault forces a restart
     double doneNs = -1.0;
     int attempts = 0;       ///< dispatches, including fault re-routes
+
+    /** Disaggregated phase: prefill done, KV ready for a decode pool
+     *  (routes to decode-capable replicas; reset on restart). */
+    bool decodeReady = false;
 };
 
 /**
@@ -222,6 +283,10 @@ struct ReplicaRt
     bool partitioned = false;
     double slowFactor = 1.0;
 
+    /** Lane time from staging and handoff transfers (the store tracks
+     *  its own paging traffic separately). */
+    double laneExtraNs = 0.0;
+
     ReplicaStats stats;
 };
 
@@ -233,8 +298,33 @@ class Sim
         obs::Collector *obs)
         : _spec(spec), _horizonNs(spec.horizonSec * 1e9),
           _streams(spec.seed),
-          _router(spec.router, makeWeights(spec, costs)), _obs(obs)
+          _router(spec.router, makeWeights(spec, costs)),
+          _disagg(spec.disaggregated()), _kvOn(spec.kvTier.enabled()),
+          _obs(obs)
     {
+        if (_disagg) {
+            std::vector<unsigned> classes;
+            classes.reserve(spec.replicas.size());
+            for (const ReplicaSpec &rep : spec.replicas) {
+                switch (rep.role) {
+                case ReplicaRole::Prefill:
+                    classes.push_back(kPrefillClass);
+                    break;
+                case ReplicaRole::Decode:
+                    classes.push_back(kDecodeClass);
+                    break;
+                case ReplicaRole::Mixed:
+                    classes.push_back(kPrefillClass | kDecodeClass);
+                    break;
+                }
+            }
+            _router.setClasses(std::move(classes));
+        }
+        // Input staging per dispatched request: the prompt's token
+        // embeddings cross the link (FP16); unified-memory platforms
+        // skip the explicit copy. Only charged when lanes are live.
+        _stageBytes = static_cast<double>(spec.promptLen) *
+            static_cast<double>(spec.model.hidden) * 2.0;
         if (_obs != nullptr) {
             _ticker = _obs->ticker();
             // Visit through the first boundary at or past the horizon
@@ -244,6 +334,8 @@ class Sim
                 _obs->intervalNs() - 1;
         }
         _reps.resize(spec.replicas.size());
+        _lanes.resize(spec.replicas.size());
+        _stores.resize(spec.replicas.size());
         for (std::size_t r = 0; r < _reps.size(); ++r) {
             ReplicaRt &rt = _reps[r];
             rt.spec = &spec.replicas[r];
@@ -267,6 +359,11 @@ class Sim
                     "%d-token sequence's KV cache",
                     r, rt.spec->platform.name.c_str(),
                     spec.promptLen + spec.genTokens));
+            _kvPerSeqBytes = kv_per_seq;
+            if (_kvOn)
+                _stores[r] = std::make_unique<kv::TieredStore>(
+                    spec.kvTier, rt.spec->platform, kv_capacity,
+                    _lanes[r]);
 
             serving::ReplicaEngine::Config ec;
             ec.cost = &costs.get(rt.spec->platform.name);
@@ -286,6 +383,35 @@ class Sim
                     return 1.0 - _requests[id].cachedFrac;
                 };
             }
+            ec.prefillOnly = rt.spec->role == ReplicaRole::Prefill;
+            if (_kvOn) {
+                // Two-tier store: admission pages retained entries
+                // per policy and a prefix hit only saves prefill when
+                // the entry is actually resident (HBM free, host paid
+                // as a fetch over the link).
+                kv::TieredStore *store = _stores[r].get();
+                bool retain = rt.spec->role != ReplicaRole::Prefill;
+                ec.kvAdmit = [this, store, kv_per_seq](
+                                 std::size_t id, double now,
+                                 bool decode_entry) {
+                    serving::ReplicaEngine::Config::KvAdmission out;
+                    kv::TieredStore::AdmitResult res = store->admit(
+                        _requests[id].session, kv_per_seq, now,
+                        !decode_entry);
+                    out.admitted = res.admitted;
+                    out.stallNs = res.stallNs;
+                    out.prefillShare =
+                        res.prefixHit == kv::Residency::None
+                        ? 1.0
+                        : 1.0 - _requests[id].cachedFrac;
+                    return out;
+                };
+                ec.kvRelease = [this, store, kv_per_seq,
+                                retain](std::size_t id, double now) {
+                    store->release(_requests[id].session, kv_per_seq,
+                                   now, retain);
+                };
+            }
 
             serving::ReplicaEngine::Callbacks cb;
             cb.onFirstToken = [this](std::size_t id, double ttft,
@@ -295,8 +421,25 @@ class Sim
                 ++_windowTtftCount;
             };
             cb.onComplete = [this, r](std::size_t id, double now) {
+                ReplicaRt &rep = _reps[r];
+                if (_disagg &&
+                    rep.spec->role == ReplicaRole::Prefill &&
+                    _spec.genTokens > 1) {
+                    // First token served; the sequence's KV pages out
+                    // over this replica's link, then re-dispatches
+                    // into the decode pool.
+                    ++rep.stats.handoffs;
+                    _router.onSettled(r);
+                    _requests[id].decodeReady = true;
+                    double end = chargeLane(r, _kvPerSeqBytes, now);
+                    _engine.at(end, eventPriority(EvKvXfer, id),
+                               [this, id](double t) {
+                                   dispatch(id, t);
+                               });
+                    return;
+                }
                 _requests[id].doneNs = now;
-                ++_reps[r].stats.completed;
+                ++rep.stats.completed;
                 ++_windowCompleted;
                 _router.onSettled(r);
             };
@@ -339,6 +482,14 @@ class Sim
                            std::vector<std::size_t> &ids, double now);
     void drainBacklog(double now);
 
+    /** FIFO-queue @p bytes onto replica @p r's CPU-GPU link; returns
+     *  the transfer's completion instant. */
+    double chargeLane(std::size_t r, double bytes, double now);
+    /** A handed-off KV cache finished crossing into replica @p r. */
+    void onKvArrive(std::size_t id, std::size_t r, double now);
+    /** Send @p id's KV into decode replica @p r (lane + arrival). */
+    void startHandoffInto(std::size_t id, std::size_t r, double now);
+
     void onFault(std::size_t faultIdx, double tNs);
     void onDetect(std::size_t faultIdx, double tNs);
     void onHeal(std::size_t faultIdx, double tNs);
@@ -356,7 +507,16 @@ class Sim
     double _horizonNs;
     core::RngStreams _streams;
     Router _router;
+    bool _disagg = false; ///< any replica has a non-Mixed role
+    bool _kvOn = false;   ///< spec.kvTier enables the two-tier store
     core::Engine _engine;
+    /** Interconnect lanes and tier stores, one per replica; lanes are
+     *  live (staging + handoff traffic) whenever tiering or
+     *  disaggregation is on, stores only under tiering. */
+    std::vector<core::FifoResource> _lanes;
+    std::vector<std::unique_ptr<kv::TieredStore>> _stores;
+    double _kvPerSeqBytes = 0.0;
+    double _stageBytes = 0.0;
     std::vector<ReplicaRt> _reps;
     std::vector<Request> _requests;
     std::vector<std::size_t> _backlog;
@@ -391,9 +551,15 @@ void
 Sim::dispatch(std::size_t id, double now)
 {
     Request &req = _requests[id];
+    // Role-aware routing: fresh requests go to prefill-capable
+    // replicas, handed-off sequences to decode-capable ones. Co-located
+    // fleets dispatch class-blind, exactly as before.
+    unsigned klass = kAnyClass;
+    if (_disagg)
+        klass = req.decodeReady ? kDecodeClass : kPrefillClass;
     std::vector<std::size_t> exclude;
     while (true) {
-        std::size_t r = _router.pick(req.session, exclude);
+        std::size_t r = _router.pick(req.session, exclude, klass);
         if (r == Router::npos()) {
             _backlog.push_back(id);
             return;
@@ -417,12 +583,56 @@ Sim::dispatch(std::size_t id, double now)
             rt.limbo.push_back(id);
             return;
         }
+        if (req.decodeReady) {
+            // The prefilled KV must land before the sequence can join
+            // the decode batch; the lane transfer is the handoff cost.
+            startHandoffInto(id, r, now);
+            return;
+        }
+        // Input staging: the prompt crosses the link asynchronously
+        // ahead of admission, contending with KV traffic but not
+        // delaying this request. Unified-memory platforms skip it.
+        if ((_kvOn || _disagg) && !rt.spec->platform.unifiedMemory)
+            chargeLane(r, _stageBytes, now);
         // A crashed replica's engine still queues the request — it
         // sinks into the failure until detection routes around it.
         rt.engine->enqueue(id, req.arrivalNs);
         rt.engine->maybeStart(now);
         return;
     }
+}
+
+double
+Sim::chargeLane(std::size_t r, double bytes, double now)
+{
+    double start = _lanes[r].startFor(now);
+    double dur = _reps[r].spec->platform.transferNs(bytes);
+    _lanes[r].occupyUntil(start + dur);
+    _reps[r].laneExtraNs += dur;
+    return start + dur;
+}
+
+void
+Sim::startHandoffInto(std::size_t id, std::size_t r, double now)
+{
+    double end = chargeLane(r, _kvPerSeqBytes, now);
+    _engine.at(end, eventPriority(EvKvXfer, id),
+               [this, id, r](double t) { onKvArrive(id, r, t); });
+}
+
+void
+Sim::onKvArrive(std::size_t id, std::size_t r, double now)
+{
+    ReplicaRt &rt = _reps[r];
+    if (rt.partitioned) {
+        // Partition raced the transfer: the KV is stuck until heal or
+        // detection re-routes the request back through prefill.
+        rt.limbo.push_back(id);
+        return;
+    }
+    // A crashed replica sinks the arrival just like a fresh enqueue.
+    rt.engine->enqueueDecode(id, _requests[id].arrivalNs);
+    rt.engine->maybeStart(now);
 }
 
 void
@@ -479,7 +689,9 @@ Sim::restartAndReroute(std::size_t r, std::vector<std::size_t> &ids,
     for (std::size_t id : ids) {
         // Generated tokens died with the replica: the client restarts
         // from scratch, so TTFT re-measures against the new replica.
+        // A handed-off sequence's KV died too — back through prefill.
         _requests[id].ttftNs = -1.0;
+        _requests[id].decodeReady = false;
         _router.onSettled(r);
         ++rt.stats.rerouted;
         ++_rerouted;
@@ -516,6 +728,8 @@ Sim::onFault(std::size_t faultIdx, double tNs)
         // active order, with limbo appended last.
         rt.engine->halt();
         std::vector<std::size_t> evicted = rt.engine->evictAll();
+        if (_kvOn)
+            _stores[f.replica]->dropAll(); // host tier dies with it
         rt.stranded.insert(rt.stranded.end(), evicted.begin(),
                            evicted.end());
         rt.stranded.insert(rt.stranded.end(), rt.limbo.begin(),
@@ -588,10 +802,16 @@ Sim::onHeal(std::size_t faultIdx, double tNs)
         _obs->instant("fault.healed", static_cast<int>(f.replica),
                       std::llround(tNs));
     _router.markUp(f.replica);
-    // Undelivered requests from the undetected window finally arrive.
-    for (std::size_t id : rt.limbo)
-        rt.engine->enqueue(id, _requests[id].arrivalNs);
-    rt.limbo.clear();
+    // Undelivered requests from the undetected window finally arrive;
+    // handed-off sequences still owe their KV transfer.
+    std::vector<std::size_t> limbo;
+    limbo.swap(rt.limbo);
+    for (std::size_t id : limbo) {
+        if (_requests[id].decodeReady)
+            startHandoffInto(id, f.replica, tNs);
+        else
+            rt.engine->enqueue(id, _requests[id].arrivalNs);
+    }
     rt.engine->maybeStart(tNs);
     drainBacklog(tNs);
 }
@@ -731,14 +951,66 @@ Sim::run()
         result.tenants.push_back(std::move(ts));
     }
 
-    for (ReplicaRt &rt : _reps) {
+    for (std::size_t r = 0; r < _reps.size(); ++r) {
+        ReplicaRt &rt = _reps[r];
         rt.stats.utilization =
             std::min(1.0, rt.engine->busyNs() / _horizonNs);
         rt.stats.meanActive = rt.engine->activeSizes().count() > 0
             ? rt.engine->activeSizes().mean()
             : 0.0;
         rt.stats.peakKvBytes = rt.engine->peakKvBytes();
+        rt.stats.linkBusyNs = rt.laneExtraNs;
+        if (_kvOn) {
+            const kv::TierStats &ks = _stores[r]->stats();
+            rt.stats.kvOffloads = ks.offloads;
+            rt.stats.kvFetches = ks.fetches;
+            rt.stats.kvEvictions = ks.evictions;
+            rt.stats.peakHostKvBytes = ks.peakHostBytes;
+            rt.stats.linkBusyNs += ks.linkBusyNs;
+            // External store: the engine never tracks KV itself.
+            rt.stats.peakKvBytes =
+                std::max(rt.stats.peakKvBytes, ks.peakHbmBytes);
+        }
         result.replicas.push_back(rt.stats);
+    }
+
+    if (_kvOn || _disagg) {
+        KvClusterStats &kv = result.kv;
+        kv.enabled = true;
+        for (std::size_t r = 0; r < _reps.size(); ++r) {
+            const ReplicaRt &rt = _reps[r];
+            kv.handoffs += rt.stats.handoffs;
+            kv.linkBusyNs += rt.stats.linkBusyNs;
+            if (_kvOn) {
+                const kv::TierStats &ks = _stores[r]->stats();
+                kv.offloads += ks.offloads;
+                kv.fetches += ks.fetches;
+                kv.evictions += ks.evictions;
+                kv.hitsHbm += ks.hitsHbm;
+                kv.hitsHost += ks.hitsHost;
+                kv.misses += ks.misses;
+                kv.offloadedBytes += ks.offloadedBytes;
+                kv.fetchedBytes += ks.fetchedBytes;
+            }
+        }
+        kv.handoffBytes =
+            _kvPerSeqBytes * static_cast<double>(kv.handoffs);
+        // Fleet energy over the horizon: busy time at busy power,
+        // the remainder idle (the single-node analysis model, summed
+        // across heterogeneous replicas).
+        for (const ReplicaRt &rt : _reps) {
+            const hw::Platform &p = rt.spec->platform;
+            double busy_sec = rt.stats.utilization * _spec.horizonSec;
+            double idle_sec = _spec.horizonSec - busy_sec;
+            kv.gpuJoules += busy_sec * p.gpu.busyPowerW +
+                idle_sec * p.gpu.idlePowerW;
+            kv.cpuJoules += busy_sec * p.cpu.busyPowerW +
+                idle_sec * p.cpu.idlePowerW;
+        }
+        kv.joulesPerCompleted = result.completed > 0
+            ? (kv.cpuJoules + kv.gpuJoules) /
+                static_cast<double>(result.completed)
+            : 0.0;
     }
 
     if (_obs != nullptr) {
@@ -841,6 +1113,18 @@ ClusterResult::toJson() const
         entry.set("mean_active", rep.meanActive);
         entry.set("peak_kv_bytes", rep.peakKvBytes);
         entry.set("crashed", rep.crashed);
+        if (kv.enabled) {
+            entry.set("kv_offloads",
+                      static_cast<unsigned long long>(rep.kvOffloads));
+            entry.set("kv_fetches",
+                      static_cast<unsigned long long>(rep.kvFetches));
+            entry.set("kv_evictions",
+                      static_cast<unsigned long long>(rep.kvEvictions));
+            entry.set("handoffs",
+                      static_cast<unsigned long long>(rep.handoffs));
+            entry.set("peak_host_kv_bytes", rep.peakHostKvBytes);
+            entry.set("link_busy_ms", rep.linkBusyNs / 1e6);
+        }
         reps.push_back(json::Value(std::move(entry)));
     }
     doc.set("replicas", json::Value(std::move(reps)));
@@ -860,6 +1144,29 @@ ClusterResult::toJson() const
             tiers.push_back(json::Value(std::move(entry)));
         }
         doc.set("tenants", json::Value(std::move(tiers)));
+    }
+    if (kv.enabled) {
+        json::Object tier;
+        tier.set("offloads",
+                 static_cast<unsigned long long>(kv.offloads));
+        tier.set("offloaded_bytes", kv.offloadedBytes);
+        tier.set("fetches", static_cast<unsigned long long>(kv.fetches));
+        tier.set("fetched_bytes", kv.fetchedBytes);
+        tier.set("evictions",
+                 static_cast<unsigned long long>(kv.evictions));
+        tier.set("hits_hbm",
+                 static_cast<unsigned long long>(kv.hitsHbm));
+        tier.set("hits_host",
+                 static_cast<unsigned long long>(kv.hitsHost));
+        tier.set("misses", static_cast<unsigned long long>(kv.misses));
+        tier.set("handoffs",
+                 static_cast<unsigned long long>(kv.handoffs));
+        tier.set("handoff_bytes", kv.handoffBytes);
+        tier.set("link_busy_ms", kv.linkBusyNs / 1e6);
+        tier.set("cpu_joules", kv.cpuJoules);
+        tier.set("gpu_joules", kv.gpuJoules);
+        tier.set("joules_per_completed", kv.joulesPerCompleted);
+        doc.set("kv", json::Value(std::move(tier)));
     }
     return json::Value(std::move(doc));
 }

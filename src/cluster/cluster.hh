@@ -32,6 +32,7 @@
 #include "cluster/router.hh"
 #include "hw/platform.hh"
 #include "json/value.hh"
+#include "kv/tier.hh"
 #include "serving/arrival.hh"
 #include "serving/continuous.hh"
 #include "workload/model_config.hh"
@@ -79,10 +80,31 @@ struct FaultSpec
     double healSec = -1.0;
 };
 
+/**
+ * Disaggregated-serving role. Mixed replicas run the classic
+ * co-located pipeline; a Prefill replica hands each sequence's KV off
+ * to a Decode replica over the interconnect after the first token.
+ */
+enum class ReplicaRole
+{
+    Mixed,   ///< prefill and decode co-located (the default)
+    Prefill, ///< prefill pool: first token, then KV handoff
+    Decode,  ///< decode pool: receives KV, generates the rest
+};
+
+/** @return canonical role name ("mixed", "prefill", "decode"). */
+const char *replicaRoleName(ReplicaRole role);
+
+/** @throws skipsim::FatalError for unknown role names. */
+ReplicaRole replicaRoleByName(const std::string &name);
+
 /** One replica of the fleet. */
 struct ReplicaSpec
 {
     hw::Platform platform;
+
+    /** Disaggregated-serving role (Mixed = classic co-located). */
+    ReplicaRole role = ReplicaRole::Mixed;
 
     /** Maximum concurrently decoding sequences. */
     int maxActive = 32;
@@ -177,6 +199,16 @@ struct ClusterSpec
 
     std::vector<FaultSpec> faults;
 
+    /**
+     * KV-cache tiering (host-memory offload over the interconnect).
+     * The default Never policy disables tiering entirely — no store,
+     * no link traffic — keeping pre-tiering reports byte-identical.
+     */
+    kv::TierSpec kvTier;
+
+    /** True when any replica has a non-Mixed role. */
+    bool disaggregated() const;
+
     /** @throws skipsim::FatalError on inconsistent specs. */
     void validate() const;
 
@@ -230,6 +262,16 @@ struct ReplicaStats
     double peakKvBytes = 0.0;
 
     bool crashed = false;
+
+    /** @name KV-tiering / disaggregation extras (zero when off)
+     *  @{ */
+    std::size_t kvOffloads = 0;  ///< HBM -> host pages
+    std::size_t kvFetches = 0;   ///< host -> HBM prefix fetches
+    std::size_t kvEvictions = 0; ///< retained entries dropped
+    std::size_t handoffs = 0;    ///< prefill -> decode KV handoffs
+    double peakHostKvBytes = 0.0;
+    double linkBusyNs = 0.0; ///< KV + staging + handoff lane time
+    /** @} */
 };
 
 /** Per-tenant outcome (only populated for multi-tenant specs). */
@@ -248,6 +290,33 @@ struct TenantStats
 
     double p99TtftNs = 0.0;
     double p99E2eNs = 0.0;
+};
+
+/**
+ * Cluster-level KV-tiering / disaggregation outcome, reported only
+ * when the spec enables tiering or replica roles ("kv" in the JSON).
+ */
+struct KvClusterStats
+{
+    bool enabled = false;
+
+    std::size_t offloads = 0;
+    std::size_t fetches = 0;
+    std::size_t evictions = 0;
+    std::size_t hitsHbm = 0;
+    std::size_t hitsHost = 0;
+    std::size_t misses = 0;
+    std::size_t handoffs = 0;
+    double offloadedBytes = 0.0;
+    double fetchedBytes = 0.0;
+    double handoffBytes = 0.0;
+    double linkBusyNs = 0.0;
+
+    /** Energy accounting over the horizon (extends the single-node
+     *  analysis::estimateEnergy model to the fleet). */
+    double cpuJoules = 0.0;
+    double gpuJoules = 0.0;
+    double joulesPerCompleted = 0.0;
 };
 
 /** Cluster-level outcome. */
@@ -293,6 +362,9 @@ struct ClusterResult
 
     /** Per-tenant breakdown (empty for single-tenant specs). */
     std::vector<TenantStats> tenants;
+
+    /** KV-tiering breakdown (enabled=false for classic specs). */
+    KvClusterStats kv;
 
     /** Deterministic report document (no host timings). */
     json::Value toJson() const;

@@ -66,11 +66,23 @@ Router::npos()
     return std::numeric_limits<std::size_t>::max();
 }
 
+void
+Router::setClasses(std::vector<unsigned> classes)
+{
+    if (!classes.empty() && classes.size() != _weights.size())
+        fatal("Router: class mask count must match the replica count");
+    _classes = std::move(classes);
+}
+
 bool
 Router::eligible(std::size_t replica,
-                 const std::vector<std::size_t> &exclude) const
+                 const std::vector<std::size_t> &exclude,
+                 unsigned klass) const
 {
     if (_down[replica])
+        return false;
+    if (klass != kAnyClass && !_classes.empty() &&
+        (_classes[replica] & klass) == 0)
         return false;
     return std::find(exclude.begin(), exclude.end(), replica) ==
         exclude.end();
@@ -78,12 +90,12 @@ Router::eligible(std::size_t replica,
 
 std::size_t
 Router::leastLoaded(const std::vector<std::size_t> &exclude,
-                    bool weighted) const
+                    bool weighted, unsigned klass) const
 {
     std::size_t best = npos();
     double best_load = std::numeric_limits<double>::infinity();
     for (std::size_t r = 0; r < _weights.size(); ++r) {
-        if (!eligible(r, exclude))
+        if (!eligible(r, exclude, klass))
             continue;
         double load = static_cast<double>(_outstanding[r]);
         if (weighted)
@@ -97,28 +109,29 @@ Router::leastLoaded(const std::vector<std::size_t> &exclude,
 }
 
 std::size_t
-Router::pick(int session, const std::vector<std::size_t> &exclude) const
+Router::pick(int session, const std::vector<std::size_t> &exclude,
+             unsigned klass) const
 {
     std::size_t n = _weights.size();
     switch (_policy) {
     case RouterPolicy::RoundRobin:
         for (std::size_t step = 0; step < n; ++step) {
             std::size_t r = (_rrCursor + step) % n;
-            if (eligible(r, exclude)) {
+            if (eligible(r, exclude, klass)) {
                 _rrCursor = (r + 1) % n;
                 return r;
             }
         }
         return npos();
     case RouterPolicy::LeastOutstanding:
-        return leastLoaded(exclude, false);
+        return leastLoaded(exclude, false, klass);
     case RouterPolicy::WeightedThroughput:
-        return leastLoaded(exclude, true);
+        return leastLoaded(exclude, true, klass);
     case RouterPolicy::SessionAffinity: {
         std::size_t home = static_cast<std::size_t>(session) % n;
-        if (eligible(home, exclude))
+        if (eligible(home, exclude, klass))
             return home;
-        return leastLoaded(exclude, false);
+        return leastLoaded(exclude, false, klass);
     }
     }
     return npos();

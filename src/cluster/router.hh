@@ -28,6 +28,18 @@ enum class RouterPolicy
     SessionAffinity,    ///< session id pins a home replica, LOR fallback
 };
 
+/**
+ * Dispatch-class bits for role-aware routing (disaggregated pools).
+ * A replica serves the union of the bits in its class mask; pick()
+ * with kAnyClass ignores classes entirely (the classic behavior).
+ */
+enum : unsigned
+{
+    kAnyClass = 0u,
+    kPrefillClass = 1u,
+    kDecodeClass = 2u,
+};
+
 /** @return canonical policy name ("round-robin", ...). */
 const char *routerPolicyName(RouterPolicy policy);
 
@@ -61,13 +73,23 @@ class Router
     RouterPolicy policy() const { return _policy; }
 
     /**
+     * Role-aware dispatch classes: @p classes[r] is the bitmask of
+     * dispatch classes replica r serves (kPrefillClass |
+     * kDecodeClass). Empty (the default) means every replica serves
+     * everything — classic co-located routing.
+     */
+    void setClasses(std::vector<unsigned> classes);
+
+    /**
      * Choose a replica for a request from @p session. Replicas marked
-     * down and replicas in @p exclude (admission-rejected during this
-     * dispatch) are skipped; ties break toward the lowest index.
+     * down, replicas in @p exclude (admission-rejected during this
+     * dispatch) and replicas whose class mask misses @p klass are
+     * skipped; ties break toward the lowest index.
      * @return replica index, or npos() when no replica is eligible.
      */
     std::size_t pick(int session,
-                     const std::vector<std::size_t> &exclude) const;
+                     const std::vector<std::size_t> &exclude,
+                     unsigned klass = kAnyClass) const;
 
     /** Sentinel returned by pick() when every replica is ineligible. */
     static std::size_t npos();
@@ -91,12 +113,14 @@ class Router
 
   private:
     bool eligible(std::size_t replica,
-                  const std::vector<std::size_t> &exclude) const;
+                  const std::vector<std::size_t> &exclude,
+                  unsigned klass) const;
     std::size_t leastLoaded(const std::vector<std::size_t> &exclude,
-                            bool weighted) const;
+                            bool weighted, unsigned klass) const;
 
     RouterPolicy _policy;
     std::vector<double> _weights;
+    std::vector<unsigned> _classes; ///< empty = no role filtering
     std::vector<std::size_t> _outstanding;
     std::vector<bool> _down;
     mutable std::size_t _rrCursor = 0;

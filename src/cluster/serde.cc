@@ -58,6 +58,8 @@ replicaToJson(const ReplicaSpec &replica)
 {
     json::Object doc;
     doc.set("platform", replica.platform.name);
+    if (replica.role != ReplicaRole::Mixed)
+        doc.set("role", replicaRoleName(replica.role));
     doc.set("max-active", replica.maxActive);
     if (replica.clock != 1.0)
         doc.set("clock", replica.clock);
@@ -77,6 +79,8 @@ replicasFromJson(const json::Value &value,
     replica.platform = platform.isString()
         ? hw::platforms::byName(platform.asString())
         : hw::platformFromJson(platform);
+    if (obj.has("role"))
+        replica.role = replicaRoleByName(obj.at("role").asString());
     if (obj.has("max-active"))
         replica.maxActive =
             static_cast<int>(obj.at("max-active").asInt());
@@ -105,6 +109,8 @@ ClusterSpec::toJson() const
         reps.push_back(replicaToJson(replica));
     doc.set("replicas", json::Value(std::move(reps)));
     doc.set("router", routerPolicyName(router));
+    if (kvTier.enabled())
+        doc.set("kv", kvTier.toJson());
     doc.set("rate", arrivalRatePerSec);
     if (traffic != nullptr)
         doc.set("traffic", traffic->toJson());
@@ -164,6 +170,8 @@ ClusterSpec::fromJson(const json::Value &value)
         replicasFromJson(entry, spec.replicas);
     if (obj.has("router"))
         spec.router = routerPolicyByName(obj.at("router").asString());
+    if (obj.has("kv"))
+        spec.kvTier = kv::TierSpec::fromJson(obj.at("kv"));
     if (obj.has("rate"))
         spec.arrivalRatePerSec = obj.at("rate").asDouble();
     if (obj.has("traffic"))

@@ -204,7 +204,17 @@ paperTrio()
 std::vector<Platform>
 all()
 {
-    return {amdA100(), intelH100(), gh200(), mi300a(), gb200()};
+    std::vector<Platform> list = {amdA100(), intelH100(), gh200(),
+                                  mi300a(), gb200()};
+    // Validate the catalog once, on first access, instead of deferring
+    // to the first transferNs() deep inside a simulation.
+    static const bool validated = [&list] {
+        for (const Platform &p : list)
+            p.validate();
+        return true;
+    }();
+    (void)validated;
+    return list;
 }
 
 std::vector<std::string>

@@ -1,6 +1,9 @@
 #include "hw/platform.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace skipsim::hw
 {
@@ -22,9 +25,45 @@ Platform::transferNs(double bytes) const
     if (bytes <= 0.0)
         return 0.0;
     if (link.bwGBs <= 0.0)
-        fatal("Platform::transferNs: interconnect with no bandwidth");
+        fatal(strprintf("platform '%s': link '%s' has no bandwidth "
+                        "(bw_gbs %g); cannot price a transfer",
+                        name.c_str(), link.name.c_str(), link.bwGBs));
     // bytes / (GB/s in bytes-per-ns) + latency
     return bytes / link.bwGBs + link.latencyNs;
+}
+
+void
+Platform::validate() const
+{
+    auto bad = [&](const char *what, double got) {
+        fatal(strprintf("platform '%s': %s (got %g)", name.c_str(),
+                        what, got));
+    };
+    if (cpu.singleThreadScore <= 0.0)
+        bad("cpu single_thread_score must be positive",
+            cpu.singleThreadScore);
+    if (cpu.busyPowerW < 0.0 || cpu.idlePowerW < 0.0)
+        bad("cpu power draws must be non-negative",
+            std::min(cpu.busyPowerW, cpu.idlePowerW));
+    if (gpu.fp16Tflops <= 0.0)
+        bad("gpu fp16_tflops must be positive", gpu.fp16Tflops);
+    if (gpu.memBwGBs <= 0.0)
+        bad("gpu mem_bw_gbs must be positive", gpu.memBwGBs);
+    if (gpu.hbmCapacityGiB <= 0.0)
+        bad("gpu hbm_capacity_gib must be positive",
+            gpu.hbmCapacityGiB);
+    if (gpu.busyPowerW < 0.0 || gpu.idlePowerW < 0.0)
+        bad("gpu power draws must be non-negative",
+            std::min(gpu.busyPowerW, gpu.idlePowerW));
+    if (link.bwGBs <= 0.0)
+        fatal(strprintf("platform '%s': link '%s' bw_gbs must be "
+                        "positive (got %g)",
+                        name.c_str(), link.name.c_str(), link.bwGBs));
+    if (link.latencyNs < 0.0)
+        fatal(strprintf("platform '%s': link '%s' latency_ns must be "
+                        "non-negative (got %g)",
+                        name.c_str(), link.name.c_str(),
+                        link.latencyNs));
 }
 
 } // namespace skipsim::hw

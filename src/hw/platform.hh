@@ -166,6 +166,16 @@ struct Platform
 
     /** Host-to-device transfer time for @p bytes over the link, ns. */
     double transferNs(double bytes) const;
+
+    /**
+     * Check the descriptor for physically meaningless values (zero
+     * link bandwidth, non-positive GPU peaks, negative power draws).
+     * Catalog entries are validated once at load and user platforms at
+     * deserialization, so transfer/cost paths can assume sane fields.
+     * @throws skipsim::FatalError naming the platform (and the link,
+     *         for interconnect fields) on the first violation.
+     */
+    void validate() const;
 };
 
 } // namespace skipsim::hw

@@ -138,10 +138,7 @@ platformFromJson(const json::Value &doc)
         p.link.latencyNs = getNum(link, "latency_ns", p.link.latencyNs);
     }
 
-    if (p.cpu.singleThreadScore <= 0.0)
-        fatal("platformFromJson: single_thread_score must be positive");
-    if (p.gpu.fp16Tflops <= 0.0 || p.gpu.memBwGBs <= 0.0)
-        fatal("platformFromJson: GPU peak rates must be positive");
+    p.validate();
     return p;
 }
 

@@ -1,0 +1,282 @@
+#include "kv/tier.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::kv
+{
+
+const char *
+offloadPolicyName(OffloadPolicy policy)
+{
+    switch (policy) {
+    case OffloadPolicy::Never:
+        return "never";
+    case OffloadPolicy::StaticWatermark:
+        return "static-watermark";
+    case OffloadPolicy::LruBySession:
+        return "lru-by-session";
+    case OffloadPolicy::PrefixAware:
+        return "prefix-aware";
+    }
+    return "unknown";
+}
+
+OffloadPolicy
+offloadPolicyByName(const std::string &name)
+{
+    for (OffloadPolicy policy :
+         {OffloadPolicy::Never, OffloadPolicy::StaticWatermark,
+          OffloadPolicy::LruBySession, OffloadPolicy::PrefixAware}) {
+        if (name == offloadPolicyName(policy))
+            return policy;
+    }
+    fatal(strprintf("kv: unknown offload policy '%s' (expected never, "
+                    "static-watermark, lru-by-session or prefix-aware)",
+                    name.c_str()));
+}
+
+std::vector<std::string>
+offloadPolicyNames()
+{
+    return {"never", "static-watermark", "lru-by-session",
+            "prefix-aware"};
+}
+
+void
+TierSpec::validate() const
+{
+    if (hostCapacityGiB < 0.0)
+        fatal("kv::TierSpec: host capacity must be non-negative");
+    if (watermarkFrac <= 0.0 || watermarkFrac > 1.0)
+        fatal("kv::TierSpec: watermark must be within (0, 1]");
+}
+
+json::Value
+TierSpec::toJson() const
+{
+    json::Object doc;
+    doc.set("policy", offloadPolicyName(policy));
+    doc.set("host-gib", hostCapacityGiB);
+    doc.set("watermark", watermarkFrac);
+    return json::Value(std::move(doc));
+}
+
+TierSpec
+TierSpec::fromJson(const json::Value &value)
+{
+    const json::Object &obj = value.asObject();
+    TierSpec spec;
+    if (obj.has("policy"))
+        spec.policy = offloadPolicyByName(obj.at("policy").asString());
+    if (obj.has("host-gib"))
+        spec.hostCapacityGiB = obj.at("host-gib").asDouble();
+    if (obj.has("watermark"))
+        spec.watermarkFrac = obj.at("watermark").asDouble();
+    spec.validate();
+    return spec;
+}
+
+TieredStore::TieredStore(const TierSpec &spec,
+                         const hw::Platform &platform,
+                         double hbmCapacityBytes,
+                         core::FifoResource &lane)
+    : _spec(spec), _platform(&platform),
+      _hbmCapacityBytes(hbmCapacityBytes), _lane(&lane)
+{
+    _spec.validate();
+    if (!_spec.enabled())
+        fatal("kv::TieredStore: policy 'never' means no store — do not "
+              "construct one");
+    if (_hbmCapacityBytes <= 0.0)
+        fatal("kv::TieredStore: HBM KV budget must be positive");
+}
+
+double
+TieredStore::transfer(double bytes, double nowNs, bool async)
+{
+    double start = _lane->startFor(nowNs);
+    double dur = _platform->transferNs(bytes);
+    _lane->occupyUntil(start + dur);
+    _stats.linkBusyNs += dur;
+    if (async)
+        return 0.0;
+    double stall = start + dur - nowNs;
+    _stats.stallNs += stall;
+    return stall;
+}
+
+std::map<int, TieredStore::Entry>::iterator
+TieredStore::pickVictim()
+{
+    auto best = _retained.end();
+    for (auto it = _retained.begin(); it != _retained.end(); ++it) {
+        if (it->second.onHost)
+            continue;
+        if (best == _retained.end()) {
+            best = it;
+            continue;
+        }
+        const Entry &a = it->second;
+        const Entry &b = best->second;
+        bool better = false;
+        switch (_spec.policy) {
+        case OffloadPolicy::StaticWatermark:
+            // FIFO: the oldest retained entry pages out first.
+            better = a.seq < b.seq;
+            break;
+        case OffloadPolicy::LruBySession:
+            better = a.lastUseNs < b.lastUseNs ||
+                (a.lastUseNs == b.lastUseNs && a.seq < b.seq);
+            break;
+        case OffloadPolicy::PrefixAware:
+            // Entries with proven reuse are paged last: a session that
+            // already came back is likelier to come back again.
+            better = std::make_tuple(a.hits > 0, a.lastUseNs, a.seq) <
+                std::make_tuple(b.hits > 0, b.lastUseNs, b.seq);
+            break;
+        case OffloadPolicy::Never:
+            break;
+        }
+        if (better)
+            best = it;
+    }
+    return best;
+}
+
+double
+TieredStore::pageOneOut(double nowNs, bool async)
+{
+    auto victim = pickVictim();
+    if (victim == _retained.end())
+        return -1.0;
+    Entry &entry = victim->second;
+    _retainedHbmBytes -= entry.bytes;
+    if (_hostBytes + entry.bytes <= _spec.hostCapacityBytes()) {
+        double stall = transfer(entry.bytes, nowNs, async);
+        entry.onHost = true;
+        _hostBytes += entry.bytes;
+        ++_stats.offloads;
+        _stats.offloadedBytes += entry.bytes;
+        notePeaks();
+        return stall;
+    }
+    // Host pool full: the entry is dropped, no transfer.
+    ++_stats.evictions;
+    _retained.erase(victim);
+    return 0.0;
+}
+
+TieredStore::AdmitResult
+TieredStore::admit(int session, double bytes, double nowNs,
+                   bool fetchPrefix)
+{
+    AdmitResult result;
+    if (fetchPrefix) {
+        auto it = _retained.find(session);
+        if (it == _retained.end()) {
+            ++_stats.misses;
+        } else {
+            // The retained prefix is consumed by the new turn: its
+            // bytes are subsumed by the full reservation below.
+            Entry entry = it->second;
+            _retained.erase(it);
+            ++_reuse[session];
+            if (entry.onHost) {
+                _hostBytes -= entry.bytes;
+                result.prefixHit = Residency::Host;
+                result.stallNs +=
+                    transfer(entry.bytes, nowNs, /*async=*/false);
+                ++_stats.fetches;
+                _stats.fetchedBytes += entry.bytes;
+                ++_stats.hitsHost;
+            } else {
+                _retainedHbmBytes -= entry.bytes;
+                result.prefixHit = Residency::Hbm;
+                ++_stats.hitsHbm;
+            }
+        }
+    }
+    // Make room by paging retained entries; active bytes never move.
+    while (_activeBytes + _retainedHbmBytes + bytes >
+           _hbmCapacityBytes) {
+        double stall = pageOneOut(nowNs, /*async=*/false);
+        if (stall < 0.0)
+            break;
+        result.stallNs += stall;
+    }
+    if (_activeBytes + _retainedHbmBytes + bytes > _hbmCapacityBytes)
+        return result; // pinned demand alone exceeds HBM: wait
+    _activeBytes += bytes;
+    result.admitted = true;
+    notePeaks();
+    return result;
+}
+
+void
+TieredStore::release(int session, double bytes, double nowNs,
+                     bool retain)
+{
+    _activeBytes -= bytes;
+    if (!retain)
+        return;
+    auto it = _retained.find(session);
+    if (it != _retained.end()) {
+        // A stale entry for this session (earlier turn) is replaced.
+        if (it->second.onHost)
+            _hostBytes -= it->second.bytes;
+        else
+            _retainedHbmBytes -= it->second.bytes;
+        it->second.bytes = bytes;
+        it->second.onHost = false;
+        it->second.lastUseNs = nowNs;
+        it->second.hits = _reuse.count(session) ? _reuse[session] : 0;
+    } else {
+        Entry entry;
+        entry.bytes = bytes;
+        entry.lastUseNs = nowNs;
+        entry.seq = _nextSeq++;
+        entry.hits = _reuse.count(session) ? _reuse[session] : 0;
+        _retained.emplace(session, entry);
+    }
+    _retainedHbmBytes += bytes;
+    notePeaks();
+    if (_spec.policy == OffloadPolicy::StaticWatermark) {
+        // Pre-page above the watermark so later admissions rarely
+        // stall; the transfers still occupy the link.
+        double limit = _spec.watermarkFrac * _hbmCapacityBytes;
+        while (hbmBytes() > limit && _retainedHbmBytes > 0.0) {
+            if (pageOneOut(nowNs, /*async=*/true) < 0.0)
+                break;
+        }
+    }
+}
+
+Residency
+TieredStore::lookup(int session) const
+{
+    auto it = _retained.find(session);
+    if (it == _retained.end())
+        return Residency::None;
+    return it->second.onHost ? Residency::Host : Residency::Hbm;
+}
+
+void
+TieredStore::dropAll()
+{
+    _retained.clear();
+    _activeBytes = 0.0;
+    _retainedHbmBytes = 0.0;
+    _hostBytes = 0.0;
+}
+
+void
+TieredStore::notePeaks()
+{
+    _stats.peakHbmBytes = std::max(_stats.peakHbmBytes, hbmBytes());
+    _stats.peakHostBytes = std::max(_stats.peakHostBytes, _hostBytes);
+}
+
+} // namespace skipsim::kv

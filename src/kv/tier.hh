@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Two-tier KV-cache store: HBM plus host memory, connected by the
+ * platform's CPU-GPU interconnect. The paper's distinguishing axis is
+ * that interconnect — NVLink-C2C moves KV pages an order of magnitude
+ * faster than PCIe — and this store is where that difference becomes
+ * visible at serving scale: finished conversations retain their KV as
+ * a prefix-cache entry, memory pressure pages retained entries out to
+ * host memory (or drops them), and a returning session pays a
+ * host-to-HBM fetch whose cost is the link's, not the GPU's.
+ *
+ * Tier discipline:
+ *  - Active sequences are pinned in HBM; admission makes room by
+ *    paging retained (inactive) entries, never active ones.
+ *  - A completed sequence's KV is retained per session (one entry per
+ *    session, most recent turn wins) while the policy keeps it.
+ *  - A prefix hit on an HBM-resident entry is free; a hit on a
+ *    host-resident entry pays a synchronous fetch over the link; an
+ *    evicted entry is a miss (cold full prefill).
+ *
+ * Offload policies:
+ *  - Never: tiering disabled — callers must not construct a store.
+ *  - StaticWatermark: pages retained entries out (oldest first,
+ *    asynchronously) whenever HBM occupancy crosses a watermark, so
+ *    admissions rarely stall but the link carries pre-paging traffic
+ *    even for sessions that never return.
+ *  - LruBySession: demand paging; the least-recently-used retained
+ *    session is offloaded synchronously when an admission needs room.
+ *  - PrefixAware: demand paging that protects entries with proven
+ *    reuse — sessions whose prefix has already been hit are paged
+ *    (and evicted) last.
+ *
+ * Transfers serialize on a caller-owned core::FifoResource lane (one
+ * per replica link), so KV traffic contends with request staging and
+ * prefill/decode handoffs on the same wire. Everything is
+ * deterministic: no RNG, ordered containers, victim ties broken by
+ * admission sequence number.
+ */
+
+#ifndef SKIPSIM_KV_TIER_HH
+#define SKIPSIM_KV_TIER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/resource.hh"
+#include "hw/platform.hh"
+#include "json/value.hh"
+
+namespace skipsim::kv
+{
+
+/** Retained-entry paging policy; see file comment. */
+enum class OffloadPolicy
+{
+    Never,           ///< tiering disabled (no store, no lane traffic)
+    StaticWatermark, ///< async pre-paging above an occupancy watermark
+    LruBySession,    ///< demand paging, least-recently-used victim
+    PrefixAware,     ///< demand paging, zero-reuse entries evicted first
+};
+
+/** @return canonical policy name ("never", "static-watermark", ...). */
+const char *offloadPolicyName(OffloadPolicy policy);
+
+/** @throws skipsim::FatalError for unknown policy names. */
+OffloadPolicy offloadPolicyByName(const std::string &name);
+
+/** All policy names in enum order (CLI/bench enumeration). */
+std::vector<std::string> offloadPolicyNames();
+
+/** Tiering configuration for one replica's KV store. */
+struct TierSpec
+{
+    OffloadPolicy policy = OffloadPolicy::Never;
+
+    /** Host-memory KV pool per replica, GiB. */
+    double hostCapacityGiB = 64.0;
+
+    /** StaticWatermark: HBM occupancy fraction that triggers paging. */
+    double watermarkFrac = 0.9;
+
+    bool enabled() const { return policy != OffloadPolicy::Never; }
+    double hostCapacityBytes() const
+    {
+        return hostCapacityGiB * 1024.0 * 1024.0 * 1024.0;
+    }
+
+    /** @throws skipsim::FatalError on out-of-range parameters. */
+    void validate() const;
+
+    /** JSON round trip ({"policy", "host-gib", "watermark"}). */
+    json::Value toJson() const;
+    static TierSpec fromJson(const json::Value &doc);
+};
+
+/** Where a session's retained prefix currently lives. */
+enum class Residency
+{
+    None, ///< evicted or never retained: cold full prefill
+    Hbm,  ///< resident: free prefix hit
+    Host, ///< paged out: hit pays a host-to-HBM fetch
+};
+
+/** Per-store outcome counters (reported per replica). */
+struct TierStats
+{
+    std::size_t offloads = 0;  ///< HBM -> host pages
+    std::size_t fetches = 0;   ///< host -> HBM pages (prefix hits)
+    std::size_t evictions = 0; ///< retained entries dropped entirely
+    std::size_t hitsHbm = 0;
+    std::size_t hitsHost = 0;
+    std::size_t misses = 0;
+    double offloadedBytes = 0.0;
+    double fetchedBytes = 0.0;
+    double peakHbmBytes = 0.0;  ///< active + retained-in-HBM peak
+    double peakHostBytes = 0.0;
+    double linkBusyNs = 0.0;  ///< lane occupancy from KV paging
+    double stallNs = 0.0;     ///< synchronous transfer time charged
+};
+
+/** One replica's two-tier KV store; see file comment. */
+class TieredStore
+{
+  public:
+    /** Outcome of an admission attempt. */
+    struct AdmitResult
+    {
+        /** False when pinned demand exceeds HBM even after paging. */
+        bool admitted = false;
+
+        /** Synchronous transfer time to charge the admitting
+         *  iteration (demand paging + prefix fetch), ns. */
+        double stallNs = 0.0;
+
+        /** Residency of the session's prefix before this admission. */
+        Residency prefixHit = Residency::None;
+    };
+
+    /**
+     * @param spec     tiering policy and capacities (must be enabled).
+     * @param platform owns the interconnect whose transferNs() prices
+     *                 every page move; must outlive the store.
+     * @param hbmCapacityBytes KV budget in HBM (after weights and
+     *                 activations), bytes.
+     * @param lane     the replica's link lane; shared with staging and
+     *                 handoff traffic, must outlive the store.
+     * @throws skipsim::FatalError when @p spec is disabled or the HBM
+     *         budget is not positive.
+     */
+    TieredStore(const TierSpec &spec, const hw::Platform &platform,
+                double hbmCapacityBytes, core::FifoResource &lane);
+
+    /**
+     * Reserve @p bytes of HBM for a newly admitted sequence of
+     * @p session at @p nowNs, paging retained entries per policy to
+     * make room. With @p fetchPrefix, the session's retained entry is
+     * consumed as a prefix hit first (a host-resident entry is fetched
+     * back synchronously); decode-pool entrants pass false — their
+     * prefix arrived by handoff, not from this store.
+     */
+    AdmitResult admit(int session, double bytes, double nowNs,
+                      bool fetchPrefix);
+
+    /**
+     * The sequence finished (or left the replica): free its pinned
+     * bytes. With @p retain, keep the KV as @p session's retained
+     * prefix entry in HBM — StaticWatermark then pages asynchronously
+     * down to its watermark. Prefill-pool replicas pass false: their
+     * KV was handed off, not cached.
+     */
+    void release(int session, double bytes, double nowNs, bool retain);
+
+    /** Residency of @p session's retained prefix. */
+    Residency lookup(int session) const;
+
+    /** Crash: drop every reservation and retained entry (stats keep
+     *  their peaks). */
+    void dropAll();
+
+    /** Pinned plus retained-in-HBM bytes. */
+    double hbmBytes() const { return _activeBytes + _retainedHbmBytes; }
+    double hostBytes() const { return _hostBytes; }
+    const TierStats &stats() const { return _stats; }
+
+  private:
+    struct Entry
+    {
+        double bytes = 0.0;
+        bool onHost = false;
+        double lastUseNs = 0.0;
+        std::uint64_t seq = 0; ///< admission order, deterministic ties
+        std::size_t hits = 0;  ///< prefix reuses by this session
+    };
+
+    /** Occupy the lane for @p bytes; @return the sync stall (0 when
+     *  @p async). */
+    double transfer(double bytes, double nowNs, bool async);
+    /** Page one victim out (or drop it); @return sync stall, < 0 when
+     *  no retained HBM entry exists. */
+    double pageOneOut(double nowNs, bool async);
+    /** The policy's next victim among retained HBM entries. */
+    std::map<int, Entry>::iterator pickVictim();
+    void notePeaks();
+
+    TierSpec _spec;
+    const hw::Platform *_platform;
+    double _hbmCapacityBytes;
+    core::FifoResource *_lane;
+
+    double _activeBytes = 0.0;
+    double _retainedHbmBytes = 0.0;
+    double _hostBytes = 0.0;
+    std::uint64_t _nextSeq = 0;
+    std::map<int, Entry> _retained;
+    /** Prefix reuses per session — survives the consume-at-admit /
+     *  reinsert-at-release cycle (PrefixAware victim ordering). */
+    std::map<int, std::size_t> _reuse;
+    TierStats _stats;
+};
+
+} // namespace skipsim::kv
+
+#endif // SKIPSIM_KV_TIER_HH

@@ -20,6 +20,7 @@
 #include "common/strutil.hh"
 #include "hw/catalog.hh"
 #include "json/schema.hh"
+#include "kv/tier.hh"
 #include "scenario/registry.hh"
 #include "serving/arrival.hh"
 #include "workload/model_config.hh"
@@ -191,6 +192,118 @@ buildMultiTenant(const json::Object &params)
     return spec;
 }
 
+cluster::ClusterSpec
+buildKvOffload(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    // Memory-pressure defaults: long prompts, many returning sessions,
+    // a squeezed HBM budget — the regime where the offload policy and
+    // the interconnect generation decide the tail.
+    if (!params.has("prompt"))
+        spec.promptLen = 256;
+    if (!params.has("gen-tokens"))
+        spec.genTokens = 32;
+    if (!params.has("sessions"))
+        spec.sessions = 256;
+    if (!params.has("router")) {
+        // Returning sessions must land on the replica retaining their
+        // prefix, or the tier never sees a hit.
+        spec.router = cluster::RouterPolicy::SessionAffinity;
+    }
+    spec.kvTier.policy = kv::offloadPolicyByName(
+        params.has("policy") ? params.at("policy").asString()
+                             : "lru-by-session");
+    spec.kvTier.hostCapacityGiB = num(params, "host-gib", 16.0);
+    spec.kvTier.watermarkFrac = num(params, "watermark", 0.9);
+    double hbm_gib = num(params, "hbm-gib", 0.6);
+    for (cluster::ReplicaSpec &rep : spec.replicas) {
+        rep.platform.gpu.hbmCapacityGiB = hbm_gib;
+        if (params.has("link-bw-gbs"))
+            rep.platform.link.bwGBs =
+                params.at("link-bw-gbs").asDouble();
+        if (params.has("link-latency-ns"))
+            rep.platform.link.latencyNs =
+                params.at("link-latency-ns").asDouble();
+    }
+    serving::SessionProcess::Params traffic;
+    traffic.sessionRatePerSec = num(params, "session-rate", 12.0);
+    traffic.meanTurns = num(params, "mean-turns", 4.0);
+    traffic.thinkSec = num(params, "think-sec", 1.0);
+    traffic.cachedFrac = num(params, "cached-frac", 0.8);
+    traffic.sessions = spec.sessions;
+    auto process = std::make_shared<serving::SessionProcess>(traffic);
+    spec.arrivalRatePerSec = process->meanRatePerSec();
+    spec.traffic = std::move(process);
+    spec.validate();
+    return spec;
+}
+
+cluster::ClusterSpec
+buildDisagg(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    int prefill = integer(params, "prefill-replicas", 1);
+    int decode = integer(params, "decode-replicas", 1);
+    if (prefill < 0)
+        fatal("'prefill-replicas' must be non-negative");
+    if (decode <= 0)
+        fatal("'decode-replicas' must be positive");
+    // Pool ratio: prefill-replicas 0 collapses to co-located Mixed
+    // replicas — the baseline the disaggregated split is judged
+    // against (and the check-law anchor).
+    cluster::ReplicaSpec pool = spec.replicas.front();
+    spec.replicas.clear();
+    pool.role = cluster::ReplicaRole::Prefill;
+    for (int i = 0; i < prefill; ++i)
+        spec.replicas.push_back(pool);
+    pool.role = prefill == 0 ? cluster::ReplicaRole::Mixed
+                             : cluster::ReplicaRole::Decode;
+    for (int i = 0; i < decode; ++i)
+        spec.replicas.push_back(pool);
+    if (params.has("policy")) {
+        spec.kvTier.policy = kv::offloadPolicyByName(
+            params.at("policy").asString());
+        spec.kvTier.hostCapacityGiB = num(params, "host-gib", 16.0);
+        spec.kvTier.watermarkFrac = num(params, "watermark", 0.9);
+    }
+    spec.arrivalRatePerSec = num(params, "rate", 40.0);
+    spec.traffic = std::make_shared<serving::PoissonProcess>(
+        spec.arrivalRatePerSec, spec.sessions);
+    spec.validate();
+    return spec;
+}
+
+/** The parameters baseSpec() itself understands. */
+std::vector<ScenarioParam>
+baseParams()
+{
+    return {
+        {"model", "workload model name (default GPT2)"},
+        {"platform", "hw catalog platform (default GH200)"},
+        {"replicas", "replica count (default 2)"},
+        {"max-active", "max concurrent sequences (default 16)"},
+        {"max-queue", "pending-queue bound, 0 = unbounded (default 0)"},
+        {"router", "routing policy (default least-outstanding)"},
+        {"horizon-sec", "simulated horizon, s (default 10)"},
+        {"prompt", "prompt length, tokens (default 128)"},
+        {"gen-tokens", "generated tokens per request (default 16)"},
+        {"sessions", "session-id pool size (default 64)"},
+        {"ttft-slo-ms", "TTFT SLO, ms (default 500)"},
+        {"e2e-slo-ms", "end-to-end SLO, ms (default 2000)"},
+        {"seed", "base RNG seed (default 42)"},
+    };
+}
+
+/** baseParams() plus scenario-specific keys. */
+std::vector<ScenarioParam>
+withBase(std::vector<ScenarioParam> extra)
+{
+    std::vector<ScenarioParam> all = std::move(extra);
+    std::vector<ScenarioParam> base = baseParams();
+    all.insert(all.end(), base.begin(), base.end());
+    return all;
+}
+
 } // namespace
 
 void
@@ -200,27 +313,83 @@ registerBuiltinScenarios()
         {"cluster",
          "raw ClusterSpec pass-through (the spec file is the cluster "
          "document; rate sweeps supported)",
-         buildRawCluster});
+         buildRawCluster,
+         {{"(root)", "the spec file IS the ClusterSpec document"}}});
     registerScenario(
         {"steady-poisson",
          "constant-rate open-loop Poisson traffic (the legacy model, "
          "as an explicit arrival process)",
-         buildSteadyPoisson});
+         buildSteadyPoisson,
+         withBase({{"rate", "mean arrival rate, req/s (default 60)"}})});
     registerScenario(
         {"mmpp-diurnal",
          "Markov-modulated Poisson traffic cycling through "
          "trough/shoulder/peak rates (diurnal, bursty load)",
-         buildMmppDiurnal});
+         buildMmppDiurnal,
+         withBase({{"states",
+                    "[{rate, dwell-sec}] MMPP states (default "
+                    "30/60/120 req/s diurnal cycle)"}})});
     registerScenario(
         {"chat-sessions",
          "multi-turn chat sessions with prefix-cache reuse and "
          "session-affinity routing",
-         buildChatSessions});
+         buildChatSessions,
+         withBase(
+             {{"session-rate", "session starts per second (default 15)"},
+              {"mean-turns", "mean turns per session (default 4)"},
+              {"think-sec", "mean think time between turns (default 2)"},
+              {"cached-frac",
+               "prefix-cache share of follow-up prompts (default "
+               "0.75)"}})});
     registerScenario(
         {"multi-tenant",
          "independent per-tier Poisson streams with per-tenant SLO "
          "accounting (premium/standard/batch by default)",
-         buildMultiTenant});
+         buildMultiTenant,
+         withBase({{"tiers",
+                    "[{name, rate, ttft-slo-ms, e2e-slo-ms}] SLO "
+                    "tiers (default premium/standard/batch)"}})});
+    registerScenario(
+        {"kv_offload",
+         "two-tier KV store under memory pressure: offload policy x "
+         "interconnect generation, session traffic with prefix reuse",
+         buildKvOffload,
+         withBase(
+             {{"policy",
+               "offload policy: static-watermark, lru-by-session or "
+               "prefix-aware (default lru-by-session)"},
+              {"host-gib", "host KV pool per replica, GiB (default 16)"},
+              {"watermark",
+               "static-watermark HBM occupancy trigger (default 0.9)"},
+              {"hbm-gib",
+               "HBM capacity override, GiB (default 0.6, forcing "
+               "pressure)"},
+              {"link-bw-gbs", "interconnect bandwidth override, GB/s"},
+              {"link-latency-ns", "interconnect latency override, ns"},
+              {"session-rate", "session starts per second (default 12)"},
+              {"mean-turns", "mean turns per session (default 4)"},
+              {"think-sec", "mean think time between turns (default 1)"},
+              {"cached-frac",
+               "prefix-cache share of follow-up prompts (default "
+               "0.8)"}})});
+    registerScenario(
+        {"disagg",
+         "disaggregated prefill/decode pools with KV handoff over the "
+         "interconnect (pool ratio as the axis)",
+         buildDisagg,
+         withBase(
+             {{"prefill-replicas",
+               "prefill-pool size; 0 collapses to co-located Mixed "
+               "replicas (default 1)"},
+              {"decode-replicas", "decode-pool size (default 1)"},
+              {"rate", "mean arrival rate, req/s (default 40)"},
+              {"policy",
+               "optional KV offload policy on top of the split "
+               "(default never)"},
+              {"host-gib", "host KV pool per replica, GiB (default 16)"},
+              {"watermark",
+               "static-watermark HBM occupancy trigger (default "
+               "0.9)"}})});
 }
 
 } // namespace skipsim::scenario

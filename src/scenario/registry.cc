@@ -150,4 +150,27 @@ scenarioNames()
     return out;
 }
 
+json::Value
+scenarioListToJson()
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(g_mutex);
+    json::Value::Array list;
+    for (const auto &[name, scenario] : g_scenarios) {
+        json::Object entry;
+        entry.set("name", scenario.name);
+        entry.set("description", scenario.description);
+        json::Value::Array params;
+        for (const ScenarioParam &param : scenario.params) {
+            json::Object p;
+            p.set("name", param.name);
+            p.set("description", param.description);
+            params.push_back(json::Value(std::move(p)));
+        }
+        entry.set("params", json::Value(std::move(params)));
+        list.push_back(json::Value(std::move(entry)));
+    }
+    return json::Value(std::move(list));
+}
+
 } // namespace skipsim::scenario

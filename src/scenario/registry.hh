@@ -35,6 +35,16 @@
 namespace skipsim::scenario
 {
 
+/** One accepted scenario parameter (documentation metadata). */
+struct ScenarioParam
+{
+    /** Parameter key in the --spec JSON object. */
+    std::string name;
+
+    /** One-line meaning, including the default. */
+    std::string description;
+};
+
 /** One registered scenario. */
 struct Scenario
 {
@@ -51,6 +61,12 @@ struct Scenario
      */
     std::function<cluster::ClusterSpec(const json::Object &params)>
         build;
+
+    /**
+     * Accepted parameters (`skipctl scenarios --json`). Documentation
+     * only — builders stay the behavioral source of truth.
+     */
+    std::vector<ScenarioParam> params;
 };
 
 /**
@@ -85,6 +101,13 @@ std::vector<Scenario> scenarioList();
 
 /** All registered names, sorted. */
 std::vector<std::string> scenarioNames();
+
+/**
+ * Machine-readable listing (`skipctl scenarios --json`): an array of
+ * {"name", "description", "params": [{"name", "description"}]}
+ * objects, sorted by scenario name.
+ */
+json::Value scenarioListToJson();
 
 } // namespace skipsim::scenario
 

@@ -20,12 +20,25 @@ ReplicaEngine::ReplicaEngine(core::Engine &engine, const Config &config,
         fatal("ReplicaEngine: genTokens must be positive");
     if (_cfg.chunkTokens > 0 && _cfg.promptLen <= 0)
         fatal("ReplicaEngine: chunked prefill needs a prompt length");
+    if (static_cast<bool>(_cfg.kvAdmit) !=
+        static_cast<bool>(_cfg.kvRelease))
+        fatal("ReplicaEngine: kvAdmit and kvRelease must be set "
+              "together");
+    if (_cfg.chunkTokens > 0 && (_cfg.kvAdmit || _cfg.prefillOnly))
+        fatal("ReplicaEngine: chunked prefill does not compose with an "
+              "external KV store or prefill-only mode");
 }
 
 void
 ReplicaEngine::enqueue(std::size_t id, double arrivalNs)
 {
     _pending.emplace_back(id, arrivalNs);
+}
+
+void
+ReplicaEngine::enqueueDecode(std::size_t id, double arrivalNs)
+{
+    _pendingDecode.emplace_back(id, arrivalNs);
 }
 
 void
@@ -79,15 +92,47 @@ ReplicaEngine::maybeStart(double nowNs)
         return;
     }
 
+    // Decode-pool entrants (disaggregated serving) join the decode
+    // batch directly: their prefill happened in another pool.
+    while (!_pendingDecode.empty() &&
+           _active.size() + _prefilling.size() <
+               static_cast<std::size_t>(_cfg.maxActive)) {
+        std::size_t id = _pendingDecode.front().first;
+        if (_cfg.kvAdmit) {
+            Config::KvAdmission kv = _cfg.kvAdmit(id, nowNs, true);
+            if (!kv.admitted)
+                break;
+            _pendingStallNs += kv.stallNs;
+        } else if (_kvBytes + _cfg.kvPerSeqBytes <=
+                   _cfg.kvCapacityBytes) {
+            _kvBytes += _cfg.kvPerSeqBytes;
+        } else {
+            break;
+        }
+        _pendingDecode.pop_front();
+        _active.emplace_back(id, _cfg.genTokens - 1);
+    }
+
     // Admit pending prefills while batch slots and KV budget allow;
     // what does not fit stays queued until completions release KV.
     while (!_pending.empty() &&
            _active.size() + _prefilling.size() <
-               static_cast<std::size_t>(_cfg.maxActive) &&
-           _kvBytes + _cfg.kvPerSeqBytes <= _cfg.kvCapacityBytes) {
+               static_cast<std::size_t>(_cfg.maxActive)) {
+        if (_cfg.kvAdmit) {
+            Config::KvAdmission kv =
+                _cfg.kvAdmit(_pending.front().first, nowNs, false);
+            if (!kv.admitted)
+                break;
+            _pendingStallNs += kv.stallNs;
+            _prefillShares.push_back(kv.prefillShare);
+        } else if (_kvBytes + _cfg.kvPerSeqBytes <=
+                   _cfg.kvCapacityBytes) {
+            _kvBytes += _cfg.kvPerSeqBytes;
+        } else {
+            break;
+        }
         _prefilling.push_back(_pending.front());
         _pending.pop_front();
-        _kvBytes += _cfg.kvPerSeqBytes;
     }
     _peakKvBytes = std::max(_peakKvBytes, _kvBytes);
 
@@ -96,7 +141,14 @@ ReplicaEngine::maybeStart(double nowNs)
             _cb.onAdmit(_prefilling.size(), nowNs);
         double base =
             _cfg.cost->prefillNs(static_cast<int>(_prefilling.size()));
-        if (_cfg.prefillFrac) {
+        if (_cfg.kvAdmit) {
+            // Residency-gated prefix hits: the admission hook already
+            // decided each request's uncached share.
+            double share = 0.0;
+            for (double s : _prefillShares)
+                share += std::clamp(s, 0.05, 1.0);
+            base *= share / static_cast<double>(_prefilling.size());
+        } else if (_cfg.prefillFrac) {
             // Prefix-cache hits skip the cached share of the prompt;
             // prefill time is near-linear in tokens, so the batch cost
             // scales by the mean uncached share.
@@ -117,6 +169,10 @@ ReplicaEngine::maybeStart(double nowNs)
 double
 ReplicaEngine::startIteration(double nowNs, double baseNs)
 {
+    // Synchronous KV paging (external store) stalls the iteration it
+    // admitted into: the GPU waits on the interconnect.
+    baseNs += _pendingStallNs;
+    _pendingStallNs = 0.0;
     double dur = _cb.scaleDuration ? _cb.scaleDuration(baseNs) : baseNs;
     _busy = true;
     ++_serial;
@@ -130,7 +186,10 @@ ReplicaEngine::startIteration(double nowNs, double baseNs)
 void
 ReplicaEngine::completeSeq(std::size_t id, double nowNs)
 {
-    _kvBytes -= _cfg.kvPerSeqBytes;
+    if (_cfg.kvRelease)
+        _cfg.kvRelease(id, nowNs);
+    else
+        _kvBytes -= _cfg.kvPerSeqBytes;
     if (_cb.onComplete)
         _cb.onComplete(id, nowNs);
 }
@@ -168,12 +227,13 @@ ReplicaEngine::onIterEnd(double tNs, std::uint64_t serial)
         for (const auto &[id, arrival] : _prefilling) {
             if (_cb.onFirstToken)
                 _cb.onFirstToken(id, tNs - arrival, tNs);
-            if (_cfg.genTokens == 1)
+            if (_cfg.genTokens == 1 || _cfg.prefillOnly)
                 completeSeq(id, tNs);
             else
                 _active.emplace_back(id, _cfg.genTokens - 1);
         }
         _prefilling.clear();
+        _prefillShares.clear();
     } else {
         // Decode first: a head finishing its last chunk this
         // iteration joins the batch afterwards, so it does not decode
@@ -215,14 +275,20 @@ std::vector<std::size_t>
 ReplicaEngine::evictAll()
 {
     std::vector<std::size_t> ids;
-    ids.reserve(_pending.size() + _prefilling.size() + _active.size() +
+    ids.reserve(_pending.size() + _pendingDecode.size() +
+                _prefilling.size() + _active.size() +
                 (_headChunksLeft > 0 ? 1 : 0));
     for (const auto &[id, arrival] : _pending)
         ids.push_back(id);
     _pending.clear();
+    for (const auto &[id, arrival] : _pendingDecode)
+        ids.push_back(id);
+    _pendingDecode.clear();
     for (const auto &[id, arrival] : _prefilling)
         ids.push_back(id);
     _prefilling.clear();
+    _prefillShares.clear();
+    _pendingStallNs = 0.0;
     if (_headChunksLeft > 0 || _headArrivalNs >= 0.0) {
         ids.push_back(_headId);
         _headChunksLeft = 0;

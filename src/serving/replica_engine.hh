@@ -101,9 +101,46 @@ class ReplicaEngine : private core::Process
          * the rest (multi-turn sessions). Prefill iteration cost
          * scales by the admitted batch's mean share; KV stays
          * reserved in full (conservative admission). Unset means
-         * every prompt is cold.
+         * every prompt is cold. Ignored when kvAdmit is set (the
+         * admission hook returns the residency-gated share).
          */
         std::function<double(std::size_t id)> prefillFrac;
+
+        /** Outcome of an external KV admission (see kvAdmit). */
+        struct KvAdmission
+        {
+            bool admitted = false;
+
+            /** Synchronous transfer time (KV paging/prefix fetch)
+             *  added to the admitting iteration's duration, ns. */
+            double stallNs = 0.0;
+
+            /** Residency-gated prefill share for this request,
+             *  (0, 1]; decode entrants ignore it. */
+            double prefillShare = 1.0;
+        };
+
+        /**
+         * External KV admission (a two-tier store): when set, it
+         * replaces the internal kvPerSeqBytes/kvCapacityBytes budget
+         * check — the hook reserves the sequence's KV, pages other
+         * entries out to make room, and reports the stall to charge.
+         * kvRelease must be set with it; chunked prefill is not
+         * supported with an external store.
+         */
+        std::function<KvAdmission(std::size_t id, double nowNs,
+                                  bool decodeEntry)>
+            kvAdmit;
+
+        /** Release request @p id's KV reservation (completion). */
+        std::function<void(std::size_t id, double nowNs)> kvRelease;
+
+        /**
+         * Prefill-pool mode (disaggregated serving): sequences
+         * complete right after their first token — the host ships the
+         * KV to a decode pool — instead of joining the decode batch.
+         */
+        bool prefillOnly = false;
     };
 
     /**
@@ -149,6 +186,14 @@ class ReplicaEngine : private core::Process
     void enqueue(std::size_t id, double arrivalNs);
 
     /**
+     * Queue request @p id for decode-pool entry (disaggregated
+     * serving): its prefill (and first token) happened elsewhere, so
+     * on admission it joins the decode batch directly with
+     * genTokens - 1 tokens left and never reports a first token here.
+     */
+    void enqueueDecode(std::size_t id, double arrivalNs);
+
+    /**
      * Start the next iteration if the replica is idle, not halted,
      * before the horizon, and has admissible or active work.
      */
@@ -167,7 +212,10 @@ class ReplicaEngine : private core::Process
      */
     std::vector<std::size_t> evictAll();
 
-    std::size_t pendingCount() const { return _pending.size(); }
+    std::size_t pendingCount() const
+    {
+        return _pending.size() + _pendingDecode.size();
+    }
     std::size_t activeCount() const { return _active.size(); }
     std::size_t prefillingCount() const { return _prefilling.size(); }
     bool chunkHeadInFlight() const { return _headChunksLeft > 0; }
@@ -200,8 +248,16 @@ class ReplicaEngine : private core::Process
     Callbacks _cb;
 
     std::deque<std::pair<std::size_t, double>> _pending;
+    std::deque<std::pair<std::size_t, double>> _pendingDecode;
     std::vector<std::pair<std::size_t, double>> _prefilling;
+    /** Residency-gated prefill shares, parallel to _prefilling
+     *  (kvAdmit mode only). */
+    std::vector<double> _prefillShares;
     std::vector<std::pair<std::size_t, int>> _active;
+
+    /** Synchronous KV transfer time accrued by admissions since the
+     *  last iteration start; added to the next iteration's base. */
+    double _pendingStallNs = 0.0;
 
     /** Chunked-prefill head-of-line request; arrival < 0 when none. */
     std::size_t _headId = 0;

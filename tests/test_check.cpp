@@ -348,7 +348,7 @@ TEST(Fuzzer, GenerationIsDeterministicAndKindDiverse)
             << "case " << i;
         kinds.insert(ca.kind);
     }
-    EXPECT_EQ(kinds.size(), 3u) << "generator never hit some engine";
+    EXPECT_EQ(kinds.size(), 4u) << "generator never hit some engine";
 }
 
 TEST(Fuzzer, CaseJsonRoundTripsForEveryKind)
@@ -358,7 +358,7 @@ TEST(Fuzzer, CaseJsonRoundTripsForEveryKind)
     opts.quick = true;
     Fuzzer fuzzer(opts);
     std::set<FuzzKind> seen;
-    for (std::uint64_t i = 0; i < 40 && seen.size() < 3; ++i) {
+    for (std::uint64_t i = 0; i < 40 && seen.size() < 4; ++i) {
         FuzzCase c = fuzzer.generate(i);
         if (!seen.insert(c.kind).second)
             continue;
@@ -367,7 +367,7 @@ TEST(Fuzzer, CaseJsonRoundTripsForEveryKind)
                   json::write(c.toJson()))
             << fuzzKindName(c.kind);
     }
-    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen.size(), 4u);
 }
 
 TEST(Fuzzer, GraphJsonRejectsMalformedDocuments)

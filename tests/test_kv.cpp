@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the two-tier KV store (src/kv): spec validation and serde,
+ * admission/release accounting, per-policy victim selection, host-pool
+ * overflow eviction, synchronous fetch stalls on host-resident prefix
+ * hits, StaticWatermark async pre-paging, and crash dropAll semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/resource.hh"
+#include "hw/catalog.hh"
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "kv/tier.hh"
+
+namespace skipsim
+{
+namespace
+{
+
+/**
+ * Platform whose link moves 1 byte/ns with no latency, so every
+ * expected transfer duration in these tests is just the byte count.
+ */
+hw::Platform
+unitLinkPlatform()
+{
+    hw::Platform p = hw::platforms::gh200();
+    p.name = "unit-link";
+    p.link.name = "unit";
+    p.link.bwGBs = 1.0;
+    p.link.latencyNs = 0.0;
+    return p;
+}
+
+kv::TierSpec
+tierSpec(kv::OffloadPolicy policy, double host_gib = 64.0,
+         double watermark = 0.9)
+{
+    kv::TierSpec spec;
+    spec.policy = policy;
+    spec.hostCapacityGiB = host_gib;
+    spec.watermarkFrac = watermark;
+    return spec;
+}
+
+// ------------------------------------------------------------ policy names
+
+TEST(KvPolicy, NamesRoundTripAndUnknownIsRejected)
+{
+    for (kv::OffloadPolicy policy :
+         {kv::OffloadPolicy::Never, kv::OffloadPolicy::StaticWatermark,
+          kv::OffloadPolicy::LruBySession,
+          kv::OffloadPolicy::PrefixAware})
+        EXPECT_EQ(kv::offloadPolicyByName(kv::offloadPolicyName(policy)),
+                  policy);
+    EXPECT_EQ(kv::offloadPolicyNames().size(), 4u);
+    EXPECT_THROW(kv::offloadPolicyByName("mru"), FatalError);
+}
+
+// ------------------------------------------------------------------- spec
+
+TEST(KvTierSpec, ValidatesRanges)
+{
+    kv::TierSpec spec = tierSpec(kv::OffloadPolicy::LruBySession);
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_TRUE(spec.enabled());
+    EXPECT_FALSE(tierSpec(kv::OffloadPolicy::Never).enabled());
+
+    kv::TierSpec negative_host = spec;
+    negative_host.hostCapacityGiB = -1.0;
+    EXPECT_THROW(negative_host.validate(), FatalError);
+
+    kv::TierSpec zero_watermark = spec;
+    zero_watermark.watermarkFrac = 0.0;
+    EXPECT_THROW(zero_watermark.validate(), FatalError);
+
+    kv::TierSpec high_watermark = spec;
+    high_watermark.watermarkFrac = 1.5;
+    EXPECT_THROW(high_watermark.validate(), FatalError);
+}
+
+TEST(KvTierSpec, JsonRoundTrips)
+{
+    kv::TierSpec spec =
+        tierSpec(kv::OffloadPolicy::PrefixAware, 16.0, 0.75);
+    kv::TierSpec back = kv::TierSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.policy, spec.policy);
+    EXPECT_DOUBLE_EQ(back.hostCapacityGiB, spec.hostCapacityGiB);
+    EXPECT_DOUBLE_EQ(back.watermarkFrac, spec.watermarkFrac);
+    EXPECT_EQ(json::write(back.toJson()), json::write(spec.toJson()));
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(KvStore, RejectsDisabledPolicyAndEmptyBudget)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    EXPECT_THROW(kv::TieredStore(tierSpec(kv::OffloadPolicy::Never),
+                                 platform, 1000.0, lane),
+                 FatalError);
+    EXPECT_THROW(
+        kv::TieredStore(tierSpec(kv::OffloadPolicy::LruBySession),
+                        platform, 0.0, lane),
+        FatalError);
+}
+
+TEST(KvStore, HbmResidentPrefixHitIsFree)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    kv::TieredStore store(tierSpec(kv::OffloadPolicy::LruBySession),
+                          platform, 1000.0, lane);
+
+    kv::TieredStore::AdmitResult first =
+        store.admit(7, 400.0, 0.0, /*fetchPrefix=*/true);
+    EXPECT_TRUE(first.admitted);
+    EXPECT_EQ(first.prefixHit, kv::Residency::None);
+    EXPECT_EQ(store.stats().misses, 1u);
+
+    store.release(7, 400.0, 10.0, /*retain=*/true);
+    EXPECT_EQ(store.lookup(7), kv::Residency::Hbm);
+
+    kv::TieredStore::AdmitResult second =
+        store.admit(7, 500.0, 20.0, /*fetchPrefix=*/true);
+    EXPECT_TRUE(second.admitted);
+    EXPECT_EQ(second.prefixHit, kv::Residency::Hbm);
+    EXPECT_DOUBLE_EQ(second.stallNs, 0.0);
+    EXPECT_EQ(store.stats().hitsHbm, 1u);
+    // The retained entry was consumed by the new turn.
+    EXPECT_EQ(store.lookup(7), kv::Residency::None);
+}
+
+TEST(KvStore, LruVictimPagesOutAndFetchStalls)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    kv::TieredStore store(tierSpec(kv::OffloadPolicy::LruBySession),
+                          platform, 1000.0, lane);
+
+    // Retain two 300 B sessions; session 1 is least recently used.
+    ASSERT_TRUE(store.admit(1, 300.0, 0.0, true).admitted);
+    store.release(1, 300.0, 10.0, true);
+    ASSERT_TRUE(store.admit(2, 300.0, 20.0, true).admitted);
+    store.release(2, 300.0, 30.0, true);
+
+    // 600 B retained + 500 B new demand > 1000 B: one page-out, of
+    // the LRU entry, paid synchronously (300 B over a 1 B/ns link).
+    kv::TieredStore::AdmitResult r = store.admit(3, 500.0, 40.0, true);
+    EXPECT_TRUE(r.admitted);
+    EXPECT_DOUBLE_EQ(r.stallNs, 300.0);
+    EXPECT_EQ(store.lookup(1), kv::Residency::Host);
+    EXPECT_EQ(store.lookup(2), kv::Residency::Hbm);
+    EXPECT_EQ(store.stats().offloads, 1u);
+    EXPECT_DOUBLE_EQ(store.stats().offloadedBytes, 300.0);
+
+    // Session 1 returns: host-resident hit pays the fetch back, and
+    // queues behind the offload still occupying the lane (until 340),
+    // so the stall is (340 - 60) queueing + 300 transfer.
+    store.release(3, 500.0, 50.0, false);
+    kv::TieredStore::AdmitResult back =
+        store.admit(1, 400.0, 60.0, true);
+    EXPECT_TRUE(back.admitted);
+    EXPECT_EQ(back.prefixHit, kv::Residency::Host);
+    EXPECT_DOUBLE_EQ(back.stallNs, 580.0);
+    EXPECT_EQ(store.stats().fetches, 1u);
+    EXPECT_EQ(store.stats().hitsHost, 1u);
+    EXPECT_DOUBLE_EQ(store.hostBytes(), 0.0);
+}
+
+TEST(KvStore, FullHostPoolEvictsInsteadOfOffloading)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    // Zero host pool: every page-out must drop the entry.
+    kv::TieredStore store(
+        tierSpec(kv::OffloadPolicy::LruBySession, 0.0), platform,
+        1000.0, lane);
+
+    ASSERT_TRUE(store.admit(1, 600.0, 0.0, true).admitted);
+    store.release(1, 600.0, 10.0, true);
+    kv::TieredStore::AdmitResult r = store.admit(2, 600.0, 20.0, true);
+    EXPECT_TRUE(r.admitted);
+    EXPECT_DOUBLE_EQ(r.stallNs, 0.0); // a drop is not a transfer
+    EXPECT_EQ(store.lookup(1), kv::Residency::None);
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_EQ(store.stats().offloads, 0u);
+}
+
+TEST(KvStore, AdmissionRefusedWhenPinnedDemandExceedsHbm)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    kv::TieredStore store(tierSpec(kv::OffloadPolicy::LruBySession),
+                          platform, 1000.0, lane);
+    ASSERT_TRUE(store.admit(1, 800.0, 0.0, true).admitted);
+    kv::TieredStore::AdmitResult r = store.admit(2, 300.0, 1.0, true);
+    EXPECT_FALSE(r.admitted); // active bytes never page out
+    EXPECT_DOUBLE_EQ(store.hbmBytes(), 800.0);
+}
+
+TEST(KvStore, StaticWatermarkPrePagesAsynchronously)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    kv::TieredStore store(
+        tierSpec(kv::OffloadPolicy::StaticWatermark, 64.0, 0.5),
+        platform, 1000.0, lane);
+
+    ASSERT_TRUE(store.admit(1, 300.0, 0.0, true).admitted);
+    store.release(1, 300.0, 10.0, true);
+    EXPECT_EQ(store.lookup(1), kv::Residency::Hbm); // 300 <= 500
+
+    ASSERT_TRUE(store.admit(2, 300.0, 20.0, true).admitted);
+    store.release(2, 300.0, 30.0, true);
+    // 600 B retained > 500 B watermark: the oldest entry pre-pages
+    // out asynchronously — link time accrues, no stall is charged.
+    EXPECT_EQ(store.lookup(1), kv::Residency::Host);
+    EXPECT_EQ(store.lookup(2), kv::Residency::Hbm);
+    EXPECT_EQ(store.stats().offloads, 1u);
+    EXPECT_DOUBLE_EQ(store.stats().stallNs, 0.0);
+    EXPECT_DOUBLE_EQ(store.stats().linkBusyNs, 300.0);
+}
+
+TEST(KvStore, PrefixAwareProtectsProvenReuse)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    kv::TieredStore store(tierSpec(kv::OffloadPolicy::PrefixAware),
+                          platform, 1000.0, lane);
+
+    // Session 1 is reused once (hits = 1), then retained again.
+    ASSERT_TRUE(store.admit(1, 300.0, 0.0, true).admitted);
+    store.release(1, 300.0, 10.0, true);
+    ASSERT_TRUE(store.admit(1, 300.0, 20.0, true).admitted);
+    store.release(1, 300.0, 30.0, true);
+
+    // Session 2 is newer but has never been reused.
+    ASSERT_TRUE(store.admit(2, 300.0, 40.0, true).admitted);
+    store.release(2, 300.0, 50.0, true);
+
+    // Pressure pages the zero-reuse entry first despite its recency.
+    kv::TieredStore::AdmitResult r = store.admit(3, 500.0, 60.0, true);
+    EXPECT_TRUE(r.admitted);
+    EXPECT_EQ(store.lookup(2), kv::Residency::Host);
+    EXPECT_EQ(store.lookup(1), kv::Residency::Hbm);
+}
+
+TEST(KvStore, DropAllClearsResidencyButKeepsPeaks)
+{
+    hw::Platform platform = unitLinkPlatform();
+    core::FifoResource lane;
+    kv::TieredStore store(tierSpec(kv::OffloadPolicy::LruBySession),
+                          platform, 1000.0, lane);
+    ASSERT_TRUE(store.admit(1, 700.0, 0.0, true).admitted);
+    store.release(1, 700.0, 10.0, true);
+    double peak = store.stats().peakHbmBytes;
+    EXPECT_DOUBLE_EQ(peak, 700.0);
+
+    store.dropAll();
+    EXPECT_DOUBLE_EQ(store.hbmBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(store.hostBytes(), 0.0);
+    EXPECT_EQ(store.lookup(1), kv::Residency::None);
+    EXPECT_DOUBLE_EQ(store.stats().peakHbmBytes, peak);
+}
+
+} // namespace
+} // namespace skipsim

@@ -20,6 +20,7 @@
 #include "hw/catalog.hh"
 #include "json/parser.hh"
 #include "json/writer.hh"
+#include "kv/tier.hh"
 #include "scenario/registry.hh"
 #include "serving/arrival.hh"
 #include "workload/model_config.hh"
@@ -49,7 +50,7 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered)
 {
     for (const char *name : {"cluster", "steady-poisson",
                              "mmpp-diurnal", "chat-sessions",
-                             "multi-tenant"})
+                             "multi-tenant", "kv_offload", "disagg"})
         EXPECT_TRUE(scenario::hasScenario(name)) << name;
     EXPECT_FALSE(scenario::hasScenario("no-such-scenario"));
 }
@@ -197,7 +198,8 @@ TEST(ScenarioBuilders, ReportsAreDeterministic)
     // twice from scratch. The --jobs 1 vs 8 byte-diff lives in
     // scripts/check_scenarios.sh; this is the in-process half.
     for (const char *name : {"steady-poisson", "mmpp-diurnal",
-                             "chat-sessions", "multi-tenant"}) {
+                             "chat-sessions", "multi-tenant",
+                             "kv_offload", "disagg"}) {
         cluster::ClusterSpec a =
             scenario::buildScenario(name, quickParams());
         cluster::ClusterSpec b =
@@ -228,6 +230,114 @@ TEST(ScenarioBuilders, MultiTenantReportsPerTenantStats)
     }
     // Tenant accounting partitions the offered requests.
     EXPECT_EQ(offered, result.offered);
+}
+
+// ----------------------------------------------- KV-tiering + disagg
+
+TEST(ScenarioBuilders, KvOffloadEnablesTiering)
+{
+    cluster::ClusterSpec spec =
+        scenario::buildScenario("kv_offload", quickParams());
+    EXPECT_TRUE(spec.kvTier.enabled());
+    EXPECT_EQ(spec.kvTier.policy, kv::OffloadPolicy::LruBySession);
+    EXPECT_EQ(spec.router, cluster::RouterPolicy::SessionAffinity);
+    ASSERT_NE(spec.traffic, nullptr);
+    EXPECT_STREQ(spec.traffic->kind(), "sessions");
+    for (const cluster::ReplicaSpec &replica : spec.replicas)
+        EXPECT_DOUBLE_EQ(replica.platform.gpu.hbmCapacityGiB, 0.6);
+
+    // Knobs override the defaults: policy by name, link by numbers.
+    json::Object params = quickParams();
+    params.set("policy", "static-watermark");
+    params.set("link-bw-gbs", 32.0);
+    cluster::ClusterSpec tuned =
+        scenario::buildScenario("kv_offload", params);
+    EXPECT_EQ(tuned.kvTier.policy,
+              kv::OffloadPolicy::StaticWatermark);
+    for (const cluster::ReplicaSpec &replica : tuned.replicas)
+        EXPECT_DOUBLE_EQ(replica.platform.link.bwGBs, 32.0);
+
+    json::Object bad = quickParams();
+    bad.set("policy", "mru");
+    EXPECT_THROW(scenario::buildScenario("kv_offload", bad),
+                 FatalError);
+}
+
+TEST(ScenarioBuilders, DisaggSplitsPrefillAndDecodePools)
+{
+    json::Object params = quickParams();
+    params.set("prefill-replicas", 1);
+    params.set("decode-replicas", 2);
+    cluster::ClusterSpec spec =
+        scenario::buildScenario("disagg", params);
+    ASSERT_EQ(spec.replicas.size(), 3u);
+    EXPECT_EQ(spec.replicas[0].role, cluster::ReplicaRole::Prefill);
+    EXPECT_EQ(spec.replicas[1].role, cluster::ReplicaRole::Decode);
+    EXPECT_EQ(spec.replicas[2].role, cluster::ReplicaRole::Decode);
+    EXPECT_TRUE(spec.disaggregated());
+
+    cluster::CostCache costs;
+    costs.build(spec);
+    cluster::ClusterResult result =
+        cluster::simulateCluster(spec.scenarioAt(0), costs);
+    EXPECT_TRUE(result.kv.enabled);
+    EXPECT_GT(result.kv.handoffs, 0u);
+    // The prefill pool hands every request off; only decode replicas
+    // retire them.
+    EXPECT_EQ(result.replicas[0].completed, 0u);
+}
+
+TEST(ScenarioBuilders, DisaggCollapsedMatchesCoLocated)
+{
+    // Zero prefill replicas collapse disagg to classic co-located
+    // serving: the same fleet under steady-poisson, byte for byte.
+    json::Object collapsed_params = quickParams();
+    collapsed_params.set("prefill-replicas", 0);
+    collapsed_params.set("decode-replicas", 2);
+    collapsed_params.set("rate", 40.0);
+    cluster::ClusterSpec collapsed =
+        scenario::buildScenario("disagg", collapsed_params);
+    EXPECT_FALSE(collapsed.disaggregated());
+
+    json::Object plain_params = quickParams();
+    plain_params.set("rate", 40.0);
+    cluster::ClusterSpec plain =
+        scenario::buildScenario("steady-poisson", plain_params);
+
+    cluster::CostCache costs;
+    costs.build(plain);
+    std::string a = json::write(
+        cluster::simulateCluster(collapsed.scenarioAt(0), costs)
+            .toJson());
+    std::string b = json::write(
+        cluster::simulateCluster(plain.scenarioAt(0), costs).toJson());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ScenarioRegistry, JsonListingCarriesParams)
+{
+    json::Value listing = scenario::scenarioListToJson();
+    ASSERT_TRUE(listing.isArray());
+    const json::Value::Array &list = listing.asArray();
+    ASSERT_GE(list.size(), 7u);
+    bool saw_kv_policy = false;
+    std::vector<std::string> names;
+    for (const json::Value &entry : list) {
+        ASSERT_TRUE(entry.isObject());
+        const json::Object &doc = entry.asObject();
+        ASSERT_TRUE(doc.has("name"));
+        ASSERT_TRUE(doc.has("description"));
+        ASSERT_TRUE(doc.has("params"));
+        ASSERT_TRUE(doc.at("params").isArray());
+        names.push_back(doc.at("name").asString());
+        if (doc.at("name").asString() != "kv_offload")
+            continue;
+        for (const json::Value &param : doc.at("params").asArray())
+            if (param.asObject().at("name").asString() == "policy")
+                saw_kv_policy = true;
+    }
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_TRUE(saw_kv_policy);
 }
 
 // -------------------------------------------------- arrival-process serde
@@ -318,6 +428,57 @@ TEST(ArrivalSerde, ClusterSpecCarriesTrafficAndTenants)
     EXPECT_EQ(loaded.tenants[0].name, "gold");
     EXPECT_DOUBLE_EQ(loaded.tenants[0].ttftSloMs, 200.0);
     EXPECT_DOUBLE_EQ(loaded.tenants[1].e2eSloMs, 2000.0);
+}
+
+// ------------------------------------------------------ arrival edge cases
+
+TEST(ArrivalEdgeCases, ZeroRateMmppStateIsValidAndRuns)
+{
+    // A silent MMPP state (rate 0) is a legal traffic lull, not a
+    // config error; the generator must step through it.
+    auto traffic = std::make_shared<serving::MmppProcess>(
+        std::vector<serving::MmppProcess::State>{{0.0, 1.0},
+                                                 {40.0, 1.0}},
+        16);
+    EXPECT_NO_THROW(traffic->validate());
+
+    cluster::ClusterSpec spec =
+        scenario::buildScenario("steady-poisson", quickParams());
+    spec.traffic = traffic;
+    cluster::CostCache costs;
+    costs.build(spec);
+    cluster::ClusterResult result =
+        cluster::simulateCluster(spec.scenarioAt(0), costs);
+    EXPECT_GT(result.offered, 0u);
+    EXPECT_EQ(result.offered, result.completed + result.lost);
+
+    // A non-positive dwell, though, can never be left.
+    serving::MmppProcess stuck({{0.0, 0.0}}, 16);
+    EXPECT_THROW(stuck.validate(), FatalError);
+}
+
+TEST(ArrivalEdgeCases, FullyCachedFollowUpsAreRejected)
+{
+    serving::SessionProcess::Params params;
+    params.cachedFrac = 0.95; // the documented ceiling is inclusive
+    EXPECT_NO_THROW(serving::SessionProcess(params).validate());
+
+    params.cachedFrac = 1.0; // a zero-compute prefill is not a turn
+    try {
+        serving::SessionProcess(params).validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("cached-frac"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(ArrivalEdgeCases, ZeroWeightTierIsRejected)
+{
+    serving::TieredProcess empty(
+        {{"gold", 6.0}, {"idle", 0.0}}, 16);
+    EXPECT_THROW(empty.validate(), FatalError);
 }
 
 } // namespace
