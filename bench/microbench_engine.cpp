@@ -14,15 +14,18 @@
 #include <vector>
 
 #include "check/invariants.hh"
+#include "cluster/cluster.hh"
 #include "common/random.hh"
 #include "core/engine.hh"
 #include "core/event_queue.hh"
 #include "fusion/proximity.hh"
 #include "hw/catalog.hh"
+#include "obs/span.hh"
 #include "sim/simulator.hh"
 #include "skip/dep_graph.hh"
 #include "skip/metrics.hh"
 #include "workload/builder.hh"
+#include "workload/model_config.hh"
 
 using namespace skipsim;
 
@@ -212,12 +215,51 @@ BM_EngineEventChurn(benchmark::State &state)
 }
 BENCHMARK(BM_EngineEventChurn)->Arg(1 << 16);
 
+void
+BM_ClusterSpanOverhead(benchmark::State &state)
+{
+    // Cost of per-request lifecycle span recording (obs::SpanLog) on
+    // a full cluster simulation: Arg(0) = spans disabled (the price
+    // every plain run pays, which must stay ~free), Arg(1) = spans
+    // recorded and sealed. CI compares the two rows to bound the
+    // disabled-path overhead.
+    cluster::ClusterSpec spec;
+    spec.model = workload::modelByName("GPT2");
+    cluster::ReplicaSpec replica;
+    replica.platform = hw::platforms::gh200();
+    replica.maxActive = 16;
+    spec.replicas.assign(2, replica);
+    spec.arrivalRatePerSec = 80.0;
+    spec.horizonSec = 2.0;
+    spec.promptLen = 128;
+    spec.genTokens = 8;
+    spec.sessions = 16;
+    cluster::CostCache costs;
+    costs.build(spec);
+    const bool with_spans = state.range(0) != 0;
+    std::size_t sealed = 0;
+    for (auto _ : state) {
+        obs::SpanLog spans;
+        auto result = cluster::simulateCluster(
+            spec, costs, nullptr, with_spans ? &spans : nullptr);
+        benchmark::DoNotOptimize(result.completed);
+        sealed = spans.spans().size();
+        benchmark::DoNotOptimize(sealed);
+    }
+    state.counters["spans"] = static_cast<double>(sealed);
+}
+BENCHMARK(BM_ClusterSpanOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 // google-benchmark rejects flags it does not recognize, so a custom
 // main translates the repo-wide --quick convention (see the ext_*
 // drivers) into a filter + short measurement budget for CI: just the
-// event-queue row, enough to catch gross regressions.
+// event-queue and span-overhead rows, enough to catch gross
+// regressions.
 int
 main(int argc, char **argv)
 {
@@ -230,7 +272,8 @@ main(int argc, char **argv)
             args.push_back(argv[i]);
     }
     static std::string filter =
-        "--benchmark_filter=BM_EventQueueThroughput";
+        "--benchmark_filter=BM_EventQueueThroughput|"
+        "BM_ClusterSpanOverhead";
     static std::string min_time = "--benchmark_min_time=0.05";
     if (quick) {
         args.push_back(filter.data());

@@ -21,9 +21,12 @@
  *   skipctl run      --scenario NAME [--spec params.json] [--quick]
  *                    [--jobs N] [--out report.json]
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
- *                    [--obs-interval-ms MS]
+ *                    [--obs-format json|openmetrics]
+ *                    [--obs-interval-ms MS] [--span-out spans.json]
  *                    [--harness-trace harness.json]
  *   skipctl scenarios [--json]
+ *   skipctl attribute <spans.json> [--json] [--ttft-slo-ms MS]
+ *                    [--e2e-slo-ms MS]
  *   skipctl validate <trace.json>
  *   skipctl check    [--trace t.json | --props [--filter F]
  *                    | --fuzz N [--seed S] [--jobs J] [--quick]
@@ -58,9 +61,15 @@
  * Observability (docs/observability.md): --obs-out writes a
  * metrics/time-series JSON sampled at deterministic simulated-time
  * boundaries (--obs-interval-ms, byte-identical at any --jobs);
- * --obs-trace renders the same probes as a Chrome trace with duration,
- * counter and instant events; --harness-trace profiles the harness
- * itself (wall-clock, one track per worker). `validate` re-reads any
+ * --obs-format openmetrics writes the final metrics registry as an
+ * OpenMetrics/Prometheus text exposition instead. --obs-trace renders
+ * the same probes as a Chrome trace with duration, counter and
+ * instant events; --span-out records per-request lifecycle spans
+ * (queue, routing, KV fetch, prefill, handoff, decode) as a Chrome
+ * trace, and `attribute` aggregates such a span file into a
+ * per-stage TTFT/e2e latency breakdown with SLO-violation
+ * attribution. --harness-trace profiles the harness itself
+ * (wall-clock, one track per worker). `validate` re-reads any
  * emitted Chrome trace through our own reader.
  *
  * Correctness (docs/testing.md): `check --trace` asserts the semantic
@@ -74,6 +83,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
 #include <memory>
 
 #include "analysis/boundedness.hh"
@@ -82,6 +94,7 @@
 #include "check/fuzzer.hh"
 #include "check/invariants.hh"
 #include "check/properties.hh"
+#include "check/span_check.hh"
 #include "cluster/cluster.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
@@ -97,8 +110,11 @@
 #include "json/writer.hh"
 #include "hw/catalog.hh"
 #include "hw/serde.hh"
+#include "obs/attribution.hh"
 #include "obs/collector.hh"
 #include "obs/harness.hh"
+#include "obs/openmetrics.hh"
+#include "obs/span.hh"
 #include "obs/trace_probe.hh"
 #include "scenario/analysis.hh"
 #include "scenario/registry.hh"
@@ -134,6 +150,22 @@ pickPlatform(const CliArgs &args)
     if (args.has("platform-file"))
         return hw::loadPlatform(args.getString("platform-file"));
     return hw::platforms::byName(args.getString("platform", "GH200"));
+}
+
+/**
+ * Write one collector's final metrics registry as OpenMetrics text
+ * (--obs-format openmetrics). The time-series samples have no
+ * OpenMetrics shape; use the JSON format for those.
+ */
+void
+writeOpenMetrics(const std::string &path, const obs::Collector &c)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("skipctl: cannot open '" + path + "' for writing");
+    out << obs::toOpenMetrics(c.metrics());
+    if (!out)
+        fatal("skipctl: write to '" + path + "' failed");
 }
 
 /** The unified run description each subcommand dispatches on. */
@@ -177,9 +209,16 @@ cmdProfile(const CliArgs &args)
         collector =
             std::make_unique<obs::Collector>(flags.obsIntervalMs);
         obs::probeTrace(result.trace, *collector);
-        json::writeFile(flags.obsOut, collector->toJson());
-        std::printf("\nobs report (%zu samples) written to %s\n",
-                    collector->sampleCount(), flags.obsOut.c_str());
+        if (flags.obsFormat == "openmetrics") {
+            writeOpenMetrics(flags.obsOut, *collector);
+            std::printf("\nobs metrics (openmetrics) written to %s\n",
+                        flags.obsOut.c_str());
+        } else {
+            json::writeFile(flags.obsOut, collector->toJson());
+            std::printf("\nobs report (%zu samples) written to %s\n",
+                        collector->sampleCount(),
+                        flags.obsOut.c_str());
+        }
     }
 
     if (args.has("trace")) {
@@ -317,7 +356,11 @@ cmdServe(const CliArgs &args)
     if (result.leftInQueue > 0)
         std::printf("  warning: %zu requests still queued (overload)\n",
                     result.leftInQueue);
-    if (!flags.obsOut.empty()) {
+    if (!flags.obsOut.empty() && flags.obsFormat == "openmetrics") {
+        writeOpenMetrics(flags.obsOut, *collector);
+        std::printf("  obs metrics (openmetrics) -> %s\n",
+                    flags.obsOut.c_str());
+    } else if (!flags.obsOut.empty()) {
         json::writeFile(flags.obsOut, collector->toJson());
         std::printf("  obs report (%zu samples) -> %s\n",
                     collector->sampleCount(), flags.obsOut.c_str());
@@ -358,6 +401,15 @@ runClusterSpec(const cluster::ClusterSpec &spec, const RunFlags &flags)
                 std::make_unique<obs::Collector>(flags.obsIntervalMs);
     }
 
+    // One span log per scenario, like the collectors: each scenario
+    // is simulated single-threaded, so its spans seal in event order
+    // and the export stays byte-identical at any --jobs count.
+    std::vector<std::unique_ptr<obs::SpanLog>> span_logs(scenarios);
+    if (!flags.spanOut.empty()) {
+        for (std::size_t i = 0; i < scenarios; ++i)
+            span_logs[i] = std::make_unique<obs::SpanLog>();
+    }
+
     std::unique_ptr<obs::HarnessTracer> tracer;
     if (!flags.harnessTrace.empty())
         tracer = std::make_unique<obs::HarnessTracer>();
@@ -369,7 +421,8 @@ runClusterSpec(const cluster::ClusterSpec &spec, const RunFlags &flags)
             span = std::make_unique<obs::HarnessTracer::Scope>(
                 *tracer, strprintf("scenario %zu", i));
         results[i] = cluster::simulateCluster(spec.scenarioAt(i), costs,
-                                              collectors[i].get());
+                                              collectors[i].get(),
+                                              span_logs[i].get());
     });
 
     TextTable table(strprintf("%s x %zu replicas (%s router)",
@@ -442,7 +495,17 @@ runClusterSpec(const cluster::ClusterSpec &spec, const RunFlags &flags)
                     flags.out.c_str());
     }
 
-    if (!flags.obsOut.empty()) {
+    if (!flags.obsOut.empty() && flags.obsFormat == "openmetrics") {
+        // OpenMetrics is a flat text exposition of the final registry
+        // state; the per-scenario time series has no shape there.
+        if (scenarios > 1)
+            warnOnce("cluster-obs-openmetrics-multi",
+                     "--obs-format openmetrics exposes scenario 0 "
+                     "only; use --obs-format json for the full sweep");
+        writeOpenMetrics(flags.obsOut, *collectors.front());
+        std::printf("obs metrics (openmetrics) -> %s\n",
+                    flags.obsOut.c_str());
+    } else if (!flags.obsOut.empty()) {
         json::Object doc;
         doc.set("interval_ms", flags.obsIntervalMs);
         json::Value::Array scenario_docs;
@@ -464,6 +527,17 @@ runClusterSpec(const cluster::ClusterSpec &spec, const RunFlags &flags)
         trace::writeChromeFile(flags.obsTrace,
                                collectors.front()->toTrace());
         std::printf("obs trace -> %s\n", flags.obsTrace.c_str());
+    }
+    if (!flags.spanOut.empty()) {
+        if (scenarios > 1)
+            warnOnce("cluster-span-out-multi",
+                     "--span-out writes scenario 0 only; run one "
+                     "scenario per span trace");
+        span_logs.front()->writeChromeFile(flags.spanOut);
+        std::printf("span trace (%zu requests, %zu spans) -> %s\n",
+                    span_logs.front()->requestCount(),
+                    span_logs.front()->spans().size(),
+                    flags.spanOut.c_str());
     }
     if (tracer != nullptr) {
         tracer->write(flags.harnessTrace);
@@ -517,6 +591,8 @@ cmdRun(const CliArgs &args)
                      "[--spec params.json] [--quick] [--jobs N] "
                      "[--out report.json] [--obs-out obs.json] "
                      "[--obs-trace trace.json] [--obs-interval-ms MS] "
+                     "[--obs-format json|openmetrics] "
+                     "[--span-out spans.json] "
                      "[--harness-trace harness.json]\n"
                      "scenarios: %s\n",
                      join(scenario::scenarioNames(), ", ").c_str());
@@ -553,6 +629,56 @@ cmdScenarios(const CliArgs &args)
     for (const scenario::Scenario &entry : scenario::scenarioList())
         std::printf("%-16s %s\n", entry.name.c_str(),
                     entry.description.c_str());
+    return 0;
+}
+
+/**
+ * Latency attribution over an exported span trace (skipctl attribute
+ * <spans.json> [--json] [--ttft-slo-ms MS] [--e2e-slo-ms MS]).
+ * Re-checks the stage-partition invariant before attributing — a
+ * broken partition would silently misattribute time — and judges the
+ * SLO-violation table against the thresholds the run embedded in
+ * skipsimMeta unless overridden on the command line.
+ */
+int
+cmdAttribute(const CliArgs &args)
+{
+    if (args.positional().size() < 2) {
+        std::fprintf(stderr,
+                     "usage: skipctl attribute <spans.json> [--json] "
+                     "[--ttft-slo-ms MS] [--e2e-slo-ms MS]\n");
+        return 2;
+    }
+    const std::string &path = args.positional()[1];
+    obs::SpanFile file = obs::readSpanFile(path);
+
+    check::SpanCheckReport report = check::checkSpans(file.spans);
+    if (!report.ok()) {
+        std::fprintf(stderr, "skipctl attribute: %s violates the "
+                             "span invariants:\n",
+                     path.c_str());
+        std::fputs(report.render().c_str(), stderr);
+        return 1;
+    }
+
+    auto meta_ms = [&file](const char *key) {
+        auto it = file.meta.find(key);
+        return it == file.meta.end()
+            ? std::numeric_limits<double>::infinity()
+            : std::atof(it->second.c_str());
+    };
+    obs::AttributionReport attribution = obs::attributeSpans(
+        file.spans,
+        args.getDouble("ttft-slo-ms", meta_ms("ttft_slo_ms")),
+        args.getDouble("e2e-slo-ms", meta_ms("e2e_slo_ms")));
+
+    if (args.has("json")) {
+        std::puts(json::writePretty(attribution.toJson()).c_str());
+        return 0;
+    }
+    std::printf("%s: %zu spans across %zu completed requests\n\n",
+                path.c_str(), file.spans.size(), attribution.requests);
+    std::fputs(attribution.render().c_str(), stdout);
     return 0;
 }
 
@@ -771,8 +897,9 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: skipctl "
                      "<profile|sweep|fusion|serve|cluster|run|"
-                     "scenarios|validate|check|analyze|diff|roofline|"
-                     "memory|platforms|models|analyses> [options]\n");
+                     "scenarios|attribute|validate|check|analyze|diff|"
+                     "roofline|memory|platforms|models|analyses> "
+                     "[options]\n");
         return 2;
     }
     const std::string &cmd = args.positional().front();
@@ -796,6 +923,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "scenarios")
             return cmdScenarios(args);
+        if (cmd == "attribute")
+            return cmdAttribute(args);
         if (cmd == "validate")
             return cmdValidate(args);
         if (cmd == "check")

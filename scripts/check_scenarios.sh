@@ -1,9 +1,10 @@
 #!/bin/sh
 # Byte-level determinism gate for the scenario registry: run every
 # registered scenario through `skipctl run --scenario NAME` at --jobs 1
-# and --jobs 8 and diff the report JSON byte for byte. A (scenario,
-# params) pair must fully determine the report regardless of worker
-# count — this is the contract that makes parallel sweeps trustworthy.
+# and --jobs 8 and diff the report JSON — and the lifecycle span trace
+# (--span-out) — byte for byte. A (scenario, params) pair must fully
+# determine both regardless of worker count — this is the contract
+# that makes parallel sweeps (and span-based attribution) trustworthy.
 #
 # Usage: check_scenarios.sh [path/to/skipctl] [workdir]
 #
@@ -52,15 +53,19 @@ for NAME in $NAMES; do
         SPEC_ARGS="--spec tests/data/cluster_smoke.json"
     fi
     for JOBS in 1 8; do
-        # The table echoes the --out path, which necessarily differs
-        # between the two runs; drop that one line before comparing.
+        # The table echoes the --out/--span-out paths, which
+        # necessarily differ between the two runs; drop those lines
+        # before comparing.
         "$SKIPCTL" run --scenario "$NAME" $SPEC_ARGS --quick \
-            --jobs "$JOBS" --out "$WORKDIR/$NAME.jobs$JOBS.json" |
-            grep -v "scenario(s) ->" > "$WORKDIR/$NAME.jobs$JOBS.txt"
+            --jobs "$JOBS" --out "$WORKDIR/$NAME.jobs$JOBS.json" \
+            --span-out "$WORKDIR/$NAME.spans$JOBS.json" |
+            grep -v -e "scenario(s) ->" -e "span trace" \
+            > "$WORKDIR/$NAME.jobs$JOBS.txt"
     done
     if cmp -s "$WORKDIR/$NAME.jobs1.json" "$WORKDIR/$NAME.jobs8.json" &&
+       cmp -s "$WORKDIR/$NAME.spans1.json" "$WORKDIR/$NAME.spans8.json" &&
        cmp -s "$WORKDIR/$NAME.jobs1.txt" "$WORKDIR/$NAME.jobs8.txt"; then
-        echo "scenario $NAME: --jobs 1 == --jobs 8 (report + table)"
+        echo "scenario $NAME: --jobs 1 == --jobs 8 (report + spans + table)"
     else
         echo "scenario $NAME: --jobs 1 and --jobs 8 outputs DIFFER" >&2
         STATUS=1

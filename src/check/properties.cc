@@ -5,11 +5,14 @@
 #include <mutex>
 
 #include "analysis/sweep.hh"
+#include "check/span_check.hh"
 #include "cluster/cluster.hh"
 #include "common/strutil.hh"
 #include "hw/catalog.hh"
 #include "json/writer.hh"
 #include "kv/tier.hh"
+#include "obs/attribution.hh"
+#include "obs/span.hh"
 #include "serving/arrival.hh"
 #include "serving/latency_model.hh"
 #include "serving/server_sim.hh"
@@ -561,6 +564,66 @@ buildCatalog()
                                             a.size())
                                 : "collapsed disagg report diverged "
                                   "from the co-located report");
+        });
+
+    add("cluster.span-attribution-jobs", "cluster",
+        "lifecycle spans satisfy the stage-partition invariant and "
+        "the span export and attribution are pure functions of the "
+        "spec (byte-identical across independent runs, the contract "
+        "--jobs fan-out relies on)",
+        [] {
+            // The KV-pressured spec exercises every stage kind:
+            // queue, prefill_wait, kv_fetch stalls, prefill, decode.
+            cluster::ClusterSpec spec =
+                kvClusterBase(kv::OffloadPolicy::LruBySession);
+
+            // Run twice exactly as two --jobs workers would: one
+            // against the shared cache, one against a private
+            // rebuild. Spans and attribution must not notice.
+            obs::SpanLog spans_a;
+            cluster::simulateCluster(spec, sharedCosts(), nullptr,
+                                     &spans_a);
+            cluster::CostCache private_costs;
+            private_costs.build(spec);
+            obs::SpanLog spans_b;
+            cluster::simulateCluster(spec, private_costs, nullptr,
+                                     &spans_b);
+
+            SpanCheckReport report = checkSpans(spans_a.spans());
+            std::string a = spans_a.toChromeText();
+            std::string b = spans_b.toChromeText();
+            std::string attr_a = json::write(
+                obs::attributeSpans(spans_a.spans(), spec.ttftSloMs,
+                                    spec.e2eSloMs)
+                    .toJson());
+            std::string attr_b = json::write(
+                obs::attributeSpans(spans_b.spans(), spec.ttftSloMs,
+                                    spec.e2eSloMs)
+                    .toJson());
+            bool passed = report.ok() && !spans_a.spans().empty() &&
+                a == b && attr_a == attr_b;
+            std::string detail;
+            if (!report.ok())
+                detail = strprintf("%zu span invariant violations "
+                                   "([%s] ...)",
+                                   report.violations.size(),
+                                   report.violations.front()
+                                       .code.c_str());
+            else if (a != b)
+                detail = "span export diverged between runs";
+            else if (attr_a != attr_b)
+                detail = "attribution diverged between runs";
+            else
+                detail = strprintf("%zu spans partition %zu "
+                                   "requests; %zu-byte export and "
+                                   "%zu-byte attribution stable",
+                                   spans_a.spans().size(),
+                                   spans_a.requestCount(), a.size(),
+                                   attr_a.size());
+            return judge("cluster.span-attribution-jobs", "cluster",
+                         static_cast<double>(a.size()),
+                         static_cast<double>(b.size()), passed,
+                         detail);
         });
 
     return props;

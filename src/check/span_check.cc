@@ -1,0 +1,247 @@
+#include "check/span_check.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strutil.hh"
+
+namespace skipsim::check
+{
+
+namespace
+{
+
+using obs::Span;
+
+void
+report(SpanCheckReport &out, const char *code, std::int64_t spanId,
+       std::string message)
+{
+    Violation v;
+    v.code = code;
+    v.eventId = static_cast<std::uint64_t>(spanId < 0 ? 0 : spanId);
+    v.message = std::move(message);
+    out.violations.push_back(std::move(v));
+}
+
+/** One request's span tree, grouped for the partition checks. */
+struct RequestSpans
+{
+    const Span *root = nullptr;
+    std::vector<const Span *> stages;
+    std::vector<const Span *> children;
+};
+
+} // namespace
+
+bool
+SpanCheckReport::has(const std::string &code) const
+{
+    for (const Violation &v : violations) {
+        if (v.code == code)
+            return true;
+    }
+    return false;
+}
+
+std::string
+SpanCheckReport::render() const
+{
+    std::string out = strprintf(
+        "span check: %zu requests, %zu spans -> %s (%zu "
+        "violation%s)\n",
+        requestsChecked, spansChecked, ok() ? "OK" : "FAIL",
+        violations.size(), violations.size() == 1 ? "" : "s");
+    for (const Violation &v : violations)
+        out += strprintf("  [%s] %s\n", v.code.c_str(),
+                         v.message.c_str());
+    return out;
+}
+
+json::Value
+SpanCheckReport::toJson() const
+{
+    json::Object doc;
+    doc.set("ok", json::Value(ok()));
+    doc.set("requests",
+            static_cast<unsigned long long>(requestsChecked));
+    doc.set("spans", static_cast<unsigned long long>(spansChecked));
+    json::Value::Array items;
+    for (const Violation &v : violations) {
+        json::Object item;
+        item.set("code", v.code);
+        item.set("message", v.message);
+        item.set("span", static_cast<unsigned long long>(v.eventId));
+        items.push_back(json::Value(std::move(item)));
+    }
+    doc.set("violations", json::Value(std::move(items)));
+    return json::Value(std::move(doc));
+}
+
+SpanCheckReport
+checkSpans(const std::vector<Span> &spans)
+{
+    SpanCheckReport out;
+    out.spansChecked = spans.size();
+
+    std::map<std::int64_t, const Span *> by_id;
+    for (const Span &s : spans) {
+        if (s.durNs < 0)
+            report(out, "span-negative-duration", s.id,
+                   strprintf("span %lld '%s' (request %lld) has "
+                             "negative duration %lld ns",
+                             static_cast<long long>(s.id),
+                             s.stage.c_str(),
+                             static_cast<long long>(s.request),
+                             static_cast<long long>(s.durNs)));
+        if (!by_id.emplace(s.id, &s).second)
+            report(out, "span-duplicate-id", s.id,
+                   strprintf("span id %lld assigned twice",
+                             static_cast<long long>(s.id)));
+    }
+
+    // Group by request, resolving each span's role from its parent:
+    // root (-1), stage (child of the root), or annotation child.
+    std::map<std::int64_t, RequestSpans> by_request;
+    for (const Span &s : spans) {
+        RequestSpans &req = by_request[s.request];
+        if (s.parent < 0) {
+            if (req.root != nullptr)
+                report(out, "span-duplicate-root", s.id,
+                       strprintf("request %lld has roots %lld and "
+                                 "%lld",
+                                 static_cast<long long>(s.request),
+                                 static_cast<long long>(req.root->id),
+                                 static_cast<long long>(s.id)));
+            else
+                req.root = &s;
+            continue;
+        }
+        auto it = by_id.find(s.parent);
+        if (it == by_id.end()) {
+            report(out, "span-orphan", s.id,
+                   strprintf("span %lld '%s' names missing parent "
+                             "%lld",
+                             static_cast<long long>(s.id),
+                             s.stage.c_str(),
+                             static_cast<long long>(s.parent)));
+            continue;
+        }
+        const Span *parent = it->second;
+        if (parent->request != s.request) {
+            report(out, "span-parent-mismatch", s.id,
+                   strprintf("span %lld (request %lld) has parent "
+                             "%lld of request %lld",
+                             static_cast<long long>(s.id),
+                             static_cast<long long>(s.request),
+                             static_cast<long long>(parent->id),
+                             static_cast<long long>(parent->request)));
+            continue;
+        }
+        if (parent->parent < 0)
+            req.stages.push_back(&s);
+        else
+            req.children.push_back(&s);
+    }
+
+    out.requestsChecked = by_request.size();
+    for (auto &[request, req] : by_request) {
+        if (req.root == nullptr) {
+            report(out, "span-missing-root",
+                   req.stages.empty() ? 0 : req.stages.front()->id,
+                   strprintf("request %lld has %zu stage spans but "
+                             "no root",
+                             static_cast<long long>(request),
+                             req.stages.size()));
+            continue;
+        }
+        const Span &root = *req.root;
+        std::sort(req.stages.begin(), req.stages.end(),
+                  [](const Span *a, const Span *b) {
+                      return a->beginNs != b->beginNs
+                          ? a->beginNs < b->beginNs
+                          : a->id < b->id;
+                  });
+
+        // Stage spans must tile [root.begin, root.end] exactly.
+        std::int64_t cursor = root.beginNs;
+        bool first = true;
+        for (const Span *stage : req.stages) {
+            if (first && stage->beginNs != root.beginNs)
+                report(out, "span-partition-begin", stage->id,
+                       strprintf("request %lld: first stage '%s' "
+                                 "begins at %lld ns, root at %lld ns",
+                                 static_cast<long long>(request),
+                                 stage->stage.c_str(),
+                                 static_cast<long long>(
+                                     stage->beginNs),
+                                 static_cast<long long>(
+                                     root.beginNs)));
+            if (!first && stage->beginNs > cursor)
+                report(out, "span-stage-gap", stage->id,
+                       strprintf("request %lld: %lld ns gap before "
+                                 "stage '%s' at %lld ns",
+                                 static_cast<long long>(request),
+                                 static_cast<long long>(
+                                     stage->beginNs - cursor),
+                                 stage->stage.c_str(),
+                                 static_cast<long long>(
+                                     stage->beginNs)));
+            if (!first && stage->beginNs < cursor)
+                report(out, "span-stage-overlap", stage->id,
+                       strprintf("request %lld: stage '%s' at %lld "
+                                 "ns overlaps the previous stage by "
+                                 "%lld ns",
+                                 static_cast<long long>(request),
+                                 stage->stage.c_str(),
+                                 static_cast<long long>(
+                                     stage->beginNs),
+                                 static_cast<long long>(
+                                     cursor - stage->beginNs)));
+            cursor = stage->beginNs + stage->durNs;
+            first = false;
+        }
+        std::int64_t root_end = root.beginNs + root.durNs;
+        if (!req.stages.empty() && cursor != root_end)
+            report(out, "span-partition-end", req.stages.back()->id,
+                   strprintf("request %lld: last stage ends at %lld "
+                             "ns, root at %lld ns",
+                             static_cast<long long>(request),
+                             static_cast<long long>(cursor),
+                             static_cast<long long>(root_end)));
+        if (req.stages.empty() && root.durNs != 0)
+            report(out, "span-no-stages", root.id,
+                   strprintf("request %lld root spans %lld ns but "
+                             "has no stage spans",
+                             static_cast<long long>(request),
+                             static_cast<long long>(root.durNs)));
+
+        // Annotation children stay inside their parent stage.
+        for (const Span *child : req.children) {
+            const Span *parent = by_id.at(child->parent);
+            if (child->beginNs < parent->beginNs ||
+                child->beginNs + child->durNs >
+                    parent->beginNs + parent->durNs)
+                report(out, "span-child-bounds", child->id,
+                       strprintf("request %lld: child '%s' "
+                                 "[%lld, %lld] ns escapes stage "
+                                 "'%s' [%lld, %lld] ns",
+                                 static_cast<long long>(request),
+                                 child->stage.c_str(),
+                                 static_cast<long long>(
+                                     child->beginNs),
+                                 static_cast<long long>(
+                                     child->beginNs + child->durNs),
+                                 parent->stage.c_str(),
+                                 static_cast<long long>(
+                                     parent->beginNs),
+                                 static_cast<long long>(
+                                     parent->beginNs +
+                                     parent->durNs)));
+        }
+    }
+    return out;
+}
+
+} // namespace skipsim::check

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lifecycle-span invariant checker. obs::SpanLog promises that each
+ * request's stage spans exactly partition its end-to-end interval;
+ * the latency attribution built on top (obs::attributeSpans) silently
+ * misattributes time if that promise breaks. checkSpans() asserts the
+ * laws directly on a sealed span set, independent of the numbers:
+ *
+ *  - durations are non-negative ("span-negative-duration");
+ *  - span ids are unique ("span-duplicate-id");
+ *  - every non-root span's parent exists and belongs to the same
+ *    request ("span-orphan", "span-parent-mismatch");
+ *  - every request with spans has exactly one root
+ *    ("span-missing-root", "span-duplicate-root"), and a root with
+ *    nonzero extent has stage spans ("span-no-stages");
+ *  - stage spans (children of the root) tile the root exactly: the
+ *    first begins at the root's begin ("span-partition-begin"), the
+ *    last ends at the root's end ("span-partition-end"), and
+ *    consecutive stages share a boundary with no gap
+ *    ("span-stage-gap") and no overlap ("span-stage-overlap");
+ *  - grandchildren (route, decode_iter) stay inside their parent
+ *    stage's interval ("span-child-bounds").
+ *
+ * Like check::validateTrace, all findings are reported — one corrupt
+ * span cannot mask another.
+ */
+
+#ifndef SKIPSIM_CHECK_SPAN_CHECK_HH
+#define SKIPSIM_CHECK_SPAN_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "json/value.hh"
+#include "obs/span.hh"
+
+namespace skipsim::check
+{
+
+/** Outcome of one checkSpans() run. */
+struct SpanCheckReport
+{
+    std::vector<Violation> violations;
+
+    /** Requests (roots) inspected. */
+    std::size_t requestsChecked = 0;
+
+    /** Spans inspected. */
+    std::size_t spansChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    /** True when any violation carries @p code. */
+    bool has(const std::string &code) const;
+
+    /** Aligned text rendering (summary line + one per violation). */
+    std::string render() const;
+
+    /** Deterministic JSON document (ok flag, counts, violations). */
+    json::Value toJson() const;
+};
+
+/**
+ * Check every span invariant against @p spans (a sealed SpanLog's
+ * spans() or a re-read export). Never throws on bad spans.
+ */
+SpanCheckReport checkSpans(const std::vector<obs::Span> &spans);
+
+} // namespace skipsim::check
+
+#endif // SKIPSIM_CHECK_SPAN_CHECK_HH

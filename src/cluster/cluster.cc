@@ -11,6 +11,7 @@
 #include "core/resource.hh"
 #include "core/rng_stream.hh"
 #include "obs/collector.hh"
+#include "obs/span.hh"
 #include "serving/replica_engine.hh"
 #include "stats/summary.hh"
 #include "workload/memory.hh"
@@ -295,12 +296,12 @@ class Sim
 {
   public:
     Sim(const ClusterSpec &spec, const CostCache &costs,
-        obs::Collector *obs)
+        obs::Collector *obs, obs::SpanLog *spans)
         : _spec(spec), _horizonNs(spec.horizonSec * 1e9),
           _streams(spec.seed),
           _router(spec.router, makeWeights(spec, costs)),
           _disagg(spec.disaggregated()), _kvOn(spec.kvTier.enabled()),
-          _obs(obs)
+          _obs(obs), _spans(spans)
     {
         if (_disagg) {
             std::vector<unsigned> classes;
@@ -415,10 +416,12 @@ class Sim
 
             serving::ReplicaEngine::Callbacks cb;
             cb.onFirstToken = [this](std::size_t id, double ttft,
-                                     double) {
+                                     double now) {
                 _requests[id].ttftNs = ttft;
                 _windowTtftNs += ttft;
                 ++_windowTtftCount;
+                if (_spans != nullptr)
+                    _spans->onFirstToken(id, now);
             };
             cb.onComplete = [this, r](std::size_t id, double now) {
                 ReplicaRt &rep = _reps[r];
@@ -428,6 +431,8 @@ class Sim
                     // First token served; the sequence's KV pages out
                     // over this replica's link, then re-dispatches
                     // into the decode pool.
+                    if (_spans != nullptr)
+                        _spans->onHandoffStart(id, now);
                     ++rep.stats.handoffs;
                     _router.onSettled(r);
                     _requests[id].decodeReady = true;
@@ -442,19 +447,37 @@ class Sim
                 ++rep.stats.completed;
                 ++_windowCompleted;
                 _router.onSettled(r);
+                if (_spans != nullptr)
+                    _spans->onComplete(id, now);
             };
+            if (_spans != nullptr)
+                cb.onAdmitRequest = [this](std::size_t id, double now,
+                                           double stall_ns,
+                                           bool decode_entry) {
+                    _spans->onAdmit(id, now, stall_ns, decode_entry);
+                };
             cb.onIteration =
                 [this, r](const serving::IterationInfo &info) {
-                    if (_obs == nullptr)
-                        return;
-                    const int batch = info.prefill ? info.prefillBatch
-                                                   : info.decodeBatch;
-                    _obs->span((info.prefill ? "prefill b="
-                                             : "decode b=") +
-                                   std::to_string(batch),
-                               static_cast<int>(r),
-                               std::llround(info.beginNs),
-                               std::llround(info.endNs - info.beginNs));
+                    if (_obs != nullptr) {
+                        const int batch = info.prefill
+                            ? info.prefillBatch
+                            : info.decodeBatch;
+                        _obs->span((info.prefill ? "prefill b="
+                                                 : "decode b=") +
+                                       std::to_string(batch),
+                                   static_cast<int>(r),
+                                   std::llround(info.beginNs),
+                                   std::llround(info.endNs -
+                                                info.beginNs));
+                    }
+                    if (_spans != nullptr && !info.prefill &&
+                        info.decodeBatch > 0 &&
+                        info.activeIds != nullptr) {
+                        for (const auto &[id, left] : *info.activeIds)
+                            _spans->onDecodeIter(id, info.beginNs,
+                                                 info.endNs,
+                                                 info.decodeBatch);
+                    }
                 };
             cb.scaleDuration = [this, r](double base_ns) {
                 ReplicaRt &rep = _reps[r];
@@ -523,6 +546,7 @@ class Sim
     std::size_t _rerouted = 0;
 
     obs::Collector *_obs = nullptr;
+    obs::SpanLog *_spans = nullptr;
     obs::Ticker _ticker{0};
     std::int64_t _obsStopNs = 0;
     // Per-window accumulators, reset at every sampled boundary.
@@ -579,6 +603,15 @@ Sim::dispatch(std::size_t id, double now)
         _router.onDispatch(r);
         ++rt.stats.routed;
         ++req.attempts;
+        if (_spans != nullptr) {
+            std::string reason = routerPolicyName(_spec.router);
+            if (req.decodeReady)
+                reason += " decode-pool";
+            if (!exclude.empty())
+                reason += strprintf(" after %zu rejects",
+                                    exclude.size());
+            _spans->onRoute(id, now, static_cast<int>(r), reason);
+        }
         if (rt.partitioned) {
             rt.limbo.push_back(id);
             return;
@@ -695,6 +728,8 @@ Sim::restartAndReroute(std::size_t r, std::vector<std::size_t> &ids,
         _router.onSettled(r);
         ++rt.stats.rerouted;
         ++_rerouted;
+        if (_spans != nullptr)
+            _spans->onRestart(id, now);
         dispatch(id, now);
     }
     ids.clear();
@@ -839,6 +874,13 @@ Sim::run()
         req.tenant = std::clamp(arr.tenant, 0, tenant_cap);
         req.cachedFrac = arr.cachedFrac;
         _requests.push_back(req);
+    }
+    if (_spans != nullptr) {
+        _spans->setMeta("ttft_slo_ms",
+                        strprintf("%g", _spec.ttftSloMs));
+        _spans->setMeta("e2e_slo_ms", strprintf("%g", _spec.e2eSloMs));
+        for (std::size_t id = 0; id < _requests.size(); ++id)
+            _spans->onArrival(id, _requests[id].arrivalNs);
     }
     for (std::size_t id = 0; id < _requests.size(); ++id)
         _engine.at(_requests[id].arrivalNs,
@@ -1062,22 +1104,23 @@ Sim::finishObs(const ClusterResult &result,
 
 ClusterResult
 simulateCluster(const ClusterSpec &spec, const CostCache &costs,
-                obs::Collector *obs)
+                obs::Collector *obs, obs::SpanLog *spans)
 {
     spec.validate();
     if (!spec.rates.empty())
         fatal("simulateCluster: expand rate sweeps via scenarioAt() "
               "first");
-    Sim sim(spec, costs, obs);
+    Sim sim(spec, costs, obs, spans);
     return sim.run();
 }
 
 ClusterResult
-simulateCluster(const ClusterSpec &spec, obs::Collector *obs)
+simulateCluster(const ClusterSpec &spec, obs::Collector *obs,
+                obs::SpanLog *spans)
 {
     CostCache costs;
     costs.build(spec);
-    return simulateCluster(spec, costs, obs);
+    return simulateCluster(spec, costs, obs, spans);
 }
 
 json::Value

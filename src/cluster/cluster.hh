@@ -40,6 +40,7 @@
 namespace skipsim::obs
 {
 class Collector;
+class SpanLog;
 }
 
 namespace skipsim::cluster
@@ -399,6 +400,14 @@ class CostCache
  * Simulate one cluster scenario. Builds a private CostCache; prefer
  * the cost-cache overload when running many scenarios.
  *
+ * When @p spans is non-null the simulation records per-request
+ * lifecycle spans into it through the real dispatch path: arrival,
+ * routing decision (replica + policy reason), queue wait, prefill
+ * admission wait, KV-tier fetch stalls, prefill, prefill->decode
+ * handoff, per-iteration decode and completion (see obs::SpanLog).
+ * Requests seal in completion-event order, so the span export honours
+ * the same any---jobs byte-identity contract as the report.
+ *
  * When @p obs is non-null the simulation records probes into it at the
  * collector's deterministic simulated-time boundaries: per-replica
  * cluster.queue_depth / cluster.batch_active / cluster.kv_bytes /
@@ -414,12 +423,14 @@ class CostCache
  * @throws skipsim::FatalError on invalid specs.
  */
 ClusterResult simulateCluster(const ClusterSpec &spec,
-                              obs::Collector *obs = nullptr);
+                              obs::Collector *obs = nullptr,
+                              obs::SpanLog *spans = nullptr);
 
 /** Simulate with a pre-built cost cache (see CostCache). */
 ClusterResult simulateCluster(const ClusterSpec &spec,
                               const CostCache &costs,
-                              obs::Collector *obs = nullptr);
+                              obs::Collector *obs = nullptr,
+                              obs::SpanLog *spans = nullptr);
 
 } // namespace skipsim::cluster
 

@@ -114,10 +114,20 @@ parseRunFlags(const CliArgs &args, int defaultJobs,
     flags.csv = args.getBool("csv");
     flags.out = args.getString("out");
     flags.obsOut = args.getString("obs-out");
+    flags.obsFormat = args.getString("obs-format", "json");
+    if (flags.obsFormat != "json" && flags.obsFormat != "openmetrics")
+        fatal("option --obs-format expects 'json' or 'openmetrics', "
+              "got '" +
+              flags.obsFormat + "'");
     flags.obsTrace = args.getString("obs-trace");
+    flags.spanOut = args.getString("span-out");
     flags.harnessTrace = args.getString("harness-trace");
     flags.obsIntervalMs =
         args.getDouble("obs-interval-ms", defaultObsIntervalMs);
+    if (flags.obsIntervalMs <= 0.0)
+        fatal("option --obs-interval-ms expects a positive interval "
+              "in milliseconds, got " +
+              args.getString("obs-interval-ms"));
     return flags;
 }
 

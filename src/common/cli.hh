@@ -86,8 +86,14 @@ struct RunFlags
     /** Probe/metrics JSON path (--obs-out). */
     std::string obsOut;
 
+    /** Metrics text format (--obs-format): "json" or "openmetrics". */
+    std::string obsFormat = "json";
+
     /** Chrome-trace render of the probes (--obs-trace). */
     std::string obsTrace;
+
+    /** Per-request lifecycle span trace path (--span-out). */
+    std::string spanOut;
 
     /** Harness self-trace path (--harness-trace). */
     std::string harnessTrace;

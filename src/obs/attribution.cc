@@ -1,0 +1,310 @@
+#include "obs/attribution.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::obs
+{
+
+namespace
+{
+
+/** Canonical lifecycle order for report rows (unknown stages last). */
+int
+stageRank(const std::string &stage)
+{
+    static const char *order[] = {
+        kStageQueue,   kStagePrefillWait, kStageKvFetch,
+        kStagePrefill, kStageHandoff,     kStageDecode,
+        kStageDisrupted,
+    };
+    for (std::size_t i = 0; i < std::size(order); ++i) {
+        if (stage == order[i])
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(std::size(order));
+}
+
+/** Linear-interpolated percentile of an unsorted sample (copy). */
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+struct StageAcc
+{
+    std::vector<double> durations;
+    double totalNs = 0.0;
+};
+
+std::vector<StageStat>
+finalize(const std::map<std::string, StageAcc> &acc, double intervalSum)
+{
+    std::vector<StageStat> stats;
+    stats.reserve(acc.size());
+    for (const auto &[stage, a] : acc) {
+        StageStat s;
+        s.stage = stage;
+        s.count = a.durations.size();
+        s.totalNs = a.totalNs;
+        s.meanNs = a.durations.empty()
+            ? 0.0
+            : a.totalNs / static_cast<double>(a.durations.size());
+        s.p50Ns = percentile(a.durations, 50.0);
+        s.p99Ns = percentile(a.durations, 99.0);
+        s.share = intervalSum > 0.0 ? a.totalNs / intervalSum : 0.0;
+        stats.push_back(std::move(s));
+    }
+    std::stable_sort(stats.begin(), stats.end(),
+                     [](const StageStat &a, const StageStat &b) {
+                         int ra = stageRank(a.stage);
+                         int rb = stageRank(b.stage);
+                         if (ra != rb)
+                             return ra < rb;
+                         return a.stage < b.stage;
+                     });
+    return stats;
+}
+
+SloAttribution
+dominant(const std::string &klass,
+         const std::map<std::string, StageAcc> &acc,
+         std::size_t violations)
+{
+    SloAttribution row;
+    row.klass = klass;
+    row.violations = violations;
+    double interval = 0.0;
+    for (const auto &[stage, a] : acc)
+        interval += a.totalNs;
+    for (const auto &[stage, a] : acc) {
+        if (a.totalNs > row.dominantTotalNs) {
+            row.dominantStage = stage;
+            row.dominantTotalNs = a.totalNs;
+        }
+    }
+    row.dominantShare =
+        interval > 0.0 ? row.dominantTotalNs / interval : 0.0;
+    return row;
+}
+
+json::Value
+stagesToJson(const std::vector<StageStat> &stages)
+{
+    json::Value::Array rows;
+    for (const StageStat &s : stages) {
+        json::Object row;
+        row.set("stage", s.stage);
+        row.set("count", static_cast<unsigned long long>(s.count));
+        row.set("total_ms", s.totalNs / 1e6);
+        row.set("mean_ms", s.meanNs / 1e6);
+        row.set("p50_ms", s.p50Ns / 1e6);
+        row.set("p99_ms", s.p99Ns / 1e6);
+        row.set("share", s.share);
+        rows.push_back(json::Value(std::move(row)));
+    }
+    return json::Value(std::move(rows));
+}
+
+} // namespace
+
+AttributionReport
+attributeSpans(const std::vector<Span> &spans, double ttftSloMs,
+               double e2eSloMs)
+{
+    // Index the request roots, then each request's top-level stages.
+    std::map<std::int64_t, const Span *> roots; // root span id -> root
+    for (const Span &span : spans) {
+        if (span.parent < 0)
+            roots[span.id] = &span;
+    }
+    struct PerRequest
+    {
+        const Span *root = nullptr;
+        std::vector<const Span *> stages;
+    };
+    std::map<std::int64_t, PerRequest> requests; // request index
+    for (const Span &span : spans) {
+        if (span.parent < 0) {
+            requests[span.request].root = &span;
+            continue;
+        }
+        auto it = roots.find(span.parent);
+        if (it == roots.end())
+            continue; // child annotation (route/decode_iter)
+        if (it->second->request != span.request)
+            fatal(strprintf("attributeSpans: span %lld claims request "
+                            "%lld but parents into request %lld",
+                            static_cast<long long>(span.id),
+                            static_cast<long long>(span.request),
+                            static_cast<long long>(
+                                it->second->request)));
+        requests[span.request].stages.push_back(&span);
+    }
+
+    AttributionReport report;
+    report.ttftSloMs = ttftSloMs;
+    report.e2eSloMs = e2eSloMs;
+
+    std::map<std::string, StageAcc> e2e_acc;
+    std::map<std::string, StageAcc> ttft_acc;
+    std::map<std::string, StageAcc> ttft_violators;
+    std::map<std::string, StageAcc> e2e_violators;
+    std::size_t ttft_violations = 0;
+    std::size_t e2e_violations = 0;
+    double e2e_sum = 0.0;
+    double ttft_sum = 0.0;
+    double ttft_interval_sum = 0.0;
+    std::size_t ttft_count = 0;
+    const double ttft_slo_ns = ttftSloMs * 1e6;
+    const double e2e_slo_ns = e2eSloMs * 1e6;
+
+    for (const auto &[request, pr] : requests) {
+        if (pr.root == nullptr)
+            fatal(strprintf("attributeSpans: request %lld has stage "
+                            "spans but no root",
+                            static_cast<long long>(request)));
+        ++report.requests;
+        const double e2e =
+            static_cast<double>(pr.root->durNs);
+        e2e_sum += e2e;
+
+        // TTFT = close of the last prefill stage relative to arrival
+        // (restarts re-measure against the finally-serving replica,
+        // matching the cluster simulator's own TTFT accounting).
+        std::int64_t ttft_end = -1;
+        for (const Span *s : pr.stages) {
+            if (s->stage == kStagePrefill)
+                ttft_end = std::max(ttft_end, s->beginNs + s->durNs);
+        }
+        const double ttft = ttft_end < 0
+            ? -1.0
+            : static_cast<double>(ttft_end - pr.root->beginNs);
+        const bool ttft_bad = ttft >= 0.0 && ttft > ttft_slo_ns;
+        const bool e2e_bad = e2e > e2e_slo_ns;
+        if (ttft_bad)
+            ++ttft_violations;
+        if (e2e_bad)
+            ++e2e_violations;
+        if (ttft >= 0.0) {
+            ttft_sum += ttft;
+            ++ttft_count;
+        }
+
+        for (const Span *s : pr.stages) {
+            const double dur = static_cast<double>(s->durNs);
+            StageAcc &acc = e2e_acc[s->stage];
+            acc.durations.push_back(dur);
+            acc.totalNs += dur;
+            if (e2e_bad)
+                e2e_violators[s->stage].totalNs += dur;
+            // Stages that begin before the first token contribute to
+            // TTFT; the partition guarantees none straddles it.
+            if (ttft_end >= 0 && s->beginNs < ttft_end) {
+                StageAcc &tacc = ttft_acc[s->stage];
+                tacc.durations.push_back(dur);
+                tacc.totalNs += dur;
+                ttft_interval_sum += dur;
+                if (ttft_bad)
+                    ttft_violators[s->stage].totalNs += dur;
+            }
+        }
+    }
+
+    report.meanE2eNs = report.requests > 0
+        ? e2e_sum / static_cast<double>(report.requests)
+        : 0.0;
+    report.meanTtftNs = ttft_count > 0
+        ? ttft_sum / static_cast<double>(ttft_count)
+        : 0.0;
+    report.e2eStages = finalize(e2e_acc, e2e_sum);
+    report.ttftStages = finalize(ttft_acc, ttft_interval_sum);
+    if (ttft_violations > 0)
+        report.sloRows.push_back(
+            dominant("ttft", ttft_violators, ttft_violations));
+    if (e2e_violations > 0)
+        report.sloRows.push_back(
+            dominant("e2e", e2e_violators, e2e_violations));
+    return report;
+}
+
+json::Value
+AttributionReport::toJson() const
+{
+    json::Object doc;
+    doc.set("requests", static_cast<unsigned long long>(requests));
+    doc.set("ttft_slo_ms", ttftSloMs);
+    doc.set("e2e_slo_ms", e2eSloMs);
+    doc.set("mean_ttft_ms", meanTtftNs / 1e6);
+    doc.set("mean_e2e_ms", meanE2eNs / 1e6);
+    doc.set("ttft_stages", stagesToJson(ttftStages));
+    doc.set("e2e_stages", stagesToJson(e2eStages));
+    json::Value::Array rows;
+    for (const SloAttribution &row : sloRows) {
+        json::Object entry;
+        entry.set("class", row.klass);
+        entry.set("violations",
+                  static_cast<unsigned long long>(row.violations));
+        entry.set("dominant_stage", row.dominantStage);
+        entry.set("dominant_total_ms", row.dominantTotalNs / 1e6);
+        entry.set("dominant_share", row.dominantShare);
+        rows.push_back(json::Value(std::move(entry)));
+    }
+    doc.set("slo_violations", json::Value(std::move(rows)));
+    return json::Value(std::move(doc));
+}
+
+std::string
+AttributionReport::render() const
+{
+    std::string out;
+    out += strprintf("attribution over %zu completed requests "
+                     "(mean ttft %.2f ms, mean e2e %.2f ms)\n",
+                     requests, meanTtftNs / 1e6, meanE2eNs / 1e6);
+    auto table = [&out](const char *title,
+                        const std::vector<StageStat> &stages) {
+        out += strprintf("\n%s\n", title);
+        out += strprintf("  %-13s %8s %12s %10s %10s %10s %7s\n",
+                         "stage", "count", "total_ms", "mean_ms",
+                         "p50_ms", "p99_ms", "share");
+        for (const StageStat &s : stages)
+            out += strprintf(
+                "  %-13s %8zu %12.2f %10.3f %10.3f %10.3f %6.1f%%\n",
+                s.stage.c_str(), s.count, s.totalNs / 1e6,
+                s.meanNs / 1e6, s.p50Ns / 1e6, s.p99Ns / 1e6,
+                s.share * 100.0);
+    };
+    table("TTFT breakdown (arrival -> first token):", ttftStages);
+    table("E2E breakdown (arrival -> completion):", e2eStages);
+    out += strprintf("\nSLO violations (ttft > %g ms, e2e > %g ms)\n",
+                     ttftSloMs, e2eSloMs);
+    if (sloRows.empty()) {
+        out += "  none\n";
+        return out;
+    }
+    out += strprintf("  %-6s %10s %15s %12s %7s\n", "class",
+                     "violations", "dominant_stage", "total_ms",
+                     "share");
+    for (const SloAttribution &row : sloRows)
+        out += strprintf("  %-6s %10zu %15s %12.2f %6.1f%%\n",
+                         row.klass.c_str(), row.violations,
+                         row.dominantStage.c_str(),
+                         row.dominantTotalNs / 1e6,
+                         row.dominantShare * 100.0);
+    return out;
+}
+
+} // namespace skipsim::obs

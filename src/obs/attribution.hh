@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Latency attribution over lifecycle spans: aggregate a SpanLog's
+ * sealed spans into a per-stage TTFT and end-to-end breakdown —
+ * count, total, mean, p50, p99 and share of the summed end-to-end
+ * time — plus an SLO-violation table naming the dominant stage for
+ * each violating request class. This is the cluster-level analogue of
+ * the paper's trace-based kernel attribution: instead of "how much of
+ * the iteration is kernel-launch-bound", it answers "how much of this
+ * fleet's TTFT is queue wait vs KV fetch vs prefill compute".
+ *
+ * Only top-level stage spans (parent = the request root) enter the
+ * breakdown; since they exactly partition each request's [arrival,
+ * completion] interval, the per-stage totals sum to the summed
+ * end-to-end latency and the shares sum to 1.
+ */
+
+#ifndef SKIPSIM_OBS_ATTRIBUTION_HH
+#define SKIPSIM_OBS_ATTRIBUTION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "obs/span.hh"
+
+namespace skipsim::obs
+{
+
+/** One stage's aggregate across all (or all violating) requests. */
+struct StageStat
+{
+    std::string stage;
+
+    /** Span instances (a request can contribute several). */
+    std::size_t count = 0;
+
+    double totalNs = 0.0;
+    double meanNs = 0.0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+
+    /** totalNs over the breakdown's summed interval time. */
+    double share = 0.0;
+};
+
+/** One violating request class and its dominant stage. */
+struct SloAttribution
+{
+    /** Violation class: "ttft" or "e2e". */
+    std::string klass;
+
+    /** Requests violating this class's SLO. */
+    std::size_t violations = 0;
+
+    /** The stage with the largest summed time across violators. */
+    std::string dominantStage;
+    double dominantTotalNs = 0.0;
+    /** Dominant stage's share of the violators' interval time. */
+    double dominantShare = 0.0;
+};
+
+/** The full attribution report; see file comment. */
+struct AttributionReport
+{
+    /** Completed (sealed) requests attributed. */
+    std::size_t requests = 0;
+
+    /** SLO thresholds the violation table was judged against, ms. */
+    double ttftSloMs = 0.0;
+    double e2eSloMs = 0.0;
+
+    double meanTtftNs = 0.0;
+    double meanE2eNs = 0.0;
+
+    /** Stage breakdown of [arrival, completion], lifecycle order. */
+    std::vector<StageStat> e2eStages;
+
+    /** Stage breakdown of [arrival, first token] only. */
+    std::vector<StageStat> ttftStages;
+
+    std::vector<SloAttribution> sloRows;
+
+    /** Deterministic report document. */
+    json::Value toJson() const;
+
+    /** Human-readable tables (the `skipctl attribute` output). */
+    std::string render() const;
+};
+
+/**
+ * Aggregate @p spans (sealed SpanLog output or a parsed span file)
+ * against the given SLO thresholds.
+ * @throws skipsim::FatalError on structurally broken span sets
+ *         (a stage span without its request root).
+ */
+AttributionReport attributeSpans(const std::vector<Span> &spans,
+                                 double ttftSloMs, double e2eSloMs);
+
+} // namespace skipsim::obs
+
+#endif // SKIPSIM_OBS_ATTRIBUTION_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * OpenMetrics/Prometheus text exposition for the metrics Registry —
+ * the format every Prometheus scraper and most dashboards ingest
+ * natively, offered alongside the JSON dump (`--obs-format
+ * openmetrics`). Output is deterministic: families render in
+ * key-sorted order (the Registry's canonical instrument order),
+ * counters gain the conventional `_total` suffix, histograms render
+ * cumulative `_bucket{le=...}` series plus `_sum`/`_count`, and the
+ * document ends with the spec's `# EOF` terminator. Metric and label
+ * names are sanitized to the OpenMetrics charset ('.'/'-' -> '_').
+ *
+ * parseOpenMetrics() reads the exposition back as raw samples, which
+ * is what the round-trip unit test (and any scrape-side tooling)
+ * checks against the registry.
+ */
+
+#ifndef SKIPSIM_OBS_OPENMETRICS_HH
+#define SKIPSIM_OBS_OPENMETRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace skipsim::obs
+{
+
+/** Render @p registry as OpenMetrics text; see file comment. */
+std::string toOpenMetrics(const Registry &registry);
+
+/** One exposition line: `name{labels} value`. */
+struct OpenMetricsSample
+{
+    std::string name; ///< full series name (incl. _total/_bucket/...)
+    Labels labels;
+    double value = 0.0;
+};
+
+/**
+ * Parse an OpenMetrics exposition back into raw samples (comment and
+ * `# EOF` lines are skipped; label values must not contain escapes,
+ * which toOpenMetrics() never emits).
+ * @throws skipsim::FatalError on malformed lines.
+ */
+std::vector<OpenMetricsSample> parseOpenMetrics(const std::string &text);
+
+} // namespace skipsim::obs
+
+#endif // SKIPSIM_OBS_OPENMETRICS_HH

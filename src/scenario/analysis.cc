@@ -2,6 +2,8 @@
 
 #include "exec/registry.hh"
 #include "json/parser.hh"
+#include "obs/attribution.hh"
+#include "obs/span.hh"
 #include "scenario/registry.hh"
 
 namespace skipsim::scenario
@@ -10,18 +12,20 @@ namespace skipsim::scenario
 namespace
 {
 
-json::Value
-scenarioAnalysis(const exec::RunSpec &spec)
+/**
+ * Resolve the scenario named by @p spec's options into an expanded
+ * ClusterSpec, filling open parameters from the RunSpec so sweep axes
+ * (models, platforms, per-point seeds) compose with a fixed scenario
+ * parameter file.
+ */
+cluster::ClusterSpec
+resolveScenario(const exec::RunSpec &spec, std::string &name)
 {
-    const std::string name =
-        spec.strOpt("scenario", "steady-poisson");
+    name = spec.strOpt("scenario", "steady-poisson");
     json::Object params;
     const std::string path = spec.strOpt("scenario-spec", "");
     if (!path.empty())
         params = json::parseFile(path).asObject();
-    // The RunSpec fills in whatever the spec file leaves open, so
-    // sweep axes (models, platforms, per-point seeds) compose with a
-    // fixed scenario parameter file.
     if (!params.has("model"))
         params.set("model", spec.model().name);
     if (!params.has("platform"))
@@ -29,8 +33,14 @@ scenarioAnalysis(const exec::RunSpec &spec)
     if (!params.has("seed"))
         params.set("seed",
                    static_cast<unsigned long long>(spec.seed()));
+    return buildScenario(name, params);
+}
 
-    cluster::ClusterSpec cspec = buildScenario(name, params);
+json::Value
+scenarioAnalysis(const exec::RunSpec &spec)
+{
+    std::string name;
+    cluster::ClusterSpec cspec = resolveScenario(spec, name);
     cluster::CostCache costs;
     costs.build(cspec);
 
@@ -53,12 +63,42 @@ scenarioAnalysis(const exec::RunSpec &spec)
     return json::Value(std::move(doc));
 }
 
+json::Value
+attributeAnalysis(const exec::RunSpec &spec)
+{
+    std::string name;
+    cluster::ClusterSpec cspec = resolveScenario(spec, name);
+    cluster::CostCache costs;
+    costs.build(cspec);
+
+    json::Object doc;
+    doc.set("scenario", name);
+    // One span log per scenario, attributed independently: each
+    // scenario reseeds, so its lifecycle is its own population.
+    json::Value::Array results;
+    for (std::size_t i = 0; i < cspec.scenarioCount(); ++i) {
+        obs::SpanLog spans;
+        cluster::ClusterSpec scen = cspec.scenarioAt(i);
+        cluster::simulateCluster(scen, costs, nullptr, &spans);
+        results.push_back(
+            obs::attributeSpans(spans.spans(), scen.ttftSloMs,
+                                scen.e2eSloMs)
+                .toJson());
+    }
+    if (results.size() == 1)
+        doc.set("result", json::Value(std::move(results.front())));
+    else
+        doc.set("results", json::Value(std::move(results)));
+    return json::Value(std::move(doc));
+}
+
 } // namespace
 
 void
 registerScenarioAnalysis()
 {
     exec::registerAnalysis("scenario", scenarioAnalysis);
+    exec::registerAnalysis("attribute", attributeAnalysis);
 }
 
 } // namespace skipsim::scenario

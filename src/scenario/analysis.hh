@@ -12,8 +12,14 @@
  * parameters the spec file leaves unset, so a sweep axis over models
  * or seeds composes with a fixed scenario spec.
  *
- * scenario depends on exec (RunSpec) and cluster, so the analysis
- * cannot be an exec built-in without inverting the layering; front
+ * The "attribute" analysis takes the same options but records
+ * per-request lifecycle spans (obs::SpanLog) during the run and
+ * returns the per-stage TTFT/e2e latency attribution
+ * (obs::attributeSpans) instead of the raw cluster report, judged
+ * against the scenario's own SLO thresholds.
+ *
+ * scenario depends on exec (RunSpec) and cluster, so the analyses
+ * cannot be exec built-ins without inverting the layering; front
  * ends call registerScenarioAnalysis() once at startup, exactly like
  * check::registerCheckAnalysis().
  */
@@ -25,8 +31,9 @@ namespace skipsim::scenario
 {
 
 /**
- * Register the "scenario" analysis with exec::registerAnalysis.
- * Idempotent; safe to call from multiple front ends.
+ * Register the "scenario" and "attribute" analyses with
+ * exec::registerAnalysis. Idempotent; safe to call from multiple
+ * front ends.
  */
 void registerScenarioAnalysis();
 

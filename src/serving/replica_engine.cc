@@ -71,6 +71,8 @@ ReplicaEngine::maybeStart(double nowNs)
             _peakKvBytes = std::max(_peakKvBytes, _kvBytes);
             if (_cb.onAdmit)
                 _cb.onAdmit(1, nowNs);
+            if (_cb.onAdmitRequest)
+                _cb.onAdmitRequest(_headId, nowNs, 0.0, false);
         }
         if (_headChunksLeft == 0 && _active.empty())
             return;
@@ -98,11 +100,13 @@ ReplicaEngine::maybeStart(double nowNs)
            _active.size() + _prefilling.size() <
                static_cast<std::size_t>(_cfg.maxActive)) {
         std::size_t id = _pendingDecode.front().first;
+        double stall_ns = 0.0;
         if (_cfg.kvAdmit) {
             Config::KvAdmission kv = _cfg.kvAdmit(id, nowNs, true);
             if (!kv.admitted)
                 break;
             _pendingStallNs += kv.stallNs;
+            stall_ns = kv.stallNs;
         } else if (_kvBytes + _cfg.kvPerSeqBytes <=
                    _cfg.kvCapacityBytes) {
             _kvBytes += _cfg.kvPerSeqBytes;
@@ -111,6 +115,8 @@ ReplicaEngine::maybeStart(double nowNs)
         }
         _pendingDecode.pop_front();
         _active.emplace_back(id, _cfg.genTokens - 1);
+        if (_cb.onAdmitRequest)
+            _cb.onAdmitRequest(id, nowNs, stall_ns, true);
     }
 
     // Admit pending prefills while batch slots and KV budget allow;
@@ -118,12 +124,14 @@ ReplicaEngine::maybeStart(double nowNs)
     while (!_pending.empty() &&
            _active.size() + _prefilling.size() <
                static_cast<std::size_t>(_cfg.maxActive)) {
+        double stall_ns = 0.0;
         if (_cfg.kvAdmit) {
             Config::KvAdmission kv =
                 _cfg.kvAdmit(_pending.front().first, nowNs, false);
             if (!kv.admitted)
                 break;
             _pendingStallNs += kv.stallNs;
+            stall_ns = kv.stallNs;
             _prefillShares.push_back(kv.prefillShare);
         } else if (_kvBytes + _cfg.kvPerSeqBytes <=
                    _cfg.kvCapacityBytes) {
@@ -131,6 +139,9 @@ ReplicaEngine::maybeStart(double nowNs)
         } else {
             break;
         }
+        if (_cb.onAdmitRequest)
+            _cb.onAdmitRequest(_pending.front().first, nowNs, stall_ns,
+                               false);
         _prefilling.push_back(_pending.front());
         _pending.pop_front();
     }
@@ -220,6 +231,7 @@ ReplicaEngine::onIterEnd(double tNs, std::uint64_t serial)
         info.tokens = info.decodeBatch;
     }
     _tokensEmitted += static_cast<std::size_t>(info.tokens);
+    info.activeIds = &_active; // unmutated until after the callback
     if (_cb.onIteration)
         _cb.onIteration(info);
 

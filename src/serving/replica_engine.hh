@@ -58,6 +58,15 @@ struct IterationInfo
 
     /** Tokens emitted by this iteration (first tokens included). */
     int tokens = 0;
+
+    /**
+     * The decoding batch as (id, tokens left) pairs — the engine's
+     * live active list, valid only for the duration of the
+     * onIteration callback (the decode bookkeeping that follows
+     * mutates it). Lets hosts attribute the iteration to individual
+     * requests (lifecycle spans) without copying per iteration.
+     */
+    const std::vector<std::pair<std::size_t, int>> *activeIds = nullptr;
 };
 
 /** Continuous-batching engine for one replica; see file comment. */
@@ -153,6 +162,17 @@ class ReplicaEngine : private core::Process
     {
         /** @p count sequences were admitted at @p nowNs. */
         std::function<void(std::size_t count, double nowNs)> onAdmit;
+
+        /**
+         * Request @p id was admitted (fired per request, right after
+         * the admission decision). @p stallNs is the synchronous
+         * KV-tier transfer the admission charged (0 without an
+         * external store); @p decodeEntry marks a decode-pool entry
+         * joining the batch directly. Used for lifecycle spans.
+         */
+        std::function<void(std::size_t id, double nowNs,
+                           double stallNs, bool decodeEntry)>
+            onAdmitRequest;
 
         /** Request @p id got its first token (TTFT measured). */
         std::function<void(std::size_t id, double ttftNs, double nowNs)>

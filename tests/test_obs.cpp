@@ -14,6 +14,7 @@
 
 #include "analysis/sweep.hh"
 #include "cluster/cluster.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "exec/pool.hh"
 #include "hw/catalog.hh"
@@ -21,6 +22,7 @@
 #include "obs/collector.hh"
 #include "obs/harness.hh"
 #include "obs/metrics.hh"
+#include "obs/openmetrics.hh"
 #include "obs/trace_probe.hh"
 #include "serving/continuous.hh"
 #include "serving/latency_model.hh"
@@ -506,6 +508,183 @@ TEST(ClusterObs, ObsJsonByteIdenticalAcrossWorkerCounts)
     EXPECT_NE(serial.find("cluster.queue_depth"), std::string::npos);
     EXPECT_NE(serial.find("cluster.kv_bytes"), std::string::npos);
     EXPECT_NE(serial.find("cluster.batch_active"), std::string::npos);
+}
+
+TEST(ClusterObs, WindowedRatesCoverTheHorizonBoundaryExactly)
+{
+    // The horizon (3 s) is an exact multiple of the interval (500 ms):
+    // the last sampled window must end exactly at the horizon — no
+    // boundary past it (iterations draining past the horizon are not
+    // sampled), no boundary skipped, no duplicate at the edge.
+    cluster::ClusterSpec spec = smallClusterSpec(2);
+    obs::Collector collector(500.0);
+    cluster::ClusterResult result =
+        cluster::simulateCluster(spec, &collector);
+
+    const obs::Series *tput =
+        findSeries(collector, "cluster.throughput_rps");
+    ASSERT_NE(tput, nullptr);
+    const std::int64_t interval_ns = collector.intervalNs();
+    ASSERT_EQ(tput->points.size(), 6u); // 3s / 500ms
+    for (std::size_t i = 0; i < tput->points.size(); ++i)
+        EXPECT_EQ(tput->points[i].tNs,
+                  static_cast<std::int64_t>(i + 1) * interval_ns);
+    EXPECT_EQ(tput->points.back().tNs,
+              static_cast<std::int64_t>(spec.horizonSec * 1e9));
+
+    // Each point is a per-window rate: value * window length is the
+    // window's completion count, and the windows tile [0, horizon],
+    // so the sum counts completions up to the horizon — never more
+    // than the run completed in total (drain completions past the
+    // horizon fall outside every window).
+    double window_sec = static_cast<double>(interval_ns) / 1e9;
+    double windowed = 0.0;
+    for (const obs::SeriesPoint &point : tput->points) {
+        EXPECT_GE(point.value, 0.0);
+        windowed += point.value * window_sec;
+    }
+    EXPECT_GT(windowed, 0.0);
+    EXPECT_LE(windowed,
+              static_cast<double>(result.completed) + 1e-9);
+}
+
+TEST(Registry, HistogramBucketEdgeValues)
+{
+    // A value exactly on a bucket's upper bound belongs to that
+    // bucket (Prometheus "le" semantics); past the last bound it
+    // overflows into +inf.
+    obs::Histogram hist({1.0, 2.0, 4.0});
+    hist.observe(1.0);           // == first bound -> bucket 0
+    hist.observe(2.0);           // == second bound -> bucket 1
+    hist.observe(4.0);           // == last bound -> bucket 2
+    hist.observe(4.0000000001);  // just past -> +inf
+    hist.observe(0.5);           // below first bound -> bucket 0
+
+    std::vector<std::uint64_t> counts = hist.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u); // +inf overflow
+    EXPECT_EQ(hist.count(), 5u);
+}
+
+// ----------------------------------------------------------- openmetrics
+
+TEST(OpenMetrics, ExpositionShapeAndRoundTrip)
+{
+    obs::Registry registry;
+    registry.counter("cluster.requests_offered").add(25.0);
+    registry.counter("cluster.replica_routed", {{"replica", "1"}})
+        .add(13.0);
+    registry.gauge("cluster.peak_kv_bytes", {{"replica", "0"}})
+        .set(84934656.0);
+    obs::Histogram &hist =
+        registry.histogram("cluster.ttft_ms", {1.0, 10.0});
+    hist.observe(0.5);
+    hist.observe(5.0);
+    hist.observe(50.0);
+
+    std::string text = obs::toOpenMetrics(registry);
+
+    // Names sanitize to [a-zA-Z0-9_:], counters carry _total, the
+    // histogram expands to cumulative buckets + sum + count, and the
+    // exposition terminates with # EOF.
+    EXPECT_NE(text.find("# TYPE cluster_requests_offered counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("cluster_requests_offered_total 25"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("cluster_replica_routed_total{replica=\"1\"} 13"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE cluster_ttft_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("cluster_ttft_ms_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cluster_ttft_ms_bucket{le=\"10\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("cluster_ttft_ms_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("cluster_ttft_ms_count 3"),
+              std::string::npos);
+    EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+    // Round trip: every sample line re-parses to the value written.
+    std::vector<obs::OpenMetricsSample> samples =
+        obs::parseOpenMetrics(text);
+    auto value_of = [&samples](const std::string &name,
+                               const obs::Labels &labels) {
+        for (const obs::OpenMetricsSample &s : samples) {
+            if (s.name == name && s.labels == labels)
+                return s.value;
+        }
+        return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(value_of("cluster_requests_offered_total", {}),
+                     25.0);
+    EXPECT_DOUBLE_EQ(value_of("cluster_replica_routed_total",
+                              {{"replica", "1"}}),
+                     13.0);
+    EXPECT_DOUBLE_EQ(value_of("cluster_peak_kv_bytes",
+                              {{"replica", "0"}}),
+                     84934656.0);
+    EXPECT_DOUBLE_EQ(value_of("cluster_ttft_ms_bucket",
+                              {{"le", "+Inf"}}),
+                     3.0);
+    EXPECT_DOUBLE_EQ(value_of("cluster_ttft_ms_sum", {}), 55.5);
+
+    // Determinism: a registry populated in a different order exposes
+    // byte-identical text (instruments render key-sorted).
+    obs::Registry reordered;
+    obs::Histogram &hist2 =
+        reordered.histogram("cluster.ttft_ms", {1.0, 10.0});
+    hist2.observe(50.0);
+    hist2.observe(5.0);
+    hist2.observe(0.5);
+    reordered.gauge("cluster.peak_kv_bytes", {{"replica", "0"}})
+        .set(84934656.0);
+    reordered.counter("cluster.replica_routed", {{"replica", "1"}})
+        .add(13.0);
+    reordered.counter("cluster.requests_offered").add(25.0);
+    EXPECT_EQ(text, obs::toOpenMetrics(reordered));
+}
+
+// --------------------------------------------------------------- cli flags
+
+TEST(RunFlags, RejectsNonPositiveObsInterval)
+{
+    auto parse = [](std::vector<const char *> argv) {
+        argv.insert(argv.begin(), "test");
+        CliArgs args(static_cast<int>(argv.size()), argv.data());
+        return parseRunFlags(args);
+    };
+    // Regression: 0 and negative intervals used to construct a
+    // Collector that fataled later (or div-by-zero'd a window rate);
+    // now the flag itself is rejected up front, naming the flag.
+    try {
+        parse({"--obs-interval-ms", "0"});
+        FAIL() << "interval 0 accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("--obs-interval-ms"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parse({"--obs-interval-ms=-5"}), FatalError);
+    EXPECT_DOUBLE_EQ(parse({"--obs-interval-ms", "2.5"}).obsIntervalMs,
+                     2.5);
+    EXPECT_DOUBLE_EQ(parse({}).obsIntervalMs, 100.0);
+}
+
+TEST(RunFlags, ObsFormatValidated)
+{
+    auto parse = [](std::vector<const char *> argv) {
+        argv.insert(argv.begin(), "test");
+        CliArgs args(static_cast<int>(argv.size()), argv.data());
+        return parseRunFlags(args);
+    };
+    EXPECT_EQ(parse({}).obsFormat, "json");
+    EXPECT_EQ(parse({"--obs-format", "openmetrics"}).obsFormat,
+              "openmetrics");
+    EXPECT_THROW(parse({"--obs-format", "xml"}), FatalError);
 }
 
 // -------------------------------------------------------- harness tracer
