@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Gate benchmark for the sharded cluster engine: one fleet-scale
+ * "datacenter" scenario run (1024 replicas, a 2^20 session-id pool,
+ * an explicit router-to-replica dispatch hop) executed at shard
+ * counts 1/2/4 over the same spec. Each row reports the sharded
+ * engine's synchronization counters and simulated-events/sec, and the
+ * report JSON is byte-compared across shard counts — the bench fails
+ * if any shard count changes a single byte, so it doubles as the
+ * at-scale determinism gate for the windowed-sync protocol.
+ *
+ * Usage: ext_datacenter [--replicas N] [--shards LIST] [--seed S]
+ *                       [--quick] [--csv] [--out report.json]
+ *
+ * --quick shrinks the horizon and per-replica rate for CI smoke runs
+ * but keeps the full 1024-replica fleet — the shard partitioning and
+ * cross-shard mailbox traffic it exists to exercise do not shrink.
+ * --out writes the rows as JSON (the CI artifact
+ * BENCH_datacenter.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "common/cli.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "core/sharded_engine.hh"
+#include "json/value.hh"
+#include "json/writer.hh"
+#include "scenario/registry.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+struct Row
+{
+    int shards = 1;
+    core::ShardStats stats;
+    double wallMs = 0.0;
+    double eventsPerSec = 0.0;
+    cluster::ClusterResult result;
+    std::string reportJson;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    RunFlags flags = parseRunFlags(args);
+    long replicas = args.getInt("replicas", 1024);
+    if (replicas < 1)
+        fatal("option --replicas expects a positive fleet size");
+    std::vector<long> shard_axis =
+        args.getIntList("shards", {1, 2, 4});
+    double horizon = flags.quick ? 1.0 : 40.0;
+    double rate_per_replica = flags.quick ? 8.0 : 30.0;
+
+    json::Object params;
+    params.set("replicas", static_cast<double>(replicas));
+    params.set("sessions", static_cast<double>(1 << 20));
+    params.set("horizon-sec", horizon);
+    params.set("rate-per-replica", rate_per_replica);
+    params.set("gen-tokens", 8.0);
+    params.set("seed", static_cast<double>(flags.seed));
+    cluster::ClusterSpec spec =
+        scenario::buildScenario("datacenter", params);
+
+    // One cost cache for every shard count: the shard axis changes
+    // how the event loop executes, never what it computes.
+    cluster::CostCache costs;
+    costs.build(spec);
+
+    // Rows run serially — each one is wall-clock timed.
+    std::vector<Row> rows;
+    for (long shards : shard_axis) {
+        if (shards < 1 ||
+            static_cast<std::size_t>(shards) > spec.replicas.size())
+            fatal(strprintf("option --shards entry %ld out of range "
+                            "for the fleet's %zu replica(s)",
+                            shards, spec.replicas.size()));
+        Row row;
+        row.shards = static_cast<int>(shards);
+        cluster::ClusterSpec shard_spec = spec;
+        shard_spec.shards = row.shards;
+        auto start = std::chrono::steady_clock::now();
+        row.result = cluster::simulateCluster(shard_spec, costs,
+                                              nullptr, nullptr,
+                                              &row.stats);
+        auto end = std::chrono::steady_clock::now();
+        row.wallMs =
+            std::chrono::duration<double, std::milli>(end - start)
+                .count();
+        row.eventsPerSec = row.wallMs > 0.0
+            ? static_cast<double>(row.stats.events) /
+                (row.wallMs / 1e3)
+            : 0.0;
+        row.reportJson = json::write(row.result.toJson());
+        rows.push_back(std::move(row));
+    }
+
+    // The gate: the report must be byte-identical at every shard
+    // count. A single diverging byte means the windowed merge changed
+    // the execution order somewhere in a million-session run.
+    bool identical = true;
+    for (const Row &row : rows)
+        if (row.reportJson != rows.front().reportJson) {
+            identical = false;
+            std::fprintf(stderr,
+                         "ext_datacenter: report at --shards %d "
+                         "diverges from --shards %d (%zu vs %zu "
+                         "bytes)\n",
+                         row.shards, rows.front().shards,
+                         row.reportJson.size(),
+                         rows.front().reportJson.size());
+        }
+
+    TextTable table(strprintf(
+        "Sharded datacenter run: %s x%zu replicas, %.0f rps, "
+        "horizon %.1fs (seed %llu)",
+        spec.model.name.c_str(), spec.replicas.size(),
+        spec.arrivalRatePerSec, horizon,
+        static_cast<unsigned long long>(flags.seed)));
+    table.setHeader({"Shards", "Events", "Windows", "X-shard msgs",
+                     "Lookahead viol", "Wall (ms)", "Sim events/s",
+                     "TTFT p99 (ms)", "Goodput (rps)"});
+    for (const Row &row : rows)
+        table.addRow({std::to_string(row.shards),
+                      std::to_string(row.stats.events),
+                      std::to_string(row.stats.windows),
+                      std::to_string(row.stats.crossShardMessages),
+                      std::to_string(row.stats.lookaheadViolations),
+                      strprintf("%.1f", row.wallMs),
+                      strprintf("%.0f", row.eventsPerSec),
+                      strprintf("%.1f", row.result.p99TtftNs / 1e6),
+                      strprintf("%.1f", row.result.goodputRps)});
+    std::fputs(flags.csv ? table.renderCsv().c_str()
+                         : table.render().c_str(),
+               stdout);
+    std::printf("\nreports byte-identical across shard counts: %s\n",
+                identical ? "yes" : "NO");
+
+    if (flags.wantOut()) {
+        json::Object doc;
+        doc.set("replicas", static_cast<double>(replicas));
+        doc.set("sessions", static_cast<double>(1 << 20));
+        doc.set("horizon-sec", horizon);
+        doc.set("rate-per-replica", rate_per_replica);
+        doc.set("seed", static_cast<double>(flags.seed));
+        doc.set("identical", identical);
+        json::Value::Array grid;
+        for (const Row &row : rows) {
+            json::Object entry;
+            entry.set("shards", static_cast<double>(row.shards));
+            entry.set("events", static_cast<double>(row.stats.events));
+            entry.set("windows",
+                      static_cast<double>(row.stats.windows));
+            entry.set("cross-shard-messages",
+                      static_cast<double>(
+                          row.stats.crossShardMessages));
+            entry.set("lookahead-violations",
+                      static_cast<double>(
+                          row.stats.lookaheadViolations));
+            entry.set("lookahead-ns", row.stats.lookaheadNs);
+            entry.set("wall-ms", row.wallMs);
+            entry.set("simulated-events-per-sec", row.eventsPerSec);
+            entry.set("report-bytes",
+                      static_cast<double>(row.reportJson.size()));
+            entry.set("offered",
+                      static_cast<double>(row.result.offered));
+            entry.set("completed",
+                      static_cast<double>(row.result.completed));
+            entry.set("p99-ttft-ms", row.result.p99TtftNs / 1e6);
+            entry.set("goodput-rps", row.result.goodputRps);
+            grid.push_back(json::Value(std::move(entry)));
+        }
+        doc.set("rows", json::Value(std::move(grid)));
+        json::writeFile(flags.out, json::Value(std::move(doc)));
+    }
+
+    if (!identical)
+        return 1;
+    std::puts("\nKey takeaway: the windowed-sync sharding is a pure "
+              "execution-topology change — a thousand-replica, "
+              "million-session run produces the same bytes at any "
+              "shard count, while the dispatch-latency lookahead "
+              "keeps every synchronization window violation-free.");
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include "common/random.hh"
 #include "core/engine.hh"
 #include "core/event_queue.hh"
+#include "core/sharded_engine.hh"
 #include "fusion/proximity.hh"
 #include "hw/catalog.hh"
 #include "obs/span.hh"
@@ -193,6 +194,40 @@ BENCHMARK(BM_EventQueueThroughput)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_ShardedMerge(benchmark::State &state)
+{
+    // Deterministic K-way merge throughput of the sharded engine on
+    // the same 1M-event workload as BM_EventQueueThroughput: events
+    // land round-robin on the shard queues and the run loop pays the
+    // argmin scan plus window bookkeeping per event. Arg = shard
+    // count; the Arg(1) row is the single-queue baseline the merge
+    // overhead is judged against.
+    const std::size_t shards = static_cast<std::size_t>(state.range(0));
+    const std::size_t n = 1 << 20;
+    Rng rng(42);
+    std::vector<double> times(n);
+    std::vector<int> prios(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        times[i] = rng.uniform(0.0, 1e9);
+        prios[i] = static_cast<int>(rng.below(4));
+    }
+    for (auto _ : state) {
+        core::ShardedEngine engine(shards);
+        for (std::size_t i = 0; i < n; ++i)
+            engine.shard(i % shards).at(times[i], prios[i], nullptr);
+        benchmark::DoNotOptimize(engine.run());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ShardedMerge)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_EngineEventChurn(benchmark::State &state)
 {
     // Engine run-loop overhead under self-rescheduling handlers — the
@@ -273,7 +308,7 @@ main(int argc, char **argv)
     }
     static std::string filter =
         "--benchmark_filter=BM_EventQueueThroughput|"
-        "BM_ClusterSpanOverhead";
+        "BM_ShardedMerge|BM_ClusterSpanOverhead";
     static std::string min_time = "--benchmark_min_time=0.05";
     if (quick) {
         args.push_back(filter.data());

@@ -14,12 +14,13 @@
  *                    [--max-batch N] [--slo-ms MS]
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-interval-ms MS]
- *   skipctl cluster  --spec cluster.json [--jobs N] [--out report.json]
+ *   skipctl cluster  --spec cluster.json [--jobs N] [--shards N]
+ *                    [--out report.json]
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-interval-ms MS]
  *                    [--harness-trace harness.json]
  *   skipctl run      --scenario NAME [--spec params.json] [--quick]
- *                    [--jobs N] [--out report.json]
+ *                    [--jobs N] [--shards N] [--out report.json]
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-format json|openmetrics]
  *                    [--obs-interval-ms MS] [--span-out spans.json]
@@ -45,7 +46,10 @@
  * analysis (see `skipctl analyses`). `cluster --spec` runs a
  * multi-replica cluster scenario (optionally a rate sweep, fanned
  * across --jobs workers) and reports SLO attainment and goodput —
- * the report is byte-identical at any --jobs count.
+ * the report is byte-identical at any --jobs count. --shards N
+ * partitions each run's replicas across N engine shards
+ * (deterministic time-windowed synchronization, docs/core.md); the
+ * report stays byte-identical at any shard count.
  *
  * Scenarios (docs/scenarios.md): `run --scenario NAME` builds a full
  * cluster run from the scenario registry — production-shaped traffic
@@ -378,11 +382,24 @@ cmdServe(const CliArgs &args)
  * write the requested report/obs/trace outputs. Every cluster-shaped
  * entry point — `skipctl cluster`, `skipctl run --scenario NAME` —
  * ends here, so their outputs share one determinism contract
- * (byte-identical at any jobs count).
+ * (byte-identical at any jobs count and any --shards count: shards
+ * partition one run's event loop, the pool fans across runs).
  */
 int
-runClusterSpec(const cluster::ClusterSpec &spec, const RunFlags &flags)
+runClusterSpec(cluster::ClusterSpec spec, const RunFlags &flags)
 {
+    // --shards overrides the spec's execution topology; the report is
+    // byte-identical at any shard count (the spec echo never carries
+    // it), so the flag only changes how the run executes.
+    if (flags.shards > 0) {
+        if (static_cast<std::size_t>(flags.shards) >
+            spec.replicas.size())
+            fatal(strprintf("option --shards %d exceeds the fleet's "
+                            "%zu replica(s)",
+                            flags.shards, spec.replicas.size()));
+        spec.shards = flags.shards;
+    }
+
     // The cost models simulate a batch grid per distinct platform —
     // the expensive part — so build them once, serially, and share
     // them read-only across scenario workers.
@@ -562,7 +579,7 @@ cmdCluster(const CliArgs &args)
     if (!args.has("spec")) {
         std::fprintf(stderr,
                      "usage: skipctl cluster --spec cluster.json "
-                     "[--jobs N] [--out report.json] "
+                     "[--jobs N] [--shards N] [--out report.json] "
                      "[--obs-out obs.json] [--obs-trace trace.json] "
                      "[--obs-interval-ms MS] "
                      "[--harness-trace harness.json]\n");
@@ -589,6 +606,7 @@ cmdRun(const CliArgs &args)
         std::fprintf(stderr,
                      "usage: skipctl run --scenario NAME "
                      "[--spec params.json] [--quick] [--jobs N] "
+                     "[--shards N] "
                      "[--out report.json] [--obs-out obs.json] "
                      "[--obs-trace trace.json] [--obs-interval-ms MS] "
                      "[--obs-format json|openmetrics] "

@@ -4,12 +4,13 @@
 #include <cmath>
 #include <memory>
 
+#include "cluster/shard_plan.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strutil.hh"
-#include "core/engine.hh"
 #include "core/resource.hh"
 #include "core/rng_stream.hh"
+#include "core/sharded_engine.hh"
 #include "obs/collector.hh"
 #include "obs/span.hh"
 #include "serving/replica_engine.hh"
@@ -123,6 +124,14 @@ ClusterSpec::validate() const
                             i));
     }
     kvTier.validate();
+    if (shards < 1)
+        fatal("ClusterSpec: shards must be >= 1");
+    if (static_cast<std::size_t>(shards) > replicas.size())
+        fatal(strprintf("ClusterSpec: shards (%d) cannot exceed the "
+                        "fleet's %zu replica(s)",
+                        shards, replicas.size()));
+    if (dispatchUs < 0.0)
+        fatal("ClusterSpec: dispatchUs must be non-negative");
     if (disaggregated()) {
         bool prefill_capable = false;
         bool decode_capable = false;
@@ -224,7 +233,9 @@ CostCache::get(const std::string &platformName) const
 namespace
 {
 
-/** Discrete-event kinds, in tie-break order at equal timestamps. */
+/** Discrete-event kinds, in tie-break order at equal timestamps.
+ *  Append-only: reordering would change equal-timestamp tie-breaks
+ *  and break every locked report golden. */
 enum EventType
 {
     EvFault = 0,
@@ -232,7 +243,9 @@ enum EventType
     EvHeal = 2,
     EvIterEnd = 3,
     EvArrival = 4,
-    EvKvXfer = 5, ///< a KV handoff transfer reached the far side
+    EvKvXfer = 5,  ///< a KV handoff transfer reached the far side
+    EvDeliver = 6, ///< a routed request reached its replica (dispatchUs)
+    EvStage = 7,   ///< staged-dispatch prompt transfer landed
 };
 
 /**
@@ -301,7 +314,9 @@ class Sim
           _streams(spec.seed),
           _router(spec.router, makeWeights(spec, costs)),
           _disagg(spec.disaggregated()), _kvOn(spec.kvTier.enabled()),
-          _obs(obs), _spans(spans)
+          _plan(ShardPlan::build(spec)),
+          _engine(_plan.shards, _plan.lookaheadNs),
+          _dispatchNs(spec.dispatchUs * 1e3), _obs(obs), _spans(spans)
     {
         if (_disagg) {
             std::vector<unsigned> classes;
@@ -436,11 +451,14 @@ class Sim
                     ++rep.stats.handoffs;
                     _router.onSettled(r);
                     _requests[id].decodeReady = true;
+                    // The re-dispatch is a routing decision, so the
+                    // transfer-done event posts to the router's shard
+                    // (a cross-shard message from this replica).
                     double end = chargeLane(r, _kvPerSeqBytes, now);
-                    _engine.at(end, eventPriority(EvKvXfer, id),
-                               [this, id](double t) {
-                                   dispatch(id, t);
-                               });
+                    routerSched().at(end, eventPriority(EvKvXfer, id),
+                                     [this, id](double t) {
+                                         dispatch(id, t);
+                                     });
                     return;
                 }
                 _requests[id].doneNs = now;
@@ -490,17 +508,40 @@ class Sim
                 return dur_ns;
             };
             rt.engine = std::make_unique<serving::ReplicaEngine>(
-                _engine, ec, std::move(cb));
+                replicaSched(r), ec, std::move(cb));
         }
     }
 
     ClusterResult run();
 
+    /** Synchronization counters of the finished run. */
+    const core::ShardStats &shardStats() const
+    {
+        return _engine.stats();
+    }
+
   private:
     static std::vector<double> makeWeights(const ClusterSpec &spec,
                                            const CostCache &costs);
 
+    /** Scheduler replica @p r's events execute on. */
+    core::Scheduler &
+    replicaSched(std::size_t r)
+    {
+        return _engine.shard(_plan.homeShard[r]);
+    }
+
+    /** Scheduler router-side events (arrivals, routing decisions,
+     *  fault detection) execute on. */
+    core::Scheduler &
+    routerSched()
+    {
+        return _engine.shard(_plan.routerShard);
+    }
+
     void dispatch(std::size_t id, double now);
+    /** A routed request reached replica @p r: stage and enqueue. */
+    void deliver(std::size_t id, std::size_t r, double now);
     void restartAndReroute(std::size_t r,
                            std::vector<std::size_t> &ids, double now);
     void drainBacklog(double now);
@@ -532,7 +573,12 @@ class Sim
     Router _router;
     bool _disagg = false; ///< any replica has a non-Mixed role
     bool _kvOn = false;   ///< spec.kvTier enables the two-tier store
-    core::Engine _engine;
+    /** Shard topology (replica homes, router shard, lookahead) and
+     *  the partitioned engine the whole run executes on. shards == 1
+     *  degenerates to the classic single-queue run, event for event. */
+    ShardPlan _plan;
+    core::ShardedEngine _engine;
+    double _dispatchNs = 0.0; ///< spec.dispatchUs, in ns
     /** Interconnect lanes and tier stores, one per replica; lanes are
      *  live (staging + handoff traffic) whenever tiering or
      *  disaggregation is on, stores only under tiering. */
@@ -622,17 +668,61 @@ Sim::dispatch(std::size_t id, double now)
             startHandoffInto(id, r, now);
             return;
         }
-        // Input staging: the prompt crosses the link asynchronously
-        // ahead of admission, contending with KV traffic but not
-        // delaying this request. Unified-memory platforms skip it.
-        if ((_kvOn || _disagg) && !rt.spec->platform.unifiedMemory)
-            chargeLane(r, _stageBytes, now);
-        // A crashed replica's engine still queues the request — it
-        // sinks into the failure until detection routes around it.
-        rt.engine->enqueue(id, req.arrivalNs);
-        rt.engine->maybeStart(now);
+        if (_dispatchNs > 0.0) {
+            // Routing latency: the decision happens here on the
+            // router's shard, the request reaches its replica one
+            // explicit delivery event later — the cross-shard message
+            // the shard lookahead is derived from.
+            replicaSched(r).at(now + _dispatchNs,
+                               eventPriority(EvDeliver, id),
+                               [this, id, r](double t) {
+                                   deliver(id, r, t);
+                               });
+            return;
+        }
+        deliver(id, r, now);
         return;
     }
+}
+
+void
+Sim::deliver(std::size_t id, std::size_t r, double now)
+{
+    ReplicaRt &rt = _reps[r];
+    if (rt.partitioned) {
+        // A partition raced the delivery: the request is stuck until
+        // heal or detection re-routes it.
+        rt.limbo.push_back(id);
+        return;
+    }
+    const bool lane_live =
+        (_kvOn || _disagg) && !rt.spec->platform.unifiedMemory;
+    if (lane_live && _spec.stagedDispatch) {
+        // Staged dispatch: admission waits for the prompt's staging
+        // transfer, so KV paging and handoffs on the same lane delay
+        // it — the bandwidth-contention coupling.
+        double end = chargeLane(r, _stageBytes, now);
+        replicaSched(r).at(
+            end, eventPriority(EvStage, id), [this, id, r](double t) {
+                ReplicaRt &rep = _reps[r];
+                if (rep.partitioned) {
+                    rep.limbo.push_back(id);
+                    return;
+                }
+                rep.engine->enqueue(id, _requests[id].arrivalNs);
+                rep.engine->maybeStart(t);
+            });
+        return;
+    }
+    // Input staging: the prompt crosses the link asynchronously
+    // ahead of admission, contending with KV traffic but not
+    // delaying this request. Unified-memory platforms skip it.
+    if (lane_live)
+        chargeLane(r, _stageBytes, now);
+    // A crashed replica's engine still queues the request — it
+    // sinks into the failure until detection routes around it.
+    rt.engine->enqueue(id, _requests[id].arrivalNs);
+    rt.engine->maybeStart(now);
 }
 
 double
@@ -649,8 +739,10 @@ void
 Sim::startHandoffInto(std::size_t id, std::size_t r, double now)
 {
     double end = chargeLane(r, _kvPerSeqBytes, now);
-    _engine.at(end, eventPriority(EvKvXfer, id),
-               [this, id, r](double t) { onKvArrive(id, r, t); });
+    replicaSched(r).at(end, eventPriority(EvKvXfer, id),
+                       [this, id, r](double t) {
+                           onKvArrive(id, r, t);
+                       });
 }
 
 void
@@ -770,11 +862,11 @@ Sim::onFault(std::size_t faultIdx, double tNs)
         rt.stranded.insert(rt.stranded.end(), rt.limbo.begin(),
                            rt.limbo.end());
         rt.limbo.clear();
-        _engine.at(tNs + _spec.detectDelaySec * 1e9,
-                   eventPriority(EvDetect, faultIdx),
-                   [this, faultIdx](double t) {
-                       onDetect(faultIdx, t);
-                   });
+        routerSched().at(tNs + _spec.detectDelaySec * 1e9,
+                         eventPriority(EvDetect, faultIdx),
+                         [this, faultIdx](double t) {
+                             onDetect(faultIdx, t);
+                         });
         return;
     }
     case FaultKind::Slowdown:
@@ -784,17 +876,17 @@ Sim::onFault(std::size_t faultIdx, double tNs)
         if (rt.crashed || rt.partitioned)
             return;
         rt.partitioned = true;
-        _engine.at(tNs + _spec.detectDelaySec * 1e9,
-                   eventPriority(EvDetect, faultIdx),
-                   [this, faultIdx](double t) {
-                       onDetect(faultIdx, t);
-                   });
+        routerSched().at(tNs + _spec.detectDelaySec * 1e9,
+                         eventPriority(EvDetect, faultIdx),
+                         [this, faultIdx](double t) {
+                             onDetect(faultIdx, t);
+                         });
         if (f.healSec >= 0.0)
-            _engine.at(f.healSec * 1e9,
-                       eventPriority(EvHeal, faultIdx),
-                       [this, faultIdx](double t) {
-                           onHeal(faultIdx, t);
-                       });
+            routerSched().at(f.healSec * 1e9,
+                             eventPriority(EvHeal, faultIdx),
+                             [this, faultIdx](double t) {
+                                 onHeal(faultIdx, t);
+                             });
         return;
     }
 }
@@ -882,14 +974,16 @@ Sim::run()
         for (std::size_t id = 0; id < _requests.size(); ++id)
             _spans->onArrival(id, _requests[id].arrivalNs);
     }
+    // Arrivals and faults are router-side events; seeding them on the
+    // router's shard before the run never counts as mailbox traffic.
     for (std::size_t id = 0; id < _requests.size(); ++id)
-        _engine.at(_requests[id].arrivalNs,
-                   eventPriority(EvArrival, id),
-                   [this, id](double now) { dispatch(id, now); });
+        routerSched().at(_requests[id].arrivalNs,
+                         eventPriority(EvArrival, id),
+                         [this, id](double now) { dispatch(id, now); });
     for (std::size_t i = 0; i < _spec.faults.size(); ++i)
-        _engine.at(_spec.faults[i].atSec * 1e9,
-                   eventPriority(EvFault, i),
-                   [this, i](double now) { onFault(i, now); });
+        routerSched().at(_spec.faults[i].atSec * 1e9,
+                         eventPriority(EvFault, i),
+                         [this, i](double now) { onFault(i, now); });
 
     // Sample every probe boundary up to (and including) each event's
     // instant before applying it: boundary samples see the state as
@@ -1104,23 +1198,27 @@ Sim::finishObs(const ClusterResult &result,
 
 ClusterResult
 simulateCluster(const ClusterSpec &spec, const CostCache &costs,
-                obs::Collector *obs, obs::SpanLog *spans)
+                obs::Collector *obs, obs::SpanLog *spans,
+                core::ShardStats *shardStats)
 {
     spec.validate();
     if (!spec.rates.empty())
         fatal("simulateCluster: expand rate sweeps via scenarioAt() "
               "first");
     Sim sim(spec, costs, obs, spans);
-    return sim.run();
+    ClusterResult result = sim.run();
+    if (shardStats != nullptr)
+        *shardStats = sim.shardStats();
+    return result;
 }
 
 ClusterResult
 simulateCluster(const ClusterSpec &spec, obs::Collector *obs,
-                obs::SpanLog *spans)
+                obs::SpanLog *spans, core::ShardStats *shardStats)
 {
     CostCache costs;
     costs.build(spec);
-    return simulateCluster(spec, costs, obs, spans);
+    return simulateCluster(spec, costs, obs, spans, shardStats);
 }
 
 json::Value

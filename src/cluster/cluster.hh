@@ -43,6 +43,11 @@ class Collector;
 class SpanLog;
 }
 
+namespace skipsim::core
+{
+struct ShardStats;
+}
+
 namespace skipsim::cluster
 {
 
@@ -206,6 +211,34 @@ struct ClusterSpec
      * no link traffic — keeping pre-tiering reports byte-identical.
      */
     kv::TierSpec kvTier;
+
+    /**
+     * Execution topology: engine shards the replicas are partitioned
+     * across (round-robin), 1..replicas. Purely an execution knob —
+     * the report is byte-identical at any value — so the JSON serde
+     * accepts "shards" but never emits it (a saved spec or report
+     * carries no trace of how it was executed).
+     */
+    int shards = 1;
+
+    /**
+     * Router dispatch latency, microseconds: a routed request reaches
+     * its replica this much later, as an explicit delivery event on
+     * the replica's shard. 0 (the default) keeps the historical
+     * inline hand-off — and forces the shard lookahead to 0, since an
+     * inline dispatch affects another shard at the current instant.
+     */
+    double dispatchUs = 0.0;
+
+    /**
+     * Gate each delivery on its input-staging transfer: the request
+     * only enters the replica's queue once its prompt has crossed the
+     * CPU-GPU link lane, so heavy KV-offload paging on the same lane
+     * delays admission (bandwidth contention). Off keeps the
+     * historical fire-and-forget staging. Only meaningful when the
+     * lanes are live (KV tiering or disaggregation enabled).
+     */
+    bool stagedDispatch = false;
 
     /** True when any replica has a non-Mixed role. */
     bool disaggregated() const;
@@ -420,17 +453,24 @@ class CostCache
  * sampling instants are pure functions of the interval, the obs JSON
  * honours the same determinism contract as the report itself.
  *
+ * When @p shardStats is non-null it receives the sharded engine's
+ * synchronization counters (windows, cross-shard messages, lookahead)
+ * for the run — diagnostics only, deliberately kept out of the result
+ * so the report stays byte-identical at any ClusterSpec::shards.
+ *
  * @throws skipsim::FatalError on invalid specs.
  */
 ClusterResult simulateCluster(const ClusterSpec &spec,
                               obs::Collector *obs = nullptr,
-                              obs::SpanLog *spans = nullptr);
+                              obs::SpanLog *spans = nullptr,
+                              core::ShardStats *shardStats = nullptr);
 
 /** Simulate with a pre-built cost cache (see CostCache). */
 ClusterResult simulateCluster(const ClusterSpec &spec,
                               const CostCache &costs,
                               obs::Collector *obs = nullptr,
-                              obs::SpanLog *spans = nullptr);
+                              obs::SpanLog *spans = nullptr,
+                              core::ShardStats *shardStats = nullptr);
 
 } // namespace skipsim::cluster
 

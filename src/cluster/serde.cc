@@ -131,6 +131,13 @@ ClusterSpec::toJson() const
             axis.push_back(json::Value(rate));
         doc.set("rates", json::Value(std::move(axis)));
     }
+    // "shards" is deliberately never emitted: it is execution
+    // topology, not scenario identity, and reports embedding the spec
+    // must stay byte-identical at any shard count.
+    if (dispatchUs > 0.0)
+        doc.set("dispatch-us", dispatchUs);
+    if (stagedDispatch)
+        doc.set("staged-dispatch", stagedDispatch);
     doc.set("horizon-sec", horizonSec);
     doc.set("prompt", promptLen);
     doc.set("gen-tokens", genTokens);
@@ -193,6 +200,12 @@ ClusterSpec::fromJson(const json::Value &value)
         for (const json::Value &rate : obj.at("rates").asArray())
             spec.rates.push_back(rate.asDouble());
     }
+    if (obj.has("shards"))
+        spec.shards = static_cast<int>(obj.at("shards").asInt());
+    if (obj.has("dispatch-us"))
+        spec.dispatchUs = obj.at("dispatch-us").asDouble();
+    if (obj.has("staged-dispatch"))
+        spec.stagedDispatch = obj.at("staged-dispatch").asBool();
     if (obj.has("horizon-sec"))
         spec.horizonSec = obj.at("horizon-sec").asDouble();
     if (obj.has("prompt"))

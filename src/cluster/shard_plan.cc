@@ -1,0 +1,39 @@
+#include "cluster/shard_plan.hh"
+
+#include <algorithm>
+
+#include "workload/memory.hh"
+
+namespace skipsim::cluster
+{
+
+ShardPlan
+ShardPlan::build(const ClusterSpec &spec)
+{
+    ShardPlan plan;
+    std::size_t shards =
+        spec.shards < 1 ? 1 : static_cast<std::size_t>(spec.shards);
+    plan.shards = std::min(shards, spec.replicas.size());
+    plan.homeShard.resize(spec.replicas.size());
+    for (std::size_t r = 0; r < spec.replicas.size(); ++r)
+        plan.homeShard[r] = r % plan.shards;
+    if (spec.dispatchUs > 0.0) {
+        plan.lookaheadNs = spec.dispatchUs * 1e3;
+        if (spec.disaggregated() && spec.genTokens > 1) {
+            // Handoffs post cross-shard at the lane transfer's end;
+            // the window must not outrun the fastest link.
+            double kv_bytes =
+                workload::estimateMemory(spec.model, 1,
+                                         spec.promptLen +
+                                             spec.genTokens)
+                    .kvCacheBytes;
+            for (const ReplicaSpec &rep : spec.replicas)
+                plan.lookaheadNs =
+                    std::min(plan.lookaheadNs,
+                             rep.platform.transferNs(kv_bytes));
+        }
+    }
+    return plan;
+}
+
+} // namespace skipsim::cluster

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shard topology of one cluster run: which engine shard each replica's
+ * events execute on, where the router lives, and the synchronization
+ * lookahead the core::ShardedEngine windows advance by. The plan is a
+ * pure function of the ClusterSpec — execution topology never feeds
+ * back into results, which is what keeps the report byte-identical at
+ * any shard count.
+ *
+ * Lookahead rule (docs/core.md): windows can only be wider than a
+ * single timestamp when every cross-shard interaction carries a
+ * modelled latency. The two cross-shard couplings are router dispatch
+ * (spec.dispatchUs, the delivery event) and — on disaggregated fleets
+ * — the prefill->decode KV handoff over the interconnect
+ * (platform.transferNs of one sequence's KV). The lookahead is the
+ * minimum of those, and zero whenever dispatch is inline
+ * (dispatchUs == 0), because an inline hand-off can affect another
+ * shard at the current instant.
+ */
+
+#ifndef SKIPSIM_CLUSTER_SHARD_PLAN_HH
+#define SKIPSIM_CLUSTER_SHARD_PLAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hh"
+
+namespace skipsim::cluster
+{
+
+/** Replica-to-shard assignment plus the derived lookahead. */
+struct ShardPlan
+{
+    /** Shard count, clamped into [1, replicas]. */
+    std::size_t shards = 1;
+
+    /** Shard whose queue runs router-side events (arrivals, routing
+     *  decisions, fault detection). */
+    std::size_t routerShard = 0;
+
+    /** homeShard[r]: the shard replica r's engine is pinned to
+     *  (round-robin). */
+    std::vector<std::size_t> homeShard;
+
+    /** Synchronization window width; see file comment. */
+    double lookaheadNs = 0.0;
+
+    /** Derive the plan from @p spec (see file comment). */
+    static ShardPlan build(const ClusterSpec &spec);
+};
+
+} // namespace skipsim::cluster
+
+#endif // SKIPSIM_CLUSTER_SHARD_PLAN_HH

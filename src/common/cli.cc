@@ -108,6 +108,10 @@ parseRunFlags(const CliArgs &args, int defaultJobs,
 {
     RunFlags flags;
     flags.jobs = static_cast<int>(args.getInt("jobs", defaultJobs));
+    flags.shards = static_cast<int>(args.getInt("shards", 0));
+    if (args.has("shards") && flags.shards <= 0)
+        fatal("option --shards expects a positive shard count, got " +
+              args.getString("shards"));
     flags.seed = static_cast<std::uint64_t>(
         args.getDouble("seed", 42.0));
     flags.quick = args.getBool("quick");

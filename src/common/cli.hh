@@ -72,6 +72,11 @@ struct RunFlags
     /** Worker threads (--jobs); semantics of 0 are caller-defined. */
     int jobs = 1;
 
+    /** Engine shards per cluster run (--shards); 0 means "unset, use
+     *  the spec's ClusterSpec::shards". Composes with --jobs: shards
+     *  partition one run, the pool fans across runs. */
+    int shards = 0;
+
     std::uint64_t seed = 42;
 
     /** CI smoke mode (--quick): shrink grids/horizons, same code path. */

@@ -23,33 +23,51 @@
 namespace skipsim::core
 {
 
-/** Clock + queue + run loop; see file comment. */
-class Engine
+/**
+ * Scheduling surface shared by Engine and ShardedEngine shards: where
+ * a Process posts its follow-up events. Processes hold a Scheduler&
+ * rather than an Engine&, so the same actor code runs unchanged inside
+ * a single-queue engine or pinned to one shard of a partitioned run —
+ * the scheduler decides which queue (and, for shards, which mailbox)
+ * the event lands in.
+ */
+class Scheduler
 {
   public:
-    Engine() = default;
-    Engine(const Engine &) = delete;
-    Engine &operator=(const Engine &) = delete;
+    Scheduler() = default;
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+    virtual ~Scheduler() = default;
 
-    double nowNs() const { return _clock.nowNs(); }
-    const Clock &clock() const { return _clock; }
+    virtual double nowNs() const = 0;
 
     /**
      * Schedule @p fn at absolute time @p tNs (>= now; the queue would
      * regress the clock otherwise, which panics at pop time).
      */
-    void
-    at(double tNs, int priority, EventFn fn)
-    {
-        _queue.schedule(tNs, priority, std::move(fn));
-    }
+    virtual void at(double tNs, int priority, EventFn fn) = 0;
 
     /** Schedule @p fn @p delayNs after now. */
     void
     after(double delayNs, int priority, EventFn fn)
     {
-        _queue.schedule(_clock.nowNs() + delayNs, priority,
-                        std::move(fn));
+        at(nowNs() + delayNs, priority, std::move(fn));
+    }
+};
+
+/** Clock + queue + run loop; see file comment. */
+class Engine final : public Scheduler
+{
+  public:
+    Engine() = default;
+
+    double nowNs() const override { return _clock.nowNs(); }
+    const Clock &clock() const { return _clock; }
+
+    void
+    at(double tNs, int priority, EventFn fn) override
+    {
+        _queue.schedule(tNs, priority, std::move(fn));
     }
 
     /**
@@ -98,31 +116,31 @@ class Engine
 class Process
 {
   public:
-    explicit Process(Engine &engine) : _engine(engine) {}
+    explicit Process(Scheduler &scheduler) : _scheduler(scheduler) {}
     Process(const Process &) = delete;
     Process &operator=(const Process &) = delete;
 
   protected:
     ~Process() = default;
 
-    Engine &engine() { return _engine; }
-    const Engine &engine() const { return _engine; }
-    double nowNs() const { return _engine.nowNs(); }
+    Scheduler &scheduler() { return _scheduler; }
+    const Scheduler &scheduler() const { return _scheduler; }
+    double nowNs() const { return _scheduler.nowNs(); }
 
     void
     at(double tNs, int priority, EventFn fn)
     {
-        _engine.at(tNs, priority, std::move(fn));
+        _scheduler.at(tNs, priority, std::move(fn));
     }
 
     void
     after(double delayNs, int priority, EventFn fn)
     {
-        _engine.after(delayNs, priority, std::move(fn));
+        _scheduler.after(delayNs, priority, std::move(fn));
     }
 
   private:
-    Engine &_engine;
+    Scheduler &_scheduler;
 };
 
 } // namespace skipsim::core

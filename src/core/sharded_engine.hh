@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Partitioned discrete-event engine: K per-shard EventQueues advanced
+ * by one merge loop under conservative time-windowed synchronization.
+ * Each window opens at the globally earliest pending event and extends
+ * by the configured lookahead (the minimum cross-shard latency of the
+ * model being simulated); inside the window the loop always executes
+ * the globally minimal event under the project-wide
+ * (time, priority, seq) order, with a single global push serial shared
+ * by every shard. Cross-shard postings — a handler running on shard A
+ * scheduling onto shard B — are buffered in per-shard mailboxes and
+ * merged into the target queue at the next synchronization point.
+ *
+ * Because the merge always picks the global minimum and the serial is
+ * global, the executed event sequence is byte-for-byte the one a
+ * single-queue core::Engine would produce, at any shard count. That is
+ * the contract the cluster simulator's shard-identity goldens lock
+ * (docs/core.md, "Sharded execution").
+ */
+
+#ifndef SKIPSIM_CORE_SHARDED_ENGINE_HH
+#define SKIPSIM_CORE_SHARDED_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/clock.hh"
+#include "core/engine.hh"
+#include "core/event_queue.hh"
+
+namespace skipsim::core
+{
+
+/** Synchronization counters of one sharded run (not part of any
+ *  report JSON — shard count must not leak into results). */
+struct ShardStats
+{
+    std::size_t shards = 0;
+    /** Events executed across all shards. */
+    std::uint64_t events = 0;
+    /** Synchronization windows opened by the merge loop. */
+    std::uint64_t windows = 0;
+    /** Events posted from a handler on one shard onto another (the
+     *  mailbox traffic). */
+    std::uint64_t crossShardMessages = 0;
+    /** Cross-shard messages that arrived closer than the lookahead
+     *  promised — zero on a correctly derived lookahead. */
+    std::uint64_t lookaheadViolations = 0;
+    /** Lookahead the run was configured with. */
+    double lookaheadNs = 0.0;
+};
+
+/** K shard queues + one clock + the windowed merge loop. */
+class ShardedEngine
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /**
+     * One shard's scheduling surface. Processes pinned to the shard
+     * hold it as their core::Scheduler; postings route through the
+     * owner so the global serial and the cross-shard mailbox
+     * bookkeeping stay centralized.
+     */
+    class Shard final : public Scheduler
+    {
+      public:
+        double nowNs() const override;
+        void at(double tNs, int priority, EventFn fn) override;
+        std::size_t index() const { return _index; }
+
+      private:
+        friend class ShardedEngine;
+        Shard(ShardedEngine &owner, std::size_t index)
+            : _owner(owner), _index(index)
+        {
+        }
+
+        ShardedEngine &_owner;
+        std::size_t _index;
+        EventQueue _queue;
+        std::vector<Event> _inbox;
+    };
+
+    /**
+     * @param shards    number of partitions (>= 1).
+     * @param lookaheadNs minimum cross-shard latency of the model: a
+     *        handler on one shard never affects another sooner than
+     *        this, so a window of that width is safe to advance.
+     *        Zero collapses every window to a single timestamp.
+     */
+    explicit ShardedEngine(std::size_t shards,
+                           double lookaheadNs = 0.0);
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    Shard &shard(std::size_t index);
+    std::size_t shardCount() const { return _shards.size(); }
+
+    double nowNs() const { return _clock.nowNs(); }
+    const Clock &clock() const { return _clock; }
+    double lookaheadNs() const { return _lookaheadNs; }
+
+    /** Pre-event hook, same contract as Engine::onBeforeEvent. */
+    void
+    onBeforeEvent(EventFn hook)
+    {
+        _beforeEvent = std::move(hook);
+    }
+
+    /** Run the windowed merge until every queue and mailbox drains.
+     *  @return events processed by this call. */
+    std::size_t run();
+
+    bool idle() const;
+    std::size_t pendingEvents() const;
+
+    const ShardStats &stats() const { return _stats; }
+
+  private:
+    /** Route a posting from shard @p target 's scheduler: direct push
+     *  when made outside any handler or from the shard itself,
+     *  mailboxed (and counted) when made from another shard. */
+    void post(std::size_t target, double tNs, int priority,
+              EventFn fn);
+
+    /** Merge every mailbox into its shard's queue. */
+    void flushInboxes();
+
+    /** Shard holding the globally minimal pending event under
+     *  (time, priority, seq); npos when all queues are empty. */
+    std::size_t argminShard() const;
+
+    std::vector<std::unique_ptr<Shard>> _shards;
+    Clock _clock;
+    EventFn _beforeEvent;
+    double _lookaheadNs = 0.0;
+    /** Shard whose handler is currently executing; npos outside the
+     *  run loop (setup postings are never cross-shard). */
+    std::size_t _running = npos;
+    /** Global push serial: the single sequence every shard stamps
+     *  from, which is what makes the K-way merge reproduce the
+     *  one-queue order. */
+    std::uint64_t _nextSeq = 0;
+    ShardStats _stats;
+};
+
+} // namespace skipsim::core
+
+#endif // SKIPSIM_CORE_SHARDED_ENGINE_HH

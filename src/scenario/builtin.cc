@@ -273,6 +273,32 @@ buildDisagg(const json::Object &params)
     return spec;
 }
 
+cluster::ClusterSpec
+buildDatacenter(const json::Object &params)
+{
+    cluster::ClusterSpec spec = baseSpec(params);
+    // Fleet-scale default: 8 replicas unless the caller sizes the
+    // fleet explicitly (the ext_datacenter bench passes 1024).
+    if (!params.has("replicas"))
+        spec.replicas.assign(8, spec.replicas.front());
+    // The router-to-replica dispatch hop is explicit here — it is the
+    // cross-shard latency the sharded engine turns into lookahead, so
+    // this scenario exercises the windowed sync protocol for real.
+    spec.dispatchUs = num(params, "dispatch-us", 5.0);
+    if (params.has("staged-dispatch"))
+        spec.stagedDispatch = params.at("staged-dispatch").asBool();
+    spec.shards = integer(params, "shards", 1);
+    // Offered load scales with the fleet so the per-replica operating
+    // point stays fixed at any size.
+    double per_replica = num(params, "rate-per-replica", 30.0);
+    spec.arrivalRatePerSec =
+        per_replica * static_cast<double>(spec.replicas.size());
+    spec.traffic = std::make_shared<serving::PoissonProcess>(
+        spec.arrivalRatePerSec, spec.sessions);
+    spec.validate();
+    return spec;
+}
+
 /** The parameters baseSpec() itself understands. */
 std::vector<ScenarioParam>
 baseParams()
@@ -390,6 +416,23 @@ registerBuiltinScenarios()
               {"watermark",
                "static-watermark HBM occupancy trigger (default "
                "0.9)"}})});
+    registerScenario(
+        {"datacenter",
+         "fleet-scale serving (8 replicas by default) with an "
+         "explicit router-to-replica dispatch hop, the lookahead "
+         "source for the sharded engine; load scales with the fleet",
+         buildDatacenter,
+         withBase(
+             {{"rate-per-replica",
+               "mean arrival rate per replica, req/s (default 30)"},
+              {"dispatch-us",
+               "router-to-replica dispatch latency, us (default 5)"},
+              {"staged-dispatch",
+               "gate enqueue on staging the prompt over the KV lane "
+               "(default false)"},
+              {"shards",
+               "engine shards; reports are byte-identical at any "
+               "count (default 1)"}})});
 }
 
 } // namespace skipsim::scenario

@@ -194,7 +194,9 @@ class ReplicaEngine : private core::Process
         std::function<double(double baseNs)> scaleDuration;
     };
 
-    ReplicaEngine(core::Engine &engine, const Config &config,
+    /** @p scheduler is the engine (or shard) this replica's
+     *  iteration-end events run on. */
+    ReplicaEngine(core::Scheduler &scheduler, const Config &config,
                   Callbacks callbacks);
 
     /**

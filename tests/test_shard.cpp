@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Sharded-engine suite: the deterministic K-way merge of
+ * core::ShardedEngine (order, mailbox traffic, lookahead accounting),
+ * the cluster-level shard-identity contract (report, obs JSON and
+ * span export byte-identical across the jobs x shards matrix on a
+ * fault-injected disaggregated spec), the staged-dispatch bandwidth
+ * contention coupling, and the --shards / ClusterSpec::shards
+ * validation surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "core/sharded_engine.hh"
+#include "exec/pool.hh"
+#include "hw/catalog.hh"
+#include "json/writer.hh"
+#include "kv/tier.hh"
+#include "obs/collector.hh"
+#include "obs/span.hh"
+#include "serving/arrival.hh"
+#include "workload/model_config.hh"
+
+using namespace skipsim;
+
+namespace
+{
+
+// ----------------------------------------------------- merge order
+
+TEST(ShardedEngine, MergeOrderMatchesSingleQueue)
+{
+    // The same randomized (time, priority) schedule, posted in the
+    // same order, must execute identically on one queue and on a
+    // three-way partition: the global seq serial plus the argmin
+    // merge reproduce the single-queue total order exactly.
+    const int n = 256;
+    Rng rng(7);
+    std::vector<double> times(n);
+    std::vector<int> prios(n);
+    for (int i = 0; i < n; ++i) {
+        times[i] = rng.uniform(0.0, 1000.0);
+        prios[i] = static_cast<int>(rng.below(4));
+    }
+
+    std::vector<int> single_order;
+    core::Engine engine;
+    for (int i = 0; i < n; ++i)
+        engine.at(times[i], prios[i],
+                  [&single_order, i](double) {
+                      single_order.push_back(i);
+                  });
+    engine.run();
+
+    std::vector<int> sharded_order;
+    core::ShardedEngine sharded(3);
+    for (int i = 0; i < n; ++i)
+        sharded.shard(static_cast<std::size_t>(i) % 3)
+            .at(times[i], prios[i],
+                [&sharded_order, i](double) {
+                    sharded_order.push_back(i);
+                });
+    EXPECT_EQ(sharded.pendingEvents(), static_cast<std::size_t>(n));
+    EXPECT_FALSE(sharded.idle());
+    EXPECT_EQ(sharded.run(), static_cast<std::size_t>(n));
+
+    ASSERT_EQ(single_order.size(), sharded_order.size());
+    EXPECT_EQ(single_order, sharded_order);
+    EXPECT_TRUE(sharded.idle());
+    EXPECT_EQ(sharded.stats().events, static_cast<std::uint64_t>(n));
+    // Setup postings are never cross-shard.
+    EXPECT_EQ(sharded.stats().crossShardMessages, 0u);
+}
+
+TEST(ShardedEngine, TieBreakIsPriorityThenSeq)
+{
+    // Three shards, four events at the same timestamp: priority
+    // breaks the tie first, then the global posting serial.
+    core::ShardedEngine engine(3);
+    std::vector<std::string> order;
+    auto record = [&order](std::string tag) {
+        return [&order, tag](double) { order.push_back(tag); };
+    };
+    engine.shard(0).at(5.0, 2, record("p2"));
+    engine.shard(1).at(5.0, 0, record("p0-first"));
+    engine.shard(2).at(5.0, 1, record("p1"));
+    engine.shard(0).at(5.0, 0, record("p0-second"));
+    engine.run();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"p0-first", "p0-second", "p1",
+                                        "p2"}));
+}
+
+// ------------------------------------------- mailboxes + lookahead
+
+TEST(ShardedEngine, CrossShardPostingGoesThroughMailbox)
+{
+    core::ShardedEngine engine(2);
+    bool delivered = false;
+    engine.shard(0).at(10.0, 0, [&](double now) {
+        // Handler on shard 0 schedules onto shard 1: this is the
+        // mailbox path, counted as cross-shard traffic.
+        engine.shard(1).at(now + 5.0, 0,
+                           [&delivered](double) { delivered = true; });
+        // Same-shard postings from a handler are not.
+        engine.shard(0).at(now + 1.0, 0, nullptr);
+    });
+    EXPECT_EQ(engine.run(), 3u);
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(engine.stats().crossShardMessages, 1u);
+    EXPECT_EQ(engine.stats().events, 3u);
+}
+
+TEST(ShardedEngine, LookaheadViolationAccounting)
+{
+    core::ShardedEngine engine(2, /*lookaheadNs=*/10.0);
+    engine.shard(0).at(0.0, 0, [&](double now) {
+        // Arrives sooner than the lookahead promises: a violation.
+        engine.shard(1).at(now + 5.0, 0, nullptr);
+        // At or past the lookahead horizon: fine.
+        engine.shard(1).at(now + 20.0, 0, nullptr);
+    });
+    engine.run();
+    EXPECT_EQ(engine.stats().crossShardMessages, 2u);
+    EXPECT_EQ(engine.stats().lookaheadViolations, 1u);
+    EXPECT_DOUBLE_EQ(engine.stats().lookaheadNs, 10.0);
+}
+
+TEST(ShardedEngine, WindowsBatchEventsUnderLookahead)
+{
+    // Lookahead 100: events at t=0/50/75 share the first window,
+    // t=500 opens a second one.
+    core::ShardedEngine engine(4, /*lookaheadNs=*/100.0);
+    engine.shard(0).at(0.0, 0, nullptr);
+    engine.shard(1).at(50.0, 0, nullptr);
+    engine.shard(2).at(75.0, 0, nullptr);
+    engine.shard(3).at(500.0, 0, nullptr);
+    EXPECT_EQ(engine.run(), 4u);
+    EXPECT_EQ(engine.stats().windows, 2u);
+    EXPECT_EQ(engine.stats().events, 4u);
+    EXPECT_EQ(engine.stats().shards, 4u);
+}
+
+TEST(ShardedEngine, RejectsDegenerateConfigs)
+{
+    EXPECT_THROW(core::ShardedEngine(0), PanicError);
+    EXPECT_THROW(core::ShardedEngine(2, -1.0), PanicError);
+    core::ShardedEngine engine(2);
+    EXPECT_THROW(engine.shard(2), PanicError);
+}
+
+// ------------------------------------------------ validation (S6)
+
+cluster::ClusterSpec
+tinySpec()
+{
+    cluster::ClusterSpec spec;
+    spec.model = workload::gpt2();
+    cluster::ReplicaSpec replica;
+    replica.platform = hw::platforms::gh200();
+    replica.maxActive = 8;
+    spec.replicas = {replica, replica};
+    spec.arrivalRatePerSec = 40.0;
+    spec.horizonSec = 2.0;
+    spec.promptLen = 64;
+    spec.genTokens = 4;
+    spec.seed = 7;
+    return spec;
+}
+
+TEST(ShardSpec, ValidateRejectsBadShardCounts)
+{
+    cluster::ClusterSpec spec = tinySpec();
+    spec.shards = 0;
+    try {
+        spec.validate();
+        FAIL() << "shards 0 accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("shards"),
+                  std::string::npos);
+    }
+    spec.shards = 3; // > the 2-replica fleet
+    try {
+        spec.validate();
+        FAIL() << "shards > replicas accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("replica"),
+                  std::string::npos)
+            << err.what();
+    }
+    spec.shards = 2;
+    EXPECT_NO_THROW(spec.validate());
+    spec.dispatchUs = -1.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+}
+
+TEST(ShardRunFlags, RejectsNonPositiveShards)
+{
+    auto parse = [](std::vector<const char *> argv) {
+        argv.insert(argv.begin(), "test");
+        CliArgs args(static_cast<int>(argv.size()), argv.data());
+        return parseRunFlags(args);
+    };
+    // Regression: --shards 0 / negative must fail up front naming the
+    // flag (same contract as --obs-interval-ms), not surface later as
+    // a ShardedEngine panic.
+    try {
+        parse({"--shards", "0"});
+        FAIL() << "shards 0 accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("--shards"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parse({"--shards=-2"}), FatalError);
+    EXPECT_EQ(parse({"--shards", "4"}).shards, 4);
+    EXPECT_EQ(parse({}).shards, 0); // unset sentinel: use the spec's
+}
+
+TEST(ShardSerde, ShardsAcceptedOnImportNeverEmitted)
+{
+    cluster::ClusterSpec spec = tinySpec();
+    spec.shards = 2;
+    spec.dispatchUs = 5.0;
+    spec.stagedDispatch = true;
+    std::string text = json::write(spec.toJson());
+    // Execution topology must not leak into the spec echo (reports
+    // embed it, and they are byte-identical at any shard count)...
+    EXPECT_EQ(text.find("shards"), std::string::npos);
+    // ...while the modelled dispatch hop is scenario identity and
+    // round-trips.
+    EXPECT_NE(text.find("dispatch-us"), std::string::npos);
+    EXPECT_NE(text.find("staged-dispatch"), std::string::npos);
+    cluster::ClusterSpec back =
+        cluster::ClusterSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.shards, 1);
+    EXPECT_DOUBLE_EQ(back.dispatchUs, 5.0);
+    EXPECT_TRUE(back.stagedDispatch);
+
+    // Spec files may still pin the topology explicitly.
+    json::Value doc = spec.toJson();
+    json::Object obj = doc.asObject();
+    obj.set("shards", 2.0);
+    back = cluster::ClusterSpec::fromJson(json::Value(std::move(obj)));
+    EXPECT_EQ(back.shards, 2);
+
+    // Defaults stay silent: a default spec mentions neither knob.
+    std::string plain = json::write(tinySpec().toJson());
+    EXPECT_EQ(plain.find("dispatch-us"), std::string::npos);
+    EXPECT_EQ(plain.find("staged-dispatch"), std::string::npos);
+}
+
+// ------------------------------------- jobs x shards identity (S3)
+
+/**
+ * The adversarial spec for the identity matrix: a disaggregated
+ * prefill/decode fleet on a PCIe platform (staging lanes live), an
+ * explicit dispatch hop (non-zero lookahead), staged dispatch, a
+ * mid-run crash, and a two-point rate sweep so --jobs has something
+ * to fan across.
+ */
+cluster::ClusterSpec
+matrixSpec()
+{
+    cluster::ClusterSpec spec;
+    spec.model = workload::gpt2();
+    cluster::ReplicaSpec replica;
+    replica.platform = hw::platforms::intelH100();
+    replica.maxActive = 8;
+    replica.role = cluster::ReplicaRole::Prefill;
+    spec.replicas.push_back(replica);
+    replica.role = cluster::ReplicaRole::Decode;
+    spec.replicas.push_back(replica);
+    spec.replicas.push_back(replica);
+    spec.replicas.push_back(replica);
+    spec.rates = {30.0, 60.0};
+    spec.arrivalRatePerSec = 30.0;
+    spec.horizonSec = 3.0;
+    spec.promptLen = 64;
+    spec.genTokens = 8;
+    spec.sessions = 32;
+    spec.dispatchUs = 5.0;
+    spec.stagedDispatch = true;
+    spec.seed = 7;
+    cluster::FaultSpec fault;
+    fault.atSec = 1.5;
+    fault.replica = 2;
+    fault.kind = cluster::FaultKind::Crash;
+    spec.faults.push_back(fault);
+    return spec;
+}
+
+TEST(ShardMatrix, ReportObsSpansIdenticalAcrossJobsAndShards)
+{
+    cluster::ClusterSpec base = matrixSpec();
+    cluster::CostCache costs;
+    costs.build(base);
+
+    std::string reference;
+    for (int jobs : {1, 8}) {
+        for (int shards : {1, 2, 4}) {
+            cluster::ClusterSpec spec = base;
+            spec.shards = shards;
+            std::size_t n = spec.scenarioCount();
+            ASSERT_EQ(n, 2u);
+            std::vector<cluster::ClusterResult> results(n);
+            std::vector<std::unique_ptr<obs::Collector>> collectors(n);
+            std::vector<std::unique_ptr<obs::SpanLog>> spans(n);
+            std::vector<core::ShardStats> stats(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                collectors[i] = std::make_unique<obs::Collector>(50.0);
+                spans[i] = std::make_unique<obs::SpanLog>();
+            }
+            exec::Pool pool(jobs);
+            pool.run(n, [&](std::size_t i) {
+                results[i] = cluster::simulateCluster(
+                    spec.scenarioAt(i), costs, collectors[i].get(),
+                    spans[i].get(), &stats[i]);
+            });
+            std::string doc;
+            for (std::size_t i = 0; i < n; ++i) {
+                doc += json::write(results[i].toJson());
+                doc += json::write(collectors[i]->toJson());
+                doc += spans[i]->toChromeText();
+            }
+            if (reference.empty())
+                reference = doc;
+            EXPECT_EQ(doc, reference)
+                << "output diverged at jobs=" << jobs
+                << " shards=" << shards;
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(stats[i].shards,
+                          static_cast<std::size_t>(shards));
+                // The run must be a real partition (mailbox traffic
+                // flows) yet never break its lookahead promise.
+                if (shards > 1) {
+                    EXPECT_GT(stats[i].crossShardMessages, 0u);
+                }
+                EXPECT_EQ(stats[i].lookaheadViolations, 0u);
+                EXPECT_GT(stats[i].events, 0u);
+            }
+        }
+    }
+    ASSERT_FALSE(reference.empty());
+}
+
+// ------------------------------------ staged-dispatch contention (S1)
+
+/**
+ * KV-pressured disaggregated PCIe pair with a deliberately slow link:
+ * every finished prefill pages its sequence's KV out over the prefill
+ * replica's lane (the handoff into decode), and the squeezed HBM adds
+ * eviction page-outs on top — so a staged dispatch (admission gated on
+ * the prompt's staging transfer) queues behind that KV traffic.
+ *
+ * @p gen_tokens is the traffic dial: at 1 there is no decode phase,
+ * hence no handoffs and no KV pressure — the lane carries only the
+ * staging transfers themselves, while the prefill-side request flow
+ * (arrivals, routing, prefill compute) is byte-for-byte the same as
+ * the heavy run.
+ */
+cluster::ClusterSpec
+contentionSpec(int gen_tokens, bool staged)
+{
+    cluster::ClusterSpec spec;
+    spec.model = workload::gpt2();
+    cluster::ReplicaSpec replica;
+    replica.platform = hw::platforms::intelH100();
+    replica.platform.gpu.hbmCapacityGiB = 0.30;
+    replica.platform.link.bwGBs = 0.5; // slow lane: contention bites
+    replica.maxActive = 8;
+    cluster::ReplicaSpec prefill = replica;
+    prefill.role = cluster::ReplicaRole::Prefill;
+    cluster::ReplicaSpec decode = replica;
+    decode.role = cluster::ReplicaRole::Decode;
+    spec.replicas = {prefill, decode};
+    spec.arrivalRatePerSec = 25.0;
+    spec.horizonSec = 8.0;
+    spec.promptLen = 256; // big KV footprint: ~10 MB/seq page-outs
+    spec.genTokens = gen_tokens;
+    spec.sessions = 64;
+    spec.seed = 7;
+    spec.stagedDispatch = staged;
+    spec.kvTier.policy = kv::OffloadPolicy::LruBySession;
+    spec.kvTier.hostCapacityGiB = 1.0;
+    spec.kvTier.watermarkFrac = 0.9;
+    return spec;
+}
+
+TEST(ShardContention, StagedDispatchQueuesBehindKvOffloadTraffic)
+{
+    cluster::CostCache costs;
+    costs.build(contentionSpec(16, false));
+
+    auto run = [&](int gen_tokens, bool staged) {
+        return cluster::simulateCluster(
+            contentionSpec(gen_tokens, staged), costs);
+    };
+    cluster::ClusterResult heavy_off = run(16, false);
+    cluster::ClusterResult heavy_on = run(16, true);
+    cluster::ClusterResult light_off = run(1, false);
+    cluster::ClusterResult light_on = run(1, true);
+
+    ASSERT_GT(heavy_on.kv.offloads, 0u)
+        << "spec no longer generates offload traffic";
+    // The two unstaged controls must agree at the median: decode-side
+    // traffic does not touch prefill compute, so any staged-mode gap
+    // between heavy and light is lane contention, not workload drift.
+    EXPECT_DOUBLE_EQ(heavy_off.p50TtftNs, light_off.p50TtftNs);
+
+    // Gating admission on the staging transfer costs exactly the
+    // uncontended transfer time when the lane is idle (the light
+    // delta); under heavy KV traffic the median dispatch must queue
+    // behind page-outs and pay several times that.
+    double delta_heavy = heavy_on.p50TtftNs - heavy_off.p50TtftNs;
+    double delta_light = light_on.p50TtftNs - light_off.p50TtftNs;
+    EXPECT_GT(delta_light, 0.0);
+    EXPECT_GT(delta_heavy, 2.0 * delta_light);
+    // The tail pays too: p99 dispatch latency rises under offload.
+    EXPECT_GT(heavy_on.p99TtftNs - heavy_off.p99TtftNs, delta_light);
+}
+
+} // namespace
