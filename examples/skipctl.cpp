@@ -15,12 +15,14 @@
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-interval-ms MS]
  *   skipctl cluster  --spec cluster.json [--jobs N] [--shards N]
+ *                    [--shard-threads N] [--queue heap|calendar]
  *                    [--out report.json]
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-interval-ms MS]
  *                    [--harness-trace harness.json]
  *   skipctl run      --scenario NAME [--spec params.json] [--quick]
- *                    [--jobs N] [--shards N] [--out report.json]
+ *                    [--jobs N] [--shards N] [--shard-threads N]
+ *                    [--queue heap|calendar] [--out report.json]
  *                    [--obs-out obs.json] [--obs-trace obs_trace.json]
  *                    [--obs-format json|openmetrics]
  *                    [--obs-interval-ms MS] [--span-out spans.json]
@@ -104,6 +106,7 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "core/any_queue.hh"
 #include "exec/pool.hh"
 #include "exec/registry.hh"
 #include "exec/runner.hh"
@@ -399,6 +402,15 @@ runClusterSpec(cluster::ClusterSpec spec, const RunFlags &flags)
                             flags.shards, spec.replicas.size()));
         spec.shards = flags.shards;
     }
+    // --shard-threads likewise: pure execution topology (a worker
+    // team advancing one run's shards), byte-identical output.
+    if (flags.shardThreads > 0)
+        spec.shardThreads = flags.shardThreads;
+    // --queue swaps the engines' pending-set implementation process-
+    // wide; both kinds share the (time, priority, seq) order, so this
+    // too never changes output.
+    if (!flags.queue.empty())
+        core::setDefaultQueueKind(core::queueKindFromName(flags.queue));
 
     // The cost models simulate a batch grid per distinct platform —
     // the expensive part — so build them once, serially, and share
@@ -579,7 +591,8 @@ cmdCluster(const CliArgs &args)
     if (!args.has("spec")) {
         std::fprintf(stderr,
                      "usage: skipctl cluster --spec cluster.json "
-                     "[--jobs N] [--shards N] [--out report.json] "
+                     "[--jobs N] [--shards N] [--shard-threads N] "
+                     "[--queue heap|calendar] [--out report.json] "
                      "[--obs-out obs.json] [--obs-trace trace.json] "
                      "[--obs-interval-ms MS] "
                      "[--harness-trace harness.json]\n");

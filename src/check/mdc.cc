@@ -1,0 +1,97 @@
+#include "check/mdc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace skipsim::check
+{
+
+double
+erlangB(int servers, double offeredLoad)
+{
+    if (servers < 1)
+        panic(strprintf("check::erlangB: servers must be positive, "
+                        "got %d",
+                        servers));
+    if (offeredLoad < 0.0 || !std::isfinite(offeredLoad))
+        panic(strprintf("check::erlangB: offered load must be finite "
+                        "and non-negative, got %g",
+                        offeredLoad));
+    // B(0, a) = 1; B(k, a) = a B(k-1, a) / (k + a B(k-1, a)). Each
+    // step stays in (0, 1], so no factorials overflow.
+    double b = 1.0;
+    for (int k = 1; k <= servers; ++k)
+        b = offeredLoad * b / (static_cast<double>(k) + offeredLoad * b);
+    return b;
+}
+
+double
+erlangC(int servers, double offeredLoad)
+{
+    double c = static_cast<double>(servers);
+    if (offeredLoad >= c)
+        panic(strprintf("check::erlangC: unstable queue, offered load "
+                        "%g >= %d servers",
+                        offeredLoad, servers));
+    double b = erlangB(servers, offeredLoad);
+    return c * b / (c - offeredLoad * (1.0 - b));
+}
+
+MdcSolution
+solveMdc(double arrivalRatePerSec, double serviceNs, int servers)
+{
+    if (!(arrivalRatePerSec > 0.0) || !std::isfinite(arrivalRatePerSec))
+        panic(strprintf("check::solveMdc: arrival rate must be a "
+                        "positive finite rate, got %g",
+                        arrivalRatePerSec));
+    if (!(serviceNs > 0.0) || !std::isfinite(serviceNs))
+        panic(strprintf("check::solveMdc: service time must be a "
+                        "positive finite ns count, got %g",
+                        serviceNs));
+    if (servers < 1)
+        panic(strprintf("check::solveMdc: servers must be positive, "
+                        "got %d",
+                        servers));
+
+    double lambda_per_ns = arrivalRatePerSec / 1e9;
+    double c = static_cast<double>(servers);
+
+    MdcSolution out;
+    out.offeredLoadErlangs = lambda_per_ns * serviceNs;
+    out.utilization = out.offeredLoadErlangs / c;
+    if (out.utilization >= 1.0)
+        panic(strprintf("check::solveMdc: unstable queue, utilization "
+                        "%g >= 1 (rate %g /s, service %g ns, %d "
+                        "servers)",
+                        out.utilization, arrivalRatePerSec, serviceNs,
+                        servers));
+
+    out.delayProbability = erlangC(servers, out.offeredLoadErlangs);
+
+    // M/M/c mean wait, then the deterministic-service correction.
+    // Cosmetatos: Wq(M/D/c) ~= Wq(M/M/c)/2 * (1 + f), with
+    // f = (1 - rho)(c - 1)(sqrt(4 + 5c) - 2) / (16 rho c). At c = 1
+    // the correction vanishes and the halved M/M/1 wait is the exact
+    // Pollaczek-Khinchine M/D/1 value rho S / (2 (1 - rho)).
+    double rho = out.utilization;
+    double wq_mmc = out.delayProbability * serviceNs / (c * (1.0 - rho));
+    double correction = (1.0 - rho) * (c - 1.0) *
+        (std::sqrt(4.0 + 5.0 * c) - 2.0) / (16.0 * rho * c);
+    out.meanWaitNs = 0.5 * wq_mmc * (1.0 + correction);
+    out.meanResponseNs = out.meanWaitNs + serviceNs;
+    out.meanQueueLength = lambda_per_ns * out.meanWaitNs;
+
+    // Exponential-tail approximation of the delay distribution:
+    // P(W > t) ~= Pw exp(-t Pw / Wq), which has the right mass at
+    // zero and the right mean. The median is 0 whenever fewer than
+    // half the arrivals wait at all.
+    if (out.delayProbability > 0.5 && out.meanWaitNs > 0.0)
+        out.medianWaitNs = out.meanWaitNs / out.delayProbability *
+            std::log(2.0 * out.delayProbability);
+    out.medianResponseNs = out.medianWaitNs + serviceNs;
+    return out;
+}
+
+} // namespace skipsim::check

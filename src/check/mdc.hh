@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Closed-form steady-state solver for the M/D/c queue: Poisson
+ * arrivals, deterministic service, c identical servers. The serving
+ * and cluster engines are discrete-event simulators of exactly this
+ * system when batching is disabled (maxBatch = 1 / maxActive = 1 with
+ * a single generated token), so the solver is a cross-engine oracle:
+ * the simulated steady state must land on the closed form, not merely
+ * move in the right direction.
+ *
+ * Exact pieces: Erlang-B/Erlang-C (recurrence, no factorials) and the
+ * c = 1 mean wait, which is the Pollaczek-Khinchine formula
+ * Wq = rho * S / (2 (1 - rho)) — exact for M/D/1. For c > 1 the mean
+ * wait uses the Cosmetatos approximation (M/M/c wait halved with a
+ * small multi-server correction), which reduces to the exact value at
+ * c = 1 and stays within a few percent elsewhere. Median waits come
+ * from the standard exponential-tail approximation of the delay
+ * distribution and are therefore looser; compare them with generous
+ * tolerance.
+ */
+
+#ifndef SKIPSIM_CHECK_MDC_HH
+#define SKIPSIM_CHECK_MDC_HH
+
+namespace skipsim::check
+{
+
+/** Steady-state quantities of an M/D/c queue. Times are ns. */
+struct MdcSolution
+{
+    double offeredLoadErlangs = 0.0; ///< a = lambda * S
+    double utilization = 0.0;        ///< rho = a / c, must be < 1
+    double delayProbability = 0.0;   ///< Erlang-C P(wait > 0)
+    double meanWaitNs = 0.0;         ///< E[Wq] (exact at c = 1)
+    double meanResponseNs = 0.0;     ///< E[Wq] + S
+    double medianWaitNs = 0.0;       ///< 0 when delayProbability <= 1/2
+    double medianResponseNs = 0.0;   ///< medianWaitNs + S
+    double meanQueueLength = 0.0;    ///< Lq = lambda * E[Wq] (Little)
+};
+
+/**
+ * Erlang-B blocking probability of an M/M/c/c loss system carrying
+ * @p offeredLoad erlangs, via the numerically stable recurrence.
+ * @throws PanicError when servers < 1 or offeredLoad < 0.
+ */
+double erlangB(int servers, double offeredLoad);
+
+/**
+ * Erlang-C delay probability P(wait > 0) of an M/M/c queue. Requires
+ * offeredLoad < servers (stability). @throws PanicError otherwise.
+ */
+double erlangC(int servers, double offeredLoad);
+
+/**
+ * Solve the M/D/c queue with @p arrivalRatePerSec Poisson arrivals,
+ * deterministic @p serviceNs service, and @p servers servers.
+ * @throws PanicError unless all inputs are positive and the queue is
+ * stable (rho < 1).
+ */
+MdcSolution solveMdc(double arrivalRatePerSec, double serviceNs,
+                     int servers);
+
+} // namespace skipsim::check
+
+#endif // SKIPSIM_CHECK_MDC_HH

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "analysis/sweep.hh"
+#include "check/mdc.hh"
 #include "check/span_check.hh"
 #include "cluster/cluster.hh"
 #include "common/strutil.hh"
@@ -320,6 +321,33 @@ buildCatalog()
                                    longer.horizonSec));
         });
 
+    add("serving.mdc-oracle", "serving",
+        "with unit batches the serving engine's mean latency matches "
+        "the exact M/D/1 Pollaczek-Khinchine closed form within 5%",
+        [] {
+            serving::LatencyModel latency(linearSweep(2e6, 1e6));
+            double service_ns = latency.latencyNs(1);
+            serving::ServingConfig config;
+            config.arrivalRatePerSec = 200.0; // rho = 0.6 at 3 ms
+            config.horizonSec = 200.0;
+            config.maxBatch = 1;
+            config.maxWaitNs = 0.0;
+            config.seed = 7;
+            MdcSolution mdc = solveMdc(config.arrivalRatePerSec,
+                                       service_ns, 1);
+            double a = serving::simulateServing(latency, config)
+                           .meanLatencyNs;
+            double b = mdc.meanResponseNs;
+            bool passed = std::abs(a - b) <= 0.05 * b;
+            return judge(
+                "serving.mdc-oracle", "serving", a, b, passed,
+                strprintf("simulated mean latency %.0f ns vs M/D/1 "
+                          "closed form %.0f ns at rho %.2f "
+                          "(%.1f%% apart)",
+                          a, b, mdc.utilization,
+                          100.0 * std::abs(a - b) / b));
+        });
+
     add("cluster.crash-goodput", "cluster",
         "injecting a replica crash never increases goodput", [] {
             cluster::ClusterSpec base = clusterBase();
@@ -371,6 +399,45 @@ buildCatalog()
                          strprintf("completed %.0f (1 replica) -> "
                                    "%.0f (2 replicas)",
                                    a, b));
+        });
+
+    add("cluster.mdc-oracle", "cluster",
+        "a three-replica single-slot cluster tracks the closed-form "
+        "M/D/3 median response within 35%",
+        [] {
+            // Single-slot replicas serving one token make each request
+            // one deterministic service; least-outstanding routing
+            // approximates the central M/D/c queue. The service time
+            // is calibrated from a near-idle run (the median response
+            // with nobody waiting), which also absorbs any fixed
+            // dispatch overhead.
+            cluster::ClusterSpec idle = clusterBase();
+            for (cluster::ReplicaSpec &replica : idle.replicas)
+                replica.maxActive = 1;
+            idle.replicas.push_back(idle.replicas.front());
+            idle.genTokens = 1;
+            idle.arrivalRatePerSec = 1.0;
+            idle.horizonSec = 20.0;
+            double service_ns =
+                cluster::simulateCluster(idle, sharedCosts()).p50E2eNs;
+
+            double rho = 0.8;
+            double rate = rho * 3.0 / (service_ns / 1e9);
+            cluster::ClusterSpec loaded = idle;
+            loaded.arrivalRatePerSec = rate;
+            loaded.horizonSec = 3000.0 / rate;
+            MdcSolution mdc = solveMdc(rate, service_ns, 3);
+            double a = cluster::simulateCluster(loaded, sharedCosts())
+                           .p50E2eNs;
+            double b = mdc.medianResponseNs;
+            bool passed = std::abs(a - b) <= 0.35 * b;
+            return judge(
+                "cluster.mdc-oracle", "cluster", a, b, passed,
+                strprintf("simulated p50 E2E %.0f ns vs M/D/3 median "
+                          "%.0f ns at rho %.2f, service %.0f ns "
+                          "(%.1f%% apart)",
+                          a, b, mdc.utilization, service_ns,
+                          100.0 * std::abs(a - b) / b));
         });
 
     add("cluster.mmpp-burst-ttft", "cluster",
@@ -624,6 +691,66 @@ buildCatalog()
                     static_cast<unsigned long long>(
                         stats.crossShardMessages));
             return judge("cluster.shard-identity", "cluster",
+                         static_cast<double>(a.size()),
+                         static_cast<double>(b.size()), passed,
+                         detail);
+        });
+
+    add("cluster.threaded-shard-identity", "cluster",
+        "advancing the shards with a worker team is a pure execution "
+        "change: the same adversarial spec produces byte-identical "
+        "reports at --shard-threads 1 and --shard-threads 4, with at "
+        "least one window actually executed in parallel",
+        [] {
+            // Same adversarial shape as cluster.shard-identity (the
+            // disaggregated split plus dispatch hop plus crash), now
+            // stressing the threaded window scheduler: worker-team
+            // fan-out, survivor mailbox, and barrier replay.
+            cluster::ClusterSpec spec = clusterBase();
+            cluster::ReplicaSpec prefill = spec.replicas.front();
+            prefill.role = cluster::ReplicaRole::Prefill;
+            cluster::ReplicaSpec decode = prefill;
+            decode.role = cluster::ReplicaRole::Decode;
+            spec.replicas = {prefill, decode, decode, decode};
+            spec.dispatchUs = 5.0;
+            cluster::FaultSpec fault;
+            fault.atSec = 4.0;
+            fault.replica = 2;
+            fault.kind = cluster::FaultKind::Crash;
+            spec.faults.push_back(fault);
+            spec.shards = 4;
+
+            cluster::ClusterSpec threaded = spec;
+            threaded.shardThreads = 4;
+            core::ShardStats stats;
+            std::string a = json::write(
+                cluster::simulateCluster(spec, sharedCosts())
+                    .toJson());
+            std::string b = json::write(
+                cluster::simulateCluster(threaded, sharedCosts(),
+                                         nullptr, nullptr, &stats)
+                    .toJson());
+            bool passed = a == b && stats.threads == 4 &&
+                stats.parallelWindows > 0 && stats.parallelEvents > 0;
+            std::string detail;
+            if (a != b)
+                detail = "threaded report diverged from the "
+                         "single-threaded report";
+            else if (stats.parallelWindows == 0 ||
+                     stats.parallelEvents == 0)
+                detail = "no parallel windows: the worker team "
+                         "exercised nothing";
+            else
+                detail = strprintf(
+                    "identical %zu-byte reports; %llu of %llu events "
+                    "in %llu parallel windows",
+                    a.size(),
+                    static_cast<unsigned long long>(
+                        stats.parallelEvents),
+                    static_cast<unsigned long long>(stats.events),
+                    static_cast<unsigned long long>(
+                        stats.parallelWindows));
+            return judge("cluster.threaded-shard-identity", "cluster",
                          static_cast<double>(a.size()),
                          static_cast<double>(b.size()), passed,
                          detail);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "cluster/shard_plan.hh"
@@ -130,6 +131,8 @@ ClusterSpec::validate() const
         fatal(strprintf("ClusterSpec: shards (%d) cannot exceed the "
                         "fleet's %zu replica(s)",
                         shards, replicas.size()));
+    if (shardThreads < 1)
+        fatal("ClusterSpec: shardThreads must be >= 1");
     if (dispatchUs < 0.0)
         fatal("ClusterSpec: dispatchUs must be non-negative");
     if (disaggregated()) {
@@ -315,7 +318,7 @@ class Sim
           _router(spec.router, makeWeights(spec, costs)),
           _disagg(spec.disaggregated()), _kvOn(spec.kvTier.enabled()),
           _plan(ShardPlan::build(spec)),
-          _engine(_plan.shards, _plan.lookaheadNs),
+          _engine(_plan.shards, engineOptions(_plan, spec)),
           _dispatchNs(spec.dispatchUs * 1e3), _obs(obs), _spans(spans)
     {
         if (_disagg) {
@@ -430,11 +433,22 @@ class Sim
             }
 
             serving::ReplicaEngine::Callbacks cb;
+            // Replica callbacks run inside parallel windows when the
+            // engine is threaded: writes to state owned by this
+            // replica (or keyed by request id) stay inline, while
+            // global effects — window accumulators, the router
+            // scoreboard, ordered span sealing/export — go through
+            // engine.defer(), which replays them in exact global event
+            // order at the window barrier (immediately in sequential
+            // mode). FP accumulation order in particular must match
+            // the sequential run for byte-identical reports.
             cb.onFirstToken = [this](std::size_t id, double ttft,
                                      double now) {
                 _requests[id].ttftNs = ttft;
-                _windowTtftNs += ttft;
-                ++_windowTtftCount;
+                _engine.defer([this, ttft] {
+                    _windowTtftNs += ttft;
+                    ++_windowTtftCount;
+                });
                 if (_spans != nullptr)
                     _spans->onFirstToken(id, now);
             };
@@ -449,7 +463,7 @@ class Sim
                     if (_spans != nullptr)
                         _spans->onHandoffStart(id, now);
                     ++rep.stats.handoffs;
-                    _router.onSettled(r);
+                    _engine.defer([this, r] { _router.onSettled(r); });
                     _requests[id].decodeReady = true;
                     // The re-dispatch is a routing decision, so the
                     // transfer-done event posts to the router's shard
@@ -463,10 +477,12 @@ class Sim
                 }
                 _requests[id].doneNs = now;
                 ++rep.stats.completed;
-                ++_windowCompleted;
-                _router.onSettled(r);
-                if (_spans != nullptr)
-                    _spans->onComplete(id, now);
+                _engine.defer([this, r, id, now] {
+                    ++_windowCompleted;
+                    _router.onSettled(r);
+                    if (_spans != nullptr)
+                        _spans->onComplete(id, now);
+                });
             };
             if (_spans != nullptr)
                 cb.onAdmitRequest = [this](std::size_t id, double now,
@@ -477,16 +493,26 @@ class Sim
             cb.onIteration =
                 [this, r](const serving::IterationInfo &info) {
                     if (_obs != nullptr) {
+                        // Captured by value: the IterationInfo
+                        // reference dies with the callback, but the
+                        // span append (global, ordered) is deferred.
                         const int batch = info.prefill
                             ? info.prefillBatch
                             : info.decodeBatch;
-                        _obs->span((info.prefill ? "prefill b="
-                                                 : "decode b=") +
-                                       std::to_string(batch),
-                                   static_cast<int>(r),
-                                   std::llround(info.beginNs),
-                                   std::llround(info.endNs -
-                                                info.beginNs));
+                        std::string name =
+                            (info.prefill ? "prefill b="
+                                          : "decode b=") +
+                            std::to_string(batch);
+                        const std::int64_t begin =
+                            std::llround(info.beginNs);
+                        const std::int64_t dur = std::llround(
+                            info.endNs - info.beginNs);
+                        _engine.defer(
+                            [this, r, name = std::move(name), begin,
+                             dur] {
+                                _obs->span(name, static_cast<int>(r),
+                                           begin, dur);
+                            });
                     }
                     if (_spans != nullptr && !info.prefill &&
                         info.decodeBatch > 0 &&
@@ -524,6 +550,19 @@ class Sim
     static std::vector<double> makeWeights(const ClusterSpec &spec,
                                            const CostCache &costs);
 
+    /** Engine execution options derived from plan + spec. */
+    static core::ShardedEngine::Options
+    engineOptions(const ShardPlan &plan, const ClusterSpec &spec)
+    {
+        core::ShardedEngine::Options opts;
+        opts.lookaheadNs = plan.lookaheadNs;
+        opts.threads = spec.shardThreads < 1
+            ? 1
+            : static_cast<std::size_t>(spec.shardThreads);
+        opts.safeCrossNs = plan.safeCrossNs;
+        return opts;
+    }
+
     /** Scheduler replica @p r's events execute on. */
     core::Scheduler &
     replicaSched(std::size_t r)
@@ -532,11 +571,15 @@ class Sim
     }
 
     /** Scheduler router-side events (arrivals, routing decisions,
-     *  fault detection) execute on. */
+     *  fault detection) execute on. Router handlers touch global
+     *  state (router scoreboard, backlog, other replicas), so their
+     *  events carry the unsafe tag: the threaded engine always runs
+     *  them sequentially at the global minimum, and their pending
+     *  heads bound every parallel window. */
     core::Scheduler &
     routerSched()
     {
-        return _engine.shard(_plan.routerShard);
+        return _engine.shard(_plan.routerShard).unsafeScheduler();
     }
 
     void dispatch(std::size_t id, double now);
@@ -989,6 +1032,19 @@ Sim::run()
     // instant before applying it: boundary samples see the state as
     // of the boundary, never a partially applied event.
     _engine.onBeforeEvent([this](double tNs) { flushObs(tNs); });
+    if (_obs != nullptr) {
+        // Boundary samples read global state, so a parallel window
+        // must never span one. The hook above has already flushed
+        // through its event's instant when this runs, making the
+        // ticker's next boundary the exact first constraint after it;
+        // boundaries past the sampling stop no longer matter.
+        _engine.setSyncPoint([this](double) {
+            const std::int64_t next = _ticker.nextNs();
+            return next > _obsStopNs
+                ? std::numeric_limits<double>::infinity()
+                : static_cast<double>(next);
+        });
+    }
     _engine.run();
 
     ClusterResult result;

@@ -222,6 +222,15 @@ struct ClusterSpec
     int shards = 1;
 
     /**
+     * Worker threads advancing the shards in parallel windows
+     * (core::ShardedEngine::Options::threads); 1 keeps the classic
+     * sequential merge loop. Like `shards`, a pure execution knob —
+     * byte-identical reports at any value — accepted but never
+     * emitted by the JSON serde.
+     */
+    int shardThreads = 1;
+
+    /**
      * Router dispatch latency, microseconds: a routed request reaches
      * its replica this much later, as an explicit delivery event on
      * the replica's shard. 0 (the default) keeps the historical

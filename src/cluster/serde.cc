@@ -131,9 +131,10 @@ ClusterSpec::toJson() const
             axis.push_back(json::Value(rate));
         doc.set("rates", json::Value(std::move(axis)));
     }
-    // "shards" is deliberately never emitted: it is execution
-    // topology, not scenario identity, and reports embedding the spec
-    // must stay byte-identical at any shard count.
+    // "shards" and "shard-threads" are deliberately never emitted:
+    // they are execution topology, not scenario identity, and reports
+    // embedding the spec must stay byte-identical at any shard or
+    // thread count.
     if (dispatchUs > 0.0)
         doc.set("dispatch-us", dispatchUs);
     if (stagedDispatch)
@@ -202,6 +203,9 @@ ClusterSpec::fromJson(const json::Value &value)
     }
     if (obj.has("shards"))
         spec.shards = static_cast<int>(obj.at("shards").asInt());
+    if (obj.has("shard-threads"))
+        spec.shardThreads =
+            static_cast<int>(obj.at("shard-threads").asInt());
     if (obj.has("dispatch-us"))
         spec.dispatchUs = obj.at("dispatch-us").asDouble();
     if (obj.has("staged-dispatch"))

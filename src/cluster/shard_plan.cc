@@ -1,6 +1,7 @@
 #include "cluster/shard_plan.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "workload/memory.hh"
 
@@ -32,6 +33,20 @@ ShardPlan::build(const ClusterSpec &spec)
                     std::min(plan.lookaheadNs,
                              rep.platform.transferNs(kv_bytes));
         }
+    }
+    plan.safeCrossNs = std::numeric_limits<double>::infinity();
+    if (spec.disaggregated() && spec.genTokens > 1) {
+        // The prefill completion posts the handoff's transfer-done
+        // event onto the router's shard no sooner than one sequence's
+        // KV crossing the fastest link (chargeLane never finishes
+        // early — FIFO lanes only push completions later).
+        double kv_bytes =
+            workload::estimateMemory(
+                spec.model, 1, spec.promptLen + spec.genTokens)
+                .kvCacheBytes;
+        for (const ReplicaSpec &rep : spec.replicas)
+            plan.safeCrossNs = std::min(
+                plan.safeCrossNs, rep.platform.transferNs(kv_bytes));
     }
     return plan;
 }

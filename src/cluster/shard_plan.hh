@@ -46,6 +46,18 @@ struct ShardPlan
     /** Synchronization window width; see file comment. */
     double lookaheadNs = 0.0;
 
+    /**
+     * Minimum latency of a *parallel-safe* event's cross-shard (or
+     * unsafe) postings — core::ShardedEngine::Options::safeCrossNs.
+     * Replica events only ever post off their shard through the
+     * prefill->decode KV handoff, so non-disaggregated fleets (and
+     * single-token runs) report +infinity: their parallel windows are
+     * bounded only by router-event heads and probe boundaries. Unlike
+     * the lookahead this does not depend on dispatchUs — dispatch
+     * latency gates *router* (unsafe, always sequential) postings.
+     */
+    double safeCrossNs = 0.0;
+
     /** Derive the plan from @p spec (see file comment). */
     static ShardPlan build(const ClusterSpec &spec);
 };

@@ -1,0 +1,36 @@
+#include "core/any_queue.hh"
+
+#include "common/logging.hh"
+
+namespace skipsim::core
+{
+
+namespace
+{
+QueueKind g_defaultKind = QueueKind::Heap;
+} // namespace
+
+QueueKind
+defaultQueueKind()
+{
+    return g_defaultKind;
+}
+
+void
+setDefaultQueueKind(QueueKind kind)
+{
+    g_defaultKind = kind;
+}
+
+QueueKind
+queueKindFromName(const std::string &name)
+{
+    if (name == "heap")
+        return QueueKind::Heap;
+    if (name == "calendar")
+        return QueueKind::Calendar;
+    fatal("unknown event-queue kind '" + name +
+          "' (expected 'heap' or 'calendar')");
+}
+
+} // namespace skipsim::core

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "core/any_queue.hh"
 #include "core/clock.hh"
 #include "core/event_queue.hh"
 
@@ -59,7 +60,11 @@ class Scheduler
 class Engine final : public Scheduler
 {
   public:
+    /** Pending set of the process-wide default queue kind. */
     Engine() = default;
+
+    /** Pending set of an explicit kind (e.g. QueueKind::Calendar). */
+    explicit Engine(QueueKind kind) : _queue(kind) {}
 
     double nowNs() const override { return _clock.nowNs(); }
     const Clock &clock() const { return _clock; }
@@ -100,7 +105,7 @@ class Engine final : public Scheduler
     bool step();
 
     Clock _clock;
-    EventQueue _queue;
+    AnyQueue _queue;
     EventFn _beforeEvent;
     std::uint64_t _processed = 0;
 };

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Epoch-based reclamation for lock-free structures. A retired object
+ * (e.g. a work-stealing deque's outgrown ring buffer, which a thief
+ * may still be reading after the owner swapped in a larger one) is
+ * tagged with the global epoch at retirement and freed only once every
+ * registered participant has been observed in a later epoch — at that
+ * point no thread can still hold a reference obtained under the old
+ * epoch, because references are only taken inside pin()/unpin()
+ * critical sections and a pinned thread blocks the epoch from
+ * advancing past it.
+ *
+ * The scheme is the classic three-epoch design: participants announce
+ * the global epoch (with an "active" bit) on entering a critical
+ * section; tryAdvance() bumps the global epoch when every active
+ * participant has caught up, and retirements from two epochs ago are
+ * then provably unreachable. Memory orders: the announcement is an
+ * acq_rel exchange so it both publishes the pin before any shared-
+ * structure loads and orders prior critical sections; unpin is a
+ * release store.
+ */
+
+#ifndef SKIPSIM_CORE_EPOCH_RECLAIMER_HH
+#define SKIPSIM_CORE_EPOCH_RECLAIMER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace skipsim::core
+{
+
+/**
+ * One reclamation domain with a fixed set of participant slots.
+ * Threads claim a slot up front (registerParticipant), pin around
+ * reads of the protected structure, and retire garbage from anywhere;
+ * retired objects are freed inside later retire()/drain() calls once
+ * the epoch has safely advanced twice.
+ */
+class EpochReclaimer
+{
+  public:
+    /** @param participants max concurrent threads (slots).
+     *  @throws PanicError on zero. */
+    explicit EpochReclaimer(std::size_t participants)
+        : _slots(participants)
+    {
+        if (participants == 0)
+            panic("core::EpochReclaimer: need >= 1 participant");
+    }
+
+    EpochReclaimer(const EpochReclaimer &) = delete;
+    EpochReclaimer &operator=(const EpochReclaimer &) = delete;
+
+    ~EpochReclaimer()
+    {
+        // All participants must be unpinned by now; everything
+        // outstanding is reclaimable.
+        for (Bucket &bucket : _buckets)
+            for (Retired &r : bucket.items)
+                r.deleter();
+    }
+
+    std::size_t participants() const { return _slots.size(); }
+
+    /** RAII pin: holds slot @p slot in the current epoch. */
+    class Guard
+    {
+      public:
+        Guard(EpochReclaimer &domain, std::size_t slot)
+            : _domain(&domain), _slot(slot)
+        {
+            _domain->pin(_slot);
+        }
+        ~Guard()
+        {
+            if (_domain)
+                _domain->unpin(_slot);
+        }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        EpochReclaimer *_domain;
+        std::size_t _slot;
+    };
+
+    /** Enter a critical section on slot @p slot. */
+    void
+    pin(std::size_t slot)
+    {
+        std::uint64_t epoch =
+            _globalEpoch.load(std::memory_order_acquire);
+        // acq_rel: publishes the pin before any protected loads and
+        // keeps a previous unpin from sinking below it.
+        _slots[slot].state.exchange(epoch * 2 + 1,
+                                    std::memory_order_acq_rel);
+    }
+
+    /** Leave the critical section on slot @p slot. */
+    void
+    unpin(std::size_t slot)
+    {
+        std::uint64_t epoch =
+            _slots[slot].state.load(std::memory_order_relaxed) / 2;
+        _slots[slot].state.store(epoch * 2,
+                                 std::memory_order_release);
+    }
+
+    /**
+     * Retire @p deleter 's object under the current epoch. Called by
+     * the owner thread of the structure (possibly while pinned); the
+     * deleter runs later, never inside this call's critical path for
+     * the same object.
+     */
+    void
+    retire(std::function<void()> deleter)
+    {
+        std::uint64_t epoch =
+            _globalEpoch.load(std::memory_order_acquire);
+        {
+            std::lock_guard<SpinLock> lock(_retireLock);
+            _buckets[epoch % 3].items.push_back(
+                Retired{epoch, std::move(deleter)});
+            ++_retiredCount;
+        }
+        tryAdvance();
+    }
+
+    /**
+     * Attempt one epoch advance and free everything from two epochs
+     * ago. Cheap no-op while any participant is still pinned in the
+     * previous epoch.
+     */
+    void
+    tryAdvance()
+    {
+        std::uint64_t epoch =
+            _globalEpoch.load(std::memory_order_acquire);
+        for (Slot &slot : _slots) {
+            std::uint64_t s =
+                slot.state.load(std::memory_order_acquire);
+            if ((s & 1) != 0 && s / 2 != epoch)
+                return; // pinned in an older epoch: not yet safe
+        }
+        if (!_globalEpoch.compare_exchange_strong(
+                epoch, epoch + 1, std::memory_order_acq_rel))
+            return; // someone else advanced; they will free
+        // Everything retired in epoch-1 (now two behind the bucket
+        // that epoch+1 retires into) is unreachable: free it.
+        std::vector<Retired> dead;
+        {
+            std::lock_guard<SpinLock> lock(_retireLock);
+            Bucket &bucket = _buckets[(epoch + 2) % 3];
+            dead.swap(bucket.items);
+            _retiredCount -= dead.size();
+            _freedCount += dead.size();
+        }
+        for (Retired &r : dead)
+            r.deleter();
+    }
+
+    /** Drive advancement until nothing reclaimable remains (test and
+     *  shutdown hook; requires all participants unpinned). */
+    void
+    drain()
+    {
+        for (int i = 0; i < 3; ++i)
+            tryAdvance();
+    }
+
+    /** Objects retired but not yet freed (approximate under load). */
+    std::size_t
+    retiredCount() const
+    {
+        std::lock_guard<SpinLock> lock(_retireLock);
+        return _retiredCount;
+    }
+
+    /** Objects freed so far (approximate under load). */
+    std::size_t
+    freedCount() const
+    {
+        std::lock_guard<SpinLock> lock(_retireLock);
+        return _freedCount;
+    }
+
+  private:
+    /** Tiny TTAS spinlock guarding only the retire lists (never held
+     *  across user code; the hot pin/unpin path does not touch it). */
+    class SpinLock
+    {
+      public:
+        void
+        lock()
+        {
+            while (_flag.exchange(true, std::memory_order_acquire))
+                while (_flag.load(std::memory_order_relaxed))
+                    ;
+        }
+        void unlock() { _flag.store(false, std::memory_order_release); }
+
+      private:
+        std::atomic<bool> _flag{false};
+    };
+
+    struct Retired
+    {
+        std::uint64_t epoch = 0;
+        std::function<void()> deleter;
+    };
+
+    /** state = epoch * 2 + activeBit. */
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> state{0};
+    };
+
+    struct Bucket
+    {
+        std::vector<Retired> items;
+    };
+
+    std::vector<Slot> _slots;
+    std::atomic<std::uint64_t> _globalEpoch{0};
+    mutable SpinLock _retireLock;
+    Bucket _buckets[3];
+    std::size_t _retiredCount = 0;
+    std::size_t _freedCount = 0;
+};
+
+} // namespace skipsim::core
+
+#endif // SKIPSIM_CORE_EPOCH_RECLAIMER_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bounded multi-producer queue (Vyukov bounded-queue scheme): a
+ * power-of-two ring of cells, each carrying a sequence stamp that
+ * encodes whether the cell is free for the next producer lap or holds
+ * a value for the consumer lap. Producers claim a cell with one
+ * fetch_add on the tail and publish by storing the stamp with release
+ * order; the consumer (or consumers — the scheme is MPMC, the engine
+ * uses it MPSC) observes the stamp with acquire order before reading
+ * the payload, so every pop happens-after the push that produced it.
+ *
+ * The queue is the sharded engine's cross-shard mailbox: during a
+ * parallel window every worker is a producer into every other shard's
+ * inbox, and the coordinator drains all inboxes single-threaded at the
+ * window barrier. Capacity is fixed at construction — tryPush returns
+ * false when the ring is full and callers spill to a local overflow
+ * buffer rather than blocking (a producer that spins on a full ring
+ * would deadlock against a consumer that only drains at the barrier).
+ *
+ * Determinism note: pop order is *not* part of any engine contract.
+ * Mailbox entries are self-describing (source shard, event ordinal,
+ * post ordinal) and the barrier re-orders them deterministically, so
+ * the interleaving of producer laps never leaks into simulation
+ * output.
+ */
+
+#ifndef SKIPSIM_CORE_MPSC_QUEUE_HH
+#define SKIPSIM_CORE_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace skipsim::core
+{
+
+/**
+ * Bounded MPSC/MPMC queue of movable values.
+ *
+ * @tparam T element type; moved in on push, moved out on pop.
+ */
+template <typename T>
+class MpscQueue
+{
+  public:
+    /** @param capacity ring size; rounded up to a power of two.
+     *  @throws PanicError on zero capacity. */
+    explicit MpscQueue(std::size_t capacity)
+    {
+        if (capacity == 0)
+            panic("core::MpscQueue: capacity must be >= 1");
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        _mask = cap - 1;
+        _cells = std::make_unique<Cell[]>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            _cells[i].stamp.store(i, std::memory_order_relaxed);
+        _tail.store(0, std::memory_order_relaxed);
+        _head.store(0, std::memory_order_relaxed);
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    std::size_t capacity() const { return _mask + 1; }
+
+    /**
+     * Producer side; safe from any number of threads concurrently.
+     * @return false when the ring is full (value is left untouched).
+     */
+    bool
+    tryPush(T &&value)
+    {
+        Cell *cell;
+        std::uint64_t pos = _tail.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &_cells[pos & _mask];
+            std::uint64_t stamp =
+                cell->stamp.load(std::memory_order_acquire);
+            std::intptr_t dif = static_cast<std::intptr_t>(stamp) -
+                static_cast<std::intptr_t>(pos);
+            if (dif == 0) {
+                // Cell free for this lap: claim it by advancing tail.
+                if (_tail.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // full: a whole lap behind
+            } else {
+                pos = _tail.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        // Publish: pop's acquire load of the stamp syncs with this.
+        cell->stamp.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side; the engine calls it from one thread at a time
+     * (the barrier coordinator), though the scheme supports several.
+     * @return false when empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        Cell *cell;
+        std::uint64_t pos = _head.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &_cells[pos & _mask];
+            std::uint64_t stamp =
+                cell->stamp.load(std::memory_order_acquire);
+            std::intptr_t dif = static_cast<std::intptr_t>(stamp) -
+                static_cast<std::intptr_t>(pos + 1);
+            if (dif == 0) {
+                if (_head.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // empty: no producer reached this cell
+            } else {
+                pos = _head.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(cell->value);
+        // Free the cell for the producers' next lap.
+        cell->stamp.store(pos + _mask + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Racy size estimate (exact when producers/consumer are quiet). */
+    std::size_t
+    sizeEstimate() const
+    {
+        std::uint64_t tail = _tail.load(std::memory_order_relaxed);
+        std::uint64_t head = _head.load(std::memory_order_relaxed);
+        return tail >= head ? static_cast<std::size_t>(tail - head)
+                            : 0;
+    }
+
+  private:
+    /** Cache-line sized cell so neighbouring stamps do not false-share
+     *  under heavy multi-producer traffic. */
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint64_t> stamp{0};
+        T value{};
+    };
+
+    std::unique_ptr<Cell[]> _cells;
+    std::size_t _mask = 0;
+    alignas(64) std::atomic<std::uint64_t> _tail{0};
+    alignas(64) std::atomic<std::uint64_t> _head{0};
+};
+
+} // namespace skipsim::core
+
+#endif // SKIPSIM_CORE_MPSC_QUEUE_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Chase–Lev work-stealing deque (the C11-formalized version of Lê,
+ * Pop, Cohen & Nardelli, "Correct and Efficient Work-Stealing for
+ * Weak Memory Models"): one owner pushes and pops at the bottom,
+ * any number of thieves steal from the top. The element array is a
+ * growable circular buffer; an outgrown buffer cannot be freed at the
+ * moment of growth because a concurrent thief may still be reading a
+ * slot of it, so retired buffers go through an EpochReclaimer and are
+ * freed once every participant has left the epoch that could observe
+ * them.
+ *
+ * Elements are stored in std::atomic<T> slots (T must be trivially
+ * copyable and lock-free at 8 bytes or less — exec::Pool packs its
+ * index chunks into one u64, the sharded engine stores shard ids), so
+ * the racy buffer reads of the classic algorithm are data-race-free
+ * relaxed atomic loads under TSan rather than undefined behavior.
+ */
+
+#ifndef SKIPSIM_CORE_WORKSTEAL_DEQUE_HH
+#define SKIPSIM_CORE_WORKSTEAL_DEQUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "core/epoch_reclaimer.hh"
+
+namespace skipsim::core
+{
+
+/**
+ * Single-owner, multi-thief deque.
+ *
+ * Thread roles are fixed by call site, not construction: whichever
+ * thread calls push()/tryPop() is "the owner" and must be unique at
+ * any moment; steal() is safe from any thread concurrently. The
+ * engine's window scheduler gives each worker its own deque and lets
+ * idle workers steal shards from the others.
+ */
+template <typename T>
+class WorkStealDeque
+{
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "WorkStealDeque stores raced slots as atomics; use "
+                  "a packed 8-byte payload");
+
+  public:
+    /**
+     * @param reclaimer epoch domain retired ring buffers go through;
+     *        must outlive the deque. Pass the pool/engine-wide domain
+     *        shared by every worker that may steal.
+     * @param initialCapacity starting ring size (power of two).
+     */
+    explicit WorkStealDeque(EpochReclaimer &reclaimer,
+                            std::size_t initialCapacity = 64)
+        : _reclaimer(reclaimer)
+    {
+        std::size_t cap = 1;
+        while (cap < initialCapacity)
+            cap <<= 1;
+        _buffer.store(new Ring(cap), std::memory_order_relaxed);
+    }
+
+    WorkStealDeque(const WorkStealDeque &) = delete;
+    WorkStealDeque &operator=(const WorkStealDeque &) = delete;
+
+    ~WorkStealDeque()
+    {
+        delete _buffer.load(std::memory_order_relaxed);
+    }
+
+    /** Owner side: push one element at the bottom. Grows (and
+     *  epoch-retires the old ring) when full. */
+    void
+    push(T value)
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed);
+        std::int64_t t = _top.load(std::memory_order_acquire);
+        Ring *ring = _buffer.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+            ring = grow(ring, b, t);
+        }
+        ring->slot(b).store(value, std::memory_order_relaxed);
+        // Release: a thief that acquires the new bottom sees the slot.
+        _bottom.store(b + 1, std::memory_order_release);
+    }
+
+    /** Owner side: pop the newest element. @return false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed) - 1;
+        Ring *ring = _buffer.load(std::memory_order_relaxed);
+        // Full fence against steal(): either the thief sees our
+        // claimed bottom or we see its advanced top.
+        _bottom.store(b, std::memory_order_seq_cst);
+        std::int64_t t = _top.load(std::memory_order_seq_cst);
+        if (t > b) {
+            // Already empty: undo.
+            _bottom.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = ring->slot(b).load(std::memory_order_relaxed);
+        if (t == b) {
+            // Last element: race the thieves for it via top.
+            if (!_top.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+                _bottom.store(b + 1, std::memory_order_relaxed);
+                return false; // a thief won
+            }
+            _bottom.store(b + 1, std::memory_order_relaxed);
+        }
+        return true;
+    }
+
+    /**
+     * Thief side: steal the oldest element. Callers must hold an
+     * EpochReclaimer::Guard on the shared domain so the ring they are
+     * reading cannot be freed mid-steal.
+     * @return false when empty or when the steal lost a race.
+     */
+    bool
+    steal(T &out)
+    {
+        std::int64_t t = _top.load(std::memory_order_acquire);
+        // seq_cst fence pairing with tryPop's bottom store.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t b = _bottom.load(std::memory_order_acquire);
+        if (t >= b)
+            return false;
+        Ring *ring = _buffer.load(std::memory_order_acquire);
+        T value = ring->slot(t).load(std::memory_order_relaxed);
+        if (!_top.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return false;
+        out = value;
+        return true;
+    }
+
+    /** Racy size estimate (exact for the quiescent owner). */
+    std::size_t
+    sizeEstimate() const
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed);
+        std::int64_t t = _top.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    /** Ring growths so far (test hook: reclamation was exercised). */
+    std::size_t growths() const
+    {
+        return _growths.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Ring
+    {
+        explicit Ring(std::size_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(std::make_unique<std::atomic<T>[]>(cap))
+        {
+        }
+        std::atomic<T> &
+        slot(std::int64_t i)
+        {
+            return slots[static_cast<std::size_t>(i) & mask];
+        }
+        std::size_t capacity;
+        std::size_t mask;
+        std::unique_ptr<std::atomic<T>[]> slots;
+    };
+
+    /** Owner only: double the ring, copy live elements, publish the
+     *  new ring and epoch-retire the old one. */
+    Ring *
+    grow(Ring *old, std::int64_t b, std::int64_t t)
+    {
+        Ring *bigger = new Ring(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i)
+            bigger->slot(i).store(
+                old->slot(i).load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        _buffer.store(bigger, std::memory_order_release);
+        _growths.fetch_add(1, std::memory_order_relaxed);
+        // A thief may still be dereferencing `old`: free it only when
+        // every participant has moved past the current epoch.
+        _reclaimer.retire([old] { delete old; });
+        return bigger;
+    }
+
+    EpochReclaimer &_reclaimer;
+    alignas(64) std::atomic<std::int64_t> _top{0};
+    alignas(64) std::atomic<std::int64_t> _bottom{0};
+    std::atomic<Ring *> _buffer{nullptr};
+    std::atomic<std::size_t> _growths{0};
+};
+
+} // namespace skipsim::core
+
+#endif // SKIPSIM_CORE_WORKSTEAL_DEQUE_HH

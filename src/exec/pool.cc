@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <deque>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/logging.hh"
+#include "core/epoch_reclaimer.hh"
+#include "core/worksteal_deque.hh"
 
 namespace skipsim::exec
 {
@@ -21,51 +24,6 @@ struct Chunk
 {
     std::size_t begin = 0;
     std::size_t end = 0;
-};
-
-/**
- * One worker's chunk deque. A plain mutex-guarded deque: the engine's
- * work grain is whole simulations, so contention on the deque lock is
- * immeasurable next to the work itself, and the simple structure is
- * easy to reason about (and for TSan to verify).
- */
-class WorkDeque
-{
-  public:
-    void
-    push(const Chunk &chunk)
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        _chunks.push_back(chunk);
-    }
-
-    /** Owner side: newest chunk first. */
-    bool
-    popBack(Chunk &out)
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        if (_chunks.empty())
-            return false;
-        out = _chunks.back();
-        _chunks.pop_back();
-        return true;
-    }
-
-    /** Thief side: oldest chunk first. */
-    bool
-    stealFront(Chunk &out)
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        if (_chunks.empty())
-            return false;
-        out = _chunks.front();
-        _chunks.pop_front();
-        return true;
-    }
-
-  private:
-    std::mutex _mutex;
-    std::deque<Chunk> _chunks;
 };
 
 } // namespace
@@ -110,13 +68,29 @@ Pool::run(std::size_t n, const std::function<void(std::size_t)> &fn) const
     std::size_t target_chunks = std::min(n, workers * 4);
     std::size_t chunk_size = (n + target_chunks - 1) / target_chunks;
 
-    std::vector<WorkDeque> deques(workers);
-    std::size_t num_chunks = 0;
-    for (std::size_t begin = 0; begin < n; begin += chunk_size) {
-        Chunk chunk{begin, std::min(begin + chunk_size, n)};
-        deques[num_chunks % workers].push(chunk);
-        ++num_chunks;
-    }
+    // The chunk table is immutable once built; the Chase–Lev deques
+    // carry 8-byte indices into it. Each worker owns one deque,
+    // seeded round-robin before the threads spawn (thread creation
+    // transfers deque ownership with the necessary happens-before
+    // edge); thieves take the oldest — largest remaining — chunk
+    // under an epoch guard, which protects rings the owner retired
+    // while growing.
+    std::vector<Chunk> chunks;
+    for (std::size_t begin = 0; begin < n; begin += chunk_size)
+        chunks.push_back(Chunk{begin, std::min(begin + chunk_size, n)});
+
+    skipsim::core::EpochReclaimer reclaimer(workers);
+    std::vector<
+        std::unique_ptr<skipsim::core::WorkStealDeque<std::uint64_t>>>
+        deques;
+    deques.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        deques.push_back(
+            std::make_unique<
+                skipsim::core::WorkStealDeque<std::uint64_t>>(
+                reclaimer));
+    for (std::size_t c = 0; c < chunks.size(); ++c)
+        deques[c % workers]->push(static_cast<std::uint64_t>(c));
 
     std::atomic<std::size_t> steals{0};
     std::mutex error_mutex;
@@ -128,25 +102,29 @@ Pool::run(std::size_t n, const std::function<void(std::size_t)> &fn) const
                 fn(i);
         };
         try {
-            Chunk chunk;
-            while (deques[self].popBack(chunk))
-                execute(chunk);
+            std::uint64_t c = 0;
+            while (deques[self]->tryPop(c))
+                execute(chunks[static_cast<std::size_t>(c)]);
             // Own deque drained: steal the oldest chunk from the
             // first victim that still has work, round-robin from our
             // right-hand neighbour.
             for (;;) {
                 bool stole = false;
-                for (std::size_t off = 1; off < workers; ++off) {
-                    std::size_t victim = (self + off) % workers;
-                    if (deques[victim].stealFront(chunk)) {
-                        steals.fetch_add(1, std::memory_order_relaxed);
-                        execute(chunk);
-                        stole = true;
-                        break;
+                {
+                    skipsim::core::EpochReclaimer::Guard guard(
+                        reclaimer, self);
+                    for (std::size_t off = 1; off < workers; ++off) {
+                        std::size_t victim = (self + off) % workers;
+                        if (deques[victim]->steal(c)) {
+                            stole = true;
+                            break;
+                        }
                     }
                 }
                 if (!stole)
                     return;
+                steals.fetch_add(1, std::memory_order_relaxed);
+                execute(chunks[static_cast<std::size_t>(c)]);
             }
         } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
@@ -162,7 +140,7 @@ Pool::run(std::size_t n, const std::function<void(std::size_t)> &fn) const
     for (auto &thread : threads)
         thread.join();
 
-    _lastStats.chunks = num_chunks;
+    _lastStats.chunks = chunks.size();
     _lastStats.steals = steals.load();
 
     if (first_error)

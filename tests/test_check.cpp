@@ -18,6 +18,7 @@
 
 #include "check/fuzzer.hh"
 #include "check/invariants.hh"
+#include "check/mdc.hh"
 #include "check/properties.hh"
 #include "common/logging.hh"
 #include "json/parser.hh"
@@ -282,6 +283,81 @@ TEST(GoldenMutations, SeededCorruptionsAreEachRejected)
                                    duped.violations[0].message,
                                    negated.violations[0].message};
     EXPECT_EQ(messages.size(), 3u);
+}
+
+// ------------------------------------------------------------ mdc oracle
+
+TEST(MdcSolver, ErlangFormulasMatchKnownValues)
+{
+    // B(1, a) = a / (1 + a); C(1, a) = a (the M/M/1 delay
+    // probability is the utilization).
+    EXPECT_NEAR(erlangB(1, 0.5), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(erlangC(1, 0.5), 0.5, 1e-12);
+    // Textbook values: B(2, 1) = 1/5, C(2, 1) = 1/3, B(3, 2) = 4/19.
+    EXPECT_NEAR(erlangB(2, 1.0), 0.2, 1e-12);
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(erlangB(3, 2.0), 4.0 / 19.0, 1e-12);
+    // Zero offered load never blocks and never queues.
+    EXPECT_NEAR(erlangB(4, 0.0), 0.0, 1e-12);
+    EXPECT_NEAR(erlangC(4, 0.0), 0.0, 1e-12);
+}
+
+TEST(MdcSolver, SingleServerIsExactPollaczekKhinchine)
+{
+    // rho = 0.6 with S = 3e6 ns: Wq = rho S / (2 (1 - rho)).
+    double service_ns = 3e6;
+    double rate = 200.0;
+    MdcSolution mdc = solveMdc(rate, service_ns, 1);
+    double rho = rate / 1e9 * service_ns;
+    EXPECT_NEAR(mdc.utilization, rho, 1e-12);
+    double wq = rho * service_ns / (2.0 * (1.0 - rho));
+    EXPECT_NEAR(mdc.meanWaitNs, wq, 1e-6);
+    EXPECT_NEAR(mdc.meanResponseNs, wq + service_ns, 1e-6);
+    EXPECT_NEAR(mdc.delayProbability, rho, 1e-12);
+    EXPECT_NEAR(mdc.meanQueueLength, rate / 1e9 * wq, 1e-12);
+}
+
+TEST(MdcSolver, PoolingServersShrinksTheWait)
+{
+    // Same per-server utilization (rho = 0.8): a pooled M/D/c always
+    // waits less than c separate M/D/1 queues, and more pooling keeps
+    // helping.
+    double service_ns = 5e6;
+    double w1 = solveMdc(160.0, service_ns, 1).meanWaitNs;
+    double w2 = solveMdc(320.0, service_ns, 2).meanWaitNs;
+    double w4 = solveMdc(640.0, service_ns, 4).meanWaitNs;
+    EXPECT_LT(w2, w1);
+    EXPECT_LT(w4, w2);
+    EXPECT_GT(w4, 0.0);
+}
+
+TEST(MdcSolver, SaturationBlowsUpAndOverloadPanics)
+{
+    double service_ns = 1e6;
+    double w_low = solveMdc(500.0, service_ns, 1).meanWaitNs;
+    double w_high = solveMdc(950.0, service_ns, 1).meanWaitNs;
+    EXPECT_GT(w_high, 10.0 * w_low);
+    EXPECT_THROW(solveMdc(1000.0, service_ns, 1), PanicError);
+    EXPECT_THROW(solveMdc(-1.0, service_ns, 1), PanicError);
+    EXPECT_THROW(solveMdc(500.0, 0.0, 1), PanicError);
+    EXPECT_THROW(solveMdc(500.0, service_ns, 0), PanicError);
+    EXPECT_THROW(erlangC(2, 2.0), PanicError);
+}
+
+TEST(MdcSolver, MedianTracksTheDelayProbability)
+{
+    // Below half delay probability the median arrival never waits.
+    double service_ns = 1e6;
+    MdcSolution light = solveMdc(100.0, service_ns, 4);
+    EXPECT_LE(light.delayProbability, 0.5);
+    EXPECT_EQ(light.medianWaitNs, 0.0);
+    EXPECT_NEAR(light.medianResponseNs, service_ns, 1e-9);
+    // Deep in saturation most arrivals wait and the median is
+    // positive but below the mean (the wait tail is right-skewed).
+    MdcSolution heavy = solveMdc(920.0, service_ns, 1);
+    EXPECT_GT(heavy.delayProbability, 0.5);
+    EXPECT_GT(heavy.medianWaitNs, 0.0);
+    EXPECT_LT(heavy.medianWaitNs, heavy.meanWaitNs);
 }
 
 // ------------------------------------------------------------ properties

@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Concurrency stress suite for the lock-free engine hot paths: the
+ * Vyukov bounded MPSC mailbox, the Chase–Lev work-stealing deque, the
+ * three-epoch reclaimer, and the threaded ShardedEngine itself. The
+ * tests are written to be meaningful under TSan (scripts/check_tsan.sh
+ * builds and runs this binary under -fsanitize=thread): every
+ * assertion is about exactly-once delivery, per-producer FIFO order,
+ * reclamation accounting, or byte-identical simulation traces — the
+ * data races themselves are the sanitizer's department.
+ *
+ * The machine running CI may have a single core; the stress tests rely
+ * on preemption (and TSan's scheduling noise) for interleavings, so
+ * iteration counts are sized to stay fast while still lapping every
+ * ring buffer many times over.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/epoch_reclaimer.hh"
+#include "core/mpsc_queue.hh"
+#include "core/sharded_engine.hh"
+#include "core/worksteal_deque.hh"
+
+namespace
+{
+
+using skipsim::core::EpochReclaimer;
+using skipsim::core::MpscQueue;
+using skipsim::core::QueueKind;
+using skipsim::core::ShardedEngine;
+using skipsim::core::WorkStealDeque;
+
+/** splitmix64: deterministic per-event randomness for the hammer. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// MpscQueue
+// ---------------------------------------------------------------------------
+
+TEST(MpscQueue, CapacityRoundsUpAndBounds)
+{
+    MpscQueue<int> q(5);
+    EXPECT_EQ(q.capacity(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(q.tryPush(int(i)));
+    int overflow = 99;
+    EXPECT_FALSE(q.tryPush(std::move(overflow)));
+    int out = -1;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out, i); // single-producer FIFO
+    }
+    EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(MpscQueue, FullPushLeavesValueUntouched)
+{
+    // The engine moves a SurvivorMsg into tryPush and spills the same
+    // object to a local vector when the ring is full — that only works
+    // if a failed push does not consume the value.
+    MpscQueue<std::unique_ptr<int>> q(2);
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(1)));
+    ASSERT_TRUE(q.tryPush(std::make_unique<int>(2)));
+    auto keep = std::make_unique<int>(7);
+    EXPECT_FALSE(q.tryPush(std::move(keep)));
+    ASSERT_NE(keep, nullptr);
+    EXPECT_EQ(*keep, 7);
+}
+
+TEST(MpscQueue, WrapAroundManyLaps)
+{
+    MpscQueue<std::uint64_t> q(2);
+    std::uint64_t out = 0;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(q.tryPush(std::uint64_t(i)));
+        ASSERT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+}
+
+/** P producers spin-pushing tagged values through a deliberately tiny
+ *  ring while one consumer drains concurrently: per-producer FIFO must
+ *  survive arbitrary interleaving and ring laps. */
+TEST(MpscQueue, MultiProducerFifoPerProducerUnderContention)
+{
+    constexpr std::uint64_t kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 5000;
+    MpscQueue<std::uint64_t> q(64);
+
+    std::vector<std::thread> producers;
+    for (std::uint64_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (std::uint64_t seq = 0; seq < kPerProducer; ++seq) {
+                std::uint64_t value = (p << 32) | seq;
+                while (!q.tryPush(std::move(value)))
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    std::vector<std::uint64_t> nextSeq(kProducers, 0);
+    std::uint64_t received = 0;
+    while (received < kProducers * kPerProducer) {
+        std::uint64_t value = 0;
+        if (!q.tryPop(value)) {
+            std::this_thread::yield();
+            continue;
+        }
+        std::uint64_t p = value >> 32;
+        std::uint64_t seq = value & 0xffffffffull;
+        ASSERT_LT(p, kProducers);
+        ASSERT_EQ(seq, nextSeq[p]) << "producer " << p
+                                   << " reordered under contention";
+        ++nextSeq[p];
+        ++received;
+    }
+    for (std::thread &t : producers)
+        t.join();
+    std::uint64_t tail = 0;
+    EXPECT_FALSE(q.tryPop(tail));
+}
+
+/** The scheme is MPMC; the engine only uses one consumer, but the
+ *  exactly-once property must hold with several. */
+TEST(MpscQueue, MultiConsumerExactlyOnce)
+{
+    constexpr std::uint64_t kProducers = 3;
+    constexpr std::uint64_t kPerProducer = 4000;
+    constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+    MpscQueue<std::uint64_t> q(32);
+    std::atomic<std::uint64_t> popped{0};
+
+    std::vector<std::thread> team;
+    for (std::uint64_t p = 0; p < kProducers; ++p) {
+        team.emplace_back([&q, p] {
+            for (std::uint64_t seq = 0; seq < kPerProducer; ++seq) {
+                std::uint64_t value = p * kPerProducer + seq;
+                while (!q.tryPush(std::move(value)))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    std::vector<std::vector<std::uint64_t>> got(2);
+    for (std::size_t c = 0; c < got.size(); ++c) {
+        team.emplace_back([&q, &popped, &out = got[c]] {
+            while (popped.load(std::memory_order_relaxed) < kTotal) {
+                std::uint64_t value = 0;
+                if (q.tryPop(value)) {
+                    out.push_back(value);
+                    popped.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (std::thread &t : team)
+        t.join();
+
+    std::vector<bool> seen(kTotal, false);
+    for (const auto &out : got) {
+        for (std::uint64_t value : out) {
+            ASSERT_LT(value, kTotal);
+            ASSERT_FALSE(seen[value]) << "value " << value
+                                      << " delivered twice";
+            seen[value] = true;
+        }
+    }
+    EXPECT_EQ(got[0].size() + got[1].size(), kTotal);
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealDeque + EpochReclaimer
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealDeque, OwnerPopsLifoThiefStealsFifo)
+{
+    EpochReclaimer domain(1);
+    WorkStealDeque<std::uint64_t> deque(domain);
+    deque.push(1);
+    deque.push(2);
+    deque.push(3);
+    std::uint64_t out = 0;
+    {
+        EpochReclaimer::Guard guard(domain, 0);
+        ASSERT_TRUE(deque.steal(out));
+        EXPECT_EQ(out, 1u); // oldest from the top
+    }
+    ASSERT_TRUE(deque.tryPop(out));
+    EXPECT_EQ(out, 3u); // newest from the bottom
+    ASSERT_TRUE(deque.tryPop(out));
+    EXPECT_EQ(out, 2u);
+    EXPECT_FALSE(deque.tryPop(out));
+}
+
+TEST(WorkStealDeque, GrowthRetiresRingsThroughEpochs)
+{
+    EpochReclaimer domain(1);
+    WorkStealDeque<std::uint64_t> deque(domain, 2);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        deque.push(i);
+    EXPECT_GT(deque.growths(), 0u);
+    EXPECT_EQ(domain.retiredCount() + domain.freedCount(),
+              deque.growths());
+    domain.drain(); // nobody pinned: everything becomes reclaimable
+    EXPECT_EQ(domain.retiredCount(), 0u);
+    EXPECT_EQ(domain.freedCount(), deque.growths());
+    std::uint64_t out = 0;
+    for (std::uint64_t i = 100; i-- > 0;) {
+        ASSERT_TRUE(deque.tryPop(out));
+        EXPECT_EQ(out, i); // contents survived every growth copy
+    }
+}
+
+/** Owner pushes and pops at the bottom while two thieves hammer the
+ *  top through a deliberately tiny initial ring, forcing growths and
+ *  epoch-retired buffers mid-steal. Every element must come out
+ *  exactly once across the three threads. */
+TEST(WorkStealDeque, ConcurrentStealsDeliverExactlyOnce)
+{
+    constexpr std::uint64_t kItems = 20000;
+    constexpr std::size_t kThieves = 2;
+    EpochReclaimer domain(kThieves);
+    WorkStealDeque<std::uint64_t> deque(domain, 4);
+    std::atomic<bool> stop{false};
+
+    std::vector<std::vector<std::uint64_t>> stolen(kThieves);
+    std::vector<std::thread> thieves;
+    for (std::size_t slot = 0; slot < kThieves; ++slot) {
+        thieves.emplace_back([&, slot] {
+            auto &out = stolen[slot];
+            while (!stop.load(std::memory_order_acquire)) {
+                std::uint64_t value = 0;
+                bool ok;
+                {
+                    EpochReclaimer::Guard guard(domain, slot);
+                    ok = deque.steal(value);
+                }
+                if (ok)
+                    out.push_back(value);
+                else
+                    std::this_thread::yield();
+            }
+            // Drain whatever the owner left behind.
+            for (;;) {
+                std::uint64_t value = 0;
+                bool ok;
+                {
+                    EpochReclaimer::Guard guard(domain, slot);
+                    ok = deque.steal(value);
+                }
+                if (!ok)
+                    break;
+                out.push_back(value);
+            }
+        });
+    }
+
+    std::vector<std::uint64_t> kept;
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+        deque.push(i);
+        if ((i & 7) == 7) { // interleave owner pops with the thieves
+            std::uint64_t value = 0;
+            if (deque.tryPop(value))
+                kept.push_back(value);
+        }
+    }
+    std::uint64_t value = 0;
+    while (deque.tryPop(value))
+        kept.push_back(value);
+    stop.store(true, std::memory_order_release);
+    for (std::thread &t : thieves)
+        t.join();
+
+    std::vector<bool> seen(kItems, false);
+    std::size_t total = kept.size();
+    for (std::uint64_t v : kept) {
+        ASSERT_LT(v, kItems);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+    for (const auto &out : stolen) {
+        total += out.size();
+        for (std::uint64_t v : out) {
+            ASSERT_LT(v, kItems);
+            ASSERT_FALSE(seen[v]) << "item " << v << " stolen twice";
+            seen[v] = true;
+        }
+    }
+    EXPECT_EQ(total, kItems);
+    EXPECT_GT(deque.growths(), 0u); // the tiny ring actually grew
+    domain.drain();
+    EXPECT_EQ(domain.retiredCount(), 0u);
+    EXPECT_EQ(domain.freedCount(), deque.growths());
+}
+
+TEST(EpochReclaimer, PinnedParticipantBlocksReclaim)
+{
+    EpochReclaimer domain(2);
+    bool freed = false;
+    domain.pin(1);
+    domain.retire([&freed] { freed = true; });
+    domain.drain();
+    EXPECT_FALSE(freed) << "freed while a participant could still "
+                           "hold a reference";
+    EXPECT_EQ(domain.retiredCount(), 1u);
+    domain.unpin(1);
+    domain.drain();
+    EXPECT_TRUE(freed);
+    EXPECT_EQ(domain.retiredCount(), 0u);
+    EXPECT_EQ(domain.freedCount(), 1u);
+}
+
+TEST(EpochReclaimer, DrainFreesEverythingWhenQuiescent)
+{
+    EpochReclaimer domain(3);
+    int freed = 0;
+    for (int i = 0; i < 10; ++i)
+        domain.retire([&freed] { ++freed; });
+    domain.drain();
+    EXPECT_EQ(freed, 10);
+    EXPECT_EQ(domain.retiredCount(), 0u);
+    EXPECT_EQ(domain.freedCount(), 10u);
+}
+
+/** Each participant churns pin/retire cycles on real allocations; the
+ *  deleters must run exactly once each (double frees crash, races are
+ *  TSan's to flag) and the final drain must leave nothing behind. */
+TEST(EpochReclaimer, ConcurrentChurnReclaimsEverything)
+{
+    constexpr std::size_t kThreads = 4;
+    constexpr int kPerThread = 2000;
+    EpochReclaimer domain(kThreads);
+    std::atomic<int> freed{0};
+
+    std::vector<std::thread> team;
+    for (std::size_t slot = 0; slot < kThreads; ++slot) {
+        team.emplace_back([&domain, &freed, slot] {
+            for (int i = 0; i < kPerThread; ++i) {
+                EpochReclaimer::Guard guard(domain, slot);
+                int *p = new int(i);
+                domain.retire([p, &freed] {
+                    delete p;
+                    freed.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (std::thread &t : team)
+        t.join();
+    domain.drain();
+    EXPECT_EQ(freed.load(), kThreads * kPerThread);
+    EXPECT_EQ(domain.retiredCount(), 0u);
+    EXPECT_EQ(domain.freedCount(),
+              std::size_t(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine: threaded execution hammer
+// ---------------------------------------------------------------------------
+
+/** One trace record per executed event, appended through
+ *  ShardedEngine::defer() — which the engine contract runs in exact
+ *  global event order in both execution modes. Comparing whole traces
+ *  therefore checks the executed sequence *and* the defer commit
+ *  order at once. */
+using Trace = std::vector<std::tuple<double, std::size_t, std::uint64_t>>;
+
+/**
+ * Randomized safe/unsafe event tree on a raw ShardedEngine, honoring
+ * the threading contract: safe handlers only touch their shard (plus
+ * defer()), and only post cross-shard or unsafe at least kCross into
+ * the future; unsafe handlers touch a global counter inline and post
+ * anywhere, including near-future cross-shard.
+ */
+class Hammer
+{
+  public:
+    static constexpr std::size_t kShards = 4;
+    static constexpr double kCross = 1000.0;
+    static constexpr int kMaxDepth = 6;
+
+    Hammer(std::size_t threads, std::uint64_t seed, bool withSyncPoint,
+           QueueKind kind = QueueKind::Heap)
+        : _engine(kShards, makeOptions(threads, kind)), _seed(seed)
+    {
+        if (withSyncPoint) {
+            // Probe-boundary stand-in: windows must never cross a
+            // multiple of 400 ns.
+            _engine.setSyncPoint([](double t) {
+                return 400.0 * (std::floor(t / 400.0) + 1.0);
+            });
+        }
+        for (std::size_t s = 0; s < kShards; ++s) {
+            armSafe(s, 100.0 + 10.0 * double(s), 0, s + 1, 0);
+            armUnsafe(s, 130.0 + 10.0 * double(s), 1,
+                      (std::uint64_t{1} << 40) + s, 0);
+        }
+    }
+
+    std::uint64_t
+    run()
+    {
+        return _engine.run();
+    }
+
+    const Trace &trace() const { return _trace; }
+    const skipsim::core::ShardStats &stats() const
+    {
+        return _engine.stats();
+    }
+    int unsafeTouches() const { return _unsafeTouches; }
+
+  private:
+    static ShardedEngine::Options
+    makeOptions(std::size_t threads, QueueKind kind)
+    {
+        ShardedEngine::Options opts;
+        opts.threads = threads;
+        opts.safeCrossNs = kCross;
+        opts.queueKind = kind;
+        return opts;
+    }
+
+    void
+    armSafe(std::size_t s, double t, int prio, std::uint64_t id,
+            int depth)
+    {
+        _engine.shard(s).at(t, prio, [this, s, id, depth](double now) {
+            onSafe(s, id, depth, now);
+        });
+    }
+
+    void
+    armUnsafe(std::size_t s, double t, int prio, std::uint64_t id,
+              int depth)
+    {
+        _engine.shard(s).unsafeScheduler().at(
+            t, prio,
+            [this, s, id, depth](double now) {
+                onUnsafe(s, id, depth, now);
+            });
+    }
+
+    void
+    onSafe(std::size_t s, std::uint64_t id, int depth, double now)
+    {
+        _engine.defer([this, now, s, id] {
+            _trace.emplace_back(now, s, id);
+        });
+        if (depth >= kMaxDepth)
+            return;
+        // Quantized offsets force timestamp collisions across shards
+        // so the (time, priority, seq) tie-break is exercised hard.
+        std::uint64_t r = mix(_seed ^ id);
+        armSafe(s, now + 1.0 + 50.0 * double(r % 16),
+                int((r >> 8) % 3), id * 4 + 1, depth + 1);
+        std::uint64_t r2 = mix(r);
+        std::size_t tgt = (s + 1 + (r2 % (kShards - 1))) % kShards;
+        armSafe(tgt, now + kCross + 50.0 * double((r2 >> 8) % 8),
+                int((r2 >> 16) % 3), id * 4 + 2, depth + 1);
+        if (r2 % 3 == 0) {
+            std::uint64_t r3 = mix(r2);
+            armUnsafe(s, now + kCross + 50.0 * double((r3 >> 8) % 8),
+                      int((r3 >> 16) % 3), id * 4 + 3, depth + 1);
+        }
+    }
+
+    void
+    onUnsafe(std::size_t s, std::uint64_t id, int depth, double now)
+    {
+        // Unsafe events run sequentially: a plain (non-atomic) global
+        // counter is legal here, and TSan proves it.
+        ++_unsafeTouches;
+        _engine.defer([this, now, s, id] {
+            _trace.emplace_back(now, s, id);
+        });
+        if (depth >= kMaxDepth)
+            return;
+        // Sequential context: near-future cross-shard posting is fine.
+        std::uint64_t r = mix(_seed ^ id);
+        armSafe(r % kShards, now + 1.0 + 50.0 * double((r >> 8) % 8),
+                int((r >> 16) % 3), id * 4 + 1, depth + 1);
+    }
+
+    ShardedEngine _engine;
+    std::uint64_t _seed;
+    Trace _trace;
+    int _unsafeTouches = 0;
+};
+
+TEST(ShardedEngineThreaded, TraceMatchesSequentialAcrossSeeds)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        Hammer baseline(1, seed, false);
+        std::uint64_t baseEvents = baseline.run();
+        for (std::size_t threads : {2ul, 4ul}) {
+            Hammer threaded(threads, seed, false);
+            EXPECT_EQ(threaded.run(), baseEvents)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(threaded.trace(), baseline.trace())
+                << "seed " << seed << " threads " << threads
+                << ": executed sequence diverged";
+            EXPECT_EQ(threaded.unsafeTouches(),
+                      baseline.unsafeTouches());
+            EXPECT_GT(threaded.stats().parallelWindows, 0u)
+                << "threaded run never opened a parallel window";
+            EXPECT_GT(threaded.stats().parallelEvents, 0u);
+        }
+    }
+}
+
+TEST(ShardedEngineThreaded, SyncPointsBoundWindowsWithoutDivergence)
+{
+    Hammer baseline(1, 7, true);
+    std::uint64_t baseEvents = baseline.run();
+    Hammer threaded(4, 7, true);
+    EXPECT_EQ(threaded.run(), baseEvents);
+    ASSERT_EQ(threaded.trace(), baseline.trace());
+    EXPECT_GT(threaded.stats().parallelWindows, 0u);
+}
+
+TEST(ShardedEngineThreaded, RepeatedThreadedRunsAreDeterministic)
+{
+    Hammer first(4, 11, false);
+    first.run();
+    Hammer second(4, 11, false);
+    second.run();
+    ASSERT_EQ(first.trace(), second.trace())
+        << "threaded execution leaked scheduling nondeterminism";
+    EXPECT_EQ(first.stats().events, second.stats().events);
+}
+
+TEST(ShardedEngineThreaded, CalendarQueueMatchesHeapSequentially)
+{
+    Hammer heap(1, 5, false, QueueKind::Heap);
+    std::uint64_t baseEvents = heap.run();
+    Hammer calendar(1, 5, false, QueueKind::Calendar);
+    EXPECT_EQ(calendar.run(), baseEvents);
+    ASSERT_EQ(calendar.trace(), heap.trace());
+}
+
+TEST(ShardedEngineThreaded, CalendarQueueMatchesHeapBaseline)
+{
+    Hammer heap(1, 5, false, QueueKind::Heap);
+    std::uint64_t baseEvents = heap.run();
+    Hammer calendar(4, 5, false, QueueKind::Calendar);
+    EXPECT_EQ(calendar.run(), baseEvents);
+    ASSERT_EQ(calendar.trace(), heap.trace())
+        << "calendar-queue shards diverged from the heap baseline";
+    EXPECT_GT(calendar.stats().parallelWindows, 0u);
+}
+
+} // namespace

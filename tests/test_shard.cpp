@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.hh"
@@ -258,6 +259,86 @@ TEST(ShardSerde, ShardsAcceptedOnImportNeverEmitted)
     EXPECT_EQ(plain.find("staged-dispatch"), std::string::npos);
 }
 
+TEST(ShardRunFlags, RejectsOutOfRangeShardThreads)
+{
+    auto parse = [](std::vector<const char *> argv) {
+        argv.insert(argv.begin(), "test");
+        CliArgs args(static_cast<int>(argv.size()), argv.data());
+        return parseRunFlags(args);
+    };
+    // Same up-front contract as --shards: a bad thread count must fail
+    // at the CLI naming the flag, not surface later from the engine.
+    try {
+        parse({"--shard-threads", "0"});
+        FAIL() << "shard-threads 0 accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("--shard-threads"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parse({"--shard-threads=-3"}), FatalError);
+
+    // Oversubscription is rejected too, and the message names the
+    // machine's actual capacity so the user can pick a sane value.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int cap = hw == 0 ? 1 : static_cast<int>(hw);
+    std::string over = std::to_string(cap + 1);
+    try {
+        parse({"--shard-threads", over.c_str()});
+        FAIL() << "shard-threads " << over << " accepted on a machine "
+               << "with " << cap << " hardware thread(s)";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("--shard-threads"),
+                  std::string::npos);
+        EXPECT_NE(
+            std::string(err.what()).find(std::to_string(cap)),
+            std::string::npos);
+    }
+    std::string max = std::to_string(cap);
+    EXPECT_EQ(parse({"--shard-threads", max.c_str()}).shardThreads,
+              cap);
+    EXPECT_EQ(parse({}).shardThreads, 0); // unset sentinel
+}
+
+TEST(ShardRunFlags, QueueKindValidated)
+{
+    auto parse = [](std::vector<const char *> argv) {
+        argv.insert(argv.begin(), "test");
+        CliArgs args(static_cast<int>(argv.size()), argv.data());
+        return parseRunFlags(args);
+    };
+    try {
+        parse({"--queue", "splay"});
+        FAIL() << "queue kind 'splay' accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("--queue"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(parse({"--queue", "heap"}).queue, "heap");
+    EXPECT_EQ(parse({"--queue", "calendar"}).queue, "calendar");
+    EXPECT_EQ(parse({}).queue, ""); // unset: keep the process default
+}
+
+TEST(ShardSerde, ShardThreadsAcceptedOnImportNeverEmitted)
+{
+    cluster::ClusterSpec spec = tinySpec();
+    spec.shardThreads = 4;
+    std::string text = json::write(spec.toJson());
+    // Worker count is execution topology, not scenario identity:
+    // reports stay byte-identical at any thread count, so the spec
+    // echo must not mention it.
+    EXPECT_EQ(text.find("shard-threads"), std::string::npos);
+    cluster::ClusterSpec back =
+        cluster::ClusterSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.shardThreads, 1);
+
+    // Spec files may still pin the topology explicitly.
+    json::Value doc = spec.toJson();
+    json::Object obj = doc.asObject();
+    obj.set("shard-threads", 4.0);
+    back = cluster::ClusterSpec::fromJson(json::Value(std::move(obj)));
+    EXPECT_EQ(back.shardThreads, 4);
+}
+
 // ------------------------------------- jobs x shards identity (S3)
 
 /**
@@ -304,11 +385,23 @@ TEST(ShardMatrix, ReportObsSpansIdenticalAcrossJobsAndShards)
     cluster::CostCache costs;
     costs.build(base);
 
+    struct Axis
+    {
+        int shards;
+        int threads;
+    };
+    // The threads axis exercises the worker-team execution mode: the
+    // byte-identity contract must hold when whole shard windows run
+    // on a parallel team, not just across partition counts.
+    const std::vector<Axis> axes = {
+        {1, 1}, {2, 1}, {4, 1}, {2, 2}, {4, 2}, {4, 4}};
     std::string reference;
     for (int jobs : {1, 8}) {
-        for (int shards : {1, 2, 4}) {
+        for (const Axis &axis : axes) {
+            const int shards = axis.shards;
             cluster::ClusterSpec spec = base;
             spec.shards = shards;
+            spec.shardThreads = axis.threads;
             std::size_t n = spec.scenarioCount();
             ASSERT_EQ(n, 2u);
             std::vector<cluster::ClusterResult> results(n);
@@ -335,7 +428,8 @@ TEST(ShardMatrix, ReportObsSpansIdenticalAcrossJobsAndShards)
                 reference = doc;
             EXPECT_EQ(doc, reference)
                 << "output diverged at jobs=" << jobs
-                << " shards=" << shards;
+                << " shards=" << shards
+                << " shard-threads=" << axis.threads;
             for (std::size_t i = 0; i < n; ++i) {
                 EXPECT_EQ(stats[i].shards,
                           static_cast<std::size_t>(shards));
@@ -346,6 +440,15 @@ TEST(ShardMatrix, ReportObsSpansIdenticalAcrossJobsAndShards)
                 }
                 EXPECT_EQ(stats[i].lookaheadViolations, 0u);
                 EXPECT_GT(stats[i].events, 0u);
+                if (axis.threads > 1 && shards > 1) {
+                    // Threaded identity must not be vacuous: the
+                    // worker team has to actually commit events
+                    // through parallel windows.
+                    EXPECT_GT(stats[i].parallelWindows, 0u)
+                        << "no parallel windows at shards=" << shards
+                        << " shard-threads=" << axis.threads;
+                    EXPECT_GT(stats[i].parallelEvents, 0u);
+                }
             }
         }
     }
